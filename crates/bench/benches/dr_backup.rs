@@ -1,0 +1,158 @@
+//! Experiment E14 — backup policies, storage consumption and RPO/RTO.
+//!
+//! "Snapshots – backup features – DR services" is one of the stated goals of
+//! the virtualization roadmap. The printed tables run three policies against
+//! the same guest write pattern over a two-week horizon and report the
+//! storage each consumes, the recovery point objective it achieves and the
+//! worst-case restore time, then sweep the guest's daily write volume.
+//! Criterion measures the cost of taking incremental backups and of a full
+//! restore drill.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_memory::GuestMemory;
+use rvisor_snapshot::{BackupPolicy, BackupReport, BackupSimulator, BackupTarget};
+use rvisor_types::{ByteSize, GuestAddress, Nanoseconds, VmId, PAGE_SIZE};
+use rvisor_vcpu::VcpuState;
+
+/// A populated guest whose dirty tracking starts clean.
+fn guest(ram: ByteSize) -> GuestMemory {
+    let mem = GuestMemory::flat(ram).unwrap();
+    for p in 0..mem.total_pages() {
+        mem.write_u64(GuestAddress(p * PAGE_SIZE), p * 11 + 3).unwrap();
+    }
+    mem.clear_dirty();
+    mem
+}
+
+/// Simulate `intervals` backup intervals, dirtying `pages_per_interval`
+/// distinct pages of the working set before each backup.
+fn run_policy(
+    policy: BackupPolicy,
+    ram: ByteSize,
+    intervals: u32,
+    pages_per_interval: u64,
+) -> BackupReport {
+    let mem = guest(ram);
+    let mut sim = BackupSimulator::new(VmId::new(1), policy, BackupTarget::default()).unwrap();
+    let total_pages = mem.total_pages();
+    let mut cursor = 0u64;
+    for _ in 0..intervals {
+        for _ in 0..pages_per_interval {
+            let page = cursor % total_pages;
+            mem.write_u64(GuestAddress(page * PAGE_SIZE), 0xd1d1_0000 + cursor).unwrap();
+            cursor += 1;
+        }
+        sim.run_interval(&mem, &[VcpuState::default()]).unwrap();
+    }
+    sim.report()
+}
+
+fn policies() -> Vec<(&'static str, BackupPolicy)> {
+    vec![
+        ("nightly full", BackupPolicy::nightly_full()),
+        ("weekly full + daily inc", BackupPolicy::weekly_full_daily_incremental()),
+        ("nightly full + hourly inc", BackupPolicy::hourly_incremental()),
+    ]
+}
+
+fn print_policy_table() {
+    println!("\n=== E14a: backup policies over 7 days (256 MiB guest, ~50 MiB written/day) ===");
+    println!(
+        "{:<26} {:>9} {:>8} {:>12} {:>14} {:>10} {:>12} {:>8}",
+        "policy", "backups", "fulls", "stored", "vs full-only", "RPO", "worst RTO", "chain"
+    );
+    let ram = ByteSize::mib(256);
+    let daily_pages = ByteSize::mib(50).pages();
+    for (name, policy) in policies() {
+        // Express the horizon in this policy's own interval count: 7 days.
+        let day = Nanoseconds::from_secs(24 * 3600);
+        let intervals = (7 * day.as_nanos() / policy.interval.as_nanos()) as u32;
+        let pages_per_interval =
+            daily_pages * policy.interval.as_nanos() / day.as_nanos();
+        let report = run_policy(policy, ram, intervals, pages_per_interval);
+        println!(
+            "{:<26} {:>9} {:>8} {:>8} MiB {:>13.1}% {:>10} {:>12} {:>8}",
+            name,
+            report.backups_taken,
+            report.fulls_taken,
+            report.bytes_stored.as_u64() >> 20,
+            report.storage_saving_fraction() * 100.0,
+            format!("{}", report.rpo),
+            format!("{}", report.worst_rto),
+            report.longest_chain
+        );
+    }
+}
+
+fn print_write_volume_sweep() {
+    println!("\n=== E14b: weekly-full/daily-incremental storage vs daily write volume (128 MiB guest, 14 days) ===");
+    println!("{:>14} {:>12} {:>16}", "written/day", "stored", "saving vs fulls");
+    for daily_mib in [5u64, 20, 50, 100, 128] {
+        let report = run_policy(
+            BackupPolicy::weekly_full_daily_incremental(),
+            ByteSize::mib(128),
+            14,
+            ByteSize::mib(daily_mib).pages(),
+        );
+        println!(
+            "{:>10} MiB {:>8} MiB {:>15.1}%",
+            daily_mib,
+            report.bytes_stored.as_u64() >> 20,
+            report.storage_saving_fraction() * 100.0
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_policy_table();
+    print_write_volume_sweep();
+
+    let mut group = c.benchmark_group("e14_backup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+
+    group.bench_function("incremental_backup_64MiB_5pct_dirty", |b| {
+        b.iter(|| {
+            let report = run_policy(
+                BackupPolicy::weekly_full_daily_incremental(),
+                ByteSize::mib(64),
+                3,
+                ByteSize::mib(3).pages(),
+            );
+            report.bytes_stored.as_u64()
+        })
+    });
+    for ram_mib in [32u64, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("restore_drill", ram_mib),
+            &ram_mib,
+            |b, &ram_mib| {
+                let ram = ByteSize::mib(ram_mib);
+                let mem = guest(ram);
+                let mut sim = BackupSimulator::new(
+                    VmId::new(2),
+                    BackupPolicy::weekly_full_daily_incremental(),
+                    BackupTarget::default(),
+                )
+                .unwrap();
+                for day in 0..5u64 {
+                    mem.write_u64(GuestAddress((day % 8) * PAGE_SIZE), day).unwrap();
+                    sim.run_interval(&mem, &[VcpuState::default()]).unwrap();
+                }
+                b.iter(|| {
+                    let replacement = GuestMemory::flat(ram).unwrap();
+                    let (_, rto) = sim.restore_latest(&replacement).unwrap();
+                    rto.as_nanos()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Experiment E1 — CPU virtualization overhead by execution mode.
+//!
+//! Reproduces the classic comparison of trap-and-emulate (shadow paging),
+//! paravirtualization and hardware-assisted virtualization on three guest
+//! workload classes: compute-bound, privileged-operation-heavy and
+//! hypercall-heavy. The table printed before the Criterion runs shows the
+//! simulated guest time (deterministic) and exits per million instructions;
+//! the Criterion groups measure host wall-clock per workload execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_bench::{prepared_vcpu, prepared_vcpu_free, prepared_vcpu_with_costs, run_vcpu_to_halt};
+use rvisor_vcpu::{ExecCosts, ExecMode, Workload, WorkloadKind};
+
+fn workloads() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("compute-bound", Workload::new(WorkloadKind::ComputeBound { iterations: 20_000 }).unwrap()),
+        ("privileged-heavy", Workload::new(WorkloadKind::PrivilegedHeavy { iterations: 5_000 }).unwrap()),
+        ("hypercall-heavy", Workload::new(WorkloadKind::HypercallHeavy { iterations: 5_000 }).unwrap()),
+        ("memory-dirty", Workload::new(WorkloadKind::MemoryDirty { pages: 512, passes: 8 }).unwrap()),
+    ]
+}
+
+fn print_table() {
+    println!("\n=== E1: virtualization overhead by execution mode ===");
+    println!(
+        "{:<18} {:<18} {:>16} {:>14} {:>12}",
+        "workload", "mode", "sim guest time", "exits/Minstr", "slowdown"
+    );
+    for (name, workload) in workloads() {
+        // Hardware-assist is the normalization baseline for the slowdown column.
+        let baseline_ns = {
+            let (mut cpu, mem) = prepared_vcpu(ExecMode::HardwareAssist, &workload);
+            run_vcpu_to_halt(&mut cpu, &mem).max(1)
+        };
+        for mode in ExecMode::ALL {
+            let (mut cpu, mem) = prepared_vcpu(mode, &workload);
+            let sim_ns = run_vcpu_to_halt(&mut cpu, &mem);
+            let stats = cpu.stats();
+            println!(
+                "{:<18} {:<18} {:>13} ns {:>14.1} {:>11.2}x",
+                name,
+                mode.name(),
+                sim_ns,
+                stats.exits_per_million_instructions(),
+                sim_ns as f64 / baseline_ns as f64
+            );
+        }
+        // Ablation row: the same guest one virtualization level deeper
+        // (nested hardware-assist), where every exit is reflected twice.
+        let (mut cpu, mem) = prepared_vcpu_with_costs(
+            ExecMode::HardwareAssist,
+            ExecCosts::nested_hardware_assist(),
+            &workload,
+        );
+        let sim_ns = run_vcpu_to_halt(&mut cpu, &mem);
+        let stats = cpu.stats();
+        println!(
+            "{:<18} {:<18} {:>13} ns {:>14.1} {:>11.2}x",
+            name,
+            "nested hw-assist",
+            sim_ns,
+            stats.exits_per_million_instructions(),
+            sim_ns as f64 / baseline_ns as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e1_exec_modes");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for (name, workload) in workloads() {
+        for mode in ExecMode::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(name, mode.name()),
+                &(mode, &workload),
+                |b, (mode, workload)| {
+                    b.iter(|| {
+                        let (mut cpu, mem) = prepared_vcpu_free(*mode, workload);
+                        run_vcpu_to_halt(&mut cpu, &mem);
+                        cpu.stats().instructions
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

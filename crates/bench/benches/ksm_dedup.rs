@@ -1,0 +1,150 @@
+//! Experiment E11 — content-based page sharing (KSM) savings.
+//!
+//! The estate the source material virtualizes is dozens of near-identical
+//! Windows 2003 / XP guests cloned from two templates — the best case for
+//! kernel-samepage-merging. The printed tables sweep (a) the number of
+//! template clones sharing a host and (b) how much of each guest's memory
+//! has diverged from the template, reporting the memory given back by the
+//! scanner. Criterion measures the host-side cost of scan rounds and of the
+//! one-shot sharing analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_memory::{analyze_sharing, GuestMemory, KsmConfig, KsmManager};
+use rvisor_types::{ByteSize, GuestAddress, VmId, PAGE_SIZE};
+
+/// Build a guest cloned from a synthetic golden image: `total_pages` pages of
+/// template content, of which the trailing `private_fraction` have been
+/// overwritten with VM-unique data.
+fn template_clone(vm_seed: u64, total_pages: u64, private_fraction: f64) -> GuestMemory {
+    let mem = GuestMemory::flat(ByteSize::pages_of(total_pages)).unwrap();
+    let private_pages = (total_pages as f64 * private_fraction).round() as u64;
+    let shared_pages = total_pages - private_pages;
+    for p in 0..total_pages {
+        let value = if p < shared_pages {
+            // Template content: identical across all clones.
+            0x7e3a_0000_0000 + p * 97
+        } else {
+            // Private content: unique per VM.
+            (vm_seed + 1) * 1_000_003 + p * 31
+        };
+        mem.write_u64(GuestAddress(p * PAGE_SIZE), value).unwrap();
+    }
+    mem
+}
+
+fn scanner_over(vms: &[GuestMemory]) -> KsmManager {
+    let mut ksm = KsmManager::new(KsmConfig::default());
+    for (i, mem) in vms.iter().enumerate() {
+        ksm.register_vm(VmId::new(i as u32), mem.clone());
+    }
+    ksm
+}
+
+fn print_clone_count_table() {
+    println!("\n=== E11a: KSM savings vs number of template clones (32 MiB guests, 20% private) ===");
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>12} {:>14}",
+        "clones", "guest RAM", "pages shared", "pages sharing", "saved", "sharing ratio"
+    );
+    let pages_per_vm = ByteSize::mib(32).pages();
+    for clones in [2usize, 4, 8, 16] {
+        let vms: Vec<GuestMemory> =
+            (0..clones).map(|i| template_clone(i as u64, pages_per_vm, 0.2)).collect();
+        let mut ksm = scanner_over(&vms);
+        ksm.scan_until_stable(6).unwrap();
+        let stats = ksm.stats();
+        println!(
+            "{:>7} {:>10} MiB {:>14} {:>14} {:>8} MiB {:>13.1}x",
+            clones,
+            (pages_per_vm * clones as u64 * PAGE_SIZE) >> 20,
+            stats.pages_shared,
+            stats.pages_sharing,
+            stats.bytes_saved() >> 20,
+            stats.sharing_ratio()
+        );
+    }
+}
+
+fn print_divergence_table() {
+    println!("\n=== E11b: KSM savings vs guest divergence from the template (8 × 32 MiB guests) ===");
+    println!(
+        "{:>16} {:>14} {:>16} {:>18}",
+        "private fraction", "saved", "saving fraction", "one-shot upper bound"
+    );
+    let pages_per_vm = ByteSize::mib(32).pages();
+    for private in [0.0f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let vms: Vec<GuestMemory> =
+            (0..8).map(|i| template_clone(i as u64, pages_per_vm, private)).collect();
+        let analysis = analyze_sharing(vms.iter()).unwrap();
+        let mut ksm = scanner_over(&vms);
+        ksm.scan_until_stable(6).unwrap();
+        let stats = ksm.stats();
+        let total_bytes = pages_per_vm * 8 * PAGE_SIZE;
+        println!(
+            "{:>15.0}% {:>10} MiB {:>15.1}% {:>13} MiB",
+            private * 100.0,
+            stats.bytes_saved() >> 20,
+            stats.bytes_saved() as f64 / total_bytes as f64 * 100.0,
+            analysis.bytes_saved() >> 20
+        );
+    }
+}
+
+fn print_cow_break_table() {
+    println!("\n=== E11c: sharing decay under guest writes (4 clones, write bursts into shared pages) ===");
+    println!("{:>14} {:>12} {:>12}", "pages written", "cow breaks", "still saved");
+    let pages_per_vm = ByteSize::mib(16).pages();
+    let vms: Vec<GuestMemory> = (0..4).map(|i| template_clone(i, pages_per_vm, 0.0)).collect();
+    let mut ksm = scanner_over(&vms);
+    ksm.scan_until_stable(6).unwrap();
+    let mut written = 0u64;
+    for burst in [0u64, 256, 1024, 2048] {
+        for p in written..written + burst {
+            let page = p % pages_per_vm;
+            vms[0].write_u64(GuestAddress(page * PAGE_SIZE), 0xdead_0000 + p).unwrap();
+            ksm.notify_write(VmId::new(0), page);
+        }
+        written += burst;
+        let stats = ksm.stats();
+        println!("{:>14} {:>12} {:>8} MiB", written, stats.cow_breaks, stats.bytes_saved() >> 20);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_clone_count_table();
+    print_divergence_table();
+    print_cow_break_table();
+
+    let mut group = c.benchmark_group("e11_ksm");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+
+    for clones in [2usize, 8] {
+        let vms: Vec<GuestMemory> =
+            (0..clones).map(|i| template_clone(i as u64, ByteSize::mib(8).pages(), 0.2)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("full_scan_to_stable", clones),
+            &vms,
+            |b, vms| {
+                b.iter(|| {
+                    let mut ksm = scanner_over(vms);
+                    ksm.scan_until_stable(4).unwrap();
+                    ksm.stats().pages_sharing
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_shot_analysis", clones),
+            &vms,
+            |b, vms| b.iter(|| analyze_sharing(vms.iter()).unwrap().pages_saved()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

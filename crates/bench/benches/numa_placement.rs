@@ -1,0 +1,123 @@
+//! Experiment E13 — NUMA-aware placement: locality vs balance.
+//!
+//! Packing each VM's memory onto one node keeps accesses local (no remote
+//! penalty) at the cost of node imbalance; interleaving balances the nodes
+//! but makes roughly `1 - 1/N` of all accesses remote. The printed tables
+//! quantify both effects for the 50-VM estate on two- and four-node hosts
+//! and sweep the remote-access penalty. Criterion measures the placement
+//! cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_cluster::{HostSpec, NumaHost, NumaPolicy, NumaTopology, VmSpec};
+use rvisor_types::{ByteSize, HostId};
+
+/// Place as much of the fleet as fits onto one big NUMA host.
+fn place_fleet(host: &mut NumaHost, policy: NumaPolicy) -> usize {
+    let mut placed = 0;
+    for vm in VmSpec::nireus_fleet() {
+        if host.fits(&vm) && host.place(&vm, policy).is_ok() {
+            placed += 1;
+        }
+    }
+    placed
+}
+
+fn print_policy_table() {
+    println!("\n=== E13a: packed vs interleaved placement (50-VM estate) ===");
+    println!(
+        "{:>6} {:<13} {:>7} {:>16} {:>16} {:>16}",
+        "nodes", "policy", "placed", "avg local frac", "avg slowdown", "node imbalance"
+    );
+    for nodes in [2u32, 4] {
+        for policy in NumaPolicy::ALL {
+            let topology =
+                NumaTopology::symmetric(nodes, 64 / nodes, ByteSize::gib((256 / nodes) as u64));
+            let mut host = NumaHost::new(topology);
+            let placed = place_fleet(&mut host, policy);
+            println!(
+                "{:>6} {:<13} {:>7} {:>15.1}% {:>15.3}x {:>15.1}%",
+                nodes,
+                policy.name(),
+                placed,
+                host.avg_local_fraction() * 100.0,
+                host.avg_expected_slowdown(),
+                host.memory_imbalance() * 100.0
+            );
+        }
+    }
+}
+
+fn print_penalty_sweep() {
+    println!("\n=== E13b: expected slowdown vs remote-access penalty (4-node host, interleaved) ===");
+    println!("{:>10} {:>16} {:>16}", "penalty", "packed", "interleaved");
+    for penalty in [1.2f64, 1.4, 1.6, 2.0] {
+        let mut row = Vec::new();
+        for policy in NumaPolicy::ALL {
+            let topology = NumaTopology::symmetric(4, 16, ByteSize::gib(64))
+                .with_remote_penalty(penalty);
+            let mut host = NumaHost::new(topology);
+            place_fleet(&mut host, policy);
+            row.push(host.avg_expected_slowdown());
+        }
+        println!("{:>9.1}x {:>15.3}x {:>15.3}x", penalty, row[0], row[1]);
+    }
+}
+
+fn print_fragmentation_case() {
+    println!("\n=== E13c: packing refuses what interleaving fragments (deck-era 2-node host) ===");
+    // Four 5 GiB database VMs on a 2 × 6 GiB host: only two fit per node
+    // without splitting; the table shows how each policy spends the nodes.
+    for policy in NumaPolicy::ALL {
+        let topology = NumaTopology::of_host(&HostSpec::deck_era_server(HostId::new(0)), 2);
+        let mut host = NumaHost::new(topology);
+        let mut placed = 0;
+        for i in 0..4 {
+            let vm = VmSpec::typical(&format!("sql-{i}"), rvisor_cluster::ServerRole::Database)
+                .with_memory(ByteSize::gib(5));
+            if host.fits(&vm) && host.place(&vm, policy).is_ok() {
+                placed += 1;
+            }
+        }
+        println!(
+            "{:<13} placed {} of 4, avg local {:>5.1}%, node utilisation {:?}",
+            policy.name(),
+            placed,
+            host.avg_local_fraction() * 100.0,
+            host.node_memory_utilization()
+                .iter()
+                .map(|u| (u * 100.0).round() as u64)
+                .collect::<Vec<_>>()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_policy_table();
+    print_penalty_sweep();
+    print_fragmentation_case();
+
+    let mut group = c.benchmark_group("e13_numa");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for policy in NumaPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("place_fleet_4_nodes", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let topology = NumaTopology::symmetric(4, 16, ByteSize::gib(64));
+                    let mut host = NumaHost::new(topology);
+                    place_fleet(&mut host, policy)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Experiment E6 — snapshot cost: full vs incremental snapshots as a
+//! function of guest RAM size and of the fraction of memory dirtied since
+//! the previous snapshot, plus restore cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use rvisor_memory::GuestMemory;
+use rvisor_snapshot::{MemorySnapshot, SnapshotStore, VmSnapshot};
+use rvisor_types::{ByteSize, GuestAddress, Nanoseconds, VmId, PAGE_SIZE};
+use rvisor_vcpu::VcpuState;
+
+fn dirty_fraction_of(mem: &GuestMemory, fraction: f64) {
+    let pages = (mem.total_pages() as f64 * fraction) as u64;
+    for p in 0..pages {
+        mem.write_u64(GuestAddress(p * PAGE_SIZE), p).unwrap();
+    }
+}
+
+fn full_snapshot(mem: &GuestMemory) -> VmSnapshot {
+    VmSnapshot::capture_full(
+        VmId::new(1),
+        "full",
+        Nanoseconds::ZERO,
+        mem,
+        vec![VcpuState::default()],
+        Default::default(),
+    )
+    .unwrap()
+}
+
+fn print_table() {
+    println!("\n=== E6a: snapshot size, full vs incremental (10% dirtied) ===");
+    println!("{:>10} {:>16} {:>20}", "RAM", "full snapshot", "incremental (10%)");
+    for mib in [128u64, 256, 512, 1024] {
+        let mem = GuestMemory::flat(ByteSize::mib(mib)).unwrap();
+        let full = full_snapshot(&mem);
+        mem.clear_dirty();
+        dirty_fraction_of(&mem, 0.10);
+        let dirty = mem.drain_dirty();
+        let incr = MemorySnapshot::capture_pages(&mem, &dirty).unwrap();
+        println!(
+            "{:>7} MiB {:>16} {:>20}",
+            mib,
+            format!("{}", full.approx_size()),
+            format!("{}", incr.data_size())
+        );
+    }
+
+    println!("\n=== E6b: incremental snapshot size vs dirty fraction (256 MiB guest) ===");
+    println!("{:>14} {:>16} {:>14}", "dirty fraction", "snapshot size", "pages");
+    for fraction in [0.01, 0.05, 0.10, 0.25, 0.50] {
+        let mem = GuestMemory::flat(ByteSize::mib(256)).unwrap();
+        mem.clear_dirty();
+        dirty_fraction_of(&mem, fraction);
+        let dirty = mem.drain_dirty();
+        let incr = MemorySnapshot::capture_pages(&mem, &dirty).unwrap();
+        println!(
+            "{:>13.0}% {:>16} {:>14}",
+            fraction * 100.0,
+            format!("{}", incr.data_size()),
+            incr.page_count()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e6_snapshot");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+
+    for mib in [64u64, 256] {
+        let mem = GuestMemory::flat(ByteSize::mib(mib)).unwrap();
+        group.throughput(Throughput::Bytes(mib << 20));
+        group.bench_with_input(BenchmarkId::new("capture_full", mib), &mem, |b, mem| {
+            b.iter(|| MemorySnapshot::capture_full(mem).unwrap().page_count())
+        });
+    }
+
+    for fraction_pct in [5u64, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("capture_incremental_256MiB", fraction_pct),
+            &fraction_pct,
+            |b, &pct| {
+                let mem = GuestMemory::flat(ByteSize::mib(256)).unwrap();
+                b.iter(|| {
+                    mem.clear_dirty();
+                    dirty_fraction_of(&mem, pct as f64 / 100.0);
+                    let dirty = mem.drain_dirty();
+                    MemorySnapshot::capture_pages(&mem, &dirty).unwrap().page_count()
+                })
+            },
+        );
+    }
+
+    group.bench_function("restore_full_64MiB", |b| {
+        let mem = GuestMemory::flat(ByteSize::mib(64)).unwrap();
+        dirty_fraction_of(&mem, 1.0);
+        let mut store = SnapshotStore::new();
+        let id = store.insert(full_snapshot(&mem)).unwrap();
+        let target = GuestMemory::flat(ByteSize::mib(64)).unwrap();
+        b.iter(|| store.restore(id, &target).unwrap().1)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Experiment E12 — VDI density per host.
+//!
+//! The source material lists VDI as its next step; the question every VDI
+//! sizing exercise answers is "how many desktops per host, and what limits
+//! it?". The printed tables sweep the desktop profile, the page-sharing
+//! fraction (assumed or measured with the KSM analyzer) and the vCPU
+//! oversubscription ratio. Criterion measures the cost of the estimator and
+//! of measuring sharing over a pool of cloned desktops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_cluster::{DesktopProfile, HostSpec, VdiConfig, VdiEstimator};
+use rvisor_memory::{analyze_sharing, GuestMemory};
+use rvisor_types::{ByteSize, GuestAddress, HostId, PAGE_SIZE};
+
+fn host() -> HostSpec {
+    HostSpec::modern_server(HostId::new(0)) // 32 cores / 128 GiB
+}
+
+fn print_profile_table() {
+    println!("\n=== E12a: desktops per host by profile (32-core / 128 GiB host) ===");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "profile", "baseline", "tuned", "mem bound", "cpu bound", "ratio bound", "limited by"
+    );
+    for profile in DesktopProfile::ALL {
+        let estimator = VdiEstimator::new(host(), VdiConfig::typical(profile)).unwrap();
+        let tuned = estimator.density();
+        let baseline = estimator.baseline_density();
+        println!(
+            "{:<18} {:>10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+            profile.name(),
+            baseline.desktops,
+            tuned.desktops,
+            tuned.memory_bound,
+            tuned.cpu_bound,
+            tuned.vcpu_ratio_bound,
+            tuned.limited_by.name()
+        );
+    }
+}
+
+fn print_sharing_sweep() {
+    println!("\n=== E12b: knowledge-worker density vs page-sharing fraction ===");
+    println!("{:>16} {:>22} {:>10}", "sharing fraction", "effective mem/desktop", "desktops");
+    for sharing in [0.0f64, 0.2, 0.35, 0.5, 0.7] {
+        let config = VdiConfig {
+            page_sharing_fraction: sharing,
+            ..VdiConfig::typical(DesktopProfile::KnowledgeWorker)
+        };
+        let report = VdiEstimator::new(host(), config).unwrap().density();
+        println!(
+            "{:>15.0}% {:>18} MiB {:>10}",
+            sharing * 100.0,
+            report.effective_memory_per_desktop.as_u64() >> 20,
+            report.desktops
+        );
+    }
+}
+
+fn print_oversubscription_sweep() {
+    println!("\n=== E12c: task-worker density vs vCPU:pCPU admission ratio ===");
+    println!("{:>8} {:>10} {:>12}", "ratio", "desktops", "limited by");
+    for ratio in [1.0f64, 2.0, 4.0, 6.0, 8.0, 12.0] {
+        let config = VdiConfig {
+            max_vcpu_per_core: ratio,
+            ..VdiConfig::typical(DesktopProfile::TaskWorker)
+        };
+        let report = VdiEstimator::new(host(), config).unwrap().density();
+        println!("{:>7.0}:1 {:>10} {:>12}", ratio, report.desktops, report.limited_by.name());
+    }
+}
+
+/// Build a small pool of desktops cloned from one golden image and measure
+/// the sharing fraction the estimator should use.
+fn desktop_pool(count: u64, pages_each: u64) -> Vec<GuestMemory> {
+    (0..count)
+        .map(|d| {
+            let mem = GuestMemory::flat(ByteSize::pages_of(pages_each)).unwrap();
+            for p in 0..pages_each {
+                // 60% golden image, 40% user-specific.
+                let value = if p < pages_each * 6 / 10 {
+                    0x901d_u64.wrapping_add(p * 41)
+                } else {
+                    (d + 1) * 7_000_037 + p
+                };
+                mem.write_u64(GuestAddress(p * PAGE_SIZE), value).unwrap();
+            }
+            mem
+        })
+        .collect()
+}
+
+fn print_measured_sharing() {
+    println!("\n=== E12d: measured sharing from a cloned desktop pool feeding the estimate ===");
+    let pool = desktop_pool(6, ByteSize::mib(32).pages());
+    let analysis = analyze_sharing(pool.iter()).unwrap();
+    let assumed = VdiConfig::typical(DesktopProfile::KnowledgeWorker);
+    let measured = assumed.with_measured_sharing(&analysis);
+    let assumed_density = VdiEstimator::new(host(), assumed).unwrap().density();
+    let measured_density = VdiEstimator::new(host(), measured).unwrap().density();
+    println!(
+        "measured sharing fraction: {:.1}% (zero pages: {})",
+        analysis.savings_fraction() * 100.0,
+        analysis.zero_pages
+    );
+    println!(
+        "density with assumed 35% sharing: {} desktops; with measured sharing: {} desktops",
+        assumed_density.desktops, measured_density.desktops
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_profile_table();
+    print_sharing_sweep();
+    print_oversubscription_sweep();
+    print_measured_sharing();
+
+    let mut group = c.benchmark_group("e12_vdi");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+
+    group.bench_function("density_estimate", |b| {
+        let estimator =
+            VdiEstimator::new(host(), VdiConfig::typical(DesktopProfile::KnowledgeWorker)).unwrap();
+        b.iter(|| estimator.density().desktops)
+    });
+    for desktops in [2u64, 6] {
+        let pool = desktop_pool(desktops, ByteSize::mib(8).pages());
+        group.bench_with_input(
+            BenchmarkId::new("measure_pool_sharing", desktops),
+            &pool,
+            |b, pool| b.iter(|| analyze_sharing(pool.iter()).unwrap().pages_saved()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

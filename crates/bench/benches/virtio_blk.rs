@@ -1,0 +1,122 @@
+//! Experiment E2 — paravirtual (virtio-blk) vs fully emulated (programmed
+//! I/O) block device.
+//!
+//! The table reports, for a fixed amount of data written, how many VM exits
+//! each device model costs and the implied simulated I/O-path overhead under
+//! the three execution modes' exit costs. The Criterion groups measure host
+//! wall-clock throughput of the two device models at several request sizes
+//! and queue depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use rvisor_block::{RamDisk, SECTOR_SIZE};
+use rvisor_memory::GuestMemory;
+use rvisor_types::{ByteSize, GuestAddress};
+use rvisor_vcpu::ExecMode;
+use rvisor_virtio::blk::VIRTIO_BLK_T_OUT;
+use rvisor_virtio::emulated::{driver_write_sector, EmulatedDisk};
+use rvisor_virtio::{DriverQueue, QueueLayout, VirtQueue, VirtioBlk, VirtioDevice};
+
+const DATA_MIB: u64 = 4;
+
+/// Write `total_bytes` through virtio-blk using `request_size` requests at
+/// `queue_depth`. Returns (device doorbells, total completions).
+fn virtio_write(total_bytes: u64, request_size: u64, queue_depth: usize, event_idx: bool) -> (u64, u64) {
+    let mem = GuestMemory::flat(ByteSize::mib(32)).unwrap();
+    let (layout, end) = QueueLayout::contiguous(GuestAddress(0x1000), 256).unwrap();
+    let mut queue = VirtQueue::new(layout);
+    queue.set_event_idx(event_idx);
+    let mut driver = DriverQueue::new(layout, GuestAddress((end.0 + 0xfff) & !0xfff), 16 << 20);
+    driver.set_event_idx(event_idx);
+    driver.init(&mem).unwrap();
+    let mut blk = VirtioBlk::new(Box::new(RamDisk::new(ByteSize::mib(16))));
+
+    let payload = vec![0xabu8; request_size as usize];
+    let requests = total_bytes / request_size;
+    let mut completions = 0u64;
+    let mut outstanding = 0usize;
+    let mut sector = 0u64;
+    for _ in 0..requests {
+        let header = VirtioBlk::request_header(VIRTIO_BLK_T_OUT, sector);
+        sector = (sector + request_size / SECTOR_SIZE) % (8 << 20 >> 9);
+        driver.add_chain(&mem, &[&header, &payload], &[1]).unwrap();
+        outstanding += 1;
+        if outstanding >= queue_depth {
+            blk.process_queue(0, &mem, &mut queue).unwrap();
+            while driver.poll_used(&mem).unwrap().is_some() {
+                completions += 1;
+            }
+            outstanding = 0;
+        }
+    }
+    if outstanding > 0 {
+        blk.process_queue(0, &mem, &mut queue).unwrap();
+        while driver.poll_used(&mem).unwrap().is_some() {
+            completions += 1;
+        }
+    }
+    (blk.stats().doorbells, completions)
+}
+
+/// Write `total_bytes` through the emulated PIO disk. Returns register accesses (= exits).
+fn emulated_write(total_bytes: u64) -> u64 {
+    let mut disk = EmulatedDisk::new(Box::new(RamDisk::new(ByteSize::mib(16))));
+    let data = [0xabu8; SECTOR_SIZE as usize];
+    for sector in 0..(total_bytes / SECTOR_SIZE) {
+        driver_write_sector(&mut disk, sector % 1024, &data);
+    }
+    disk.stats().register_accesses
+}
+
+fn print_table() {
+    println!("\n=== E2: virtio-blk vs emulated PIO disk ({DATA_MIB} MiB written) ===");
+    let total = DATA_MIB << 20;
+    let emulated_exits = emulated_write(total);
+    println!("{:<28} {:>12} {:>20}", "device model", "VM exits", "exit cost @hw-assist");
+    let hw_exit_ns = ExecMode::HardwareAssist.default_costs().mmio_exit_ns;
+    println!(
+        "{:<28} {:>12} {:>17} ms",
+        "emulated PIO disk",
+        emulated_exits,
+        emulated_exits * hw_exit_ns / 1_000_000
+    );
+    for (qd, req) in [(1u64, 4096u64), (8, 4096), (32, 4096), (32, 65536)] {
+        let (doorbells, _) = virtio_write(total, req, qd as usize, false);
+        println!(
+            "{:<28} {:>12} {:>17} ms",
+            format!("virtio-blk qd={qd} req={}K", req >> 10),
+            doorbells,
+            doorbells * hw_exit_ns / 1_000_000
+        );
+    }
+    let (doorbells_no_ei, _) = virtio_write(total, 4096, 32, false);
+    let (doorbells_ei, _) = virtio_write(total, 4096, 32, true);
+    println!(
+        "notification-suppression ablation (qd=32): {} doorbells without EVENT_IDX, {} with",
+        doorbells_no_ei, doorbells_ei
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let total = 1u64 << 20;
+    let mut group = c.benchmark_group("e2_virtio_vs_emulated");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.throughput(Throughput::Bytes(total));
+    for (qd, req) in [(1usize, 4096u64), (8, 4096), (32, 4096), (32, 65536)] {
+        group.bench_with_input(
+            BenchmarkId::new("virtio-blk", format!("qd{qd}_req{}", req)),
+            &(qd, req),
+            |b, &(qd, req)| b.iter(|| virtio_write(total, req, qd, false)),
+        );
+    }
+    group.bench_function("emulated-pio", |b| b.iter(|| emulated_write(total)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

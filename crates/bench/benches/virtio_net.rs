@@ -1,0 +1,87 @@
+//! Experiment E10 — virtio-net throughput vs frame size and queue size,
+//! plus the notification-suppression ablation on the transmit path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use rvisor_memory::GuestMemory;
+use rvisor_net::{Frame, MacAddr, VirtualSwitch, ETHERTYPE_IPV4};
+use rvisor_types::{ByteSize, GuestAddress};
+use rvisor_virtio::net::TX_QUEUE;
+use rvisor_virtio::{DriverQueue, QueueLayout, VirtQueue, VirtioDevice, VirtioNet};
+
+/// Transmit `frames` frames of `payload_len` bytes through a virtio-net TX
+/// queue of `queue_size` descriptors. Returns (driver kicks, switch bytes).
+fn tx_run(frames: u64, payload_len: usize, queue_size: u16, event_idx: bool) -> (u64, u64) {
+    let mem = GuestMemory::flat(ByteSize::mib(16)).unwrap();
+    let switch = VirtualSwitch::new();
+    let _sink = switch.add_port(); // something to flood to
+    let mut nic = VirtioNet::new(MacAddr::local(1), switch.add_port());
+
+    let (layout, end) = QueueLayout::contiguous(GuestAddress(0x1000), queue_size).unwrap();
+    let mut queue = VirtQueue::new(layout);
+    queue.set_event_idx(event_idx);
+    let mut driver = DriverQueue::new(layout, GuestAddress((end.0 + 0xfff) & !0xfff), 8 << 20);
+    driver.set_event_idx(event_idx);
+    driver.init(&mem).unwrap();
+
+    let frame = Frame::new(MacAddr::local(1), MacAddr::local(2), ETHERTYPE_IPV4, vec![0u8; payload_len]);
+    let packet = VirtioNet::tx_packet(&frame);
+    let batch = (queue_size / 2).max(1) as u64;
+    let mut sent = 0u64;
+    while sent < frames {
+        let this_batch = batch.min(frames - sent);
+        for _ in 0..this_batch {
+            driver.add_chain(&mem, &[&packet], &[]).unwrap();
+        }
+        nic.process_queue(TX_QUEUE, &mem, &mut queue).unwrap();
+        while driver.poll_used(&mem).unwrap().is_some() {}
+        sent += this_batch;
+    }
+    (driver.kicks(), switch.stats().bytes)
+}
+
+fn print_table() {
+    println!("\n=== E10: virtio-net transmit path ===");
+    println!(
+        "{:<14} {:<12} {:>14} {:>16} {:>14}",
+        "frame size", "queue size", "frames sent", "driver kicks", "bytes on wire"
+    );
+    for payload in [64usize, 512, 1500] {
+        for qsize in [64u16, 256, 1024] {
+            let frames = 20_000;
+            let (kicks, bytes) = tx_run(frames, payload, qsize, false);
+            println!("{:<14} {:<12} {:>14} {:>16} {:>14}", payload, qsize, frames, kicks, bytes);
+        }
+    }
+    let (kicks_plain, _) = tx_run(20_000, 512, 256, false);
+    let (kicks_ei, _) = tx_run(20_000, 512, 256, true);
+    println!(
+        "notification-suppression ablation: {kicks_plain} kicks without EVENT_IDX, {kicks_ei} with"
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e10_virtio_net_tx");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let frames = 5_000u64;
+    for payload in [64usize, 512, 1500] {
+        group.throughput(Throughput::Bytes(frames * payload as u64));
+        group.bench_with_input(BenchmarkId::new("frame", payload), &payload, |b, &payload| {
+            b.iter(|| tx_run(frames, payload, 256, false))
+        });
+    }
+    for qsize in [64u16, 1024] {
+        group.bench_with_input(BenchmarkId::new("queue", qsize), &qsize, |b, &qsize| {
+            b.iter(|| tx_run(frames, 512, qsize, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

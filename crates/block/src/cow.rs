@@ -1,0 +1,256 @@
+//! Copy-on-write overlays.
+//!
+//! A [`CowOverlay`] presents a writable disk whose unmodified sectors are
+//! served from a shared, read-only *base* image; written sectors are stored
+//! in a private overlay map. This is the mechanism behind:
+//!
+//! * instant VM provisioning from golden templates (experiment E9) — the
+//!   clone costs O(1) instead of O(image size);
+//! * disk snapshots — freeze the current overlay as a new base and stack a
+//!   fresh overlay on top.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rvisor_types::{Error, Result};
+
+use crate::backend::{validate_request, BlockBackend, BlockStats, SECTOR_SIZE};
+
+/// A copy-on-write overlay over a shared base backend.
+pub struct CowOverlay {
+    base: Arc<Mutex<dyn BlockBackend>>,
+    overlay: BTreeMap<u64, Box<[u8]>>,
+    capacity_sectors: u64,
+    stats: BlockStats,
+}
+
+impl std::fmt::Debug for CowOverlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CowOverlay")
+            .field("capacity_sectors", &self.capacity_sectors)
+            .field("overlay_sectors", &self.overlay.len())
+            .finish()
+    }
+}
+
+impl CowOverlay {
+    /// Create an overlay on top of `base`. The overlay inherits the base's capacity.
+    pub fn new(base: Arc<Mutex<dyn BlockBackend>>) -> Self {
+        let capacity_sectors = base.lock().capacity_sectors();
+        CowOverlay { base, overlay: BTreeMap::new(), capacity_sectors, stats: BlockStats::default() }
+    }
+
+    /// Number of sectors that have been privately written (overlay footprint).
+    pub fn overlay_sectors(&self) -> u64 {
+        self.overlay.len() as u64
+    }
+
+    /// Bytes of private overlay storage in use.
+    pub fn overlay_bytes(&self) -> u64 {
+        self.overlay_sectors() * SECTOR_SIZE
+    }
+
+    /// Whether a sector has been privately written.
+    pub fn is_sector_dirty(&self, sector: u64) -> bool {
+        self.overlay.contains_key(&sector)
+    }
+
+    /// Discard all private writes, reverting to the base image.
+    pub fn revert(&mut self) {
+        self.overlay.clear();
+    }
+
+    /// Flatten the overlay into a standalone [`crate::RamDisk`]-style byte
+    /// image (base plus private writes), e.g. for exporting a template.
+    pub fn flatten(&mut self) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; (self.capacity_sectors * SECTOR_SIZE) as usize];
+        {
+            let mut base = self.base.lock();
+            base.read_sectors(0, &mut out)?;
+        }
+        for (&sector, data) in &self.overlay {
+            let off = (sector * SECTOR_SIZE) as usize;
+            out[off..off + SECTOR_SIZE as usize].copy_from_slice(data);
+        }
+        Ok(out)
+    }
+}
+
+impl BlockBackend for CowOverlay {
+    fn capacity_sectors(&self) -> u64 {
+        self.capacity_sectors
+    }
+
+    fn read_sectors(&mut self, sector: u64, buf: &mut [u8]) -> Result<()> {
+        validate_request(self.capacity_sectors, sector, buf.len())?;
+        let sectors = buf.len() as u64 / SECTOR_SIZE;
+        for i in 0..sectors {
+            let s = sector + i;
+            let chunk = &mut buf[(i * SECTOR_SIZE) as usize..((i + 1) * SECTOR_SIZE) as usize];
+            if let Some(data) = self.overlay.get(&s) {
+                chunk.copy_from_slice(data);
+            } else {
+                self.base.lock().read_sectors(s, chunk)?;
+            }
+        }
+        self.stats.record_read(buf.len() as u64);
+        Ok(())
+    }
+
+    fn write_sectors(&mut self, sector: u64, buf: &[u8]) -> Result<()> {
+        validate_request(self.capacity_sectors, sector, buf.len())?;
+        let sectors = buf.len() as u64 / SECTOR_SIZE;
+        for i in 0..sectors {
+            let s = sector + i;
+            let chunk = &buf[(i * SECTOR_SIZE) as usize..((i + 1) * SECTOR_SIZE) as usize];
+            self.overlay.insert(s, chunk.to_vec().into_boxed_slice());
+        }
+        self.stats.record_write(buf.len() as u64);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.stats.record_flush();
+        Ok(())
+    }
+
+    fn stats(&self) -> BlockStats {
+        self.stats
+    }
+}
+
+/// A convenience constructor: wrap a backend in `Arc<Mutex<...>>` for sharing
+/// between several overlays.
+pub fn share<B: BlockBackend + 'static>(backend: B) -> Arc<Mutex<dyn BlockBackend>> {
+    Arc::new(Mutex::new(backend))
+}
+
+/// Validate that a stack of overlays does not exceed a sane depth.
+///
+/// Deep overlay chains degrade read performance linearly; the image library
+/// refuses to build chains deeper than this.
+pub const MAX_OVERLAY_DEPTH: usize = 16;
+
+/// Error helper for overlay-depth violations.
+pub fn depth_error(depth: usize) -> Error {
+    Error::Block(format!("overlay chain depth {depth} exceeds the maximum of {MAX_OVERLAY_DEPTH}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ram::RamDisk;
+    use rvisor_types::ByteSize;
+
+    fn base_with_pattern() -> Arc<Mutex<dyn BlockBackend>> {
+        let mut disk = RamDisk::new(ByteSize::kib(8));
+        disk.write_sectors(0, &vec![0x11u8; 512]).unwrap();
+        disk.write_sectors(5, &vec![0x55u8; 512]).unwrap();
+        share(disk)
+    }
+
+    #[test]
+    fn reads_fall_through_to_base() {
+        let base = base_with_pattern();
+        let mut cow = CowOverlay::new(Arc::clone(&base));
+        let mut buf = vec![0u8; 512];
+        cow.read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x11));
+        cow.read_sectors(5, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x55));
+        assert_eq!(cow.overlay_sectors(), 0);
+    }
+
+    #[test]
+    fn writes_stay_private() {
+        let base = base_with_pattern();
+        let mut cow_a = CowOverlay::new(Arc::clone(&base));
+        let mut cow_b = CowOverlay::new(Arc::clone(&base));
+
+        cow_a.write_sectors(0, &vec![0xaau8; 512]).unwrap();
+        let mut buf = vec![0u8; 512];
+        cow_a.read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xaa));
+        // The sibling overlay and the base are unaffected.
+        cow_b.read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x11));
+        base.lock().read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x11));
+
+        assert_eq!(cow_a.overlay_sectors(), 1);
+        assert_eq!(cow_a.overlay_bytes(), 512);
+        assert!(cow_a.is_sector_dirty(0));
+        assert!(!cow_a.is_sector_dirty(1));
+    }
+
+    #[test]
+    fn multi_sector_requests_split_correctly() {
+        let base = base_with_pattern();
+        let mut cow = CowOverlay::new(base);
+        // Write only the middle sector of a 3-sector read range.
+        cow.write_sectors(1, &vec![0x22u8; 512]).unwrap();
+        let mut buf = vec![0u8; 3 * 512];
+        cow.read_sectors(0, &mut buf).unwrap();
+        assert!(buf[..512].iter().all(|&b| b == 0x11)); // from base
+        assert!(buf[512..1024].iter().all(|&b| b == 0x22)); // from overlay
+        assert!(buf[1024..].iter().all(|&b| b == 0x00)); // base zeroes
+    }
+
+    #[test]
+    fn revert_discards_private_writes() {
+        let base = base_with_pattern();
+        let mut cow = CowOverlay::new(base);
+        cow.write_sectors(0, &vec![0xffu8; 1024]).unwrap();
+        assert_eq!(cow.overlay_sectors(), 2);
+        cow.revert();
+        assert_eq!(cow.overlay_sectors(), 0);
+        let mut buf = vec![0u8; 512];
+        cow.read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x11));
+    }
+
+    #[test]
+    fn flatten_merges_base_and_overlay() {
+        let base = base_with_pattern();
+        let mut cow = CowOverlay::new(base);
+        cow.write_sectors(2, &vec![0x99u8; 512]).unwrap();
+        let flat = cow.flatten().unwrap();
+        assert_eq!(flat.len(), 8 * 1024);
+        assert!(flat[..512].iter().all(|&b| b == 0x11));
+        assert!(flat[2 * 512..3 * 512].iter().all(|&b| b == 0x99));
+        assert!(flat[5 * 512..6 * 512].iter().all(|&b| b == 0x55));
+    }
+
+    #[test]
+    fn bounds_respected_and_stats() {
+        let base = base_with_pattern();
+        let mut cow = CowOverlay::new(base);
+        assert!(cow.write_sectors(100, &[0u8; 512]).is_err());
+        cow.write_sectors(0, &[1u8; 512]).unwrap();
+        let mut buf = [0u8; 512];
+        cow.read_sectors(0, &mut buf).unwrap();
+        cow.flush().unwrap();
+        let s = cow.stats();
+        assert_eq!((s.reads, s.writes, s.flushes), (1, 1, 1));
+        assert!(format!("{cow:?}").contains("overlay_sectors"));
+    }
+
+    #[test]
+    fn stacked_overlays_compose() {
+        let base = base_with_pattern();
+        let mut level1 = CowOverlay::new(base);
+        level1.write_sectors(3, &vec![0x33u8; 512]).unwrap();
+        let shared1 = share(level1);
+        let mut level2 = CowOverlay::new(shared1);
+        level2.write_sectors(4, &vec![0x44u8; 512]).unwrap();
+
+        let mut buf = vec![0u8; 512];
+        level2.read_sectors(3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x33)); // from level1
+        level2.read_sectors(4, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x44)); // from level2
+        level2.read_sectors(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x11)); // from base
+    }
+}

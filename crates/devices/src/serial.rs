@@ -1,0 +1,215 @@
+//! A 16550-inspired serial console.
+//!
+//! The serial console is the guest's stdout in every example and test: the
+//! guest writes bytes to the data register (via port I/O or MMIO) and the
+//! VMM collects them; host-injected input bytes are queued and raise an
+//! interrupt so a polling or interrupt-driven guest can read them.
+//!
+//! Register layout (offsets from the device base, one register per offset):
+//!
+//! | offset | read                      | write              |
+//! |--------|---------------------------|--------------------|
+//! | 0      | receive data              | transmit data      |
+//! | 1      | line status (bit0 = rx ready, bit1 = tx empty) | — |
+
+use std::collections::VecDeque;
+
+use crate::bus::{MmioDevice, PortDevice};
+use crate::interrupts::InterruptLine;
+
+/// Data register offset.
+pub const REG_DATA: u64 = 0;
+/// Line-status register offset.
+pub const REG_STATUS: u64 = 1;
+/// Status bit: receive data available.
+pub const STATUS_RX_READY: u64 = 1 << 0;
+/// Status bit: transmitter idle (always set — writes never block).
+pub const STATUS_TX_EMPTY: u64 = 1 << 1;
+
+/// A serial console device.
+#[derive(Debug)]
+pub struct SerialConsole {
+    output: Vec<u8>,
+    input: VecDeque<u8>,
+    irq: Option<InterruptLine>,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+impl SerialConsole {
+    /// Create a console with no interrupt line attached.
+    pub fn new() -> Self {
+        SerialConsole { output: Vec::new(), input: VecDeque::new(), irq: None, tx_bytes: 0, rx_bytes: 0 }
+    }
+
+    /// Create a console that raises `irq` whenever host input is queued.
+    pub fn with_interrupt(irq: InterruptLine) -> Self {
+        SerialConsole { irq: Some(irq), ..Self::new() }
+    }
+
+    /// Bytes the guest has written so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// The guest's output interpreted as UTF-8 (lossy).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Drain and return the accumulated guest output.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Append one byte to the guest-visible output stream.
+    ///
+    /// Used by the VMM's console hypercall, which bypasses the register
+    /// interface (that is the whole point of a paravirtual console).
+    pub fn put_output_byte(&mut self, byte: u8) {
+        self.output.push(byte);
+        self.tx_bytes += 1;
+    }
+
+    /// Queue host-side input for the guest and raise the interrupt line.
+    pub fn inject_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes.iter().copied());
+        if let Some(irq) = &self.irq {
+            if !bytes.is_empty() {
+                irq.assert_irq();
+            }
+        }
+    }
+
+    /// Number of bytes transmitted by the guest.
+    pub fn tx_count(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Number of bytes the guest has read.
+    pub fn rx_count(&self) -> u64 {
+        self.rx_bytes
+    }
+
+    fn read_reg(&mut self, offset: u64) -> u64 {
+        match offset {
+            REG_DATA => match self.input.pop_front() {
+                Some(b) => {
+                    self.rx_bytes += 1;
+                    b as u64
+                }
+                None => 0,
+            },
+            REG_STATUS => {
+                let mut status = STATUS_TX_EMPTY;
+                if !self.input.is_empty() {
+                    status |= STATUS_RX_READY;
+                }
+                status
+            }
+            _ => 0,
+        }
+    }
+
+    fn write_reg(&mut self, offset: u64, value: u64) {
+        if offset == REG_DATA {
+            self.output.push(value as u8);
+            self.tx_bytes += 1;
+        }
+    }
+}
+
+impl Default for SerialConsole {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MmioDevice for SerialConsole {
+    fn name(&self) -> &str {
+        "serial"
+    }
+
+    fn read(&mut self, offset: u64, _size: u8) -> u64 {
+        self.read_reg(offset)
+    }
+
+    fn write(&mut self, offset: u64, value: u64, _size: u8) {
+        self.write_reg(offset, value);
+    }
+}
+
+impl PortDevice for SerialConsole {
+    fn name(&self) -> &str {
+        "serial"
+    }
+
+    fn port_read(&mut self, port: u32) -> u32 {
+        self.read_reg(port as u64) as u32
+    }
+
+    fn port_write(&mut self, port: u32, value: u32) {
+        self.write_reg(port as u64, value as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interrupts::InterruptController;
+
+    #[test]
+    fn guest_output_is_collected() {
+        let mut serial = SerialConsole::new();
+        for b in b"hello" {
+            serial.write(REG_DATA, *b as u64, 1);
+        }
+        assert_eq!(serial.output_string(), "hello");
+        assert_eq!(serial.tx_count(), 5);
+        assert_eq!(serial.take_output(), b"hello");
+        assert!(serial.output().is_empty());
+    }
+
+    #[test]
+    fn status_register_reflects_input_queue() {
+        let mut serial = SerialConsole::new();
+        assert_eq!(serial.read(REG_STATUS, 1) & STATUS_RX_READY, 0);
+        assert_ne!(serial.read(REG_STATUS, 1) & STATUS_TX_EMPTY, 0);
+        serial.inject_input(b"x");
+        assert_ne!(serial.read(REG_STATUS, 1) & STATUS_RX_READY, 0);
+        assert_eq!(serial.read(REG_DATA, 1), b'x' as u64);
+        assert_eq!(serial.read(REG_STATUS, 1) & STATUS_RX_READY, 0);
+        // Reading with nothing queued yields zero rather than blocking.
+        assert_eq!(serial.read(REG_DATA, 1), 0);
+        assert_eq!(serial.rx_count(), 1);
+    }
+
+    #[test]
+    fn input_raises_interrupt() {
+        let ic = InterruptController::new();
+        let mut serial = SerialConsole::with_interrupt(ic.line(4));
+        serial.inject_input(b"hi");
+        assert!(ic.is_pending(4));
+        serial.inject_input(b"");
+        assert_eq!(ic.stats().asserted, 1);
+    }
+
+    #[test]
+    fn port_interface_matches_mmio() {
+        let mut serial = SerialConsole::new();
+        serial.port_write(REG_DATA as u32, b'A' as u32);
+        serial.inject_input(b"B");
+        assert_eq!(serial.port_read(REG_DATA as u32), b'B' as u32);
+        assert_eq!(serial.output_string(), "A");
+        assert_eq!(MmioDevice::name(&serial), "serial");
+        assert_eq!(PortDevice::name(&serial), "serial");
+    }
+
+    #[test]
+    fn unknown_register_reads_zero_and_ignores_writes() {
+        let mut serial = SerialConsole::new();
+        assert_eq!(serial.read(7, 1), 0);
+        serial.write(7, 123, 1);
+        assert!(serial.output().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Atomic dirty-page bitmap.
+//!
+//! Live migration (pre-copy rounds) and incremental snapshots both need to
+//! know *which* guest pages were written since the last time they looked.
+//! [`DirtyBitmap`] records one bit per 4 KiB page and supports a cheap
+//! "snapshot and clear" operation that returns the set of dirty page indices
+//! while atomically starting a new tracking epoch.
+//!
+//! The bitmap is lock-free: writers only ever set bits with relaxed atomic
+//! OR, which keeps the hot path (every guest store) inexpensive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One dirty bit per 4 KiB guest page, safe for concurrent marking.
+#[derive(Debug)]
+pub struct DirtyBitmap {
+    words: Vec<AtomicU64>,
+    pages: u64,
+}
+
+impl DirtyBitmap {
+    /// Create a bitmap able to track `pages` pages, all initially clean.
+    pub fn new(pages: u64) -> Self {
+        let words = pages.div_ceil(64) as usize;
+        DirtyBitmap { words: (0..words).map(|_| AtomicU64::new(0)).collect(), pages }
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> u64 {
+        self.pages
+    }
+
+    /// Whether the bitmap tracks zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Mark a single page dirty. Out-of-range indices are ignored.
+    pub fn mark(&self, page: u64) {
+        if page >= self.pages {
+            return;
+        }
+        let word = (page / 64) as usize;
+        let bit = page % 64;
+        self.words[word].fetch_or(1 << bit, Ordering::Relaxed);
+    }
+
+    /// Mark every page in `[first, first + count)` dirty.
+    pub fn mark_range(&self, first: u64, count: u64) {
+        for p in first..first.saturating_add(count).min(self.pages) {
+            self.mark(p);
+        }
+    }
+
+    /// Whether `page` is currently marked dirty.
+    pub fn is_dirty(&self, page: u64) -> bool {
+        if page >= self.pages {
+            return false;
+        }
+        let word = (page / 64) as usize;
+        let bit = page % 64;
+        self.words[word].load(Ordering::Relaxed) & (1 << bit) != 0
+    }
+
+    /// Number of dirty pages.
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as u64).sum()
+    }
+
+    /// Clear every bit, starting a new tracking epoch.
+    pub fn clear(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The indices of all currently dirty pages, in ascending order.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut v = w.load(Ordering::Relaxed);
+            while v != 0 {
+                let bit = v.trailing_zeros() as u64;
+                let page = wi as u64 * 64 + bit;
+                if page < self.pages {
+                    out.push(page);
+                }
+                v &= v - 1;
+            }
+        }
+        out
+    }
+
+    /// Atomically fetch the dirty set and clear it (per 64-page word).
+    ///
+    /// This is the primitive used by pre-copy migration rounds: pages dirtied
+    /// *after* their word has been harvested land in the next epoch.
+    pub fn drain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut v = w.swap(0, Ordering::AcqRel);
+            while v != 0 {
+                let bit = v.trailing_zeros() as u64;
+                let page = wi as u64 * 64 + bit;
+                if page < self.pages {
+                    out.push(page);
+                }
+                v &= v - 1;
+            }
+        }
+        out
+    }
+
+    /// Merge another bitmap's dirty bits into this one (page-wise OR).
+    ///
+    /// Used when a migration round is aborted and its harvested dirty set has
+    /// to be returned to the live bitmap.
+    pub fn merge_pages(&self, pages: &[u64]) {
+        for &p in pages {
+            self.mark(p);
+        }
+    }
+
+    /// Fraction of tracked pages that are dirty (0.0 ..= 1.0).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.pages == 0 {
+            0.0
+        } else {
+            self.count() as f64 / self.pages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn mark_and_query() {
+        let b = DirtyBitmap::new(200);
+        assert_eq!(b.count(), 0);
+        assert!(!b.is_dirty(5));
+        b.mark(5);
+        b.mark(63);
+        b.mark(64);
+        b.mark(199);
+        assert!(b.is_dirty(5));
+        assert!(b.is_dirty(63));
+        assert!(b.is_dirty(64));
+        assert!(b.is_dirty(199));
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.dirty_pages(), vec![5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let b = DirtyBitmap::new(10);
+        b.mark(10);
+        b.mark(u64::MAX);
+        assert_eq!(b.count(), 0);
+        assert!(!b.is_dirty(10_000));
+    }
+
+    #[test]
+    fn mark_range_clamps() {
+        let b = DirtyBitmap::new(10);
+        b.mark_range(8, 100);
+        assert_eq!(b.dirty_pages(), vec![8, 9]);
+    }
+
+    #[test]
+    fn drain_returns_and_clears() {
+        let b = DirtyBitmap::new(128);
+        b.mark_range(0, 10);
+        let drained = b.drain();
+        assert_eq!(drained.len(), 10);
+        assert_eq!(b.count(), 0);
+        // A second drain is empty.
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn merge_restores_drained_pages() {
+        let b = DirtyBitmap::new(64);
+        b.mark(3);
+        b.mark(40);
+        let drained = b.drain();
+        assert_eq!(b.count(), 0);
+        b.merge_pages(&drained);
+        assert_eq!(b.dirty_pages(), vec![3, 40]);
+    }
+
+    #[test]
+    fn dirty_fraction() {
+        let b = DirtyBitmap::new(100);
+        assert_eq!(b.dirty_fraction(), 0.0);
+        b.mark_range(0, 25);
+        assert!((b.dirty_fraction() - 0.25).abs() < 1e-12);
+        let empty = DirtyBitmap::new(0);
+        assert_eq!(empty.dirty_fraction(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrent_marking_loses_nothing() {
+        let b = Arc::new(DirtyBitmap::new(64 * 1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for p in (t * 8 * 1024)..((t + 1) * 8 * 1024) {
+                    b.mark(p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.count(), 64 * 1024);
+    }
+
+    proptest! {
+        #[test]
+        fn dirty_pages_matches_reference(pages in proptest::collection::btree_set(0u64..2048, 0..300)) {
+            let b = DirtyBitmap::new(2048);
+            for &p in &pages {
+                b.mark(p);
+            }
+            let expected: Vec<u64> = pages.iter().copied().collect();
+            prop_assert_eq!(b.dirty_pages(), expected.clone());
+            prop_assert_eq!(b.count(), expected.len() as u64);
+            // drain returns the same set and empties the bitmap
+            let drained: BTreeSet<u64> = b.drain().into_iter().collect();
+            prop_assert_eq!(drained, pages);
+            prop_assert_eq!(b.count(), 0);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # rvisor-memory
+//!
+//! The guest *physical* memory model used by every other crate in the
+//! workspace.
+//!
+//! A [`GuestMemory`] is an ordered collection of non-overlapping
+//! [`MemoryRegion`]s, each backed by host heap memory. On top of the raw
+//! byte-level access API the crate provides:
+//!
+//! * **Dirty-page tracking** ([`DirtyBitmap`]) — the substrate for live
+//!   migration pre-copy rounds and incremental snapshots.
+//! * **Ballooning** ([`balloon::Balloon`]) — the guest-cooperative memory
+//!   reclaim mechanism used for memory overcommit experiments.
+//! * **Content-based page sharing** ([`ksm::KsmManager`]) — KSM-style
+//!   deduplication of identical pages across VMs, the second overcommit
+//!   mechanism and the basis of the VDI density experiments.
+//! * **Typed accessors** — little-endian reads/writes of integers used by the
+//!   virtio queue implementation.
+//!
+//! The design mirrors the `vm-memory` crate from the rust-vmm project but is
+//! self-contained and entirely safe Rust: regions are backed by
+//! `parking_lot`-protected boxed slices rather than raw mmap'd pointers,
+//! which is exactly what a simulated substrate needs (determinism and
+//! portability rather than zero-copy with a real kernel).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod balloon;
+pub mod bitmap;
+pub mod ksm;
+pub mod memory;
+pub mod region;
+
+pub use balloon::{Balloon, BalloonStats};
+pub use bitmap::DirtyBitmap;
+pub use ksm::{analyze_sharing, DedupAnalysis, KsmConfig, KsmManager, KsmStats};
+pub use memory::{GuestMemory, GuestMemoryBuilder};
+pub use region::MemoryRegion;
+
+pub use rvisor_types::{ByteSize, GuestAddress, GuestRegion, PAGE_SIZE};

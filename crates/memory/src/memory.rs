@@ -1,0 +1,428 @@
+//! The guest physical address space: an ordered set of regions.
+
+use std::sync::Arc;
+
+use rvisor_types::{ByteSize, Error, GuestAddress, MemoryRegionConfig, Result, PAGE_SIZE};
+
+use crate::region::MemoryRegion;
+
+/// Builder for a [`GuestMemory`].
+///
+/// ```
+/// use rvisor_memory::{GuestMemoryBuilder, GuestAddress, ByteSize};
+/// let mem = GuestMemoryBuilder::new()
+///     .with_region(GuestAddress(0), ByteSize::mib(64))
+///     .unwrap()
+///     .build();
+/// assert_eq!(mem.total_size(), ByteSize::mib(64));
+/// ```
+#[derive(Debug, Default)]
+pub struct GuestMemoryBuilder {
+    regions: Vec<Arc<MemoryRegion>>,
+}
+
+impl GuestMemoryBuilder {
+    /// Start with an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a region at `base` of `size` bytes.
+    pub fn with_region(mut self, base: GuestAddress, size: ByteSize) -> Result<Self> {
+        let new = MemoryRegion::new(base, size.as_u64())?;
+        for existing in &self.regions {
+            if existing.range().overlaps(&new.range()) {
+                return Err(Error::RegionOverlap);
+            }
+        }
+        self.regions.push(Arc::new(new));
+        Ok(self)
+    }
+
+    /// Add a region described by a [`MemoryRegionConfig`].
+    pub fn with_config(self, cfg: MemoryRegionConfig) -> Result<Self> {
+        self.with_region(cfg.base, cfg.size)
+    }
+
+    /// Finish building; regions are sorted by start address.
+    pub fn build(mut self) -> GuestMemory {
+        self.regions.sort_by_key(|r| r.start());
+        GuestMemory { regions: Arc::new(self.regions) }
+    }
+}
+
+/// The guest physical address space.
+///
+/// Cloning is cheap (the regions are shared), which lets device models, vCPUs
+/// and the migration engine all hold a handle to the same memory.
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    regions: Arc<Vec<Arc<MemoryRegion>>>,
+}
+
+impl GuestMemory {
+    /// Convenience constructor: a single region of `size` bytes at address 0.
+    pub fn flat(size: ByteSize) -> Result<Self> {
+        Ok(GuestMemoryBuilder::new().with_region(GuestAddress(0), size)?.build())
+    }
+
+    /// The regions making up the address space, ordered by start address.
+    pub fn regions(&self) -> &[Arc<MemoryRegion>] {
+        &self.regions
+    }
+
+    /// Total bytes of guest memory across all regions.
+    pub fn total_size(&self) -> ByteSize {
+        ByteSize::new(self.regions.iter().map(|r| r.len()).sum())
+    }
+
+    /// Total number of 4 KiB pages across all regions.
+    pub fn total_pages(&self) -> u64 {
+        self.regions.iter().map(|r| r.pages()).sum()
+    }
+
+    /// Find the region containing `addr` along with the offset into it.
+    fn find_region(&self, addr: GuestAddress) -> Result<&Arc<MemoryRegion>> {
+        self.regions
+            .iter()
+            .find(|r| r.range().contains(addr))
+            .ok_or(Error::InvalidGuestAddress(addr))
+    }
+
+    /// Whether `addr` is backed by guest memory.
+    pub fn address_in_range(&self, addr: GuestAddress) -> bool {
+        self.regions.iter().any(|r| r.range().contains(addr))
+    }
+
+    /// Whether the whole `[addr, addr + len)` range is backed by a single region.
+    pub fn range_in_single_region(&self, addr: GuestAddress, len: u64) -> bool {
+        self.regions.iter().any(|r| r.range().contains_range(addr, len))
+    }
+
+    /// Read `buf.len()` bytes at `addr`. The access must not straddle regions.
+    pub fn read(&self, addr: GuestAddress, buf: &mut [u8]) -> Result<()> {
+        self.find_region(addr)?.read(addr, buf)
+    }
+
+    /// Write `buf` at `addr`, marking touched pages dirty.
+    pub fn write(&self, addr: GuestAddress, buf: &[u8]) -> Result<()> {
+        self.find_region(addr)?.write(addr, buf)
+    }
+
+    /// Fill `len` bytes at `addr` with `value`.
+    pub fn fill(&self, addr: GuestAddress, len: u64, value: u8) -> Result<()> {
+        self.find_region(addr)?.fill(addr, len, value)
+    }
+
+    /// Read a little-endian `u8`.
+    pub fn read_u8(&self, addr: GuestAddress) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn read_u16(&self, addr: GuestAddress) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&self, addr: GuestAddress) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&self, addr: GuestAddress) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian `u8`.
+    pub fn write_u8(&self, addr: GuestAddress, v: u8) -> Result<()> {
+        self.write(addr, &[v])
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn write_u16(&self, addr: GuestAddress, v: u16) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn write_u32(&self, addr: GuestAddress, v: u32) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&self, addr: GuestAddress, v: u64) -> Result<()> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Read `len` bytes into a freshly allocated vector.
+    pub fn read_vec(&self, addr: GuestAddress, len: u64) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Copy the contents of a whole (global) page index.
+    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+        let (region, rel) = self.locate_page(page)?;
+        region.read_page(rel)
+    }
+
+    /// Overwrite a whole (global) page index.
+    pub fn write_page(&self, page: u64, contents: &[u8]) -> Result<()> {
+        let (region, rel) = self.locate_page(page)?;
+        region.write_page(rel, contents)
+    }
+
+    /// Zero a whole (global) page index without marking it dirty.
+    pub fn discard_page(&self, page: u64) -> Result<()> {
+        let (region, rel) = self.locate_page(page)?;
+        region.discard_page(rel)
+    }
+
+    /// Map a global page index to `(region, region-relative page index)`.
+    ///
+    /// Global page indices enumerate pages of all regions in address order;
+    /// they are the currency of the dirty-tracking, balloon and migration
+    /// layers.
+    fn locate_page(&self, page: u64) -> Result<(&Arc<MemoryRegion>, u64)> {
+        let mut remaining = page;
+        for r in self.regions.iter() {
+            if remaining < r.pages() {
+                return Ok((r, remaining));
+            }
+            remaining -= r.pages();
+        }
+        Err(Error::InvalidGuestAddress(GuestAddress(page * PAGE_SIZE)))
+    }
+
+    /// The guest physical address of a global page index.
+    pub fn page_address(&self, page: u64) -> Result<GuestAddress> {
+        let (region, rel) = self.locate_page(page)?;
+        Ok(region.start().unchecked_add(rel * PAGE_SIZE))
+    }
+
+    /// The global page index containing a guest physical address.
+    pub fn address_page(&self, addr: GuestAddress) -> Result<u64> {
+        let mut base = 0u64;
+        for r in self.regions.iter() {
+            if r.range().contains(addr) {
+                return Ok(base + (addr.0 - r.start().0) / PAGE_SIZE);
+            }
+            base += r.pages();
+        }
+        Err(Error::InvalidGuestAddress(addr))
+    }
+
+    /// Collect the global indices of all dirty pages.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut base = 0u64;
+        for r in self.regions.iter() {
+            out.extend(r.dirty_bitmap().dirty_pages().into_iter().map(|p| p + base));
+            base += r.pages();
+        }
+        out
+    }
+
+    /// Number of dirty pages across all regions.
+    pub fn dirty_page_count(&self) -> u64 {
+        self.regions.iter().map(|r| r.dirty_bitmap().count()).sum()
+    }
+
+    /// Atomically harvest and clear the dirty set (global page indices).
+    pub fn drain_dirty(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut base = 0u64;
+        for r in self.regions.iter() {
+            out.extend(r.dirty_bitmap().drain().into_iter().map(|p| p + base));
+            base += r.pages();
+        }
+        out
+    }
+
+    /// Clear all dirty bits.
+    pub fn clear_dirty(&self) {
+        for r in self.regions.iter() {
+            r.dirty_bitmap().clear();
+        }
+    }
+
+    /// Mark a global page index dirty (used when restoring harvested state).
+    pub fn mark_dirty_page(&self, page: u64) {
+        if let Ok((region, rel)) = self.locate_page(page) {
+            region.dirty_bitmap().mark(rel);
+        }
+    }
+
+    /// A simple additive checksum of all guest memory.
+    ///
+    /// Cheap enough for tests and migration verification; not cryptographic.
+    pub fn checksum(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| {
+                r.with_bytes(|b| {
+                    b.iter().enumerate().fold(0u64, |acc, (i, &v)| {
+                        acc.wrapping_add((v as u64).wrapping_mul(i as u64 | 1))
+                    })
+                })
+            })
+            .fold(0u64, |a, b| a.wrapping_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_region_memory() -> GuestMemory {
+        GuestMemoryBuilder::new()
+            .with_region(GuestAddress(0), ByteSize::pages_of(4))
+            .unwrap()
+            .with_region(GuestAddress(0x100000), ByteSize::pages_of(4))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn builder_rejects_overlap() {
+        let res = GuestMemoryBuilder::new()
+            .with_region(GuestAddress(0), ByteSize::mib(1))
+            .unwrap()
+            .with_region(GuestAddress(0x8000), ByteSize::mib(1));
+        assert!(matches!(res, Err(Error::RegionOverlap)));
+    }
+
+    #[test]
+    fn flat_memory() {
+        let mem = GuestMemory::flat(ByteSize::mib(2)).unwrap();
+        assert_eq!(mem.total_size(), ByteSize::mib(2));
+        assert_eq!(mem.total_pages(), 512);
+        assert_eq!(mem.regions().len(), 1);
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mem = GuestMemory::flat(ByteSize::pages_of(2)).unwrap();
+        mem.write_u8(GuestAddress(0), 0xab).unwrap();
+        mem.write_u16(GuestAddress(2), 0xbeef).unwrap();
+        mem.write_u32(GuestAddress(4), 0xdeadbeef).unwrap();
+        mem.write_u64(GuestAddress(8), 0x0123456789abcdef).unwrap();
+        assert_eq!(mem.read_u8(GuestAddress(0)).unwrap(), 0xab);
+        assert_eq!(mem.read_u16(GuestAddress(2)).unwrap(), 0xbeef);
+        assert_eq!(mem.read_u32(GuestAddress(4)).unwrap(), 0xdeadbeef);
+        assert_eq!(mem.read_u64(GuestAddress(8)).unwrap(), 0x0123456789abcdef);
+    }
+
+    #[test]
+    fn access_to_hole_fails() {
+        let mem = two_region_memory();
+        assert!(mem.read_u8(GuestAddress(0x5000)).is_err());
+        assert!(mem.write_u8(GuestAddress(0x5000), 1).is_err());
+        assert!(!mem.address_in_range(GuestAddress(0x5000)));
+        assert!(mem.address_in_range(GuestAddress(0x100000)));
+    }
+
+    #[test]
+    fn global_page_indexing_spans_regions() {
+        let mem = two_region_memory();
+        assert_eq!(mem.total_pages(), 8);
+        // Page 5 is the second page of the second region.
+        assert_eq!(mem.page_address(5).unwrap(), GuestAddress(0x101000));
+        assert_eq!(mem.address_page(GuestAddress(0x101000)).unwrap(), 5);
+        assert!(mem.page_address(8).is_err());
+        assert!(mem.address_page(GuestAddress(0x50000)).is_err());
+    }
+
+    #[test]
+    fn page_roundtrip_across_regions() {
+        let mem = two_region_memory();
+        let page = vec![0x5au8; PAGE_SIZE as usize];
+        mem.write_page(6, &page).unwrap();
+        assert_eq!(mem.read_page(6).unwrap(), page);
+        assert!(mem.read_page(100).is_err());
+    }
+
+    #[test]
+    fn dirty_tracking_spans_regions() {
+        let mem = two_region_memory();
+        mem.write_u8(GuestAddress(0), 1).unwrap();
+        mem.write_u8(GuestAddress(0x102000), 1).unwrap();
+        let dirty = mem.dirty_pages();
+        assert_eq!(dirty, vec![0, 6]);
+        assert_eq!(mem.dirty_page_count(), 2);
+        let drained = mem.drain_dirty();
+        assert_eq!(drained, vec![0, 6]);
+        assert_eq!(mem.dirty_page_count(), 0);
+        mem.mark_dirty_page(6);
+        assert_eq!(mem.dirty_pages(), vec![6]);
+        mem.clear_dirty();
+        assert_eq!(mem.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn checksum_changes_with_contents() {
+        let mem = GuestMemory::flat(ByteSize::pages_of(4)).unwrap();
+        let c0 = mem.checksum();
+        mem.write_u64(GuestAddress(0x100), 42).unwrap();
+        let c1 = mem.checksum();
+        assert_ne!(c0, c1);
+        mem.write_u64(GuestAddress(0x100), 0).unwrap();
+        assert_eq!(mem.checksum(), c0);
+    }
+
+    #[test]
+    fn clone_shares_backing_store() {
+        let mem = GuestMemory::flat(ByteSize::pages_of(1)).unwrap();
+        let view = mem.clone();
+        mem.write_u32(GuestAddress(16), 77).unwrap();
+        assert_eq!(view.read_u32(GuestAddress(16)).unwrap(), 77);
+    }
+
+    proptest! {
+        #[test]
+        fn write_then_read_roundtrips(
+            offset in 0u64..(16 * PAGE_SIZE - 64),
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+        ) {
+            let mem = GuestMemory::flat(ByteSize::pages_of(16)).unwrap();
+            mem.write(GuestAddress(offset), &data).unwrap();
+            let back = mem.read_vec(GuestAddress(offset), data.len() as u64).unwrap();
+            prop_assert_eq!(back, data);
+        }
+
+        #[test]
+        fn page_address_and_address_page_are_inverse(page in 0u64..8) {
+            let mem = two_region_memory();
+            let addr = mem.page_address(page).unwrap();
+            prop_assert_eq!(mem.address_page(addr).unwrap(), page);
+        }
+
+        #[test]
+        fn dirty_pages_cover_all_writes(
+            writes in proptest::collection::vec((0u64..(8 * PAGE_SIZE - 8), 1usize..8), 0..32)
+        ) {
+            let mem = GuestMemory::flat(ByteSize::pages_of(8)).unwrap();
+            let mut expected = std::collections::BTreeSet::new();
+            for (off, len) in &writes {
+                mem.write(GuestAddress(*off), &vec![1u8; *len]).unwrap();
+                let first = off / PAGE_SIZE;
+                let last = (off + *len as u64 - 1) / PAGE_SIZE;
+                for p in first..=last {
+                    expected.insert(p);
+                }
+            }
+            let dirty: std::collections::BTreeSet<u64> = mem.dirty_pages().into_iter().collect();
+            prop_assert_eq!(dirty, expected);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! A single contiguous region of guest physical memory.
+
+use parking_lot::RwLock;
+use rvisor_types::{Error, GuestAddress, GuestRegion, Result, PAGE_SIZE};
+
+use crate::bitmap::DirtyBitmap;
+
+/// A contiguous, heap-backed slab of guest physical memory.
+///
+/// Every write is recorded in the region's [`DirtyBitmap`] so that higher
+/// layers (live migration, incremental snapshots) can observe which pages
+/// changed without instrumenting the guest.
+#[derive(Debug)]
+pub struct MemoryRegion {
+    range: GuestRegion,
+    data: RwLock<Box<[u8]>>,
+    dirty: DirtyBitmap,
+}
+
+impl MemoryRegion {
+    /// Allocate a zero-filled region covering `[start, start+len)`.
+    ///
+    /// `len` must be non-zero and page aligned, and `start` must be page
+    /// aligned; real VMMs hand out memory in page-sized slabs and the rest of
+    /// the stack (dirty tracking, ballooning, migration) relies on it.
+    pub fn new(start: GuestAddress, len: u64) -> Result<Self> {
+        if len == 0 {
+            return Err(Error::InvalidRegionConfig("region length must be non-zero".into()));
+        }
+        if len % PAGE_SIZE != 0 {
+            return Err(Error::InvalidRegionConfig(format!(
+                "region length {len:#x} is not a multiple of the page size"
+            )));
+        }
+        if !start.is_page_aligned() {
+            return Err(Error::InvalidRegionConfig(format!(
+                "region start {start} is not page aligned"
+            )));
+        }
+        if start.checked_add(len).is_none() {
+            return Err(Error::InvalidRegionConfig("region wraps the address space".into()));
+        }
+        let pages = len / PAGE_SIZE;
+        Ok(MemoryRegion {
+            range: GuestRegion::new(start, len),
+            data: RwLock::new(vec![0u8; len as usize].into_boxed_slice()),
+            dirty: DirtyBitmap::new(pages),
+        })
+    }
+
+    /// The guest physical range covered by this region.
+    pub fn range(&self) -> GuestRegion {
+        self.range
+    }
+
+    /// First guest physical address of the region.
+    pub fn start(&self) -> GuestAddress {
+        self.range.start
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.range.len
+    }
+
+    /// Whether the region is empty (never true for a constructed region).
+    pub fn is_empty(&self) -> bool {
+        self.range.len == 0
+    }
+
+    /// Number of 4 KiB pages in the region.
+    pub fn pages(&self) -> u64 {
+        self.range.len / PAGE_SIZE
+    }
+
+    /// The region's dirty bitmap (page indices are region-relative).
+    pub fn dirty_bitmap(&self) -> &DirtyBitmap {
+        &self.dirty
+    }
+
+    fn offset_of(&self, addr: GuestAddress, len: u64) -> Result<usize> {
+        if !self.range.contains_range(addr, len) {
+            return Err(Error::OutOfBounds { addr, len });
+        }
+        Ok((addr.0 - self.range.start.0) as usize)
+    }
+
+    /// Read `buf.len()` bytes starting at `addr` into `buf`.
+    pub fn read(&self, addr: GuestAddress, buf: &mut [u8]) -> Result<()> {
+        let off = self.offset_of(addr, buf.len() as u64)?;
+        let data = self.data.read();
+        buf.copy_from_slice(&data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`, marking the touched pages dirty.
+    pub fn write(&self, addr: GuestAddress, buf: &[u8]) -> Result<()> {
+        let off = self.offset_of(addr, buf.len() as u64)?;
+        {
+            let mut data = self.data.write();
+            data[off..off + buf.len()].copy_from_slice(buf);
+        }
+        self.mark_dirty(off as u64, buf.len() as u64);
+        Ok(())
+    }
+
+    /// Fill `len` bytes starting at `addr` with `value`.
+    pub fn fill(&self, addr: GuestAddress, len: u64, value: u8) -> Result<()> {
+        let off = self.offset_of(addr, len)?;
+        {
+            let mut data = self.data.write();
+            data[off..off + len as usize].fill(value);
+        }
+        self.mark_dirty(off as u64, len);
+        Ok(())
+    }
+
+    /// Copy a whole page out of the region. `page` is region-relative.
+    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+        if page >= self.pages() {
+            return Err(Error::OutOfBounds {
+                addr: self.range.start.unchecked_add(page * PAGE_SIZE),
+                len: PAGE_SIZE,
+            });
+        }
+        let data = self.data.read();
+        let off = (page * PAGE_SIZE) as usize;
+        Ok(data[off..off + PAGE_SIZE as usize].to_vec())
+    }
+
+    /// Overwrite a whole page. `page` is region-relative.
+    pub fn write_page(&self, page: u64, contents: &[u8]) -> Result<()> {
+        if contents.len() != PAGE_SIZE as usize {
+            return Err(Error::InvalidRegionConfig(format!(
+                "write_page requires exactly {PAGE_SIZE} bytes, got {}",
+                contents.len()
+            )));
+        }
+        self.write(self.range.start.unchecked_add(page * PAGE_SIZE), contents)
+    }
+
+    /// Discard the contents of a page (zero it) *without* marking it dirty.
+    ///
+    /// This models the balloon returning a page to the host: the page's
+    /// contents are gone but the guest has promised not to read it, so there
+    /// is nothing for migration to copy.
+    pub fn discard_page(&self, page: u64) -> Result<()> {
+        if page >= self.pages() {
+            return Err(Error::OutOfBounds {
+                addr: self.range.start.unchecked_add(page * PAGE_SIZE),
+                len: PAGE_SIZE,
+            });
+        }
+        let mut data = self.data.write();
+        let off = (page * PAGE_SIZE) as usize;
+        data[off..off + PAGE_SIZE as usize].fill(0);
+        Ok(())
+    }
+
+    fn mark_dirty(&self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len - 1) / PAGE_SIZE;
+        self.dirty.mark_range(first, last - first + 1);
+    }
+
+    /// Run a closure over the raw bytes of the region (read-only).
+    ///
+    /// Used by checksumming and snapshot code paths that want to avoid an
+    /// intermediate copy.
+    pub fn with_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let data = self.data.read();
+        f(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> MemoryRegion {
+        MemoryRegion::new(GuestAddress(0x1000), 4 * PAGE_SIZE).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(MemoryRegion::new(GuestAddress(0), 0).is_err());
+        assert!(MemoryRegion::new(GuestAddress(0), 100).is_err());
+        assert!(MemoryRegion::new(GuestAddress(0x10), PAGE_SIZE).is_err());
+        assert!(MemoryRegion::new(GuestAddress(u64::MAX - PAGE_SIZE + 1), 2 * PAGE_SIZE).is_err());
+        assert!(MemoryRegion::new(GuestAddress(0), PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let r = region();
+        let payload = [1u8, 2, 3, 4, 5];
+        r.write(GuestAddress(0x1100), &payload).unwrap();
+        let mut out = [0u8; 5];
+        r.read(GuestAddress(0x1100), &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let r = region();
+        let mut buf = [0u8; 8];
+        assert!(r.read(GuestAddress(0x0), &mut buf).is_err());
+        assert!(r.read(GuestAddress(0x1000 + 4 * PAGE_SIZE - 4), &mut buf).is_err());
+        assert!(r.write(GuestAddress(0x5000), &buf).is_err());
+    }
+
+    #[test]
+    fn writes_mark_pages_dirty() {
+        let r = region();
+        assert_eq!(r.dirty_bitmap().count(), 0);
+        r.write(GuestAddress(0x1000), &[0u8; 10]).unwrap();
+        assert_eq!(r.dirty_bitmap().dirty_pages(), vec![0]);
+        // A write spanning a page boundary dirties both pages.
+        r.write(GuestAddress(0x1000 + PAGE_SIZE - 2), &[0u8; 4]).unwrap();
+        assert_eq!(r.dirty_bitmap().dirty_pages(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reads_do_not_dirty() {
+        let r = region();
+        let mut buf = [0u8; 64];
+        r.read(GuestAddress(0x1000), &mut buf).unwrap();
+        assert_eq!(r.dirty_bitmap().count(), 0);
+    }
+
+    #[test]
+    fn fill_and_page_ops() {
+        let r = region();
+        r.fill(GuestAddress(0x2000), PAGE_SIZE, 0xaa).unwrap();
+        let page = r.read_page(1).unwrap();
+        assert!(page.iter().all(|&b| b == 0xaa));
+        assert!(r.dirty_bitmap().is_dirty(1));
+
+        let new_page = vec![0x55u8; PAGE_SIZE as usize];
+        r.write_page(2, &new_page).unwrap();
+        assert_eq!(r.read_page(2).unwrap(), new_page);
+        assert!(r.write_page(2, &[0u8; 3]).is_err());
+        assert!(r.read_page(4).is_err());
+    }
+
+    #[test]
+    fn discard_page_zeroes_without_dirtying() {
+        let r = region();
+        r.fill(GuestAddress(0x3000), PAGE_SIZE, 0xff).unwrap();
+        r.dirty_bitmap().clear();
+        r.discard_page(2).unwrap();
+        assert_eq!(r.dirty_bitmap().count(), 0);
+        assert!(r.read_page(2).unwrap().iter().all(|&b| b == 0));
+        assert!(r.discard_page(99).is_err());
+    }
+
+    #[test]
+    fn with_bytes_sees_whole_region() {
+        let r = region();
+        r.write(GuestAddress(0x1000), &[7u8]).unwrap();
+        let total: u64 = r.with_bytes(|b| b.iter().map(|&x| x as u64).sum());
+        assert_eq!(total, 7);
+        assert_eq!(r.with_bytes(|b| b.len()), (4 * PAGE_SIZE) as usize);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let r = region();
+        assert_eq!(r.start(), GuestAddress(0x1000));
+        assert_eq!(r.len(), 4 * PAGE_SIZE);
+        assert_eq!(r.pages(), 4);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # rvisor-migrate
+//!
+//! Live migration engines. Moving a running VM between hosts is the
+//! flagship capability that justifies clustered virtualization (maintenance
+//! without downtime, load balancing, disaster recovery), and its two key
+//! metrics — **downtime** (how long the guest is paused) and **total
+//! migration time** — are what experiment E4 sweeps against guest dirty
+//! rate, RAM size and link bandwidth.
+//!
+//! Three engines are provided, mirroring the literature:
+//!
+//! * [`StopAndCopy`] — pause, copy everything, resume: minimal total time,
+//!   worst downtime (∝ RAM size / bandwidth).
+//! * [`PreCopy`] — iterative rounds copy memory while the guest runs; each
+//!   round copies the pages dirtied during the previous round; when the
+//!   dirty set stops shrinking (or a round budget is hit) the guest pauses
+//!   for a final short stop-and-copy. Downtime ∝ residual dirty set.
+//! * [`PostCopy`] — pause only to move vCPU state, resume on the
+//!   destination immediately, and pull pages over the network on demand
+//!   (plus a background sweep). Downtime is minimal and constant; the cost
+//!   is degraded performance while remote faults are outstanding.
+//!
+//! The guest's memory-dirtying behaviour during migration is abstracted as a
+//! [`DirtySource`], so the benchmarks can sweep dirty rates precisely.
+//!
+//! Pre-copy transfers can additionally be compressed with zero-page
+//! detection and XBZRLE delta encoding (the [`compress`] module), the two
+//! techniques production migration stacks use to survive write-heavy guests
+//! on thin links.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod compress;
+pub mod dirty;
+pub mod engines;
+pub mod report;
+
+pub use compress::{CompressionStats, PageCompression, PageCompressor, WirePage};
+pub use dirty::{ConstantRateDirtier, DirtySource, IdleDirtier};
+pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy};
+pub use report::{MigrationKind, MigrationReport};

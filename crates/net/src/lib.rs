@@ -1,0 +1,23 @@
+//! # rvisor-net
+//!
+//! The virtual network substrate: Ethernet-style frames, a learning L2
+//! switch connecting VM network endpoints, and bandwidth/latency link models.
+//!
+//! Two consumers drive the design:
+//!
+//! * **virtio-net** ([`rvisor-virtio`]) attaches each VM's NIC to a
+//!   [`VirtualSwitch`] port and exchanges [`Frame`]s with its peers;
+//! * **live migration** ([`rvisor-migrate`]) pushes memory pages through a
+//!   [`Link`], whose bandwidth model determines round lengths and downtime —
+//!   exactly the quantity experiment E4 sweeps.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod frame;
+pub mod link;
+pub mod switch;
+
+pub use frame::{Frame, MacAddr, ETHERTYPE_IPV4, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
+pub use link::{Link, LinkModel};
+pub use switch::{SwitchPort, SwitchStats, VirtualSwitch};

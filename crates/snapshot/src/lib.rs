@@ -1,0 +1,29 @@
+//! # rvisor-snapshot
+//!
+//! Snapshot and restore of VM state, the substrate of three of the
+//! operational features the source material cares about — backups, disaster
+//! recovery and template provisioning — and of live migration's final
+//! stop-and-copy phase.
+//!
+//! * [`VmSnapshot`] — a point-in-time capture of vCPU architectural state,
+//!   guest memory (full or dirty-page incremental) and opaque device blobs.
+//! * [`SnapshotStore`] — keeps snapshot chains (a full parent plus
+//!   incremental children) and restores any point in a chain.
+//! * [`ExportManifest`] — a portable, human-readable description of an
+//!   exported VM (an OVF-style envelope) with integrity checksums.
+//! * [`backup`] — backup policies (full/incremental cadence), a simulator
+//!   that runs them against a live guest, and RPO/RTO accounting for the
+//!   disaster-recovery experiment (E14).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod backup;
+pub mod manifest;
+pub mod snapshot;
+pub mod store;
+
+pub use backup::{BackupPolicy, BackupReport, BackupSimulator, BackupTarget};
+pub use manifest::ExportManifest;
+pub use snapshot::{MemorySnapshot, SnapshotId, SnapshotKind, VmSnapshot};
+pub use store::SnapshotStore;

@@ -1,0 +1,265 @@
+//! Guest physical address arithmetic and region descriptions.
+
+use crate::units::{ByteSize, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A guest *physical* address.
+///
+/// All device models and the memory subsystem speak guest physical addresses;
+/// guest *virtual* addresses only exist inside the vCPU's MMU
+/// (`rvisor-vcpu`).
+///
+/// ```
+/// use rvisor_types::GuestAddress;
+/// let a = GuestAddress(0x1000);
+/// assert_eq!(a.unchecked_add(0x20).0, 0x1020);
+/// assert!(a.is_page_aligned());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct GuestAddress(pub u64);
+
+impl GuestAddress {
+    /// Guest physical address zero.
+    pub const ZERO: GuestAddress = GuestAddress(0);
+
+    /// Construct a new guest address.
+    pub const fn new(addr: u64) -> Self {
+        GuestAddress(addr)
+    }
+
+    /// The raw address value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Add an offset without overflow checking (wraps like hardware would).
+    pub const fn unchecked_add(self, offset: u64) -> GuestAddress {
+        GuestAddress(self.0.wrapping_add(offset))
+    }
+
+    /// Checked addition of an offset.
+    pub fn checked_add(self, offset: u64) -> Option<GuestAddress> {
+        self.0.checked_add(offset).map(GuestAddress)
+    }
+
+    /// Offset from `base` to `self`; `None` if `self < base`.
+    pub fn offset_from(self, base: GuestAddress) -> Option<u64> {
+        self.0.checked_sub(base.0)
+    }
+
+    /// The index of the 4 KiB page containing this address.
+    pub const fn page_index(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// The offset of this address within its 4 KiB page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Whether this address is 4 KiB aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.0 % PAGE_SIZE == 0
+    }
+
+    /// Round down to the containing page boundary.
+    pub const fn page_base(self) -> GuestAddress {
+        GuestAddress(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Whether this address is aligned to `align` (which must be a power of two).
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Display for GuestAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for GuestAddress {
+    fn from(v: u64) -> Self {
+        GuestAddress(v)
+    }
+}
+
+/// A half-open `[start, start+len)` range of guest physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GuestRegion {
+    /// First guest physical address of the region.
+    pub start: GuestAddress,
+    /// Length of the region in bytes.
+    pub len: u64,
+}
+
+impl GuestRegion {
+    /// Construct a region from start and length.
+    pub const fn new(start: GuestAddress, len: u64) -> Self {
+        GuestRegion { start, len }
+    }
+
+    /// One-past-the-end address; `None` if it would overflow `u64`.
+    pub fn end(&self) -> Option<GuestAddress> {
+        self.start.checked_add(self.len)
+    }
+
+    /// The last valid address in the region; `None` for an empty region.
+    pub fn last(&self) -> Option<GuestAddress> {
+        if self.len == 0 {
+            None
+        } else {
+            self.start.checked_add(self.len - 1)
+        }
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: GuestAddress) -> bool {
+        addr.0 >= self.start.0 && (addr.0 - self.start.0) < self.len
+    }
+
+    /// Whether the whole `[addr, addr+len)` span fits inside the region.
+    pub fn contains_range(&self, addr: GuestAddress, len: u64) -> bool {
+        if len == 0 {
+            return self.contains(addr) || addr.0 == self.start.0 + self.len;
+        }
+        match addr.checked_add(len - 1) {
+            Some(last) => self.contains(addr) && self.contains(last),
+            None => false,
+        }
+    }
+
+    /// Whether two regions overlap in at least one byte.
+    pub fn overlaps(&self, other: &GuestRegion) -> bool {
+        if self.len == 0 || other.len == 0 {
+            return false;
+        }
+        let self_last = self.start.0 + (self.len - 1);
+        let other_last = other.start.0 + (other.len - 1);
+        self.start.0 <= other_last && other.start.0 <= self_last
+    }
+
+    /// Number of whole pages spanned by the region.
+    pub fn pages(&self) -> u64 {
+        ByteSize::new(self.len).pages()
+    }
+}
+
+/// Configuration for a single guest memory region, as supplied by a VM config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegionConfig {
+    /// Guest physical address where the region starts.
+    pub base: GuestAddress,
+    /// Region size.
+    pub size: ByteSize,
+}
+
+impl MemoryRegionConfig {
+    /// Construct a region config.
+    pub const fn new(base: GuestAddress, size: ByteSize) -> Self {
+        MemoryRegionConfig { base, size }
+    }
+
+    /// The described region.
+    pub const fn region(&self) -> GuestRegion {
+        GuestRegion { start: self.base, len: self.size.as_u64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn address_page_math() {
+        let a = GuestAddress(0x1234);
+        assert_eq!(a.page_index(), 1);
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_base(), GuestAddress(0x1000));
+        assert!(!a.is_page_aligned());
+        assert!(GuestAddress(0x3000).is_page_aligned());
+        assert!(GuestAddress(0x40).is_aligned(0x40));
+        assert!(!GuestAddress(0x41).is_aligned(0x40));
+    }
+
+    #[test]
+    fn address_arithmetic() {
+        let a = GuestAddress(10);
+        assert_eq!(a.checked_add(5), Some(GuestAddress(15)));
+        assert_eq!(GuestAddress(u64::MAX).checked_add(1), None);
+        assert_eq!(GuestAddress(u64::MAX).unchecked_add(1), GuestAddress(0));
+        assert_eq!(GuestAddress(20).offset_from(a), Some(10));
+        assert_eq!(a.offset_from(GuestAddress(20)), None);
+    }
+
+    #[test]
+    fn region_contains() {
+        let r = GuestRegion::new(GuestAddress(0x1000), 0x1000);
+        assert!(r.contains(GuestAddress(0x1000)));
+        assert!(r.contains(GuestAddress(0x1fff)));
+        assert!(!r.contains(GuestAddress(0x2000)));
+        assert!(!r.contains(GuestAddress(0xfff)));
+        assert!(r.contains_range(GuestAddress(0x1800), 0x800));
+        assert!(!r.contains_range(GuestAddress(0x1800), 0x801));
+        assert_eq!(r.end(), Some(GuestAddress(0x2000)));
+        assert_eq!(r.last(), Some(GuestAddress(0x1fff)));
+        assert_eq!(r.pages(), 1);
+    }
+
+    #[test]
+    fn region_overlap() {
+        let a = GuestRegion::new(GuestAddress(0x1000), 0x1000);
+        let b = GuestRegion::new(GuestAddress(0x1800), 0x1000);
+        let c = GuestRegion::new(GuestAddress(0x2000), 0x1000);
+        let empty = GuestRegion::new(GuestAddress(0x1800), 0);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&empty));
+    }
+
+    #[test]
+    fn empty_region_has_no_last() {
+        let r = GuestRegion::new(GuestAddress(0x1000), 0);
+        assert_eq!(r.last(), None);
+        assert_eq!(r.pages(), 0);
+    }
+
+    #[test]
+    fn region_config_roundtrip() {
+        let cfg = MemoryRegionConfig::new(GuestAddress(0), ByteSize::mib(64));
+        let r = cfg.region();
+        assert_eq!(r.len, 64 << 20);
+        assert_eq!(r.start, GuestAddress(0));
+    }
+
+    proptest! {
+        #[test]
+        fn page_base_is_aligned(addr in 0u64..u64::MAX) {
+            let a = GuestAddress(addr);
+            prop_assert!(a.page_base().is_page_aligned());
+            prop_assert!(a.page_base().0 <= addr);
+            prop_assert!(addr - a.page_base().0 < PAGE_SIZE);
+        }
+
+        #[test]
+        fn overlap_is_symmetric(s1 in 0u64..1_000_000, l1 in 0u64..10_000,
+                                s2 in 0u64..1_000_000, l2 in 0u64..10_000) {
+            let a = GuestRegion::new(GuestAddress(s1), l1);
+            let b = GuestRegion::new(GuestAddress(s2), l2);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        }
+
+        #[test]
+        fn contains_implies_overlap(s1 in 0u64..1_000_000, l1 in 1u64..10_000, off in 0u64..10_000) {
+            let a = GuestRegion::new(GuestAddress(s1), l1);
+            let addr = GuestAddress(s1 + (off % l1));
+            prop_assert!(a.contains(addr));
+            let single = GuestRegion::new(addr, 1);
+            prop_assert!(a.overlaps(&single));
+        }
+    }
+}

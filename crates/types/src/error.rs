@@ -1,0 +1,171 @@
+//! The workspace-wide error type.
+//!
+//! Every crate in the workspace returns [`Error`] (or wraps it); keeping the
+//! error vocabulary in one place lets the VMM core surface a single error type
+//! through its public API without an error-conversion crate.
+
+use crate::addr::GuestAddress;
+use crate::ids::{HostId, VcpuId, VmId};
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the rvisor virtualization stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A guest physical address (or range starting at it) is not backed by memory.
+    InvalidGuestAddress(GuestAddress),
+    /// A guest memory access ran past the end of its region.
+    OutOfBounds {
+        /// Address where the access started.
+        addr: GuestAddress,
+        /// Length of the attempted access.
+        len: u64,
+    },
+    /// Two memory regions overlap.
+    RegionOverlap,
+    /// A memory region was configured with zero size or misaligned bounds.
+    InvalidRegionConfig(String),
+    /// The balloon cannot inflate further (guest would have no memory left).
+    BalloonExhausted {
+        /// Pages requested for inflation.
+        requested_pages: u64,
+        /// Pages actually available to reclaim.
+        available_pages: u64,
+    },
+    /// A vCPU fault that the hypervisor cannot handle (triple-fault analogue).
+    VcpuFault(String),
+    /// A guest executed an instruction that is invalid in its current mode.
+    InvalidInstruction {
+        /// Program counter of the offending instruction.
+        pc: u64,
+        /// Raw encoding.
+        opcode: u32,
+    },
+    /// The guest page-table walk failed.
+    PageFault {
+        /// Faulting guest virtual address.
+        vaddr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// An MMIO/PIO access hit an address with no device behind it.
+    UnmappedIo(GuestAddress),
+    /// A device rejected the operation.
+    Device(String),
+    /// A virtqueue descriptor chain is malformed.
+    InvalidDescriptor(String),
+    /// Block backend error (bad sector, image corrupt, out of space, ...).
+    Block(String),
+    /// Network substrate error.
+    Net(String),
+    /// The referenced VM does not exist.
+    UnknownVm(VmId),
+    /// The referenced vCPU does not exist.
+    UnknownVcpu(VcpuId),
+    /// The referenced host does not exist.
+    UnknownHost(HostId),
+    /// The VM is in the wrong lifecycle state for the requested operation.
+    InvalidVmState {
+        /// What was attempted.
+        operation: &'static str,
+        /// The state the VM was actually in.
+        state: String,
+    },
+    /// Snapshot serialization/deserialization failure.
+    Snapshot(String),
+    /// Live migration failed or was aborted.
+    Migration(String),
+    /// The scheduler configuration is invalid (zero weight, no pCPUs, ...).
+    Scheduler(String),
+    /// Not enough capacity on a host / in the cluster to place a VM.
+    CapacityExceeded(String),
+    /// Generic configuration error.
+    Config(String),
+    /// An I/O error from the host filesystem (file-backed disks, snapshots).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidGuestAddress(a) => write!(f, "invalid guest address {a}"),
+            Error::OutOfBounds { addr, len } => {
+                write!(f, "guest memory access out of bounds: {len} bytes at {addr}")
+            }
+            Error::RegionOverlap => write!(f, "guest memory regions overlap"),
+            Error::InvalidRegionConfig(msg) => write!(f, "invalid memory region config: {msg}"),
+            Error::BalloonExhausted { requested_pages, available_pages } => write!(
+                f,
+                "balloon cannot inflate by {requested_pages} pages, only {available_pages} available"
+            ),
+            Error::VcpuFault(msg) => write!(f, "unrecoverable vCPU fault: {msg}"),
+            Error::InvalidInstruction { pc, opcode } => {
+                write!(f, "invalid instruction 0x{opcode:08x} at pc 0x{pc:x}")
+            }
+            Error::PageFault { vaddr, write } => {
+                let kind = if *write { "write" } else { "read" };
+                write!(f, "unhandled guest page fault ({kind}) at 0x{vaddr:x}")
+            }
+            Error::UnmappedIo(a) => write!(f, "I/O access to unmapped address {a}"),
+            Error::Device(msg) => write!(f, "device error: {msg}"),
+            Error::InvalidDescriptor(msg) => write!(f, "invalid virtqueue descriptor: {msg}"),
+            Error::Block(msg) => write!(f, "block backend error: {msg}"),
+            Error::Net(msg) => write!(f, "network error: {msg}"),
+            Error::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            Error::UnknownVcpu(id) => write!(f, "unknown vCPU {id}"),
+            Error::UnknownHost(id) => write!(f, "unknown host {id}"),
+            Error::InvalidVmState { operation, state } => {
+                write!(f, "cannot {operation}: VM is {state}")
+            }
+            Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            Error::Migration(msg) => write!(f, "migration error: {msg}"),
+            Error::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
+            Error::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Io(msg) => write!(f, "host I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::OutOfBounds { addr: GuestAddress(0x1000), len: 8 };
+        assert_eq!(e.to_string(), "guest memory access out of bounds: 8 bytes at 0x1000");
+
+        let e = Error::PageFault { vaddr: 0xdead, write: true };
+        assert!(e.to_string().contains("write"));
+        assert!(e.to_string().contains("0xdead"));
+
+        let e = Error::InvalidVmState { operation: "resume", state: "Destroyed".into() };
+        assert_eq!(e.to_string(), "cannot resume: VM is Destroyed");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing disk image");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("missing disk image"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_e: &dyn std::error::Error) {}
+        takes_std_error(&Error::RegionOverlap);
+    }
+}

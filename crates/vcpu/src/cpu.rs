@@ -1,0 +1,939 @@
+//! The GISA interpreter: a virtual CPU that produces VM exits.
+//!
+//! [`Vcpu::run`] executes guest instructions until one of three things
+//! happens: the instruction budget is exhausted, the guest performs an action
+//! that requires the hypervisor (I/O, hypercall, halt, unresolvable page
+//! fault), or the guest misbehaves badly enough to be killed. The returned
+//! [`ExitReason`] is the moral equivalent of `KVM_RUN` returning with an exit
+//! reason in the `kvm_run` structure.
+//!
+//! The interpreter charges simulated time according to the [`ExecCosts`] of
+//! the configured [`ExecMode`], which is what makes the virtualization-
+//! overhead experiments deterministic and host-independent.
+
+use serde::{Deserialize, Serialize};
+
+use rvisor_memory::GuestMemory;
+use rvisor_types::{Error, GuestAddress, Nanoseconds, Result, VcpuId};
+
+use crate::exec_mode::{ExecCosts, ExecMode};
+use crate::isa::{Instr, Reg, INSTR_BYTES, NUM_REGS};
+use crate::mmu::{Mmu, TlbStats, TranslateFault};
+
+/// Number of control/status registers.
+pub const NUM_CSRS: usize = 32;
+
+/// CSR index holding the vCPU id (read-only to the guest).
+pub const CSR_VCPU_ID: i32 = 0;
+/// CSR index holding the current privilege mode (read-only to the guest).
+pub const CSR_MODE: i32 = 1;
+/// First CSR index that is privileged to read.
+pub const CSR_PRIVILEGED_BASE: i32 = 16;
+
+/// Guest privilege modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrivMode {
+    /// Guest user mode.
+    User,
+    /// Guest supervisor (kernel) mode.
+    Supervisor,
+}
+
+/// Why `Vcpu::run` returned to the hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The guest executed `Halt`.
+    Halt,
+    /// The guest read from an address not backed by RAM; the hypervisor must
+    /// call [`Vcpu::complete_mmio_read`] with the value before resuming.
+    MmioRead {
+        /// Guest physical address of the access.
+        addr: GuestAddress,
+        /// Access width in bytes (always 8 for GISA loads).
+        size: u8,
+    },
+    /// The guest wrote to an address not backed by RAM.
+    MmioWrite {
+        /// Guest physical address of the access.
+        addr: GuestAddress,
+        /// Value written.
+        value: u64,
+        /// Access width in bytes.
+        size: u8,
+    },
+    /// The guest executed `In`; call [`Vcpu::complete_pio_in`] before resuming.
+    PioIn {
+        /// Port number.
+        port: u32,
+    },
+    /// The guest executed `Out`.
+    PioOut {
+        /// Port number.
+        port: u32,
+        /// Value written.
+        value: u32,
+    },
+    /// The guest executed `Hypercall`; optionally call
+    /// [`Vcpu::complete_hypercall`] to set the return value.
+    Hypercall {
+        /// Hypercall number.
+        nr: u16,
+        /// Argument taken from the guest register.
+        arg: u64,
+    },
+    /// The guest touched an unmapped or protected page. The faulting
+    /// instruction has *not* retired; fixing the mapping and resuming will
+    /// re-execute it (this is what post-copy migration relies on).
+    PageFault {
+        /// Faulting guest virtual address.
+        vaddr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// The instruction budget given to `run` was exhausted (preemption point).
+    InstructionLimit,
+    /// The guest executed `Pause` — it has no useful work (idle loop).
+    Idle,
+}
+
+/// The result of one `run` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why control returned to the hypervisor.
+    pub exit: ExitReason,
+    /// Instructions retired during this invocation.
+    pub instructions: u64,
+    /// Simulated time consumed during this invocation.
+    pub elapsed: Nanoseconds,
+}
+
+/// Cumulative per-vCPU counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuStats {
+    /// Total instructions retired.
+    pub instructions: u64,
+    /// Total VM exits (all reasons, including emulated privileged traps).
+    pub exits: u64,
+    /// Exits caused by MMIO accesses.
+    pub mmio_exits: u64,
+    /// Exits caused by port I/O.
+    pub pio_exits: u64,
+    /// Hypercalls performed.
+    pub hypercalls: u64,
+    /// Guest page faults delivered to the hypervisor.
+    pub page_faults: u64,
+    /// Privileged instructions that trapped and were emulated.
+    pub privileged_traps: u64,
+    /// Halt exits.
+    pub halts: u64,
+    /// Idle (Pause) exits.
+    pub idles: u64,
+    /// Total simulated guest time.
+    pub sim_time_ns: u64,
+}
+
+impl VcpuStats {
+    /// Simulated time as a typed duration.
+    pub fn sim_time(&self) -> Nanoseconds {
+        Nanoseconds(self.sim_time_ns)
+    }
+
+    /// Exits per million retired instructions (a standard overhead metric).
+    pub fn exits_per_million_instructions(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.exits as f64 * 1_000_000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Configuration for a [`Vcpu`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VcpuConfig {
+    /// Identifier within the VM.
+    pub id: VcpuId,
+    /// Virtualization technique being modelled.
+    pub mode: ExecMode,
+    /// Cost model; defaults to `mode.default_costs()`.
+    pub costs: ExecCosts,
+    /// Number of TLB entries.
+    pub tlb_entries: usize,
+}
+
+impl VcpuConfig {
+    /// A configuration with the default cost model for `mode`.
+    pub fn new(id: VcpuId, mode: ExecMode) -> Self {
+        VcpuConfig { id, mode, costs: mode.default_costs(), tlb_entries: 64 }
+    }
+}
+
+impl Default for VcpuConfig {
+    fn default() -> Self {
+        VcpuConfig::new(VcpuId::new(0), ExecMode::HardwareAssist)
+    }
+}
+
+/// Architectural state that is saved/restored by snapshots and migration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuState {
+    /// General-purpose registers.
+    pub regs: [u64; NUM_REGS],
+    /// Program counter (guest virtual address).
+    pub pc: u64,
+    /// Privilege mode.
+    pub mode: PrivMode,
+    /// Control/status registers.
+    pub csrs: [u64; NUM_CSRS],
+    /// Page-table base register.
+    pub ptbr: u64,
+}
+
+impl Default for VcpuState {
+    fn default() -> Self {
+        VcpuState {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            mode: PrivMode::Supervisor,
+            csrs: [0; NUM_CSRS],
+            ptbr: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    None,
+    MmioRead { rd: Reg },
+    PioIn { rd: Reg },
+    Hypercall { rd: Reg },
+}
+
+/// A virtual CPU.
+#[derive(Debug)]
+pub struct Vcpu {
+    config: VcpuConfig,
+    regs: [u64; NUM_REGS],
+    pc: u64,
+    mode: PrivMode,
+    csrs: [u64; NUM_CSRS],
+    mmu: Mmu,
+    stats: VcpuStats,
+    pending: Pending,
+}
+
+impl Vcpu {
+    /// Create a vCPU in supervisor mode with the PC at zero and paging disabled.
+    pub fn new(config: VcpuConfig) -> Self {
+        let mut csrs = [0u64; NUM_CSRS];
+        csrs[CSR_VCPU_ID as usize] = config.id.raw() as u64;
+        Vcpu {
+            config,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            mode: PrivMode::Supervisor,
+            csrs,
+            mmu: Mmu::new(config.tlb_entries),
+            stats: VcpuStats::default(),
+            pending: Pending::None,
+        }
+    }
+
+    /// The vCPU's identifier.
+    pub fn id(&self) -> VcpuId {
+        self.config.id
+    }
+
+    /// The execution mode being modelled.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.config.mode
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> VcpuStats {
+        self.stats
+    }
+
+    /// TLB statistics from the MMU.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.mmu.tlb_stats()
+    }
+
+    /// Read a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.index() == 0 {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a general-purpose register (writes to r0 are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Set the program counter (used when loading a program).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// The current privilege mode.
+    pub fn priv_mode(&self) -> PrivMode {
+        self.mode
+    }
+
+    /// Capture the architectural state for snapshot/migration.
+    pub fn save_state(&self) -> VcpuState {
+        VcpuState {
+            regs: self.regs,
+            pc: self.pc,
+            mode: self.mode,
+            csrs: self.csrs,
+            ptbr: self.mmu.ptbr().0,
+        }
+    }
+
+    /// Restore previously captured architectural state.
+    pub fn restore_state(&mut self, state: &VcpuState) {
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.mode = state.mode;
+        self.csrs = state.csrs;
+        if state.ptbr != 0 {
+            self.mmu.set_ptbr(GuestAddress(state.ptbr));
+        } else {
+            self.mmu = Mmu::new(self.config.tlb_entries);
+        }
+        self.pending = Pending::None;
+    }
+
+    /// Provide the value for a pending MMIO read and retire the load.
+    pub fn complete_mmio_read(&mut self, value: u64) -> Result<()> {
+        match self.pending {
+            Pending::MmioRead { rd } => {
+                self.set_reg(rd, value);
+                self.pending = Pending::None;
+                Ok(())
+            }
+            _ => Err(Error::VcpuFault("no MMIO read pending".into())),
+        }
+    }
+
+    /// Provide the value for a pending port-input and retire the instruction.
+    pub fn complete_pio_in(&mut self, value: u32) -> Result<()> {
+        match self.pending {
+            Pending::PioIn { rd } => {
+                self.set_reg(rd, value as u64);
+                self.pending = Pending::None;
+                Ok(())
+            }
+            _ => Err(Error::VcpuFault("no port input pending".into())),
+        }
+    }
+
+    /// Provide the return value of a pending hypercall.
+    pub fn complete_hypercall(&mut self, value: u64) -> Result<()> {
+        match self.pending {
+            Pending::Hypercall { rd } => {
+                self.set_reg(rd, value);
+                self.pending = Pending::None;
+                Ok(())
+            }
+            _ => Err(Error::VcpuFault("no hypercall pending".into())),
+        }
+    }
+
+    fn charge(&mut self, ns: u64, elapsed: &mut u64) {
+        *elapsed += ns;
+    }
+
+    /// Translate a data access, converting MMU faults into page-fault exits.
+    fn translate_data(
+        &mut self,
+        memory: &GuestMemory,
+        vaddr: u64,
+        write: bool,
+        elapsed: &mut u64,
+    ) -> std::result::Result<GuestAddress, ExitReason> {
+        let user = self.mode == PrivMode::User;
+        match self.mmu.translate(memory, vaddr, write, user) {
+            Ok(t) => {
+                if !t.tlb_hit {
+                    self.charge(self.config.costs.tlb_miss_cycles * self.config.costs.cycle_ns, elapsed);
+                }
+                Ok(t.paddr)
+            }
+            Err(TranslateFault::OutOfRange) | Err(TranslateFault::NotMapped) => {
+                Err(ExitReason::PageFault { vaddr, write })
+            }
+            Err(TranslateFault::NotWritable) => Err(ExitReason::PageFault { vaddr, write: true }),
+            Err(TranslateFault::NotUser) => Err(ExitReason::PageFault { vaddr, write }),
+        }
+    }
+
+    /// Execute up to `max_instructions` guest instructions.
+    pub fn run(&mut self, memory: &GuestMemory, max_instructions: u64) -> Result<RunOutcome> {
+        if self.pending != Pending::None {
+            return Err(Error::VcpuFault(
+                "cannot resume: an MMIO/PIO/hypercall completion is pending".into(),
+            ));
+        }
+        let costs = self.config.costs;
+        let mut executed = 0u64;
+        let mut elapsed = 0u64;
+
+        let outcome = loop {
+            if executed >= max_instructions {
+                break ExitReason::InstructionLimit;
+            }
+
+            // Fetch.
+            let fetch_paddr = match self.translate_data(memory, self.pc, false, &mut elapsed) {
+                Ok(p) => p,
+                Err(exit) => {
+                    self.stats.page_faults += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.exit_ns, &mut elapsed);
+                    break exit;
+                }
+            };
+            let mut raw = [0u8; INSTR_BYTES as usize];
+            if memory.read(fetch_paddr, &mut raw).is_err() {
+                return Err(Error::VcpuFault(format!(
+                    "instruction fetch from unbacked address {fetch_paddr} at pc 0x{:x}",
+                    self.pc
+                )));
+            }
+            let instr = Instr::decode(&raw, self.pc)?;
+
+            // Privilege check / trap-and-emulate accounting.
+            if instr.is_privileged() {
+                if self.mode == PrivMode::User {
+                    return Err(Error::VcpuFault(format!(
+                        "privileged instruction {instr:?} in user mode at pc 0x{:x}",
+                        self.pc
+                    )));
+                }
+                if self.config.mode.privileged_traps() {
+                    self.stats.privileged_traps += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.exit_ns + costs.privileged_emulation_ns, &mut elapsed);
+                }
+            }
+
+            executed += 1;
+            self.stats.instructions += 1;
+            self.charge(costs.cycle_ns, &mut elapsed);
+            let next_pc = self.pc.wrapping_add(INSTR_BYTES);
+
+            match instr {
+                Instr::Nop => self.pc = next_pc,
+                Instr::Halt => {
+                    self.pc = next_pc;
+                    self.stats.halts += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.exit_ns, &mut elapsed);
+                    break ExitReason::Halt;
+                }
+                Instr::Pause => {
+                    self.pc = next_pc;
+                    self.stats.idles += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.exit_ns, &mut elapsed);
+                    break ExitReason::Idle;
+                }
+                Instr::MovImm { rd, imm } => {
+                    self.set_reg(rd, imm as i64 as u64);
+                    self.pc = next_pc;
+                }
+                Instr::MovHigh { rd, imm } => {
+                    let v = (self.reg(rd) << 32) | (imm as u32 as u64);
+                    self.set_reg(rd, v);
+                    self.pc = next_pc;
+                }
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.apply(self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    self.pc = next_pc;
+                }
+                Instr::AddImm { rd, rs1, imm } => {
+                    let v = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                    self.set_reg(rd, v);
+                    self.pc = next_pc;
+                }
+                Instr::Load { rd, rs1, imm } => {
+                    let vaddr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                    let paddr = match self.translate_data(memory, vaddr, false, &mut elapsed) {
+                        Ok(p) => p,
+                        Err(exit) => {
+                            self.stats.page_faults += 1;
+                            self.stats.exits += 1;
+                            self.charge(costs.exit_ns, &mut elapsed);
+                            break exit;
+                        }
+                    };
+                    match memory.read_u64(paddr) {
+                        Ok(v) => {
+                            self.set_reg(rd, v);
+                            self.pc = next_pc;
+                        }
+                        Err(_) => {
+                            // Not backed by RAM: MMIO read.
+                            self.pending = Pending::MmioRead { rd };
+                            self.pc = next_pc;
+                            self.stats.mmio_exits += 1;
+                            self.stats.exits += 1;
+                            self.charge(costs.mmio_exit_ns, &mut elapsed);
+                            break ExitReason::MmioRead { addr: paddr, size: 8 };
+                        }
+                    }
+                }
+                Instr::Store { rs2, rs1, imm } => {
+                    let vaddr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                    let value = self.reg(rs2);
+                    let paddr = match self.translate_data(memory, vaddr, true, &mut elapsed) {
+                        Ok(p) => p,
+                        Err(exit) => {
+                            self.stats.page_faults += 1;
+                            self.stats.exits += 1;
+                            self.charge(costs.exit_ns, &mut elapsed);
+                            break exit;
+                        }
+                    };
+                    match memory.write_u64(paddr, value) {
+                        Ok(()) => self.pc = next_pc,
+                        Err(_) => {
+                            self.pc = next_pc;
+                            self.stats.mmio_exits += 1;
+                            self.stats.exits += 1;
+                            self.charge(costs.mmio_exit_ns, &mut elapsed);
+                            break ExitReason::MmioWrite { addr: paddr, value, size: 8 };
+                        }
+                    }
+                }
+                Instr::Branch { cond, rs1, rs2, imm } => {
+                    let a = self.reg(rs1);
+                    let b = self.reg(rs2);
+                    let taken = match cond {
+                        crate::isa::Cond::Eq => a == b,
+                        crate::isa::Cond::Ne => a != b,
+                        crate::isa::Cond::Lt => a < b,
+                        crate::isa::Cond::Ge => a >= b,
+                    };
+                    self.pc = if taken {
+                        next_pc.wrapping_add(imm as i64 as u64)
+                    } else {
+                        next_pc
+                    };
+                }
+                Instr::Jal { rd, imm } => {
+                    self.set_reg(rd, next_pc);
+                    self.pc = next_pc.wrapping_add(imm as i64 as u64);
+                }
+                Instr::Jalr { rd, rs1 } => {
+                    let target = self.reg(rs1);
+                    self.set_reg(rd, next_pc);
+                    self.pc = target;
+                }
+                Instr::Hypercall { nr, rd, rs1 } => {
+                    let arg = self.reg(rs1);
+                    self.set_reg(rd, 0);
+                    self.pending = Pending::Hypercall { rd };
+                    self.pc = next_pc;
+                    self.stats.hypercalls += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.hypercall_ns, &mut elapsed);
+                    break ExitReason::Hypercall { nr, arg };
+                }
+                Instr::Out { rs1, imm } => {
+                    let value = self.reg(rs1) as u32;
+                    self.pc = next_pc;
+                    self.stats.pio_exits += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.pio_exit_ns, &mut elapsed);
+                    break ExitReason::PioOut { port: imm as u32, value };
+                }
+                Instr::In { rd, imm } => {
+                    self.pending = Pending::PioIn { rd };
+                    self.pc = next_pc;
+                    self.stats.pio_exits += 1;
+                    self.stats.exits += 1;
+                    self.charge(costs.pio_exit_ns, &mut elapsed);
+                    break ExitReason::PioIn { port: imm as u32 };
+                }
+                Instr::SetPtbr { rs1 } => {
+                    let ptbr = self.reg(rs1);
+                    self.mmu.set_ptbr(GuestAddress(ptbr));
+                    self.pc = next_pc;
+                }
+                Instr::TlbFlush => {
+                    self.mmu.flush_tlb();
+                    self.pc = next_pc;
+                }
+                Instr::ReadCsr { rd, imm } => {
+                    let idx = (imm as usize) % NUM_CSRS;
+                    let v = if imm == CSR_MODE {
+                        match self.mode {
+                            PrivMode::User => 0,
+                            PrivMode::Supervisor => 1,
+                        }
+                    } else {
+                        self.csrs[idx]
+                    };
+                    self.set_reg(rd, v);
+                    self.pc = next_pc;
+                }
+                Instr::WriteCsr { rs1, imm } => {
+                    let idx = (imm as usize) % NUM_CSRS;
+                    if imm != CSR_VCPU_ID && imm != CSR_MODE {
+                        self.csrs[idx] = self.reg(rs1);
+                    }
+                    self.pc = next_pc;
+                }
+                Instr::Iret { rs1 } => {
+                    self.pc = self.reg(rs1);
+                    self.mode = PrivMode::User;
+                }
+            }
+        };
+
+        self.stats.sim_time_ns += elapsed;
+        Ok(RunOutcome { exit: outcome, instructions: executed, elapsed: Nanoseconds(elapsed) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::isa::{AluOp, Cond};
+    use rvisor_types::ByteSize;
+
+    fn memory() -> GuestMemory {
+        GuestMemory::flat(ByteSize::mib(1)).unwrap()
+    }
+
+    fn vcpu(mode: ExecMode) -> Vcpu {
+        let mut cfg = VcpuConfig::new(VcpuId::new(0), mode);
+        cfg.costs = ExecCosts::FREE;
+        Vcpu::new(cfg)
+    }
+
+    fn load(mem: &GuestMemory, at: u64, program: &[Instr]) {
+        let mut addr = at;
+        for instr in program {
+            mem.write(GuestAddress(addr), &instr.encode()).unwrap();
+            addr += INSTR_BYTES;
+        }
+    }
+
+    #[test]
+    fn arithmetic_program_runs_to_halt() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm { rd: r(1), imm: 6 },
+                Instr::MovImm { rd: r(2), imm: 7 },
+                Instr::Alu { op: AluOp::Mul, rd: r(3), rs1: r(1), rs2: r(2) },
+                Instr::Halt,
+            ],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 100).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+        assert_eq!(out.instructions, 4);
+        assert_eq!(cpu.reg(r(3)), 42);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mem = memory();
+        load(&mem, 0, &[Instr::MovImm { rd: Reg::ZERO, imm: 99 }, Instr::Halt]);
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        cpu.run(&mem, 10).unwrap();
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn loop_with_branch_counts_correctly() {
+        let mem = memory();
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        asm.push(Instr::MovImm { rd: r(1), imm: 10 }); // counter
+        asm.push(Instr::MovImm { rd: r(2), imm: 0 }); // accumulator
+        asm.label("loop");
+        asm.push(Instr::AddImm { rd: r(2), rs1: r(2), imm: 3 });
+        asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+        asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
+        asm.push(Instr::Halt);
+        let program = asm.assemble().unwrap();
+        mem.write(GuestAddress(0), &program).unwrap();
+
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 1000).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+        assert_eq!(cpu.reg(r(2)), 30);
+    }
+
+    #[test]
+    fn load_store_roundtrip_through_guest_memory() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm { rd: r(1), imm: 0x8000 },
+                Instr::MovImm { rd: r(2), imm: 1234 },
+                Instr::Store { rs2: r(2), rs1: r(1), imm: 16 },
+                Instr::Load { rd: r(3), rs1: r(1), imm: 16 },
+                Instr::Halt,
+            ],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        cpu.run(&mem, 10).unwrap();
+        assert_eq!(cpu.reg(r(3)), 1234);
+        assert_eq!(mem.read_u64(GuestAddress(0x8010)).unwrap(), 1234);
+    }
+
+    #[test]
+    fn mmio_access_exits_and_resumes() {
+        let mem = memory(); // 1 MiB of RAM; 0x200000 is unbacked -> MMIO
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm { rd: r(1), imm: 0x20_0000 },
+                Instr::Store { rs2: r(2), rs1: r(1), imm: 0 },
+                Instr::Load { rd: r(3), rs1: r(1), imm: 8 },
+                Instr::Halt,
+            ],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::MmioWrite { addr: GuestAddress(0x20_0000), value: 0, size: 8 });
+
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::MmioRead { addr: GuestAddress(0x20_0008), size: 8 });
+        cpu.complete_mmio_read(0xabcd).unwrap();
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+        assert_eq!(cpu.reg(r(3)), 0xabcd);
+        assert_eq!(cpu.stats().mmio_exits, 2);
+    }
+
+    #[test]
+    fn resume_without_completion_is_an_error() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[Instr::MovImm { rd: r(1), imm: 0x20_0000 }, Instr::Load { rd: r(3), rs1: r(1), imm: 0 }, Instr::Halt],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 10).unwrap();
+        assert!(matches!(out.exit, ExitReason::MmioRead { .. }));
+        assert!(cpu.run(&mem, 10).is_err());
+        assert!(cpu.complete_pio_in(0).is_err());
+        cpu.complete_mmio_read(1).unwrap();
+        assert!(cpu.run(&mem, 10).is_ok());
+    }
+
+    #[test]
+    fn pio_and_hypercall_exits() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm { rd: r(1), imm: 65 },
+                Instr::Out { rs1: r(1), imm: 0x3f8 },
+                Instr::In { rd: r(2), imm: 0x3f8 },
+                Instr::Hypercall { nr: 4, rd: r(3), rs1: r(1) },
+                Instr::Halt,
+            ],
+        );
+        let mut cpu = vcpu(ExecMode::Paravirt);
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::PioOut { port: 0x3f8, value: 65 });
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::PioIn { port: 0x3f8 });
+        cpu.complete_pio_in(66).unwrap();
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::Hypercall { nr: 4, arg: 65 });
+        cpu.complete_hypercall(77).unwrap();
+        let out = cpu.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+        assert_eq!(cpu.reg(r(2)), 66);
+        assert_eq!(cpu.reg(r(3)), 77);
+        assert_eq!(cpu.stats().pio_exits, 2);
+        assert_eq!(cpu.stats().hypercalls, 1);
+    }
+
+    #[test]
+    fn instruction_limit_preempts() {
+        let mem = memory();
+        // Infinite loop: jump to self.
+        load(&mem, 0, &[Instr::Jal { rd: Reg::ZERO, imm: -(INSTR_BYTES as i32) }]);
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 50).unwrap();
+        assert_eq!(out.exit, ExitReason::InstructionLimit);
+        assert_eq!(out.instructions, 50);
+    }
+
+    #[test]
+    fn pause_produces_idle_exit() {
+        let mem = memory();
+        load(&mem, 0, &[Instr::Pause, Instr::Halt]);
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        assert_eq!(cpu.run(&mem, 10).unwrap().exit, ExitReason::Idle);
+        assert_eq!(cpu.run(&mem, 10).unwrap().exit, ExitReason::Halt);
+        assert_eq!(cpu.stats().idles, 1);
+    }
+
+    #[test]
+    fn privileged_traps_counted_only_when_mode_traps() {
+        let mem = memory();
+        let program =
+            [Instr::TlbFlush, Instr::TlbFlush, Instr::WriteCsr { rs1: Reg::new(1), imm: 20 }, Instr::Halt];
+        for (mode, expected_traps) in
+            [(ExecMode::TrapAndEmulate, 4), (ExecMode::Paravirt, 4), (ExecMode::HardwareAssist, 0)]
+        {
+            load(&mem, 0, &program);
+            let mut cpu = vcpu(mode);
+            cpu.run(&mem, 10).unwrap();
+            assert_eq!(cpu.stats().privileged_traps, expected_traps, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn trap_and_emulate_charges_more_time_for_privileged_work() {
+        let mem = memory();
+        let program = [Instr::TlbFlush, Instr::TlbFlush, Instr::TlbFlush, Instr::Halt];
+        load(&mem, 0, &program);
+        let mut te = Vcpu::new(VcpuConfig::new(VcpuId::new(0), ExecMode::TrapAndEmulate));
+        let mut hw = Vcpu::new(VcpuConfig::new(VcpuId::new(1), ExecMode::HardwareAssist));
+        let te_out = te.run(&mem, 10).unwrap();
+        load(&mem, 0, &program);
+        let hw_out = hw.run(&mem, 10).unwrap();
+        assert!(te_out.elapsed > hw_out.elapsed);
+    }
+
+    #[test]
+    fn csr_access_and_mode() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[
+                Instr::ReadCsr { rd: r(1), imm: CSR_VCPU_ID },
+                Instr::ReadCsr { rd: r(2), imm: CSR_MODE },
+                Instr::MovImm { rd: r(3), imm: 55 },
+                Instr::WriteCsr { rs1: r(3), imm: 20 },
+                Instr::ReadCsr { rd: r(4), imm: 20 },
+                Instr::Halt,
+            ],
+        );
+        let mut cfg = VcpuConfig::new(VcpuId::new(9), ExecMode::HardwareAssist);
+        cfg.costs = ExecCosts::FREE;
+        let mut cpu = Vcpu::new(cfg);
+        cpu.run(&mem, 10).unwrap();
+        assert_eq!(cpu.reg(r(1)), 9);
+        assert_eq!(cpu.reg(r(2)), 1); // supervisor
+        assert_eq!(cpu.reg(r(4)), 55);
+    }
+
+    #[test]
+    fn iret_switches_to_user_mode_and_priv_faults() {
+        let mem = memory();
+        let r = Reg::new;
+        // Supervisor: set r1 to user code address, iret. User code at 0x100 does TlbFlush -> fault.
+        load(
+            &mem,
+            0,
+            &[Instr::MovImm { rd: r(1), imm: 0x100 }, Instr::Iret { rs1: r(1) }],
+        );
+        load(&mem, 0x100, &[Instr::TlbFlush, Instr::Halt]);
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let err = cpu.run(&mem, 10).unwrap_err();
+        assert!(matches!(err, Error::VcpuFault(_)));
+        assert_eq!(cpu.priv_mode(), PrivMode::User);
+    }
+
+    #[test]
+    fn save_restore_state_roundtrip() {
+        let mem = memory();
+        let r = Reg::new;
+        load(
+            &mem,
+            0,
+            &[Instr::MovImm { rd: r(5), imm: 123 }, Instr::Pause, Instr::Halt],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        cpu.run(&mem, 10).unwrap(); // stops at Pause
+        let state = cpu.save_state();
+
+        let mut other = vcpu(ExecMode::HardwareAssist);
+        other.restore_state(&state);
+        assert_eq!(other.reg(r(5)), 123);
+        assert_eq!(other.pc(), cpu.pc());
+        let out = other.run(&mem, 10).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+    }
+
+    #[test]
+    fn page_fault_exit_is_restartable() {
+        let mem = memory();
+        let r = Reg::new;
+        // Enable paging with an empty page table, then touch an unmapped address.
+        // First build a page table area at 0x40000 identity-mapping only the code page.
+        use crate::mmu::PageTableEditor;
+        let mut ed = PageTableEditor::new(mem.clone(), GuestAddress(0x40000), 16 * 4096).unwrap();
+        ed.identity_map(GuestAddress(0), 4096, true, false).unwrap();
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm { rd: r(1), imm: 0x40000 },
+                Instr::SetPtbr { rs1: r(1) },
+                Instr::MovImm { rd: r(2), imm: 0x9000 }, // unmapped vaddr
+                Instr::Load { rd: r(3), rs1: r(2), imm: 0 },
+                Instr::Halt,
+            ],
+        );
+        let mut cpu = vcpu(ExecMode::HardwareAssist);
+        let out = cpu.run(&mem, 100).unwrap();
+        assert_eq!(out.exit, ExitReason::PageFault { vaddr: 0x9000, write: false });
+        // Hypervisor fixes the mapping (demand paging) and resumes; the load retries.
+        ed.map(0x9000, GuestAddress(0x9000), true, false).unwrap();
+        mem.write_u64(GuestAddress(0x9000), 777).unwrap();
+        let out = cpu.run(&mem, 100).unwrap();
+        assert_eq!(out.exit, ExitReason::Halt);
+        assert_eq!(cpu.reg(r(3)), 777);
+        assert_eq!(cpu.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn stats_exits_per_million() {
+        let mut s = VcpuStats::default();
+        assert_eq!(s.exits_per_million_instructions(), 0.0);
+        s.instructions = 2_000_000;
+        s.exits = 4;
+        assert!((s.exits_per_million_instructions() - 2.0).abs() < 1e-9);
+    }
+}

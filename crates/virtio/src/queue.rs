@@ -1,0 +1,677 @@
+//! Split virtqueues.
+//!
+//! A virtqueue is the shared-memory ring protocol at the heart of virtio.
+//! It lives entirely in guest memory and has three parts:
+//!
+//! * the **descriptor table** — an array of `(addr, len, flags, next)`
+//!   entries describing guest buffers, chained via `next`;
+//! * the **available ring** — indices of descriptor chains the driver has
+//!   posted for the device;
+//! * the **used ring** — indices (plus written length) of chains the device
+//!   has completed.
+//!
+//! [`VirtQueue`] is the *device-side* view (what a VMM implements);
+//! [`DriverQueue`] is a host-side stand-in for the guest driver, used by
+//! tests, examples and benchmarks to post buffers exactly the way a guest
+//! kernel would.
+//!
+//! Notification suppression follows the VIRTIO 1.x `EVENT_IDX` feature in
+//! spirit: when enabled, the device publishes the available-ring index it
+//! next expects, and the driver skips the doorbell write (a costly VM exit)
+//! unless it crosses that index. The virtio-net/blk benchmarks toggle this
+//! to reproduce the "notification suppression" ablation.
+
+use rvisor_memory::GuestMemory;
+use rvisor_types::{Error, GuestAddress, Result};
+
+/// Descriptor flag: the buffer continues in the descriptor named by `next`.
+pub const VIRTQ_DESC_F_NEXT: u16 = 1;
+/// Descriptor flag: the buffer is device-writable (guest-readable otherwise).
+pub const VIRTQ_DESC_F_WRITE: u16 = 2;
+
+/// Size of one descriptor table entry in bytes.
+pub const DESC_SIZE: u64 = 16;
+
+/// Maximum descriptors allowed in a single chain (sanity bound against loops).
+pub const MAX_CHAIN_LEN: usize = 128;
+
+/// Where the three rings of a queue live in guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLayout {
+    /// Guest physical address of the descriptor table.
+    pub desc_table: GuestAddress,
+    /// Guest physical address of the available ring.
+    pub avail_ring: GuestAddress,
+    /// Guest physical address of the used ring.
+    pub used_ring: GuestAddress,
+    /// Number of descriptors (must be a power of two).
+    pub size: u16,
+}
+
+impl QueueLayout {
+    /// Lay the three rings out contiguously starting at `base`.
+    ///
+    /// Returns the layout and the first address past the used ring (useful
+    /// for placing data buffers after the rings).
+    pub fn contiguous(base: GuestAddress, size: u16) -> Result<(Self, GuestAddress)> {
+        if !size.is_power_of_two() || size == 0 {
+            return Err(Error::Config(format!("queue size {size} is not a power of two")));
+        }
+        let desc_table = base;
+        let desc_len = DESC_SIZE * size as u64;
+        // avail: flags(2) + idx(2) + ring(2*size) + used_event(2)
+        let avail_ring = GuestAddress((desc_table.0 + desc_len + 1) & !1);
+        let avail_len = 4 + 2 * size as u64 + 2;
+        // used: flags(2) + idx(2) + ring(8*size) + avail_event(2), 4-byte aligned
+        let used_ring = GuestAddress((avail_ring.0 + avail_len + 3) & !3);
+        let used_len = 4 + 8 * size as u64 + 2;
+        let end = GuestAddress((used_ring.0 + used_len + 7) & !7);
+        Ok((QueueLayout { desc_table, avail_ring, used_ring, size }, end))
+    }
+
+    fn desc_addr(&self, index: u16) -> GuestAddress {
+        self.desc_table.unchecked_add(DESC_SIZE * (index % self.size) as u64)
+    }
+
+    fn avail_idx_addr(&self) -> GuestAddress {
+        self.avail_ring.unchecked_add(2)
+    }
+
+    fn avail_ring_addr(&self, slot: u16) -> GuestAddress {
+        self.avail_ring.unchecked_add(4 + 2 * (slot % self.size) as u64)
+    }
+
+    fn used_event_addr(&self) -> GuestAddress {
+        self.avail_ring.unchecked_add(4 + 2 * self.size as u64)
+    }
+
+    fn used_idx_addr(&self) -> GuestAddress {
+        self.used_ring.unchecked_add(2)
+    }
+
+    fn used_ring_addr(&self, slot: u16) -> GuestAddress {
+        self.used_ring.unchecked_add(4 + 8 * (slot % self.size) as u64)
+    }
+
+    fn avail_event_addr(&self) -> GuestAddress {
+        self.used_ring.unchecked_add(4 + 8 * self.size as u64)
+    }
+}
+
+/// One buffer of a descriptor chain, already resolved to guest memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Guest physical address of the buffer.
+    pub addr: GuestAddress,
+    /// Length of the buffer in bytes.
+    pub len: u32,
+    /// Whether the device may write to this buffer.
+    pub writable: bool,
+}
+
+/// A chain of descriptors popped from the available ring.
+#[derive(Debug, Clone)]
+pub struct DescriptorChain {
+    /// Index of the chain's head descriptor (returned in the used ring).
+    pub head_index: u16,
+    /// The resolved descriptors in chain order.
+    pub descriptors: Vec<Descriptor>,
+}
+
+impl DescriptorChain {
+    /// The device-readable descriptors (driver -> device data).
+    pub fn readable(&self) -> impl Iterator<Item = &Descriptor> {
+        self.descriptors.iter().filter(|d| !d.writable)
+    }
+
+    /// The device-writable descriptors (device -> driver data).
+    pub fn writable(&self) -> impl Iterator<Item = &Descriptor> {
+        self.descriptors.iter().filter(|d| d.writable)
+    }
+
+    /// Total bytes across device-readable descriptors.
+    pub fn readable_len(&self) -> u64 {
+        self.readable().map(|d| d.len as u64).sum()
+    }
+
+    /// Total bytes across device-writable descriptors.
+    pub fn writable_len(&self) -> u64 {
+        self.writable().map(|d| d.len as u64).sum()
+    }
+
+    /// Copy all device-readable bytes into one vector.
+    pub fn read_all(&self, mem: &GuestMemory) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.readable_len() as usize);
+        for d in self.readable() {
+            out.extend_from_slice(&mem.read_vec(d.addr, d.len as u64)?);
+        }
+        Ok(out)
+    }
+
+    /// Write `data` across the device-writable descriptors in order.
+    /// Returns the number of bytes written.
+    pub fn write_all(&self, mem: &GuestMemory, data: &[u8]) -> Result<u32> {
+        let mut offset = 0usize;
+        for d in self.writable() {
+            if offset >= data.len() {
+                break;
+            }
+            let take = (d.len as usize).min(data.len() - offset);
+            mem.write(d.addr, &data[offset..offset + take])?;
+            offset += take;
+        }
+        Ok(offset as u32)
+    }
+}
+
+/// Device-side statistics for a queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Chains popped from the available ring.
+    pub popped: u64,
+    /// Chains returned through the used ring.
+    pub completed: u64,
+    /// Interrupts the device decided to raise.
+    pub notifications_sent: u64,
+    /// Interrupts suppressed by EVENT_IDX.
+    pub notifications_suppressed: u64,
+}
+
+/// The device-side view of a split virtqueue.
+#[derive(Debug, Clone)]
+pub struct VirtQueue {
+    layout: QueueLayout,
+    next_avail: u16,
+    next_used: u16,
+    event_idx: bool,
+    stats: QueueStats,
+}
+
+impl VirtQueue {
+    /// Create a device-side queue over `layout`.
+    pub fn new(layout: QueueLayout) -> Self {
+        VirtQueue { layout, next_avail: 0, next_used: 0, event_idx: false, stats: QueueStats::default() }
+    }
+
+    /// Enable or disable EVENT_IDX notification suppression.
+    pub fn set_event_idx(&mut self, enabled: bool) {
+        self.event_idx = enabled;
+    }
+
+    /// The queue's layout.
+    pub fn layout(&self) -> QueueLayout {
+        self.layout
+    }
+
+    /// Device-side counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Whether the driver has posted chains the device has not popped yet.
+    pub fn has_available(&self, mem: &GuestMemory) -> Result<bool> {
+        let avail_idx = mem.read_u16(self.layout.avail_idx_addr())?;
+        Ok(avail_idx != self.next_avail)
+    }
+
+    /// Pop the next available descriptor chain, if any.
+    pub fn pop(&mut self, mem: &GuestMemory) -> Result<Option<DescriptorChain>> {
+        let avail_idx = mem.read_u16(self.layout.avail_idx_addr())?;
+        if avail_idx == self.next_avail {
+            return Ok(None);
+        }
+        let head = mem.read_u16(self.layout.avail_ring_addr(self.next_avail))?;
+        if head >= self.layout.size {
+            return Err(Error::InvalidDescriptor(format!(
+                "available ring references descriptor {head} outside the table of {}",
+                self.layout.size
+            )));
+        }
+        let chain = self.walk_chain(mem, head)?;
+        self.next_avail = self.next_avail.wrapping_add(1);
+        if self.event_idx {
+            // Tell the driver which available index we expect next, so it can
+            // skip doorbells for chains we will see anyway.
+            mem.write_u16(self.layout.avail_event_addr(), self.next_avail)?;
+        }
+        self.stats.popped += 1;
+        Ok(Some(chain))
+    }
+
+    fn walk_chain(&self, mem: &GuestMemory, head: u16) -> Result<DescriptorChain> {
+        let mut descriptors = Vec::new();
+        let mut index = head;
+        loop {
+            if descriptors.len() >= MAX_CHAIN_LEN {
+                return Err(Error::InvalidDescriptor(format!(
+                    "descriptor chain starting at {head} exceeds {MAX_CHAIN_LEN} entries (loop?)"
+                )));
+            }
+            let base = self.layout.desc_addr(index);
+            let addr = GuestAddress(mem.read_u64(base)?);
+            let len = mem.read_u32(base.unchecked_add(8))?;
+            let flags = mem.read_u16(base.unchecked_add(12))?;
+            let next = mem.read_u16(base.unchecked_add(14))?;
+            descriptors.push(Descriptor {
+                addr,
+                len,
+                writable: flags & VIRTQ_DESC_F_WRITE != 0,
+            });
+            if flags & VIRTQ_DESC_F_NEXT == 0 {
+                break;
+            }
+            if next >= self.layout.size {
+                return Err(Error::InvalidDescriptor(format!(
+                    "descriptor {index} chains to {next}, outside the table"
+                )));
+            }
+            index = next;
+        }
+        Ok(DescriptorChain { head_index: head, descriptors })
+    }
+
+    /// Return a completed chain to the driver with `len` bytes written.
+    /// Returns whether the device should raise an interrupt.
+    pub fn push_used(&mut self, mem: &GuestMemory, head: u16, len: u32) -> Result<bool> {
+        let slot = self.layout.used_ring_addr(self.next_used);
+        mem.write_u32(slot, head as u32)?;
+        mem.write_u32(slot.unchecked_add(4), len)?;
+        let new_used = self.next_used.wrapping_add(1);
+        mem.write_u16(self.layout.used_idx_addr(), new_used)?;
+        self.stats.completed += 1;
+
+        let notify = if self.event_idx {
+            // The canonical vring_need_event() test: interrupt only when the
+            // used index crosses the driver's published used_event.
+            let used_event = mem.read_u16(self.layout.used_event_addr())?;
+            let old_used = self.next_used;
+            new_used.wrapping_sub(used_event).wrapping_sub(1) < new_used.wrapping_sub(old_used)
+        } else {
+            true
+        };
+        self.next_used = new_used;
+        if notify {
+            self.stats.notifications_sent += 1;
+        } else {
+            self.stats.notifications_suppressed += 1;
+        }
+        Ok(notify)
+    }
+}
+
+/// A host-side stand-in for the guest virtio driver.
+///
+/// It owns the driver half of the protocol: filling the descriptor table,
+/// publishing chains on the available ring, deciding whether the doorbell
+/// (a VM exit) is needed, and reaping completions from the used ring. Buffer
+/// memory is carved from a bump-allocated data area supplied at creation.
+#[derive(Debug)]
+pub struct DriverQueue {
+    layout: QueueLayout,
+    avail_idx: u16,
+    last_used: u16,
+    next_desc: u16,
+    data_base: GuestAddress,
+    data_size: u64,
+    data_offset: u64,
+    event_idx: bool,
+    kicks: u64,
+    kicks_suppressed: u64,
+}
+
+impl DriverQueue {
+    /// Create a driver for `layout` with buffers carved from
+    /// `[data_base, data_base + data_size)`.
+    pub fn new(layout: QueueLayout, data_base: GuestAddress, data_size: u64) -> Self {
+        DriverQueue {
+            layout,
+            avail_idx: 0,
+            last_used: 0,
+            next_desc: 0,
+            data_base,
+            data_size,
+            data_offset: 0,
+            event_idx: false,
+            kicks: 0,
+            kicks_suppressed: 0,
+        }
+    }
+
+    /// Enable EVENT_IDX-style doorbell suppression (must match the device side).
+    pub fn set_event_idx(&mut self, enabled: bool) {
+        self.event_idx = enabled;
+    }
+
+    /// Initialise the rings to all-zero (what a driver does at setup).
+    pub fn init(&self, mem: &GuestMemory) -> Result<()> {
+        mem.write_u16(self.layout.avail_idx_addr(), 0)?;
+        mem.write_u16(self.layout.used_idx_addr(), 0)?;
+        mem.write_u16(self.layout.used_event_addr(), 0)?;
+        mem.write_u16(self.layout.avail_event_addr(), 0)?;
+        Ok(())
+    }
+
+    /// Number of doorbell writes (device notifications) performed.
+    pub fn kicks(&self) -> u64 {
+        self.kicks
+    }
+
+    /// Number of doorbells suppressed thanks to EVENT_IDX.
+    pub fn kicks_suppressed(&self) -> u64 {
+        self.kicks_suppressed
+    }
+
+    fn alloc(&mut self, len: u64) -> Result<GuestAddress> {
+        if self.data_offset + len > self.data_size {
+            // Wrap: the benches reuse the area ring-style.
+            self.data_offset = 0;
+            if len > self.data_size {
+                return Err(Error::Config(format!("buffer of {len} bytes exceeds the data area")));
+            }
+        }
+        let addr = self.data_base.unchecked_add(self.data_offset);
+        self.data_offset += len;
+        Ok(addr)
+    }
+
+    /// Post a chain of device-readable buffers (with contents) followed by
+    /// device-writable buffers (with lengths). Returns `(head index, kick)`
+    /// where `kick` says whether the driver must ring the doorbell.
+    pub fn add_chain(
+        &mut self,
+        mem: &GuestMemory,
+        readable: &[&[u8]],
+        writable_lens: &[u32],
+    ) -> Result<(u16, bool)> {
+        let total = readable.len() + writable_lens.len();
+        if total == 0 {
+            return Err(Error::InvalidDescriptor("empty chain".into()));
+        }
+        if total > self.layout.size as usize {
+            return Err(Error::InvalidDescriptor("chain larger than the queue".into()));
+        }
+        let head = self.next_desc;
+        let mut index = head;
+        for (i, buf) in readable.iter().enumerate() {
+            let addr = self.alloc(buf.len() as u64)?;
+            mem.write(addr, buf)?;
+            let last = i + 1 == total;
+            self.write_desc(mem, index, addr, buf.len() as u32, false, last)?;
+            index = index.wrapping_add(1) % self.layout.size;
+        }
+        for (j, len) in writable_lens.iter().enumerate() {
+            let addr = self.alloc(*len as u64)?;
+            let last = readable.len() + j + 1 == total;
+            self.write_desc(mem, index, addr, *len, true, last)?;
+            index = index.wrapping_add(1) % self.layout.size;
+        }
+        self.next_desc = index;
+
+        // Publish on the available ring.
+        mem.write_u16(self.layout.avail_ring_addr(self.avail_idx), head)?;
+        let new_avail = self.avail_idx.wrapping_add(1);
+        mem.write_u16(self.layout.avail_idx_addr(), new_avail)?;
+
+        let kick = if self.event_idx {
+            let avail_event = mem.read_u16(self.layout.avail_event_addr())?;
+            // Kick only if the device asked to be told about this index.
+            let needed = avail_event == self.avail_idx;
+            if needed {
+                self.kicks += 1;
+            } else {
+                self.kicks_suppressed += 1;
+            }
+            needed
+        } else {
+            self.kicks += 1;
+            true
+        };
+        self.avail_idx = new_avail;
+        Ok((head, kick))
+    }
+
+    fn write_desc(
+        &self,
+        mem: &GuestMemory,
+        index: u16,
+        addr: GuestAddress,
+        len: u32,
+        writable: bool,
+        last: bool,
+    ) -> Result<()> {
+        let base = self.layout.desc_addr(index);
+        let mut flags = 0u16;
+        if writable {
+            flags |= VIRTQ_DESC_F_WRITE;
+        }
+        let next = index.wrapping_add(1) % self.layout.size;
+        if !last {
+            flags |= VIRTQ_DESC_F_NEXT;
+        }
+        mem.write_u64(base, addr.0)?;
+        mem.write_u32(base.unchecked_add(8), len)?;
+        mem.write_u16(base.unchecked_add(12), flags)?;
+        mem.write_u16(base.unchecked_add(14), if last { 0 } else { next })?;
+        Ok(())
+    }
+
+    /// Reap the next completion from the used ring, if any.
+    /// Returns `(head index, written length)`.
+    pub fn poll_used(&mut self, mem: &GuestMemory) -> Result<Option<(u16, u32)>> {
+        let used_idx = mem.read_u16(self.layout.used_idx_addr())?;
+        if used_idx == self.last_used {
+            return Ok(None);
+        }
+        let slot = self.layout.used_ring_addr(self.last_used);
+        let id = mem.read_u32(slot)? as u16;
+        let len = mem.read_u32(slot.unchecked_add(4))?;
+        self.last_used = self.last_used.wrapping_add(1);
+        if self.event_idx {
+            // Ask for an interrupt once the device passes our new position.
+            mem.write_u16(self.layout.used_event_addr(), self.last_used)?;
+        }
+        Ok(Some((id, len)))
+    }
+
+    /// Read back the contents of a device-writable buffer the driver posted
+    /// at `addr` (test helper).
+    pub fn read_buffer(&self, mem: &GuestMemory, addr: GuestAddress, len: u64) -> Result<Vec<u8>> {
+        mem.read_vec(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rvisor_types::ByteSize;
+
+    fn setup(size: u16) -> (GuestMemory, VirtQueue, DriverQueue) {
+        let mem = GuestMemory::flat(ByteSize::mib(1)).unwrap();
+        let (layout, rings_end) = QueueLayout::contiguous(GuestAddress(0x1000), size).unwrap();
+        let data_base = GuestAddress((rings_end.0 + 0xfff) & !0xfff);
+        let device = VirtQueue::new(layout);
+        let driver = DriverQueue::new(layout, data_base, 512 * 1024);
+        driver.init(&mem).unwrap();
+        (mem, device, driver)
+    }
+
+    #[test]
+    fn layout_is_non_overlapping_and_ordered() {
+        let (layout, end) = QueueLayout::contiguous(GuestAddress(0x1000), 256).unwrap();
+        assert!(layout.desc_table < layout.avail_ring);
+        assert!(layout.avail_ring < layout.used_ring);
+        assert!(layout.used_ring < end);
+        assert!(layout.desc_table.0 + DESC_SIZE * 256 <= layout.avail_ring.0);
+        assert!(QueueLayout::contiguous(GuestAddress(0), 100).is_err());
+        assert!(QueueLayout::contiguous(GuestAddress(0), 0).is_err());
+    }
+
+    #[test]
+    fn single_chain_roundtrip() {
+        let (mem, mut device, mut driver) = setup(64);
+        assert!(!device.has_available(&mem).unwrap());
+        let payload = b"virtio says hello";
+        let (head, kick) = driver.add_chain(&mem, &[payload], &[64]).unwrap();
+        assert!(kick);
+        assert!(device.has_available(&mem).unwrap());
+
+        let chain = device.pop(&mem).unwrap().unwrap();
+        assert_eq!(chain.head_index, head);
+        assert_eq!(chain.descriptors.len(), 2);
+        assert_eq!(chain.readable_len(), payload.len() as u64);
+        assert_eq!(chain.writable_len(), 64);
+        assert_eq!(chain.read_all(&mem).unwrap(), payload);
+
+        let written = chain.write_all(&mem, b"response").unwrap();
+        assert_eq!(written, 8);
+        let notify = device.push_used(&mem, chain.head_index, written).unwrap();
+        assert!(notify);
+
+        let (id, len) = driver.poll_used(&mem).unwrap().unwrap();
+        assert_eq!(id, head);
+        assert_eq!(len, 8);
+        assert!(driver.poll_used(&mem).unwrap().is_none());
+        assert!(device.pop(&mem).unwrap().is_none());
+        assert_eq!(device.stats().popped, 1);
+        assert_eq!(device.stats().completed, 1);
+    }
+
+    #[test]
+    fn multiple_chains_preserve_order() {
+        let (mem, mut device, mut driver) = setup(64);
+        let mut heads = Vec::new();
+        for i in 0..10u8 {
+            let payload = vec![i; 16];
+            let (head, _) = driver.add_chain(&mem, &[&payload], &[]).unwrap();
+            heads.push(head);
+        }
+        for expected in &heads {
+            let chain = device.pop(&mem).unwrap().unwrap();
+            assert_eq!(chain.head_index, *expected);
+            device.push_used(&mem, chain.head_index, 0).unwrap();
+        }
+        for expected in &heads {
+            let (id, _) = driver.poll_used(&mem).unwrap().unwrap();
+            assert_eq!(id, *expected);
+        }
+    }
+
+    #[test]
+    fn writable_only_chain() {
+        let (mem, mut device, mut driver) = setup(16);
+        driver.add_chain(&mem, &[], &[128, 128]).unwrap();
+        let chain = device.pop(&mem).unwrap().unwrap();
+        assert_eq!(chain.readable_len(), 0);
+        assert_eq!(chain.writable_len(), 256);
+        let written = chain.write_all(&mem, &vec![0x5a; 200]).unwrap();
+        assert_eq!(written, 200);
+        // First buffer got 128 bytes, second got 72.
+        let bufs: Vec<_> = chain.writable().collect();
+        let first = mem.read_vec(bufs[0].addr, 128).unwrap();
+        assert!(first.iter().all(|&b| b == 0x5a));
+        let second = mem.read_vec(bufs[1].addr, 72).unwrap();
+        assert!(second.iter().all(|&b| b == 0x5a));
+    }
+
+    #[test]
+    fn empty_and_oversized_chains_rejected() {
+        let (mem, _device, mut driver) = setup(4);
+        assert!(driver.add_chain(&mem, &[], &[]).is_err());
+        let lens = [16u32; 5];
+        assert!(driver.add_chain(&mem, &[], &lens).is_err());
+    }
+
+    #[test]
+    fn corrupt_available_ring_detected() {
+        let (mem, mut device, mut driver) = setup(8);
+        driver.add_chain(&mem, &[b"x"], &[]).unwrap();
+        // Corrupt the head index to point outside the table.
+        mem.write_u16(device.layout().avail_ring_addr(0), 99).unwrap();
+        assert!(device.pop(&mem).is_err());
+    }
+
+    #[test]
+    fn chain_loop_detected() {
+        let (mem, mut device, mut driver) = setup(8);
+        driver.add_chain(&mem, &[b"abc"], &[]).unwrap();
+        // Make descriptor 0 point to itself forever.
+        let base = device.layout().desc_addr(0);
+        mem.write_u16(base.unchecked_add(12), VIRTQ_DESC_F_NEXT).unwrap();
+        mem.write_u16(base.unchecked_add(14), 0).unwrap();
+        assert!(device.pop(&mem).is_err());
+    }
+
+    #[test]
+    fn event_idx_suppresses_doorbells_under_load() {
+        let (mem, mut device, mut driver) = setup(256);
+        device.set_event_idx(true);
+        driver.set_event_idx(true);
+
+        // Without the device popping, the first add kicks, later ones are suppressed
+        // only after the device has expressed what it expects; emulate a busy device
+        // by popping between adds.
+        let (_, first_kick) = driver.add_chain(&mem, &[b"a"], &[]).unwrap();
+        assert!(first_kick);
+        device.pop(&mem).unwrap().unwrap();
+
+        let mut kicks = 0;
+        for _ in 0..100 {
+            let (_, kick) = driver.add_chain(&mem, &[b"b"], &[]).unwrap();
+            if kick {
+                kicks += 1;
+                // A kick means the device is (re)notified and drains everything posted.
+                while device.pop(&mem).unwrap().is_some() {}
+            }
+        }
+        // The device asked to be notified at the next index each time it drained,
+        // so roughly one kick per drain batch; far fewer than 100 only when batching.
+        assert_eq!(kicks as u64, driver.kicks() - 1);
+        assert_eq!(driver.kicks() + driver.kicks_suppressed(), 101);
+    }
+
+    #[test]
+    fn event_idx_interrupt_suppression_on_used_ring() {
+        let (mem, mut device, mut driver) = setup(64);
+        device.set_event_idx(true);
+        driver.set_event_idx(true);
+        // Post several chains, complete them without the driver polling in between:
+        // only the completion crossing used_event (set to last_used=0 -> expects 1st)
+        // triggers an interrupt; the rest are suppressed.
+        for _ in 0..8 {
+            driver.add_chain(&mem, &[b"req"], &[]).unwrap();
+        }
+        let mut notifications = 0;
+        while let Some(chain) = device.pop(&mem).unwrap() {
+            if device.push_used(&mem, chain.head_index, 0).unwrap() {
+                notifications += 1;
+            }
+        }
+        assert_eq!(device.stats().completed, 8);
+        assert!(notifications < 8, "expected suppression, got {notifications} interrupts");
+        // The driver still reaps everything.
+        let mut reaped = 0;
+        while driver.poll_used(&mem).unwrap().is_some() {
+            reaped += 1;
+        }
+        assert_eq!(reaped, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_payloads_roundtrip(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..256), 1..20)
+        ) {
+            let (mem, mut device, mut driver) = setup(256);
+            for p in &payloads {
+                driver.add_chain(&mem, &[p.as_slice()], &[]).unwrap();
+            }
+            let mut seen = Vec::new();
+            while let Some(chain) = device.pop(&mem).unwrap() {
+                seen.push(chain.read_all(&mem).unwrap());
+                device.push_used(&mem, chain.head_index, 0).unwrap();
+            }
+            prop_assert_eq!(seen, payloads);
+        }
+    }
+}

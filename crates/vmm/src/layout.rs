@@ -1,0 +1,83 @@
+//! The guest physical memory map.
+//!
+//! rvisor uses a fixed, simple layout, like Firecracker's microVM machine
+//! model: RAM starts at address zero and device MMIO windows live far above
+//! it, so the two can never collide for any supported RAM size.
+
+use rvisor_types::GuestAddress;
+
+/// Guest physical address where RAM begins.
+pub const RAM_BASE: GuestAddress = GuestAddress(0);
+
+/// Largest supported RAM size (the MMIO hole starts here).
+pub const RAM_MAX: u64 = 0x4000_0000; // 1 GiB
+
+/// Base of the MMIO device window.
+pub const MMIO_BASE: GuestAddress = GuestAddress(0x4000_0000);
+
+/// Serial console MMIO base.
+pub const SERIAL_MMIO: GuestAddress = GuestAddress(0x4000_0000);
+/// Real-time clock MMIO base.
+pub const RTC_MMIO: GuestAddress = GuestAddress(0x4000_1000);
+/// Countdown timer MMIO base.
+pub const TIMER_MMIO: GuestAddress = GuestAddress(0x4000_2000);
+/// virtio-blk transport base.
+pub const VIRTIO_BLK_MMIO: GuestAddress = GuestAddress(0x4001_0000);
+/// virtio-net transport base.
+pub const VIRTIO_NET_MMIO: GuestAddress = GuestAddress(0x4002_0000);
+/// virtio-balloon transport base.
+pub const VIRTIO_BALLOON_MMIO: GuestAddress = GuestAddress(0x4003_0000);
+/// Size of each device's MMIO window.
+pub const MMIO_WINDOW: u64 = 0x1000;
+
+/// Serial console port-I/O base (the classic COM1 address).
+pub const SERIAL_PORT: u32 = 0x3f8;
+
+/// Interrupt lines.
+pub mod irq {
+    /// Serial console interrupt.
+    pub const SERIAL: u32 = 4;
+    /// Timer interrupt.
+    pub const TIMER: u32 = 0;
+    /// virtio-blk interrupt.
+    pub const VIRTIO_BLK: u32 = 8;
+    /// virtio-net interrupt.
+    pub const VIRTIO_NET: u32 = 9;
+    /// virtio-balloon interrupt.
+    pub const VIRTIO_BALLOON: u32 = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_windows_are_above_ram_and_disjoint() {
+        let windows = [
+            SERIAL_MMIO,
+            RTC_MMIO,
+            TIMER_MMIO,
+            VIRTIO_BLK_MMIO,
+            VIRTIO_NET_MMIO,
+            VIRTIO_BALLOON_MMIO,
+        ];
+        for w in windows {
+            assert!(w.0 >= RAM_MAX, "window {w} overlaps RAM");
+        }
+        for (i, a) in windows.iter().enumerate() {
+            for b in windows.iter().skip(i + 1) {
+                assert!(
+                    a.0 + MMIO_WINDOW <= b.0 || b.0 + MMIO_WINDOW <= a.0,
+                    "windows {a} and {b} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn irq_lines_are_distinct() {
+        let lines = [irq::SERIAL, irq::TIMER, irq::VIRTIO_BLK, irq::VIRTIO_NET, irq::VIRTIO_BALLOON];
+        let set: std::collections::BTreeSet<_> = lines.iter().collect();
+        assert_eq!(set.len(), lines.len());
+    }
+}

@@ -1,0 +1,456 @@
+//! The host-level VM manager.
+//!
+//! A [`Vmm`] is what runs on one physical host: it owns the VMs placed
+//! there, the virtual switch connecting their NICs, the snapshot store used
+//! for backups, and the sending/receiving ends of live migrations.
+
+use std::collections::BTreeMap;
+
+use rvisor_memory::{analyze_sharing, DedupAnalysis, GuestMemory, KsmConfig, KsmManager};
+use rvisor_migrate::{
+    DirtySource, MigrationConfig, MigrationReport, PostCopy, PreCopy, StopAndCopy,
+};
+use rvisor_net::{Link, VirtualSwitch};
+use rvisor_snapshot::{SnapshotId, SnapshotStore};
+use rvisor_types::{ByteSize, Error, Nanoseconds, Result, VmId};
+
+use crate::config::VmConfig;
+use crate::vm::{Vm, VmLifecycle};
+
+/// Which migration engine [`Vmm::migrate_to`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// Pause, copy, resume (cold migration).
+    StopAndCopy,
+    /// Iterative pre-copy (the default live migration).
+    PreCopy,
+    /// Post-copy with demand paging.
+    PostCopy,
+}
+
+/// A live-migration dirty source backed by actually running the source VM.
+///
+/// While a pre-copy round is in flight the source guest keeps executing; the
+/// pages it writes show up in its dirty bitmap and become the next round's
+/// work. This adapter is what makes the VMM-level migration path exercise
+/// the same convergence behaviour as the standalone engine benchmarks.
+struct RunningVmDirtier<'a> {
+    vm: &'a mut Vm,
+}
+
+impl DirtySource for RunningVmDirtier<'_> {
+    fn run_for(&mut self, _memory: &GuestMemory, duration: Nanoseconds) -> Result<u64> {
+        if self.vm.lifecycle() == VmLifecycle::Running {
+            self.vm.run_for(duration)?;
+        }
+        Ok(0)
+    }
+
+    fn dirty_rate_bytes_per_sec(&self) -> u64 {
+        0
+    }
+}
+
+/// The per-host virtual machine manager.
+pub struct Vmm {
+    name: String,
+    vms: BTreeMap<VmId, Vm>,
+    next_vm: u32,
+    switch: VirtualSwitch,
+    snapshots: SnapshotStore,
+}
+
+impl std::fmt::Debug for Vmm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vmm")
+            .field("name", &self.name)
+            .field("vms", &self.vms.len())
+            .field("snapshots", &self.snapshots.len())
+            .finish()
+    }
+}
+
+impl Vmm {
+    /// Create a manager for one host.
+    pub fn new(name: &str) -> Self {
+        Vmm {
+            name: name.to_string(),
+            vms: BTreeMap::new(),
+            next_vm: 0,
+            switch: VirtualSwitch::new(),
+            snapshots: SnapshotStore::new(),
+        }
+    }
+
+    /// The host's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The virtual switch VM NICs attach to.
+    pub fn switch(&self) -> &VirtualSwitch {
+        &self.switch
+    }
+
+    /// The snapshot store.
+    pub fn snapshots(&self) -> &SnapshotStore {
+        &self.snapshots
+    }
+
+    /// Mutable access to the snapshot store.
+    pub fn snapshots_mut(&mut self) -> &mut SnapshotStore {
+        &mut self.snapshots
+    }
+
+    /// Create a VM from `config` and return its id.
+    pub fn create_vm(&mut self, config: VmConfig) -> Result<VmId> {
+        let id = VmId::new(self.next_vm);
+        let vm = Vm::with_id_and_switch(id, config, Some(&self.switch))?;
+        self.next_vm += 1;
+        self.vms.insert(id, vm);
+        Ok(id)
+    }
+
+    /// Ids of all VMs on this host.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// Number of VMs on this host.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Total guest memory configured across all VMs.
+    pub fn total_guest_memory(&self) -> ByteSize {
+        ByteSize::new(self.vms.values().map(|vm| vm.config().memory.as_u64()).sum())
+    }
+
+    /// Borrow a VM.
+    pub fn vm(&self, id: VmId) -> Result<&Vm> {
+        self.vms.get(&id).ok_or(Error::UnknownVm(id))
+    }
+
+    /// Mutably borrow a VM.
+    pub fn vm_mut(&mut self, id: VmId) -> Result<&mut Vm> {
+        self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))
+    }
+
+    /// Destroy a VM and release its resources.
+    pub fn destroy_vm(&mut self, id: VmId) -> Result<()> {
+        match self.vms.remove(&id) {
+            Some(mut vm) => {
+                vm.destroy();
+                Ok(())
+            }
+            None => Err(Error::UnknownVm(id)),
+        }
+    }
+
+    /// Run every runnable VM for one scheduling slice (simple round-robin at
+    /// the host level). Returns the number of VMs that are still runnable.
+    pub fn run_all_once(&mut self) -> Result<usize> {
+        let ids: Vec<VmId> = self.vm_ids();
+        let mut runnable = 0;
+        for id in ids {
+            let vm = self.vms.get_mut(&id).expect("id came from the map");
+            if vm.lifecycle() == VmLifecycle::Running && vm.run_slice()? {
+                runnable += 1;
+            }
+        }
+        Ok(runnable)
+    }
+
+    /// Run all VMs until every one of them has halted (or the iteration bound hits).
+    pub fn run_all_to_halt(&mut self, max_rounds: u64) -> Result<()> {
+        for _ in 0..max_rounds {
+            if self.run_all_once()? == 0 {
+                return Ok(());
+            }
+        }
+        Err(Error::VcpuFault(format!("VMs still runnable after {max_rounds} rounds")))
+    }
+
+    /// Take a full snapshot of a VM into this host's snapshot store.
+    pub fn snapshot_vm(&mut self, id: VmId, name: &str) -> Result<SnapshotId> {
+        let vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
+        vm.snapshot(name, &mut self.snapshots)
+    }
+
+    /// Measure how much memory the VMs on this host could share through
+    /// content-based page deduplication (a one-shot, perfect-scanner bound).
+    pub fn dedup_analysis(&self) -> Result<DedupAnalysis> {
+        analyze_sharing(self.vms.values().map(|vm| vm.memory()))
+    }
+
+    /// Build a KSM scanner registered with every VM currently on this host.
+    ///
+    /// The caller drives it with [`KsmManager::scan_round`] at whatever
+    /// cadence it wants; pages merged by the scanner are purely an
+    /// accounting construct (guest memory is never aliased in the
+    /// simulation), so no write-protection wiring is needed.
+    pub fn ksm_manager(&self, config: KsmConfig) -> KsmManager {
+        let mut manager = KsmManager::new(config);
+        for (&id, vm) in &self.vms {
+            manager.register_vm(id, vm.memory().clone());
+        }
+        manager
+    }
+
+    /// Migrate a VM to another host's manager over `link` with the default
+    /// migration configuration.
+    ///
+    /// On success the VM exists (running) on `destination` with identical
+    /// memory and vCPU state, and has been destroyed here. The returned
+    /// report carries downtime/total-time/bytes as measured by the engine.
+    pub fn migrate_to(
+        &mut self,
+        id: VmId,
+        destination: &mut Vmm,
+        link: &mut Link,
+        outcome: MigrationOutcome,
+    ) -> Result<(VmId, MigrationReport)> {
+        self.migrate_to_with_config(id, destination, link, outcome, MigrationConfig::default())
+    }
+
+    /// Migrate a VM with an explicit [`MigrationConfig`] (round budgets,
+    /// dirty-set threshold, page compression).
+    pub fn migrate_to_with_config(
+        &mut self,
+        id: VmId,
+        destination: &mut Vmm,
+        link: &mut Link,
+        outcome: MigrationOutcome,
+        config: MigrationConfig,
+    ) -> Result<(VmId, MigrationReport)> {
+        let source_vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
+        // Build an identical, empty shell on the destination.
+        let dest_id = destination.create_vm(source_vm.config().clone())?;
+
+        let report = {
+            let dest_vm = destination.vm(dest_id)?;
+            let dest_memory = dest_vm.memory().clone();
+            match outcome {
+                MigrationOutcome::StopAndCopy => {
+                    if source_vm.lifecycle() == VmLifecycle::Running {
+                        source_vm.pause()?;
+                    }
+                    let states = source_vm.save_vcpu_states();
+                    StopAndCopy::migrate(source_vm.memory(), &dest_memory, &states, link)?
+                }
+                MigrationOutcome::PreCopy => {
+                    let memory = source_vm.memory().clone();
+                    let states_placeholder = source_vm.save_vcpu_states();
+                    let mut dirtier = RunningVmDirtier { vm: source_vm };
+                    let report = PreCopy::migrate(
+                        &memory,
+                        &dest_memory,
+                        &states_placeholder,
+                        link,
+                        &mut dirtier,
+                        &config,
+                    )?;
+                    report
+                }
+                MigrationOutcome::PostCopy => {
+                    if source_vm.lifecycle() == VmLifecycle::Running {
+                        source_vm.pause()?;
+                    }
+                    let states = source_vm.save_vcpu_states();
+                    PostCopy::migrate(source_vm.memory(), &dest_memory, &states, link, &config)?
+                }
+            }
+        };
+
+        // The stop phase of every engine ends with the source paused; capture
+        // the final vCPU state now and hand it to the destination.
+        let source_vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
+        if source_vm.lifecycle() == VmLifecycle::Running {
+            source_vm.pause()?;
+        }
+        let source_halted = source_vm.lifecycle() == VmLifecycle::Halted;
+        let final_states = source_vm.save_vcpu_states();
+        // Pre-copy moved memory while the source kept running; its final dirty
+        // residue was already copied by the engine's stop phase, but any pages
+        // dirtied after the engine returned (there are none, because we paused)
+        // would be lost — pausing first is what guarantees correctness here.
+        let dest_vm = destination.vm_mut(dest_id)?;
+        dest_vm.restore_vcpu_states(&final_states)?;
+        if source_halted {
+            dest_vm.mark_halted();
+        } else {
+            dest_vm.mark_running();
+        }
+
+        self.destroy_vm(id)?;
+        Ok((dest_id, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvisor_net::LinkModel;
+    use rvisor_types::GuestAddress;
+    use rvisor_vcpu::{Workload, WorkloadKind};
+
+    fn config(name: &str) -> VmConfig {
+        VmConfig::new(name).with_memory(ByteSize::mib(4))
+    }
+
+    #[test]
+    fn create_run_destroy() {
+        let mut vmm = Vmm::new("host-a");
+        let a = vmm.create_vm(config("a")).unwrap();
+        let b = vmm.create_vm(config("b")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(vmm.vm_count(), 2);
+        assert_eq!(vmm.total_guest_memory(), ByteSize::mib(8));
+        assert_eq!(vmm.vm_ids(), vec![a, b]);
+
+        for id in [a, b] {
+            let w = Workload::new(WorkloadKind::ComputeBound { iterations: 100 }).unwrap();
+            vmm.vm_mut(id).unwrap().load_workload(&w).unwrap();
+        }
+        vmm.run_all_to_halt(1000).unwrap();
+        assert_eq!(vmm.vm(a).unwrap().lifecycle(), VmLifecycle::Halted);
+
+        vmm.destroy_vm(a).unwrap();
+        assert!(vmm.vm(a).is_err());
+        assert!(vmm.destroy_vm(a).is_err());
+        assert_eq!(vmm.vm_count(), 1);
+        assert!(format!("{vmm:?}").contains("host-a"));
+        assert_eq!(vmm.name(), "host-a");
+    }
+
+    #[test]
+    fn unknown_vm_operations_fail() {
+        let mut vmm = Vmm::new("host");
+        let ghost = VmId::new(42);
+        assert!(vmm.vm(ghost).is_err());
+        assert!(vmm.vm_mut(ghost).is_err());
+        assert!(vmm.snapshot_vm(ghost, "x").is_err());
+        let mut other = Vmm::new("other");
+        let mut link = Link::new(LinkModel::gigabit());
+        assert!(vmm.migrate_to(ghost, &mut other, &mut link, MigrationOutcome::PreCopy).is_err());
+    }
+
+    #[test]
+    fn snapshot_via_manager() {
+        let mut vmm = Vmm::new("host");
+        let id = vmm.create_vm(config("snap")).unwrap();
+        let w = Workload::new(WorkloadKind::ComputeBound { iterations: 50 }).unwrap();
+        vmm.vm_mut(id).unwrap().load_workload(&w).unwrap();
+        let snap = vmm.snapshot_vm(id, "before").unwrap();
+        assert!(vmm.snapshots().get(snap).is_some());
+        assert_eq!(vmm.snapshots().len(), 1);
+        assert!(vmm.snapshots_mut().delete(snap).is_ok());
+    }
+
+    fn loaded_vmm_with_marker() -> (Vmm, VmId) {
+        let mut vmm = Vmm::new("source");
+        let id = vmm.create_vm(config("moving")).unwrap();
+        {
+            let vm = vmm.vm_mut(id).unwrap();
+            // An idle guest with plenty of wakeups left: it keeps "running"
+            // while pre-copy rounds are in flight and finishes on the
+            // destination after the migration.
+            let w = Workload::new(WorkloadKind::Idle { wakeups: 5_000 }).unwrap();
+            vm.load_workload(&w).unwrap();
+            // Leave a marker in guest memory that must survive the migration.
+            vm.memory().write_u64(GuestAddress(0x2000), 0xfeedface).unwrap();
+        }
+        (vmm, id)
+    }
+
+    #[test]
+    fn migration_moves_memory_and_state() {
+        for outcome in [MigrationOutcome::StopAndCopy, MigrationOutcome::PreCopy, MigrationOutcome::PostCopy] {
+            let (mut source, id) = loaded_vmm_with_marker();
+            let source_checksum_before = source.vm(id).unwrap().memory().checksum();
+            let mut dest = Vmm::new("dest");
+            let mut link = Link::new(LinkModel::gigabit());
+            let (dest_id, report) = source.migrate_to(id, &mut dest, &mut link, outcome).unwrap();
+
+            // Source is gone, destination runs with identical memory.
+            assert!(source.vm(id).is_err());
+            let dest_vm = dest.vm(dest_id).unwrap();
+            assert_eq!(dest_vm.lifecycle(), VmLifecycle::Running);
+            assert_eq!(dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), 0xfeedface);
+            if outcome != MigrationOutcome::PreCopy {
+                // For the paused engines the memory image is bit-identical to the
+                // pre-migration source.
+                assert_eq!(dest_vm.memory().checksum(), source_checksum_before);
+            }
+            assert!(report.total_time > Nanoseconds::ZERO);
+            assert!(report.bytes_transferred as u64 >= ByteSize::mib(4).as_u64());
+
+            // The migrated guest can keep running to completion on the destination.
+            let dest_vm = dest.vm_mut(dest_id).unwrap();
+            dest_vm.run_to_halt().unwrap();
+            assert_eq!(dest_vm.lifecycle(), VmLifecycle::Halted);
+        }
+    }
+
+    #[test]
+    fn dedup_analysis_and_ksm_scanner_over_the_managers_vms() {
+        let mut vmm = Vmm::new("host");
+        // Two clones with identical content plus one VM that differs.
+        let mut ids = Vec::new();
+        for name in ["clone-a", "clone-b", "other"] {
+            ids.push(vmm.create_vm(config(name)).unwrap());
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            let vm = vmm.vm(id).unwrap();
+            for p in 0..16u64 {
+                let value = if i < 2 { 0xc0de_0000 + p } else { 0xd1ff_0000 + p };
+                vm.memory().write_u64(GuestAddress(p * 4096), value).unwrap();
+            }
+        }
+        let analysis = vmm.dedup_analysis().unwrap();
+        assert!(analysis.pages_saved() >= 16, "clones must be fully shareable: {analysis:?}");
+
+        let mut ksm = vmm.ksm_manager(rvisor_memory::KsmConfig::default());
+        assert_eq!(ksm.vm_count(), 3);
+        ksm.scan_until_stable(6).unwrap();
+        assert!(ksm.stats().pages_saved() >= 16);
+        assert!(ksm.stats().pages_saved() <= analysis.pages_saved());
+    }
+
+    #[test]
+    fn compressed_migration_config_is_honoured_by_the_manager() {
+        use rvisor_migrate::PageCompression;
+
+        let run = |compression: PageCompression| {
+            let (mut source, id) = loaded_vmm_with_marker();
+            let mut dest = Vmm::new("dest");
+            let mut link = Link::new(LinkModel::gigabit());
+            let config = MigrationConfig { compression, ..Default::default() };
+            let (dest_id, report) = source
+                .migrate_to_with_config(id, &mut dest, &mut link, MigrationOutcome::PreCopy, config)
+                .unwrap();
+            let dest_vm = dest.vm(dest_id).unwrap();
+            assert_eq!(dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), 0xfeedface);
+            report
+        };
+        let raw = run(PageCompression::None);
+        let compressed = run(PageCompression::ZeroPages);
+        // A mostly-empty 4 MiB guest shrinks dramatically under zero-page detection.
+        assert!(compressed.bytes_transferred < raw.bytes_transferred / 4);
+    }
+
+    #[test]
+    fn precopy_downtime_beats_stop_and_copy_at_the_manager_level() {
+        let (mut s1, id1) = loaded_vmm_with_marker();
+        let mut d1 = Vmm::new("d1");
+        let mut link1 = Link::new(LinkModel::gigabit());
+        let (_, pre) = s1.migrate_to(id1, &mut d1, &mut link1, MigrationOutcome::PreCopy).unwrap();
+
+        let (mut s2, id2) = loaded_vmm_with_marker();
+        let mut d2 = Vmm::new("d2");
+        let mut link2 = Link::new(LinkModel::gigabit());
+        let (_, stop) = s2.migrate_to(id2, &mut d2, &mut link2, MigrationOutcome::StopAndCopy).unwrap();
+
+        assert!(pre.downtime <= stop.downtime);
+    }
+}

@@ -1,0 +1,742 @@
+//! A single virtual machine.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use rvisor_devices::{CountdownTimer, InterruptController, MmioBus, PortBus, Rtc, SerialConsole};
+use rvisor_memory::{Balloon, GuestMemory};
+use rvisor_net::{MacAddr, VirtualSwitch};
+use rvisor_snapshot::{SnapshotStore, VmSnapshot};
+use rvisor_types::{
+    ByteSize, Error, GuestRegion, ManualClock, Nanoseconds, Result, SimClock, VcpuId, VmId,
+};
+use rvisor_vcpu::{ExitReason, Vcpu, VcpuConfig, VcpuStats, Workload};
+use rvisor_virtio::{QueueLayout, VirtioBlk, VirtioMmio, VirtioNet};
+use rvisor_block::RamDisk;
+
+use crate::config::VmConfig;
+use crate::hypercalls::{handle_pure, HypercallNr};
+use crate::layout;
+
+/// Simulated time charged when the guest reports being idle.
+const IDLE_SLICE: Nanoseconds = Nanoseconds::from_millis(1);
+/// Safety bound on instructions executed by `run_to_halt`.
+const RUN_TO_HALT_BUDGET: u64 = 500_000_000;
+
+/// The lifecycle states of a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmLifecycle {
+    /// Built but never run.
+    Created,
+    /// Currently runnable.
+    Running,
+    /// Paused by the host (snapshots, migration, operator action).
+    Paused,
+    /// The guest executed a halt.
+    Halted,
+    /// Torn down; the memory has been released to the host.
+    Destroyed,
+}
+
+/// Aggregated execution statistics for a VM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmRunStats {
+    /// Guest instructions retired across all vCPUs.
+    pub instructions: u64,
+    /// VM exits across all vCPUs.
+    pub exits: u64,
+    /// Hypercalls handled.
+    pub hypercalls: u64,
+    /// MMIO exits dispatched to devices.
+    pub mmio_exits: u64,
+    /// Port-I/O exits dispatched to devices.
+    pub pio_exits: u64,
+    /// Simulated guest time consumed.
+    pub sim_time: Nanoseconds,
+    /// Bytes written to the serial console by the guest.
+    pub serial_bytes: u64,
+}
+
+/// A virtual machine.
+pub struct Vm {
+    id: VmId,
+    config: VmConfig,
+    lifecycle: VmLifecycle,
+    memory: GuestMemory,
+    vcpus: Vec<Vcpu>,
+    clock: Arc<ManualClock>,
+    interrupts: InterruptController,
+    mmio: MmioBus,
+    ports: PortBus,
+    serial: Arc<Mutex<SerialConsole>>,
+    timer: Arc<Mutex<CountdownTimer>>,
+    virtio_blk: Option<Arc<Mutex<VirtioMmio>>>,
+    virtio_net: Option<Arc<Mutex<VirtioMmio>>>,
+    balloon: Option<Balloon>,
+    /// Private switch used when no external one is supplied.
+    _private_switch: Option<VirtualSwitch>,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("id", &self.id)
+            .field("name", &self.config.name)
+            .field("lifecycle", &self.lifecycle)
+            .field("memory", &self.config.memory)
+            .field("vcpus", &self.vcpus.len())
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Build a VM from `config`, attaching its NIC (if any) to a private switch.
+    pub fn new(config: VmConfig) -> Result<Self> {
+        Self::with_id_and_switch(VmId::new(0), config, None)
+    }
+
+    /// Build a VM attached to an existing virtual switch (used by [`crate::Vmm`]).
+    pub fn with_id_and_switch(
+        id: VmId,
+        config: VmConfig,
+        switch: Option<&VirtualSwitch>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let memory = GuestMemory::flat(config.memory)?;
+        let clock = Arc::new(ManualClock::new());
+        let interrupts = InterruptController::new();
+        let mmio = MmioBus::new();
+        let ports = PortBus::new();
+
+        // Platform devices.
+        let serial = Arc::new(Mutex::new(SerialConsole::with_interrupt(
+            interrupts.line(layout::irq::SERIAL),
+        )));
+        mmio.register(GuestRegion::new(layout::SERIAL_MMIO, layout::MMIO_WINDOW), serial.clone())?;
+        ports.register(layout::SERIAL_PORT, 8, serial.clone())?;
+        let rtc = Arc::new(Mutex::new(Rtc::new(Arc::clone(&clock))));
+        mmio.register(GuestRegion::new(layout::RTC_MMIO, layout::MMIO_WINDOW), rtc)?;
+        let timer = Arc::new(Mutex::new(CountdownTimer::new(
+            Arc::clone(&clock),
+            interrupts.line(layout::irq::TIMER),
+        )));
+        mmio.register(GuestRegion::new(layout::TIMER_MMIO, layout::MMIO_WINDOW), timer.clone())?;
+
+        // virtio-blk for the first configured disk.
+        let virtio_blk = if let Some(disk_cfg) = config.disks.first() {
+            let mut backend = RamDisk::new(disk_cfg.size);
+            backend.set_read_only(disk_cfg.read_only);
+            let blk = VirtioBlk::new(Box::new(backend));
+            let transport = Arc::new(Mutex::new(VirtioMmio::new(
+                Box::new(blk),
+                memory.clone(),
+                interrupts.line(layout::irq::VIRTIO_BLK),
+            )));
+            mmio.register(GuestRegion::new(layout::VIRTIO_BLK_MMIO, layout::MMIO_WINDOW), transport.clone())?;
+            Some(transport)
+        } else {
+            None
+        };
+
+        // virtio-net attached to the provided or a private switch.
+        let mut private_switch = None;
+        let virtio_net = if config.with_net {
+            let switch_ref = match switch {
+                Some(s) => s.clone(),
+                None => {
+                    let s = VirtualSwitch::new();
+                    private_switch = Some(s.clone());
+                    s
+                }
+            };
+            let nic = VirtioNet::new(MacAddr::local(id.raw()), switch_ref.add_port());
+            let transport = Arc::new(Mutex::new(VirtioMmio::new(
+                Box::new(nic),
+                memory.clone(),
+                interrupts.line(layout::irq::VIRTIO_NET),
+            )));
+            mmio.register(GuestRegion::new(layout::VIRTIO_NET_MMIO, layout::MMIO_WINDOW), transport.clone())?;
+            Some(transport)
+        } else {
+            None
+        };
+
+        // Host-driven balloon for memory overcommit.
+        let balloon = if config.with_balloon {
+            Some(Balloon::new(memory.clone(), 16))
+        } else {
+            None
+        };
+
+        let vcpus = (0..config.vcpus)
+            .map(|i| Vcpu::new(VcpuConfig::new(VcpuId::new(i), config.exec_mode)))
+            .collect();
+
+        Ok(Vm {
+            id,
+            config,
+            lifecycle: VmLifecycle::Created,
+            memory,
+            vcpus,
+            clock,
+            interrupts,
+            mmio,
+            ports,
+            serial,
+            timer,
+            virtio_blk,
+            virtio_net,
+            balloon,
+            _private_switch: private_switch,
+        })
+    }
+
+    /// The VM's identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The configuration the VM was built from.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Current lifecycle state.
+    pub fn lifecycle(&self) -> VmLifecycle {
+        self.lifecycle
+    }
+
+    /// The guest memory (shared handle).
+    pub fn memory(&self) -> &GuestMemory {
+        &self.memory
+    }
+
+    /// The VM's simulated clock.
+    pub fn clock(&self) -> Arc<ManualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The interrupt controller.
+    pub fn interrupts(&self) -> &InterruptController {
+        &self.interrupts
+    }
+
+    /// The virtio-blk transport, if a disk was configured.
+    pub fn virtio_blk(&self) -> Option<Arc<Mutex<VirtioMmio>>> {
+        self.virtio_blk.clone()
+    }
+
+    /// The virtio-net transport, if networking was configured.
+    pub fn virtio_net(&self) -> Option<Arc<Mutex<VirtioMmio>>> {
+        self.virtio_net.clone()
+    }
+
+    /// The countdown timer device.
+    pub fn timer(&self) -> Arc<Mutex<CountdownTimer>> {
+        self.timer.clone()
+    }
+
+    /// The host-side balloon, if configured.
+    pub fn balloon(&self) -> Option<&Balloon> {
+        self.balloon.as_ref()
+    }
+
+    /// Everything the guest has written to its serial console so far.
+    pub fn serial_output(&self) -> String {
+        self.serial.lock().output_string()
+    }
+
+    /// Inject bytes into the guest's serial input queue.
+    pub fn serial_input(&self, bytes: &[u8]) {
+        self.serial.lock().inject_input(bytes);
+    }
+
+    /// Configure a virtqueue on the virtio-blk device (host-side driver path).
+    pub fn setup_blk_queue(&self, layout: QueueLayout) -> Result<()> {
+        match &self.virtio_blk {
+            Some(t) => t.lock().setup_queue(0, layout),
+            None => Err(Error::Device("VM has no virtio-blk device".into())),
+        }
+    }
+
+    /// Load a guest program image at `entry` and point vCPU 0 at it.
+    pub fn load_program(&mut self, image: &[u8], entry: u64) -> Result<()> {
+        self.memory.write(rvisor_types::GuestAddress(entry), image)?;
+        self.memory.clear_dirty();
+        self.vcpus[0].set_pc(entry);
+        if self.lifecycle == VmLifecycle::Created {
+            self.lifecycle = VmLifecycle::Running;
+        }
+        Ok(())
+    }
+
+    /// Load a synthetic [`Workload`] into the VM.
+    pub fn load_workload(&mut self, workload: &Workload) -> Result<()> {
+        if ByteSize::new(workload.required_memory()) > self.config.memory {
+            return Err(Error::Config(format!(
+                "workload needs {} of guest memory but the VM has {}",
+                ByteSize::new(workload.required_memory()),
+                self.config.memory
+            )));
+        }
+        workload.load(&self.memory)?;
+        self.vcpus[0].set_pc(workload.entry());
+        if self.lifecycle == VmLifecycle::Created {
+            self.lifecycle = VmLifecycle::Running;
+        }
+        Ok(())
+    }
+
+    /// Pause a running VM.
+    pub fn pause(&mut self) -> Result<()> {
+        match self.lifecycle {
+            VmLifecycle::Running => {
+                self.lifecycle = VmLifecycle::Paused;
+                Ok(())
+            }
+            other => Err(Error::InvalidVmState { operation: "pause", state: format!("{other:?}") }),
+        }
+    }
+
+    /// Resume a paused VM.
+    pub fn resume(&mut self) -> Result<()> {
+        match self.lifecycle {
+            VmLifecycle::Paused => {
+                self.lifecycle = VmLifecycle::Running;
+                Ok(())
+            }
+            other => Err(Error::InvalidVmState { operation: "resume", state: format!("{other:?}") }),
+        }
+    }
+
+    /// Tear the VM down.
+    pub fn destroy(&mut self) {
+        self.lifecycle = VmLifecycle::Destroyed;
+    }
+
+    /// Aggregate statistics over all vCPUs plus VM-level counters.
+    pub fn stats(&self) -> VmRunStats {
+        let mut out = VmRunStats::default();
+        for v in &self.vcpus {
+            let s: VcpuStats = v.stats();
+            out.instructions += s.instructions;
+            out.exits += s.exits;
+            out.hypercalls += s.hypercalls;
+            out.mmio_exits += s.mmio_exits;
+            out.pio_exits += s.pio_exits;
+            out.sim_time = out.sim_time.saturating_add(Nanoseconds(s.sim_time_ns));
+        }
+        out.serial_bytes = self.serial.lock().tx_count();
+        out
+    }
+
+    /// Run one scheduling slice on each vCPU. Returns whether the VM is
+    /// still runnable afterwards.
+    pub fn run_slice(&mut self) -> Result<bool> {
+        if self.lifecycle != VmLifecycle::Running {
+            return Err(Error::InvalidVmState {
+                operation: "run",
+                state: format!("{:?}", self.lifecycle),
+            });
+        }
+        let slice_budget = self.config.slice_instructions;
+        let mut any_runnable = false;
+
+        for index in 0..self.vcpus.len() {
+            let mut remaining = slice_budget;
+            loop {
+                let outcome = self.vcpus[index].run(&self.memory, remaining)?;
+                self.clock.advance(outcome.elapsed);
+                self.timer.lock().tick();
+                remaining = remaining.saturating_sub(outcome.instructions);
+
+                match outcome.exit {
+                    ExitReason::Halt => {
+                        self.lifecycle = VmLifecycle::Halted;
+                        return Ok(false);
+                    }
+                    ExitReason::InstructionLimit => {
+                        any_runnable = true;
+                        break;
+                    }
+                    ExitReason::Idle => {
+                        self.clock.advance(IDLE_SLICE);
+                        self.timer.lock().tick();
+                        any_runnable = true;
+                        break;
+                    }
+                    ExitReason::MmioRead { addr, .. } => {
+                        let value = self.mmio.read(addr, 8)?;
+                        self.vcpus[index].complete_mmio_read(value)?;
+                    }
+                    ExitReason::MmioWrite { addr, value, .. } => {
+                        self.mmio.write(addr, value, 8)?;
+                    }
+                    ExitReason::PioIn { port } => {
+                        let value = self.ports.read(port)?;
+                        self.vcpus[index].complete_pio_in(value)?;
+                    }
+                    ExitReason::PioOut { port, value } => {
+                        self.ports.write(port, value)?;
+                    }
+                    ExitReason::Hypercall { nr, arg } => {
+                        let end_slice = self.handle_hypercall(index, nr, arg)?;
+                        if end_slice {
+                            any_runnable = true;
+                            break;
+                        }
+                    }
+                    ExitReason::PageFault { vaddr, write } => {
+                        return Err(Error::PageFault { vaddr, write });
+                    }
+                }
+                if remaining == 0 {
+                    any_runnable = true;
+                    break;
+                }
+            }
+        }
+        Ok(any_runnable)
+    }
+
+    fn handle_hypercall(&mut self, vcpu_index: usize, nr: u16, arg: u64) -> Result<bool> {
+        let Some(call) = HypercallNr::from_raw(nr) else {
+            // Unknown hypercalls return an error value to the guest but do not
+            // kill the VM, matching how real hypervisors behave.
+            self.vcpus[vcpu_index].complete_hypercall(u64::MAX)?;
+            return Ok(false);
+        };
+        if call == HypercallNr::ConsolePutChar {
+            self.serial.lock().put_output_byte(arg as u8);
+            self.vcpus[vcpu_index].complete_hypercall(0)?;
+            return Ok(false);
+        }
+        let result = handle_pure(call, arg, self.clock.now());
+        self.vcpus[vcpu_index].complete_hypercall(result.return_value)?;
+        Ok(result.end_slice)
+    }
+
+    /// Run slices until the guest halts (or the safety budget is exhausted).
+    pub fn run_to_halt(&mut self) -> Result<VmRunStats> {
+        let start_instructions = self.stats().instructions;
+        loop {
+            let runnable = self.run_slice()?;
+            if !runnable {
+                break;
+            }
+            if self.stats().instructions - start_instructions > RUN_TO_HALT_BUDGET {
+                return Err(Error::VcpuFault(format!(
+                    "guest did not halt within {RUN_TO_HALT_BUDGET} instructions"
+                )));
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// Run the VM for (at least) `duration` of simulated time, or until it halts.
+    pub fn run_for(&mut self, duration: Nanoseconds) -> Result<Nanoseconds> {
+        let start = self.clock.now();
+        while self.lifecycle == VmLifecycle::Running {
+            let elapsed = self.clock.now().saturating_sub(start);
+            if elapsed >= duration {
+                break;
+            }
+            self.run_slice()?;
+        }
+        Ok(self.clock.now().saturating_sub(start))
+    }
+
+    /// Take a full snapshot of the VM into `store`, pausing it if running.
+    pub fn snapshot(&mut self, name: &str, store: &mut SnapshotStore) -> Result<rvisor_snapshot::SnapshotId> {
+        let was_running = self.lifecycle == VmLifecycle::Running;
+        if was_running {
+            self.pause()?;
+        }
+        let vcpu_states = self.vcpus.iter().map(|v| v.save_state()).collect();
+        let snap = VmSnapshot::capture_full(
+            self.id,
+            name,
+            self.clock.now(),
+            &self.memory,
+            vcpu_states,
+            Default::default(),
+        )?;
+        let id = store.insert(snap)?;
+        if was_running {
+            self.resume()?;
+        }
+        Ok(id)
+    }
+
+    /// Restore the VM to a snapshot previously stored in `store`.
+    pub fn restore_snapshot(
+        &mut self,
+        id: rvisor_snapshot::SnapshotId,
+        store: &SnapshotStore,
+    ) -> Result<()> {
+        let (vcpu_states, _pages) = store.restore(id, &self.memory)?;
+        if vcpu_states.len() != self.vcpus.len() {
+            return Err(Error::Snapshot(format!(
+                "snapshot has {} vCPUs but the VM has {}",
+                vcpu_states.len(),
+                self.vcpus.len()
+            )));
+        }
+        for (vcpu, state) in self.vcpus.iter_mut().zip(&vcpu_states) {
+            vcpu.restore_state(state);
+        }
+        self.lifecycle = VmLifecycle::Paused;
+        Ok(())
+    }
+
+    /// Capture the architectural state of all vCPUs (for migration).
+    pub fn save_vcpu_states(&self) -> Vec<rvisor_vcpu::VcpuState> {
+        self.vcpus.iter().map(|v| v.save_state()).collect()
+    }
+
+    /// Restore architectural state of all vCPUs (destination side of migration).
+    pub fn restore_vcpu_states(&mut self, states: &[rvisor_vcpu::VcpuState]) -> Result<()> {
+        if states.len() != self.vcpus.len() {
+            return Err(Error::Migration(format!(
+                "received {} vCPU states for a VM with {} vCPUs",
+                states.len(),
+                self.vcpus.len()
+            )));
+        }
+        for (vcpu, state) in self.vcpus.iter_mut().zip(states) {
+            vcpu.restore_state(state);
+        }
+        Ok(())
+    }
+
+    /// Mark the VM runnable (used by the migration destination after restore).
+    pub fn mark_running(&mut self) {
+        self.lifecycle = VmLifecycle::Running;
+    }
+
+    /// Mark the VM halted (used by the migration destination when the source
+    /// guest had already shut down by the time the hand-over happened).
+    pub fn mark_halted(&mut self) {
+        self.lifecycle = VmLifecycle::Halted;
+    }
+
+    /// Set the balloon to an absolute size in pages. Requires `with_balloon`.
+    pub fn set_balloon_pages(&self, pages: u64) -> Result<u64> {
+        match &self.balloon {
+            Some(b) => b.set_target(pages),
+            None => Err(Error::Device("VM has no balloon device".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiskConfig;
+    use rvisor_types::GuestAddress;
+    use rvisor_vcpu::{Assembler, Instr, Reg, WorkloadKind};
+
+    fn small_vm() -> Vm {
+        Vm::new(VmConfig::new("test").with_memory(ByteSize::mib(4))).unwrap()
+    }
+
+    #[test]
+    fn compute_workload_runs_to_halt() {
+        let mut vm = small_vm();
+        let w = Workload::new(WorkloadKind::ComputeBound { iterations: 500 }).unwrap();
+        vm.load_workload(&w).unwrap();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+        let stats = vm.run_to_halt().unwrap();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Halted);
+        assert!(stats.instructions > 3000);
+        assert!(stats.sim_time > Nanoseconds::ZERO);
+    }
+
+    #[test]
+    fn workload_too_big_for_memory_rejected() {
+        let mut vm = small_vm();
+        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 10_000, passes: 1 }).unwrap();
+        assert!(vm.load_workload(&w).is_err());
+    }
+
+    #[test]
+    fn guest_serial_output_via_pio_and_hypercall() {
+        let mut vm = small_vm();
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        // Write 'H' via the serial port, 'i' via the console hypercall.
+        asm.push(Instr::MovImm { rd: r(1), imm: b'H' as i32 });
+        asm.push(Instr::Out { rs1: r(1), imm: layout::SERIAL_PORT as i32 });
+        asm.push(Instr::MovImm { rd: r(2), imm: b'i' as i32 });
+        asm.push(Instr::Hypercall { nr: HypercallNr::ConsolePutChar.raw(), rd: r(3), rs1: r(2) });
+        asm.push(Instr::Halt);
+        vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.serial_output(), "Hi");
+        assert_eq!(vm.stats().serial_bytes, 2);
+        assert!(vm.stats().hypercalls >= 1);
+        assert!(vm.stats().pio_exits >= 1);
+    }
+
+    #[test]
+    fn guest_reads_rtc_and_ping_hypercall() {
+        let mut vm = small_vm();
+        vm.clock().advance(Nanoseconds::from_secs(3));
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        asm.load_const(r(1), layout::RTC_MMIO.0 + 8); // full time register
+        asm.push(Instr::Load { rd: r(2), rs1: r(1), imm: 0 });
+        asm.push(Instr::MovImm { rd: r(4), imm: 1234 });
+        asm.push(Instr::Hypercall { nr: HypercallNr::Ping.raw(), rd: r(5), rs1: r(4) });
+        // Store both results to memory so the test can read them back.
+        asm.load_const(r(6), 0x2000);
+        asm.push(Instr::Store { rs2: r(2), rs1: r(6), imm: 0 });
+        asm.push(Instr::Store { rs2: r(5), rs1: r(6), imm: 8 });
+        asm.push(Instr::Halt);
+        vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
+        vm.run_to_halt().unwrap();
+        let rtc_value = vm.memory().read_u64(GuestAddress(0x2000)).unwrap();
+        assert!(rtc_value >= 3_000_000_000);
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x2008)).unwrap(), 1234);
+    }
+
+    #[test]
+    fn unknown_hypercall_returns_error_value() {
+        let mut vm = small_vm();
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        asm.push(Instr::Hypercall { nr: 999, rd: r(5), rs1: Reg::ZERO });
+        asm.load_const(r(6), 0x2000);
+        asm.push(Instr::Store { rs2: r(5), rs1: r(6), imm: 0 });
+        asm.push(Instr::Halt);
+        vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut vm = small_vm();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Created);
+        assert!(vm.pause().is_err());
+        let w = Workload::new(WorkloadKind::ComputeBound { iterations: 10 }).unwrap();
+        vm.load_workload(&w).unwrap();
+        vm.pause().unwrap();
+        assert!(vm.run_slice().is_err());
+        assert!(vm.pause().is_err());
+        vm.resume().unwrap();
+        vm.run_to_halt().unwrap();
+        assert!(vm.resume().is_err());
+        vm.destroy();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Destroyed);
+    }
+
+    #[test]
+    fn idle_guest_advances_clock() {
+        let mut vm = small_vm();
+        let w = Workload::new(WorkloadKind::Idle { wakeups: 5 }).unwrap();
+        vm.load_workload(&w).unwrap();
+        vm.run_to_halt().unwrap();
+        assert!(vm.clock().now() >= Nanoseconds::from_millis(5));
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        let mut vm = small_vm();
+        let mut store = SnapshotStore::new();
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        // Write a marker, pause via Pause, then overwrite the marker and halt.
+        asm.load_const(r(1), 0x3000);
+        asm.push(Instr::MovImm { rd: r(2), imm: 111 });
+        asm.push(Instr::Store { rs2: r(2), rs1: r(1), imm: 0 });
+        asm.push(Instr::Pause);
+        asm.push(Instr::MovImm { rd: r(2), imm: 222 });
+        asm.push(Instr::Store { rs2: r(2), rs1: r(1), imm: 0 });
+        asm.push(Instr::Halt);
+        vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
+
+        // Run until the Pause (one slice is enough given the tiny program).
+        vm.run_slice().unwrap();
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x3000)).unwrap(), 111);
+        let snap = vm.snapshot("mid", &mut store).unwrap();
+
+        // Let it finish: the marker becomes 222 and the VM halts.
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x3000)).unwrap(), 222);
+
+        // Restore: marker back to 111, VM paused at the instruction after Pause.
+        vm.restore_snapshot(snap, &store).unwrap();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Paused);
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x3000)).unwrap(), 111);
+        vm.resume().unwrap();
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x3000)).unwrap(), 222);
+    }
+
+    #[test]
+    fn balloon_integration() {
+        let vm = Vm::new(VmConfig::new("b").with_memory(ByteSize::mib(4)).with_balloon()).unwrap();
+        assert!(vm.balloon().is_some());
+        let reached = vm.set_balloon_pages(100).unwrap();
+        assert_eq!(reached, 100);
+        let stats = vm.balloon().unwrap().stats();
+        assert_eq!(stats.ballooned, ByteSize::pages_of(100));
+        let no_balloon = small_vm();
+        assert!(no_balloon.set_balloon_pages(1).is_err());
+        assert!(no_balloon.balloon().is_none());
+    }
+
+    #[test]
+    fn disk_and_net_devices_registered() {
+        let vm = Vm::new(
+            VmConfig::new("full")
+                .with_memory(ByteSize::mib(8))
+                .with_disk(DiskConfig::new("sys", ByteSize::mib(1)))
+                .with_net(),
+        )
+        .unwrap();
+        assert!(vm.virtio_blk().is_some());
+        assert!(vm.virtio_net().is_some());
+        // The virtio-blk device identifies itself over MMIO.
+        let blk = vm.virtio_blk().unwrap();
+        let mut guard = blk.lock();
+        use rvisor_devices::MmioDevice;
+        assert_eq!(guard.read(rvisor_virtio::mmio::regs::DEVICE_ID, 4), 2);
+        drop(guard);
+        assert!(small_vm().virtio_blk().is_none());
+        assert!(small_vm().setup_blk_queue(QueueLayout::contiguous(GuestAddress(0x1000), 16).unwrap().0).is_err());
+        assert!(format!("{vm:?}").contains("full"));
+    }
+
+    #[test]
+    fn serial_input_reaches_guest() {
+        let mut vm = small_vm();
+        vm.serial_input(b"A");
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        asm.push(Instr::In { rd: r(1), imm: layout::SERIAL_PORT as i32 });
+        asm.load_const(r(2), 0x2000);
+        asm.push(Instr::Store { rs2: r(1), rs1: r(2), imm: 0 });
+        asm.push(Instr::Halt);
+        vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), b'A' as u64);
+        assert!(vm.interrupts().is_pending(layout::irq::SERIAL));
+    }
+
+    #[test]
+    fn memory_dirty_workload_dirties_pages() {
+        let mut vm = Vm::new(VmConfig::new("dirty").with_memory(ByteSize::mib(8))).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 64, passes: 1 }).unwrap();
+        vm.load_workload(&w).unwrap();
+        vm.run_to_halt().unwrap();
+        assert_eq!(vm.memory().dirty_page_count(), 64);
+    }
+}
