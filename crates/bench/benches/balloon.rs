@@ -13,8 +13,9 @@ use rvisor_memory::{Balloon, GuestMemory};
 use rvisor_types::{ByteSize, HostId};
 
 fn density_row(overcommit: f64) -> (usize, f64) {
-    let fleet: Vec<VmSpec> =
-        (0..64).map(|i| VmSpec::typical(&format!("vm-{i}"), ServerRole::AppServer)).collect();
+    let fleet: Vec<VmSpec> = (0..64)
+        .map(|i| VmSpec::typical(&format!("vm-{i}"), ServerRole::AppServer))
+        .collect();
     let plan = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 1)
         .with_memory_overcommit(overcommit)
         .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
@@ -24,20 +25,31 @@ fn density_row(overcommit: f64) -> (usize, f64) {
 
 fn print_table() {
     println!("\n=== E3: VM density vs memory overcommit (12 GiB host, 2 GiB VMs) ===");
-    println!("{:>12} {:>12} {:>18}", "overcommit", "VMs placed", "mem committed");
+    println!(
+        "{:>12} {:>12} {:>18}",
+        "overcommit", "VMs placed", "mem committed"
+    );
     for factor in [1.0, 1.25, 1.5, 1.75, 2.0] {
         let (vms, util) = density_row(factor);
         println!("{:>11.2}x {:>12} {:>17.0}%", factor, vms, util * 100.0);
     }
 
     println!("\n--- balloon inflate/deflate cost (pages moved per operation) ---");
-    println!("{:>12} {:>16} {:>16}", "pages", "inflate works", "usable after");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "pages", "inflate works", "usable after"
+    );
     for pages in [1_000u64, 10_000, 50_000] {
         let mem = GuestMemory::flat(ByteSize::mib(256)).unwrap();
         let balloon = Balloon::new(mem, 64);
         balloon.inflate(pages).unwrap();
         let stats = balloon.stats();
-        println!("{:>12} {:>16} {:>16}", pages, stats.inflations, format!("{}", stats.usable));
+        println!(
+            "{:>12} {:>16} {:>16}",
+            pages,
+            stats.inflations,
+            format!("{}", stats.usable)
+        );
     }
     println!();
 }
@@ -56,17 +68,22 @@ fn bench(c: &mut Criterion) {
                 criterion::BatchSize::SmallInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("inflate_deflate_cycle", pages), &pages, |b, &pages| {
-            b.iter_batched(
-                || {
-                    let balloon = Balloon::new(GuestMemory::flat(ByteSize::mib(256)).unwrap(), 64);
-                    balloon.inflate(pages).unwrap();
-                    balloon
-                },
-                |balloon| balloon.deflate(pages).len(),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("inflate_deflate_cycle", pages),
+            &pages,
+            |b, &pages| {
+                b.iter_batched(
+                    || {
+                        let balloon =
+                            Balloon::new(GuestMemory::flat(ByteSize::mib(256)).unwrap(), 64);
+                        balloon.inflate(pages).unwrap();
+                        balloon
+                    },
+                    |balloon| balloon.deflate(pages).len(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.bench_function("density_planning", |b| b.iter(|| density_row(1.5)));
     group.finish();

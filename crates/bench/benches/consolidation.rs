@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use rvisor_cluster::{
-    ConsolidationPlanner, CostModel, HostSpec, PlacementStrategy, VmSpec,
-};
+use rvisor_cluster::{ConsolidationPlanner, CostModel, HostSpec, PlacementStrategy, VmSpec};
 use rvisor_types::HostId;
 
 fn print_tables() {
@@ -18,11 +16,22 @@ fn print_tables() {
         "host model", "strategy", "hosts", "VMs/host", "mem util"
     );
     for (host_name, host) in [
-        ("deck-era (8c / 12 GiB)", HostSpec::deck_era_server(HostId::new(0))),
-        ("modern (32c / 128 GiB)", HostSpec::modern_server(HostId::new(0))),
+        (
+            "deck-era (8c / 12 GiB)",
+            HostSpec::deck_era_server(HostId::new(0)),
+        ),
+        (
+            "modern (32c / 128 GiB)",
+            HostSpec::modern_server(HostId::new(0)),
+        ),
     ] {
-        for strategy in [PlacementStrategy::OnePerHost, PlacementStrategy::FirstFitDecreasing] {
-            let plan = ConsolidationPlanner::new(host.clone(), 60).plan(&fleet, strategy).unwrap();
+        for strategy in [
+            PlacementStrategy::OnePerHost,
+            PlacementStrategy::FirstFitDecreasing,
+        ] {
+            let plan = ConsolidationPlanner::new(host.clone(), 60)
+                .plan(&fleet, strategy)
+                .unwrap();
             println!(
                 "{:<26} {:<22} {:>8} {:>10.1} {:>9.0}%",
                 host_name,
@@ -37,12 +46,26 @@ fn print_tables() {
     println!("\n=== E8: annual power+cooling cost and saving ===");
     let planner = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 60);
     let baseline = planner.plan(&fleet, PlacementStrategy::OnePerHost).unwrap();
-    let consolidated = planner.plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+    let consolidated = planner
+        .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+        .unwrap();
     let report = CostModel::default().compare(&baseline, &consolidated);
-    println!("baseline (one server per workload): {:>9.0} EUR/year on {} hosts", report.baseline_annual_euro, report.baseline_hosts);
-    println!("consolidated (FFD):                 {:>9.0} EUR/year on {} hosts", report.consolidated_annual_euro, report.consolidated_hosts);
-    println!("annual saving:                      {:>9.0} EUR", report.annual_saving_euro());
-    println!("saving per virtualized server:      {:>9.0} EUR", report.saving_per_vm_euro());
+    println!(
+        "baseline (one server per workload): {:>9.0} EUR/year on {} hosts",
+        report.baseline_annual_euro, report.baseline_hosts
+    );
+    println!(
+        "consolidated (FFD):                 {:>9.0} EUR/year on {} hosts",
+        report.consolidated_annual_euro, report.consolidated_hosts
+    );
+    println!(
+        "annual saving:                      {:>9.0} EUR",
+        report.annual_saving_euro()
+    );
+    println!(
+        "saving per virtualized server:      {:>9.0} EUR",
+        report.saving_per_vm_euro()
+    );
     println!("(source material claims ~200-250 EUR/server/year, ~10 kEUR/year overall)");
     println!();
 }
@@ -50,9 +73,7 @@ fn print_tables() {
 fn bench(c: &mut Criterion) {
     print_tables();
     let fleet = VmSpec::nireus_fleet();
-    let big_fleet: Vec<VmSpec> = (0..1000)
-        .map(|i| fleet[i % fleet.len()].clone())
-        .collect();
+    let big_fleet: Vec<VmSpec> = (0..1000).map(|i| fleet[i % fleet.len()].clone()).collect();
 
     let mut group = c.benchmark_group("e7_e8_consolidation");
     group.sample_size(10);
@@ -60,15 +81,27 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     for (name, vms) in [("fleet_50", &fleet), ("fleet_1000", &big_fleet)] {
         group.bench_with_input(BenchmarkId::new("ffd_plan", name), vms, |b, vms| {
-            let planner = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 2000);
-            b.iter(|| planner.plan(vms, PlacementStrategy::FirstFitDecreasing).unwrap().hosts_used())
+            let planner =
+                ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 2000);
+            b.iter(|| {
+                planner
+                    .plan(vms, PlacementStrategy::FirstFitDecreasing)
+                    .unwrap()
+                    .hosts_used()
+            })
         });
     }
     group.bench_function("cost_model", |b| {
         let planner = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 60);
         let baseline = planner.plan(&fleet, PlacementStrategy::OnePerHost).unwrap();
-        let consolidated = planner.plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
-        b.iter(|| CostModel::default().compare(&baseline, &consolidated).annual_saving_euro())
+        let consolidated = planner
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
+        b.iter(|| {
+            CostModel::default()
+                .compare(&baseline, &consolidated)
+                .annual_saving_euro()
+        })
     });
     group.finish();
 }

@@ -20,7 +20,8 @@ use rvisor_vcpu::VcpuState;
 fn guest(ram: ByteSize) -> GuestMemory {
     let mem = GuestMemory::flat(ram).unwrap();
     for p in 0..mem.total_pages() {
-        mem.write_u64(GuestAddress(p * PAGE_SIZE), p * 11 + 3).unwrap();
+        mem.write_u64(GuestAddress(p * PAGE_SIZE), p * 11 + 3)
+            .unwrap();
     }
     mem.clear_dirty();
     mem
@@ -41,7 +42,8 @@ fn run_policy(
     for _ in 0..intervals {
         for _ in 0..pages_per_interval {
             let page = cursor % total_pages;
-            mem.write_u64(GuestAddress(page * PAGE_SIZE), 0xd1d1_0000 + cursor).unwrap();
+            mem.write_u64(GuestAddress(page * PAGE_SIZE), 0xd1d1_0000 + cursor)
+                .unwrap();
             cursor += 1;
         }
         sim.run_interval(&mem, &[VcpuState::default()]).unwrap();
@@ -52,8 +54,14 @@ fn run_policy(
 fn policies() -> Vec<(&'static str, BackupPolicy)> {
     vec![
         ("nightly full", BackupPolicy::nightly_full()),
-        ("weekly full + daily inc", BackupPolicy::weekly_full_daily_incremental()),
-        ("nightly full + hourly inc", BackupPolicy::hourly_incremental()),
+        (
+            "weekly full + daily inc",
+            BackupPolicy::weekly_full_daily_incremental(),
+        ),
+        (
+            "nightly full + hourly inc",
+            BackupPolicy::hourly_incremental(),
+        ),
     ]
 }
 
@@ -69,8 +77,7 @@ fn print_policy_table() {
         // Express the horizon in this policy's own interval count: 7 days.
         let day = Nanoseconds::from_secs(24 * 3600);
         let intervals = (7 * day.as_nanos() / policy.interval.as_nanos()) as u32;
-        let pages_per_interval =
-            daily_pages * policy.interval.as_nanos() / day.as_nanos();
+        let pages_per_interval = daily_pages * policy.interval.as_nanos() / day.as_nanos();
         let report = run_policy(policy, ram, intervals, pages_per_interval);
         println!(
             "{:<26} {:>9} {:>8} {:>8} MiB {:>13.1}% {:>10} {:>12} {:>8}",
@@ -88,7 +95,10 @@ fn print_policy_table() {
 
 fn print_write_volume_sweep() {
     println!("\n=== E14b: weekly-full/daily-incremental storage vs daily write volume (128 MiB guest, 14 days) ===");
-    println!("{:>14} {:>12} {:>16}", "written/day", "stored", "saving vs fulls");
+    println!(
+        "{:>14} {:>12} {:>16}",
+        "written/day", "stored", "saving vs fulls"
+    );
     for daily_mib in [5u64, 20, 50, 100, 128] {
         let report = run_policy(
             BackupPolicy::weekly_full_daily_incremental(),
@@ -140,7 +150,8 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap();
                 for day in 0..5u64 {
-                    mem.write_u64(GuestAddress((day % 8) * PAGE_SIZE), day).unwrap();
+                    mem.write_u64(GuestAddress((day % 8) * PAGE_SIZE), day)
+                        .unwrap();
                     sim.run_interval(&mem, &[VcpuState::default()]).unwrap();
                 }
                 b.iter(|| {

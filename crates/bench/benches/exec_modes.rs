@@ -15,10 +15,26 @@ use rvisor_vcpu::{ExecCosts, ExecMode, Workload, WorkloadKind};
 
 fn workloads() -> Vec<(&'static str, Workload)> {
     vec![
-        ("compute-bound", Workload::new(WorkloadKind::ComputeBound { iterations: 20_000 }).unwrap()),
-        ("privileged-heavy", Workload::new(WorkloadKind::PrivilegedHeavy { iterations: 5_000 }).unwrap()),
-        ("hypercall-heavy", Workload::new(WorkloadKind::HypercallHeavy { iterations: 5_000 }).unwrap()),
-        ("memory-dirty", Workload::new(WorkloadKind::MemoryDirty { pages: 512, passes: 8 }).unwrap()),
+        (
+            "compute-bound",
+            Workload::new(WorkloadKind::ComputeBound { iterations: 20_000 }).unwrap(),
+        ),
+        (
+            "privileged-heavy",
+            Workload::new(WorkloadKind::PrivilegedHeavy { iterations: 5_000 }).unwrap(),
+        ),
+        (
+            "hypercall-heavy",
+            Workload::new(WorkloadKind::HypercallHeavy { iterations: 5_000 }).unwrap(),
+        ),
+        (
+            "memory-dirty",
+            Workload::new(WorkloadKind::MemoryDirty {
+                pages: 512,
+                passes: 8,
+            })
+            .unwrap(),
+        ),
     ]
 }
 

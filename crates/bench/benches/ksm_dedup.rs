@@ -43,15 +43,18 @@ fn scanner_over(vms: &[GuestMemory]) -> KsmManager {
 }
 
 fn print_clone_count_table() {
-    println!("\n=== E11a: KSM savings vs number of template clones (32 MiB guests, 20% private) ===");
+    println!(
+        "\n=== E11a: KSM savings vs number of template clones (32 MiB guests, 20% private) ==="
+    );
     println!(
         "{:>7} {:>14} {:>14} {:>14} {:>12} {:>14}",
         "clones", "guest RAM", "pages shared", "pages sharing", "saved", "sharing ratio"
     );
     let pages_per_vm = ByteSize::mib(32).pages();
     for clones in [2usize, 4, 8, 16] {
-        let vms: Vec<GuestMemory> =
-            (0..clones).map(|i| template_clone(i as u64, pages_per_vm, 0.2)).collect();
+        let vms: Vec<GuestMemory> = (0..clones)
+            .map(|i| template_clone(i as u64, pages_per_vm, 0.2))
+            .collect();
         let mut ksm = scanner_over(&vms);
         ksm.scan_until_stable(6).unwrap();
         let stats = ksm.stats();
@@ -68,15 +71,18 @@ fn print_clone_count_table() {
 }
 
 fn print_divergence_table() {
-    println!("\n=== E11b: KSM savings vs guest divergence from the template (8 × 32 MiB guests) ===");
+    println!(
+        "\n=== E11b: KSM savings vs guest divergence from the template (8 × 32 MiB guests) ==="
+    );
     println!(
         "{:>16} {:>14} {:>16} {:>18}",
         "private fraction", "saved", "saving fraction", "one-shot upper bound"
     );
     let pages_per_vm = ByteSize::mib(32).pages();
     for private in [0.0f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
-        let vms: Vec<GuestMemory> =
-            (0..8).map(|i| template_clone(i as u64, pages_per_vm, private)).collect();
+        let vms: Vec<GuestMemory> = (0..8)
+            .map(|i| template_clone(i as u64, pages_per_vm, private))
+            .collect();
         let analysis = analyze_sharing(vms.iter()).unwrap();
         let mut ksm = scanner_over(&vms);
         ksm.scan_until_stable(6).unwrap();
@@ -94,21 +100,33 @@ fn print_divergence_table() {
 
 fn print_cow_break_table() {
     println!("\n=== E11c: sharing decay under guest writes (4 clones, write bursts into shared pages) ===");
-    println!("{:>14} {:>12} {:>12}", "pages written", "cow breaks", "still saved");
+    println!(
+        "{:>14} {:>12} {:>12}",
+        "pages written", "cow breaks", "still saved"
+    );
     let pages_per_vm = ByteSize::mib(16).pages();
-    let vms: Vec<GuestMemory> = (0..4).map(|i| template_clone(i, pages_per_vm, 0.0)).collect();
+    let vms: Vec<GuestMemory> = (0..4)
+        .map(|i| template_clone(i, pages_per_vm, 0.0))
+        .collect();
     let mut ksm = scanner_over(&vms);
     ksm.scan_until_stable(6).unwrap();
     let mut written = 0u64;
     for burst in [0u64, 256, 1024, 2048] {
         for p in written..written + burst {
             let page = p % pages_per_vm;
-            vms[0].write_u64(GuestAddress(page * PAGE_SIZE), 0xdead_0000 + p).unwrap();
+            vms[0]
+                .write_u64(GuestAddress(page * PAGE_SIZE), 0xdead_0000 + p)
+                .unwrap();
             ksm.notify_write(VmId::new(0), page);
         }
         written += burst;
         let stats = ksm.stats();
-        println!("{:>14} {:>12} {:>8} MiB", written, stats.cow_breaks, stats.bytes_saved() >> 20);
+        println!(
+            "{:>14} {:>12} {:>8} MiB",
+            written,
+            stats.cow_breaks,
+            stats.bytes_saved() >> 20
+        );
     }
     println!();
 }
@@ -124,8 +142,9 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
 
     for clones in [2usize, 8] {
-        let vms: Vec<GuestMemory> =
-            (0..clones).map(|i| template_clone(i as u64, ByteSize::mib(8).pages(), 0.2)).collect();
+        let vms: Vec<GuestMemory> = (0..clones)
+            .map(|i| template_clone(i as u64, ByteSize::mib(8).pages(), 0.2))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("full_scan_to_stable", clones),
             &vms,

@@ -48,14 +48,26 @@ fn print_engine_table() {
     let model = LinkModel::gigabit();
     let reports = vec![
         ("stop-and-copy", {
-            let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
+            let (s, d) = (
+                GuestMemory::flat(ram).unwrap(),
+                GuestMemory::flat(ram).unwrap(),
+            );
             StopAndCopy::migrate(&s, &d, &[VcpuState::default()], &mut Link::new(model)).unwrap()
         }),
         ("pre-copy", run_precopy(ram, model, 0.3)),
         ("post-copy", {
-            let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
-            PostCopy::migrate(&s, &d, &[VcpuState::default()], &mut Link::new(model), &MigrationConfig::default())
-                .unwrap()
+            let (s, d) = (
+                GuestMemory::flat(ram).unwrap(),
+                GuestMemory::flat(ram).unwrap(),
+            );
+            PostCopy::migrate(
+                &s,
+                &d,
+                &[VcpuState::default()],
+                &mut Link::new(model),
+                &MigrationConfig::default(),
+            )
+            .unwrap()
         }),
     ];
     for (name, r) in reports {
@@ -73,7 +85,10 @@ fn print_engine_table() {
 
 fn print_dirty_rate_figure() {
     println!("\n=== E4b: pre-copy downtime vs dirty rate (256 MiB guest, 1 Gbit/s) ===");
-    println!("{:>12} {:>14} {:>14} {:>8} {:>10}", "dirty rate", "downtime", "total", "rounds", "converged");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8} {:>10}",
+        "dirty rate", "downtime", "total", "rounds", "converged"
+    );
     for fraction in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.1] {
         let r = run_precopy(ByteSize::mib(256), LinkModel::gigabit(), fraction);
         println!(
@@ -89,13 +104,23 @@ fn print_dirty_rate_figure() {
 
 fn print_ram_figure() {
     println!("\n=== E4c: downtime vs RAM size (idle guest vs stop-and-copy) ===");
-    println!("{:>10} {:>20} {:>20} {:>16}", "RAM", "stop-and-copy", "pre-copy (idle)", "post-copy");
+    println!(
+        "{:>10} {:>20} {:>20} {:>16}",
+        "RAM", "stop-and-copy", "pre-copy (idle)", "post-copy"
+    );
     for mib in [128u64, 256, 512, 1024, 2048] {
         let ram = ByteSize::mib(mib);
         let model = LinkModel::gigabit();
-        let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
-        let sc = StopAndCopy::migrate(&s, &d, &[VcpuState::default()], &mut Link::new(model)).unwrap();
-        let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
+        let (s, d) = (
+            GuestMemory::flat(ram).unwrap(),
+            GuestMemory::flat(ram).unwrap(),
+        );
+        let sc =
+            StopAndCopy::migrate(&s, &d, &[VcpuState::default()], &mut Link::new(model)).unwrap();
+        let (s, d) = (
+            GuestMemory::flat(ram).unwrap(),
+            GuestMemory::flat(ram).unwrap(),
+        );
         let pre = PreCopy::migrate(
             &s,
             &d,
@@ -105,7 +130,10 @@ fn print_ram_figure() {
             &MigrationConfig::default(),
         )
         .unwrap();
-        let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
+        let (s, d) = (
+            GuestMemory::flat(ram).unwrap(),
+            GuestMemory::flat(ram).unwrap(),
+        );
         let post = PostCopy::migrate(
             &s,
             &d,
@@ -124,7 +152,11 @@ fn print_ram_figure() {
     }
 
     println!("\n=== E4d: pre-copy total time vs link speed (512 MiB, 30% dirty) ===");
-    for (name, model) in [("100 Mbit/s", LinkModel::wan()), ("1 Gbit/s", LinkModel::gigabit()), ("10 Gbit/s", LinkModel::ten_gigabit())] {
+    for (name, model) in [
+        ("100 Mbit/s", LinkModel::wan()),
+        ("1 Gbit/s", LinkModel::gigabit()),
+        ("10 Gbit/s", LinkModel::ten_gigabit()),
+    ] {
         let r = run_precopy(ByteSize::mib(512), model, 0.3);
         println!(
             "{:>12}: total {:>12}, downtime {:>12}, converged {}",
@@ -153,7 +185,10 @@ fn print_compression_ablation() {
         // Half of the guest holds data, the other half is zero pages.
         for page in 0..source.total_pages() / 2 {
             source
-                .write_u64(rvisor_types::GuestAddress(page * rvisor_types::PAGE_SIZE), page * 13 + 7)
+                .write_u64(
+                    rvisor_types::GuestAddress(page * rvisor_types::PAGE_SIZE),
+                    page * 13 + 7,
+                )
                 .unwrap();
         }
         let model = LinkModel::wan();
@@ -164,7 +199,10 @@ fn print_compression_ablation() {
             0,
             source.total_pages() / 2,
         );
-        let config = MigrationConfig { compression, ..Default::default() };
+        let config = MigrationConfig {
+            compression,
+            ..Default::default()
+        };
         let r = PreCopy::migrate(
             &source,
             &dest,
@@ -198,17 +236,31 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
     for mib in [64u64, 256] {
-        group.bench_with_input(BenchmarkId::new("precopy_host_cost", mib), &mib, |b, &mib| {
-            b.iter(|| run_precopy(ByteSize::mib(mib), LinkModel::gigabit(), 0.3).pages_transferred)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("precopy_host_cost", mib),
+            &mib,
+            |b, &mib| {
+                b.iter(|| {
+                    run_precopy(ByteSize::mib(mib), LinkModel::gigabit(), 0.3).pages_transferred
+                })
+            },
+        );
     }
     group.bench_function("stop_and_copy_host_cost_64MiB", |b| {
         b.iter(|| {
             let ram = ByteSize::mib(64);
-            let (s, d) = (GuestMemory::flat(ram).unwrap(), GuestMemory::flat(ram).unwrap());
-            StopAndCopy::migrate(&s, &d, &[VcpuState::default()], &mut Link::new(LinkModel::gigabit()))
-                .unwrap()
-                .pages_transferred
+            let (s, d) = (
+                GuestMemory::flat(ram).unwrap(),
+                GuestMemory::flat(ram).unwrap(),
+            );
+            StopAndCopy::migrate(
+                &s,
+                &d,
+                &[VcpuState::default()],
+                &mut Link::new(LinkModel::gigabit()),
+            )
+            .unwrap()
+            .pages_transferred
         })
     });
     group.finish();

@@ -50,13 +50,15 @@ fn print_policy_table() {
 }
 
 fn print_penalty_sweep() {
-    println!("\n=== E13b: expected slowdown vs remote-access penalty (4-node host, interleaved) ===");
+    println!(
+        "\n=== E13b: expected slowdown vs remote-access penalty (4-node host, interleaved) ==="
+    );
     println!("{:>10} {:>16} {:>16}", "penalty", "packed", "interleaved");
     for penalty in [1.2f64, 1.4, 1.6, 2.0] {
         let mut row = Vec::new();
         for policy in NumaPolicy::ALL {
-            let topology = NumaTopology::symmetric(4, 16, ByteSize::gib(64))
-                .with_remote_penalty(penalty);
+            let topology =
+                NumaTopology::symmetric(4, 16, ByteSize::gib(64)).with_remote_penalty(penalty);
             let mut host = NumaHost::new(topology);
             place_fleet(&mut host, policy);
             row.push(host.avg_expected_slowdown());

@@ -10,7 +10,8 @@ use rvisor_types::ByteSize;
 
 fn provisioner_with_image(size: ByteSize) -> Provisioner {
     let mut lib = ImageLibrary::new();
-    lib.add_template("golden", "golden OS image", synthetic_os_image(size)).unwrap();
+    lib.add_template("golden", "golden OS image", synthetic_os_image(size))
+        .unwrap();
     Provisioner::new(lib, StorageModel::ssd())
 }
 
@@ -33,8 +34,12 @@ fn print_table() {
     }
     println!("\n--- standing up 10 servers at once (1 GiB image, SSD model) ---");
     let mut p = provisioner_with_image(ByteSize::mib(1024));
-    let (_, full_total) = p.provision_many("golden", CloneStrategy::FullCopy, 10).unwrap();
-    let (_, cow_total) = p.provision_many("golden", CloneStrategy::CopyOnWrite, 10).unwrap();
+    let (_, full_total) = p
+        .provision_many("golden", CloneStrategy::FullCopy, 10)
+        .unwrap();
+    let (_, cow_total) = p
+        .provision_many("golden", CloneStrategy::CopyOnWrite, 10)
+        .unwrap();
     println!("full copies: {full_total}, CoW clones: {cow_total}");
     println!();
 }
@@ -50,14 +55,22 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_copy", mib), &mib, |b, &mib| {
             b.iter_batched(
                 || provisioner_with_image(ByteSize::mib(mib)),
-                |mut p| p.provision("golden", CloneStrategy::FullCopy).unwrap().bytes_copied,
+                |mut p| {
+                    p.provision("golden", CloneStrategy::FullCopy)
+                        .unwrap()
+                        .bytes_copied
+                },
                 criterion::BatchSize::SmallInput,
             )
         });
         group.bench_with_input(BenchmarkId::new("cow_clone", mib), &mib, |b, &mib| {
             b.iter_batched(
                 || provisioner_with_image(ByteSize::mib(mib)),
-                |mut p| p.provision("golden", CloneStrategy::CopyOnWrite).unwrap().bytes_copied,
+                |mut p| {
+                    p.provision("golden", CloneStrategy::CopyOnWrite)
+                        .unwrap()
+                        .bytes_copied
+                },
                 criterion::BatchSize::SmallInput,
             )
         });

@@ -15,7 +15,11 @@ fn entity(vm: u32, weight: u32) -> VcpuEntity {
 }
 
 fn weighted_sim(pcpus: usize, quanta: u64) -> HostSim {
-    let mut sim = HostSim::new(SimConfig { pcpus, quanta, quantum: Nanoseconds::from_millis(30) });
+    let mut sim = HostSim::new(SimConfig {
+        pcpus,
+        quanta,
+        quantum: Nanoseconds::from_millis(30),
+    });
     sim.add_entity(entity(0, 128));
     sim.add_entity(entity(1, 256));
     sim.add_entity(entity(2, 256));
@@ -24,7 +28,11 @@ fn weighted_sim(pcpus: usize, quanta: u64) -> HostSim {
 }
 
 fn oversubscribed_sim(vcpus: u32, pcpus: usize, quanta: u64) -> HostSim {
-    let mut sim = HostSim::new(SimConfig { pcpus, quanta, quantum: Nanoseconds::from_millis(30) });
+    let mut sim = HostSim::new(SimConfig {
+        pcpus,
+        quanta,
+        quantum: Nanoseconds::from_millis(30),
+    });
     for vm in 0..vcpus {
         sim.add_entity(entity(vm, 256));
     }
@@ -54,7 +62,11 @@ fn print_table() {
     }
 
     println!("\n--- cap enforcement (credit scheduler, 1 pCPU) ---");
-    let mut sim = HostSim::new(SimConfig { pcpus: 1, quanta: 10_000, quantum: Nanoseconds::from_millis(30) });
+    let mut sim = HostSim::new(SimConfig {
+        pcpus: 1,
+        quanta: 10_000,
+        quantum: Nanoseconds::from_millis(30),
+    });
     sim.add_entity(entity(0, 256).with_cap(25));
     sim.add_entity(entity(1, 256));
     let r = sim.run(&mut CreditScheduler::new());
@@ -66,7 +78,10 @@ fn print_table() {
 
     println!("\n--- oversubscription: 32 always-runnable vCPUs on 8 pCPUs ---");
     let sim = oversubscribed_sim(32, 8, 10_000);
-    for report in [sim.run(&mut RoundRobin::new()), sim.run(&mut CreditScheduler::new())] {
+    for report in [
+        sim.run(&mut RoundRobin::new()),
+        sim.run(&mut CreditScheduler::new()),
+    ] {
         println!(
             "{:<14} utilization {:>6.1}%  Jain {:.4}",
             report.scheduler,
@@ -77,25 +92,37 @@ fn print_table() {
     println!();
 }
 
+type MakeScheduler = fn() -> Box<dyn Scheduler>;
+
 fn bench(c: &mut Criterion) {
     print_table();
     let mut group = c.benchmark_group("e5_sched");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
-    let makers: Vec<(&str, fn() -> Box<dyn Scheduler>)> = vec![
-        ("round-robin", || Box::new(RoundRobin::new()) as Box<dyn Scheduler>),
-        ("credit", || Box::new(CreditScheduler::new()) as Box<dyn Scheduler>),
-        ("stride", || Box::new(StrideScheduler::new()) as Box<dyn Scheduler>),
+    let makers: Vec<(&str, MakeScheduler)> = vec![
+        ("round-robin", || {
+            Box::new(RoundRobin::new()) as Box<dyn Scheduler>
+        }),
+        ("credit", || {
+            Box::new(CreditScheduler::new()) as Box<dyn Scheduler>
+        }),
+        ("stride", || {
+            Box::new(StrideScheduler::new()) as Box<dyn Scheduler>
+        }),
     ];
     for (name, make) in makers {
-        group.bench_with_input(BenchmarkId::new("sim_10k_quanta", name), &make, |b, make| {
-            let sim = oversubscribed_sim(32, 8, 10_000);
-            b.iter(|| {
-                let mut sched = make();
-                sim.run(sched.as_mut()).context_switches
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sim_10k_quanta", name),
+            &make,
+            |b, make| {
+                let sim = oversubscribed_sim(32, 8, 10_000);
+                b.iter(|| {
+                    let mut sched = make();
+                    sim.run(sched.as_mut()).context_switches
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -31,7 +31,10 @@ fn full_snapshot(mem: &GuestMemory) -> VmSnapshot {
 
 fn print_table() {
     println!("\n=== E6a: snapshot size, full vs incremental (10% dirtied) ===");
-    println!("{:>10} {:>16} {:>20}", "RAM", "full snapshot", "incremental (10%)");
+    println!(
+        "{:>10} {:>16} {:>20}",
+        "RAM", "full snapshot", "incremental (10%)"
+    );
     for mib in [128u64, 256, 512, 1024] {
         let mem = GuestMemory::flat(ByteSize::mib(mib)).unwrap();
         let full = full_snapshot(&mem);
@@ -48,7 +51,10 @@ fn print_table() {
     }
 
     println!("\n=== E6b: incremental snapshot size vs dirty fraction (256 MiB guest) ===");
-    println!("{:>14} {:>16} {:>14}", "dirty fraction", "snapshot size", "pages");
+    println!(
+        "{:>14} {:>16} {:>14}",
+        "dirty fraction", "snapshot size", "pages"
+    );
     for fraction in [0.01, 0.05, 0.10, 0.25, 0.50] {
         let mem = GuestMemory::flat(ByteSize::mib(256)).unwrap();
         mem.clear_dirty();
@@ -90,7 +96,9 @@ fn bench(c: &mut Criterion) {
                     mem.clear_dirty();
                     dirty_fraction_of(&mem, pct as f64 / 100.0);
                     let dirty = mem.drain_dirty();
-                    MemorySnapshot::capture_pages(&mem, &dirty).unwrap().page_count()
+                    MemorySnapshot::capture_pages(&mem, &dirty)
+                        .unwrap()
+                        .page_count()
                 })
             },
         );

@@ -43,7 +43,10 @@ fn print_profile_table() {
 
 fn print_sharing_sweep() {
     println!("\n=== E12b: knowledge-worker density vs page-sharing fraction ===");
-    println!("{:>16} {:>22} {:>10}", "sharing fraction", "effective mem/desktop", "desktops");
+    println!(
+        "{:>16} {:>22} {:>10}",
+        "sharing fraction", "effective mem/desktop", "desktops"
+    );
     for sharing in [0.0f64, 0.2, 0.35, 0.5, 0.7] {
         let config = VdiConfig {
             page_sharing_fraction: sharing,
@@ -68,7 +71,12 @@ fn print_oversubscription_sweep() {
             ..VdiConfig::typical(DesktopProfile::TaskWorker)
         };
         let report = VdiEstimator::new(host(), config).unwrap().density();
-        println!("{:>7.0}:1 {:>10} {:>12}", ratio, report.desktops, report.limited_by.name());
+        println!(
+            "{:>7.0}:1 {:>10} {:>12}",
+            ratio,
+            report.desktops,
+            report.limited_by.name()
+        );
     }
 }
 

@@ -22,7 +22,12 @@ const DATA_MIB: u64 = 4;
 
 /// Write `total_bytes` through virtio-blk using `request_size` requests at
 /// `queue_depth`. Returns (device doorbells, total completions).
-fn virtio_write(total_bytes: u64, request_size: u64, queue_depth: usize, event_idx: bool) -> (u64, u64) {
+fn virtio_write(
+    total_bytes: u64,
+    request_size: u64,
+    queue_depth: usize,
+    event_idx: bool,
+) -> (u64, u64) {
     let mem = GuestMemory::flat(ByteSize::mib(32)).unwrap();
     let (layout, end) = QueueLayout::contiguous(GuestAddress(0x1000), 256).unwrap();
     let mut queue = VirtQueue::new(layout);
@@ -73,7 +78,10 @@ fn print_table() {
     println!("\n=== E2: virtio-blk vs emulated PIO disk ({DATA_MIB} MiB written) ===");
     let total = DATA_MIB << 20;
     let emulated_exits = emulated_write(total);
-    println!("{:<28} {:>12} {:>20}", "device model", "VM exits", "exit cost @hw-assist");
+    println!(
+        "{:<28} {:>12} {:>20}",
+        "device model", "VM exits", "exit cost @hw-assist"
+    );
     let hw_exit_ns = ExecMode::HardwareAssist.default_costs().mmio_exit_ns;
     println!(
         "{:<28} {:>12} {:>17} ms",

@@ -25,7 +25,12 @@ fn tx_run(frames: u64, payload_len: usize, queue_size: u16, event_idx: bool) -> 
     driver.set_event_idx(event_idx);
     driver.init(&mem).unwrap();
 
-    let frame = Frame::new(MacAddr::local(1), MacAddr::local(2), ETHERTYPE_IPV4, vec![0u8; payload_len]);
+    let frame = Frame::new(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        ETHERTYPE_IPV4,
+        vec![0u8; payload_len],
+    );
     let packet = VirtioNet::tx_packet(&frame);
     let batch = (queue_size / 2).max(1) as u64;
     let mut sent = 0u64;
@@ -51,7 +56,10 @@ fn print_table() {
         for qsize in [64u16, 256, 1024] {
             let frames = 20_000;
             let (kicks, bytes) = tx_run(frames, payload, qsize, false);
-            println!("{:<14} {:<12} {:>14} {:>16} {:>14}", payload, qsize, frames, kicks, bytes);
+            println!(
+                "{:<14} {:<12} {:>14} {:>16} {:>14}",
+                payload, qsize, frames, kicks, bytes
+            );
         }
     }
     let (kicks_plain, _) = tx_run(20_000, 512, 256, false);
@@ -71,9 +79,11 @@ fn bench(c: &mut Criterion) {
     let frames = 5_000u64;
     for payload in [64usize, 512, 1500] {
         group.throughput(Throughput::Bytes(frames * payload as u64));
-        group.bench_with_input(BenchmarkId::new("frame", payload), &payload, |b, &payload| {
-            b.iter(|| tx_run(frames, payload, 256, false))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("frame", payload),
+            &payload,
+            |b, &payload| b.iter(|| tx_run(frames, payload, 256, false)),
+        );
     }
     for qsize in [64u16, 1024] {
         group.bench_with_input(BenchmarkId::new("queue", qsize), &qsize, |b, &qsize| {

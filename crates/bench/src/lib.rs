@@ -6,11 +6,11 @@
 //! is deterministic) before handing the hot loops to Criterion for
 //! wall-clock measurement.
 
-use rvisor_types::ByteSize;
-use rvisor_vcpu::{ExecCosts, ExecMode, Vcpu, VcpuConfig, Workload};
 use rvisor_memory::GuestMemory;
+use rvisor_types::ByteSize;
 use rvisor_types::VcpuId;
 use rvisor_vcpu::ExitReason;
+use rvisor_vcpu::{ExecCosts, ExecMode, Vcpu, VcpuConfig, Workload};
 
 /// Build a vCPU + memory pair with the given execution mode, load the
 /// workload, and return everything ready to run.

@@ -78,7 +78,7 @@ pub trait BlockBackend: Send {
 /// Shared by every backend implementation so they all reject malformed
 /// requests identically.
 pub fn validate_request(capacity_sectors: u64, sector: u64, len: usize) -> Result<()> {
-    if len == 0 || len as u64 % SECTOR_SIZE != 0 {
+    if len == 0 || !(len as u64).is_multiple_of(SECTOR_SIZE) {
         return Err(Error::Block(format!(
             "request length {len} is not a positive multiple of the sector size"
         )));

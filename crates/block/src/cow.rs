@@ -38,7 +38,12 @@ impl CowOverlay {
     /// Create an overlay on top of `base`. The overlay inherits the base's capacity.
     pub fn new(base: Arc<Mutex<dyn BlockBackend>>) -> Self {
         let capacity_sectors = base.lock().capacity_sectors();
-        CowOverlay { base, overlay: BTreeMap::new(), capacity_sectors, stats: BlockStats::default() }
+        CowOverlay {
+            base,
+            overlay: BTreeMap::new(),
+            capacity_sectors,
+            stats: BlockStats::default(),
+        }
     }
 
     /// Number of sectors that have been privately written (overlay footprint).
@@ -134,7 +139,9 @@ pub const MAX_OVERLAY_DEPTH: usize = 16;
 
 /// Error helper for overlay-depth violations.
 pub fn depth_error(depth: usize) -> Error {
-    Error::Block(format!("overlay chain depth {depth} exceeds the maximum of {MAX_OVERLAY_DEPTH}"))
+    Error::Block(format!(
+        "overlay chain depth {depth} exceeds the maximum of {MAX_OVERLAY_DEPTH}"
+    ))
 }
 
 #[cfg(test)]

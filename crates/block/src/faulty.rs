@@ -61,7 +61,8 @@ impl FaultPlan {
 
     /// Fail every request overlapping `[first_sector, last_sector]`.
     pub fn with_bad_range(mut self, first_sector: u64, last_sector: u64, kind: FaultKind) -> Self {
-        self.bad_ranges.push((first_sector, last_sector.max(first_sector), kind));
+        self.bad_ranges
+            .push((first_sector, last_sector.max(first_sector), kind));
         self
     }
 
@@ -119,7 +120,13 @@ impl<B: BlockBackend> FaultyDisk<B> {
     /// Wrap `inner` with the given fault plan.
     pub fn new(inner: B, plan: FaultPlan) -> Self {
         let rng_state = plan.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        FaultyDisk { inner, plan, requests_seen: 0, rng_state, stats: FaultStats::default() }
+        FaultyDisk {
+            inner,
+            plan,
+            requests_seen: 0,
+            rng_state,
+            stats: FaultStats::default(),
+        }
     }
 
     /// Injection counters.
@@ -144,7 +151,10 @@ impl<B: BlockBackend> FaultyDisk<B> {
 
     fn next_random_unit(&mut self) -> f64 {
         // Numerical Recipes LCG: deterministic, good enough for fault injection.
-        self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng_state = self
+            .rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.rng_state >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -248,7 +258,11 @@ mod tests {
         let mut out = vec![0u8; 512];
         assert!(d.read_sectors(101, &mut out).is_err());
         assert_eq!(d.fault_stats().range_failures, 3);
-        assert_eq!(d.stats().writes, 2, "failed writes must not reach the inner backend");
+        assert_eq!(
+            d.stats().writes,
+            2,
+            "failed writes must not reach the inner backend"
+        );
     }
 
     #[test]
@@ -296,7 +310,10 @@ mod tests {
         assert_eq!(a, b, "same seed must give the same fault pattern");
         assert_eq!(fa, fb);
         assert_ne!(a, c, "different seeds should give different patterns");
-        assert!(fa > 0, "a 30% rate over 64 requests should fail at least once");
+        assert!(
+            fa > 0,
+            "a 30% rate over 64 requests should fail at least once"
+        );
         assert!(fa < 40, "a 30% rate should not fail most requests");
     }
 

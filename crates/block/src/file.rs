@@ -42,7 +42,10 @@ impl FileDisk {
 
     /// Open an existing disk image.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
         let len = file.metadata()?.len();
         if len % SECTOR_SIZE != 0 {
             return Err(Error::Block(format!(

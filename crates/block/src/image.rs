@@ -77,7 +77,11 @@ impl Default for ImageLibrary {
 impl ImageLibrary {
     /// Create an empty library.
     pub fn new() -> Self {
-        ImageLibrary { templates: BTreeMap::new(), clones_created: 0, bytes_copied: 0 }
+        ImageLibrary {
+            templates: BTreeMap::new(),
+            clones_created: 0,
+            bytes_copied: 0,
+        }
     }
 
     /// Register a template built from raw contents. The template is stored
@@ -94,12 +98,18 @@ impl ImageLibrary {
             format: ImageFormat::Raw,
             description: description.to_string(),
         };
-        self.templates.insert(name.to_string(), (image, share(disk)));
+        self.templates
+            .insert(name.to_string(), (image, share(disk)));
         Ok(())
     }
 
     /// Register a zero-filled template of `size` (e.g. an empty data disk).
-    pub fn add_blank_template(&mut self, name: &str, description: &str, size: ByteSize) -> Result<()> {
+    pub fn add_blank_template(
+        &mut self,
+        name: &str,
+        description: &str,
+        size: ByteSize,
+    ) -> Result<()> {
         let mut disk = RamDisk::new(size);
         disk.set_read_only(true);
         if self.templates.contains_key(name) {
@@ -111,7 +121,8 @@ impl ImageLibrary {
             format: ImageFormat::Raw,
             description: description.to_string(),
         };
-        self.templates.insert(name.to_string(), (image, share(disk)));
+        self.templates
+            .insert(name.to_string(), (image, share(disk)));
         Ok(())
     }
 
@@ -180,7 +191,12 @@ mod tests {
 
     fn library_with_template(size: ByteSize) -> ImageLibrary {
         let mut lib = ImageLibrary::new();
-        lib.add_template("win2003", "Windows 2003 application server", synthetic_os_image(size)).unwrap();
+        lib.add_template(
+            "win2003",
+            "Windows 2003 application server",
+            synthetic_os_image(size),
+        )
+        .unwrap();
         lib
     }
 
@@ -199,8 +215,12 @@ mod tests {
     fn duplicate_template_rejected() {
         let mut lib = library_with_template(ByteSize::kib(4));
         assert!(lib.add_template("win2003", "dup", vec![0u8; 512]).is_err());
-        assert!(lib.add_blank_template("win2003", "dup", ByteSize::kib(4)).is_err());
-        assert!(lib.add_blank_template("data", "empty data disk", ByteSize::kib(4)).is_ok());
+        assert!(lib
+            .add_blank_template("win2003", "dup", ByteSize::kib(4))
+            .is_err());
+        assert!(lib
+            .add_blank_template("data", "empty data disk", ByteSize::kib(4))
+            .is_ok());
     }
 
     #[test]
@@ -223,14 +243,18 @@ mod tests {
     #[test]
     fn cow_clone_copies_nothing_up_front() {
         let mut lib = library_with_template(ByteSize::mib(1));
-        let mut clone = lib.clone_from("win2003", CloneStrategy::CopyOnWrite).unwrap();
+        let mut clone = lib
+            .clone_from("win2003", CloneStrategy::CopyOnWrite)
+            .unwrap();
         assert_eq!(lib.bytes_copied(), 0);
         let mut buf = vec![0u8; 512];
         clone.read_sectors(7, &mut buf).unwrap();
         assert_eq!(u64::from_le_bytes(buf[2..10].try_into().unwrap()), 7);
         clone.write_sectors(7, &vec![0x77u8; 512]).unwrap();
         // Template still pristine for the next clone.
-        let mut clone2 = lib.clone_from("win2003", CloneStrategy::CopyOnWrite).unwrap();
+        let mut clone2 = lib
+            .clone_from("win2003", CloneStrategy::CopyOnWrite)
+            .unwrap();
         clone2.read_sectors(7, &mut buf).unwrap();
         assert_eq!(buf[0], 0x55);
     }
@@ -247,6 +271,9 @@ mod tests {
         assert_eq!(img.len(), 2048);
         assert_eq!(img[0], 0x55);
         assert_eq!(img[1], 0xaa);
-        assert_eq!(u64::from_le_bytes(img[512 + 2..512 + 10].try_into().unwrap()), 1);
+        assert_eq!(
+            u64::from_le_bytes(img[512 + 2..512 + 10].try_into().unwrap()),
+            1
+        );
     }
 }

@@ -28,7 +28,11 @@ impl RamDisk {
     pub fn from_data(mut data: Vec<u8>) -> Self {
         let sectors = (data.len() as u64).div_ceil(SECTOR_SIZE).max(1);
         data.resize((sectors * SECTOR_SIZE) as usize, 0);
-        RamDisk { data, stats: BlockStats::default(), read_only: false }
+        RamDisk {
+            data,
+            stats: BlockStats::default(),
+            read_only: false,
+        }
     }
 
     /// Mark the disk read-only (e.g. a golden template image).

@@ -25,26 +25,34 @@ pub struct StorageModel {
 impl StorageModel {
     /// A model resembling a SATA SSD: 80 µs per request, 500 MB/s.
     pub fn ssd() -> Self {
-        StorageModel { per_request: Nanoseconds::from_micros(80), bytes_per_second: 500_000_000 }
+        StorageModel {
+            per_request: Nanoseconds::from_micros(80),
+            bytes_per_second: 500_000_000,
+        }
     }
 
     /// A model resembling a 7200 RPM disk: 6 ms per request, 150 MB/s.
     pub fn hdd() -> Self {
-        StorageModel { per_request: Nanoseconds::from_millis(6), bytes_per_second: 150_000_000 }
+        StorageModel {
+            per_request: Nanoseconds::from_millis(6),
+            bytes_per_second: 150_000_000,
+        }
     }
 
     /// A model resembling an NVMe device: 12 µs per request, 3 GB/s.
     pub fn nvme() -> Self {
-        StorageModel { per_request: Nanoseconds::from_micros(12), bytes_per_second: 3_000_000_000 }
+        StorageModel {
+            per_request: Nanoseconds::from_micros(12),
+            bytes_per_second: 3_000_000_000,
+        }
     }
 
     /// Service time for a request of `bytes`.
     pub fn service_time(&self, bytes: u64) -> Nanoseconds {
-        let transfer_ns = if self.bytes_per_second == 0 {
-            0
-        } else {
-            bytes.saturating_mul(1_000_000_000) / self.bytes_per_second
-        };
+        let transfer_ns = bytes
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.bytes_per_second)
+            .unwrap_or(0);
         self.per_request.saturating_add(Nanoseconds(transfer_ns))
     }
 }
@@ -70,7 +78,12 @@ impl<B: BlockBackend> std::fmt::Debug for ThrottledDisk<B> {
 impl<B: BlockBackend> ThrottledDisk<B> {
     /// Wrap `inner` with `model`.
     pub fn new(inner: B, model: StorageModel) -> Self {
-        ThrottledDisk { inner, model, busy: Nanoseconds::ZERO, requests: 0 }
+        ThrottledDisk {
+            inner,
+            model,
+            busy: Nanoseconds::ZERO,
+            requests: 0,
+        }
     }
 
     /// Total simulated time the storage device has spent servicing requests.
@@ -139,11 +152,17 @@ mod tests {
 
     #[test]
     fn service_time_components() {
-        let m = StorageModel { per_request: Nanoseconds::from_micros(100), bytes_per_second: 1_000_000 };
+        let m = StorageModel {
+            per_request: Nanoseconds::from_micros(100),
+            bytes_per_second: 1_000_000,
+        };
         // 1000 bytes at 1 MB/s = 1 ms transfer + 100 µs latency.
         assert_eq!(m.service_time(1000), Nanoseconds::from_micros(1100));
         assert_eq!(m.service_time(0), Nanoseconds::from_micros(100));
-        let zero_bw = StorageModel { per_request: Nanoseconds::from_micros(5), bytes_per_second: 0 };
+        let zero_bw = StorageModel {
+            per_request: Nanoseconds::from_micros(5),
+            bytes_per_second: 0,
+        };
         assert_eq!(zero_bw.service_time(4096), Nanoseconds::from_micros(5));
     }
 
@@ -156,7 +175,10 @@ mod tests {
 
     #[test]
     fn busy_time_accumulates() {
-        let model = StorageModel { per_request: Nanoseconds::from_micros(10), bytes_per_second: 512_000_000 };
+        let model = StorageModel {
+            per_request: Nanoseconds::from_micros(10),
+            bytes_per_second: 512_000_000,
+        };
         let mut disk = ThrottledDisk::new(RamDisk::new(ByteSize::kib(64)), model);
         let buf = vec![0u8; 4096];
         for i in 0..8 {
@@ -164,7 +186,10 @@ mod tests {
         }
         assert_eq!(disk.requests(), 8);
         let expected_per_req = model.service_time(4096);
-        assert_eq!(disk.busy_time(), Nanoseconds(expected_per_req.as_nanos() * 8));
+        assert_eq!(
+            disk.busy_time(),
+            Nanoseconds(expected_per_req.as_nanos() * 8)
+        );
         assert_eq!(disk.stats().writes, 8);
         assert_eq!(disk.model(), model);
         assert_eq!(disk.capacity_sectors(), 128);

@@ -25,7 +25,10 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         // ~0.15 €/kWh (Greek commercial tariff of the era) and a 1.6 cooling factor.
-        CostModel { euro_per_kwh: 0.15, cooling_factor: 1.6 }
+        CostModel {
+            euro_per_kwh: 0.15,
+            cooling_factor: 1.6,
+        }
     }
 }
 
@@ -71,7 +74,11 @@ impl CostModel {
     }
 
     /// Compare a baseline plan against a consolidated plan.
-    pub fn compare(&self, baseline: &ConsolidationPlan, consolidated: &ConsolidationPlan) -> CostReport {
+    pub fn compare(
+        &self,
+        baseline: &ConsolidationPlan,
+        consolidated: &ConsolidationPlan,
+    ) -> CostReport {
         CostReport {
             baseline_annual_euro: self.annual_cost_euro(baseline),
             consolidated_annual_euro: self.annual_cost_euro(consolidated),
@@ -94,7 +101,9 @@ mod tests {
         let fleet = VmSpec::nireus_fleet();
         let planner = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 60);
         let baseline = planner.plan(&fleet, PlacementStrategy::OnePerHost).unwrap();
-        let consolidated = planner.plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+        let consolidated = planner
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         (baseline, consolidated)
     }
 
@@ -128,9 +137,17 @@ mod tests {
     #[test]
     fn cost_scales_with_tariff_and_cooling() {
         let (_, consolidated) = plans();
-        let cheap = CostModel { euro_per_kwh: 0.10, cooling_factor: 1.2 };
-        let pricey = CostModel { euro_per_kwh: 0.30, cooling_factor: 2.0 };
-        assert!(pricey.annual_cost_euro(&consolidated) > 2.0 * cheap.annual_cost_euro(&consolidated));
+        let cheap = CostModel {
+            euro_per_kwh: 0.10,
+            cooling_factor: 1.2,
+        };
+        let pricey = CostModel {
+            euro_per_kwh: 0.30,
+            cooling_factor: 2.0,
+        };
+        assert!(
+            pricey.annual_cost_euro(&consolidated) > 2.0 * cheap.annual_cost_euro(&consolidated)
+        );
     }
 
     #[test]

@@ -25,12 +25,24 @@ impl HostSpec {
     /// The host model used in the source material's demos: a dual-socket
     /// box with 8 cores and 12 GiB of RAM.
     pub fn deck_era_server(id: HostId) -> Self {
-        HostSpec { id, cores: 8, memory: ByteSize::gib(12), idle_watts: 180.0, busy_watts: 320.0 }
+        HostSpec {
+            id,
+            cores: 8,
+            memory: ByteSize::gib(12),
+            idle_watts: 180.0,
+            busy_watts: 320.0,
+        }
     }
 
     /// A larger, more modern consolidation host: 32 cores, 128 GiB.
     pub fn modern_server(id: HostId) -> Self {
-        HostSpec { id, cores: 32, memory: ByteSize::gib(128), idle_watts: 220.0, busy_watts: 450.0 }
+        HostSpec {
+            id,
+            cores: 32,
+            memory: ByteSize::gib(128),
+            idle_watts: 220.0,
+            busy_watts: 450.0,
+        }
     }
 }
 
@@ -49,12 +61,20 @@ pub struct Host {
 impl Host {
     /// An empty host with no overcommit.
     pub fn new(spec: HostSpec) -> Self {
-        Host { spec, placed: Vec::new(), memory_overcommit: 1.0 }
+        Host {
+            spec,
+            placed: Vec::new(),
+            memory_overcommit: 1.0,
+        }
     }
 
     /// An empty host allowing memory overcommit up to `factor`.
     pub fn with_overcommit(spec: HostSpec, factor: f64) -> Self {
-        Host { spec, placed: Vec::new(), memory_overcommit: factor.max(1.0) }
+        Host {
+            spec,
+            placed: Vec::new(),
+            memory_overcommit: factor.max(1.0),
+        }
     }
 
     /// Memory committed to placed VMs.
@@ -74,7 +94,8 @@ impl Host {
 
     /// Whether `vm` fits on this host right now.
     pub fn fits(&self, vm: &VmSpec) -> bool {
-        let mem_ok = self.memory_committed().as_u64() + vm.memory.as_u64() <= self.memory_capacity().as_u64();
+        let mem_ok = self.memory_committed().as_u64() + vm.memory.as_u64()
+            <= self.memory_capacity().as_u64();
         let cpu_ok = self.cpu_committed() + vm.cpu_demand_cores <= self.spec.cores as f64;
         mem_ok && cpu_ok
     }
@@ -133,7 +154,8 @@ mod tests {
         let mut h = host();
         // 12 GiB host; five 2 GiB app servers fit, the seventh 2-3GiB one may not.
         for i in 0..5 {
-            h.place(VmSpec::typical(&format!("app-{i}"), ServerRole::AppServer)).unwrap();
+            h.place(VmSpec::typical(&format!("app-{i}"), ServerRole::AppServer))
+                .unwrap();
         }
         assert_eq!(h.vm_count(), 5);
         assert_eq!(h.memory_committed(), ByteSize::gib(10));
@@ -189,7 +211,10 @@ mod tests {
         }
         assert!(relaxed_count > strict_count);
         // Overcommit below 1.0 is clamped.
-        assert_eq!(Host::with_overcommit(HostSpec::deck_era_server(HostId::new(2)), 0.5).memory_overcommit, 1.0);
+        assert_eq!(
+            Host::with_overcommit(HostSpec::deck_era_server(HostId::new(2)), 0.5).memory_overcommit,
+            1.0
+        );
     }
 
     #[test]
@@ -197,7 +222,8 @@ mod tests {
         let mut h = host();
         let idle_power = h.power_watts();
         assert!((idle_power - 180.0).abs() < 1e-9);
-        h.place(VmSpec::typical("db", ServerRole::Database).with_cpu_demand(8.0)).unwrap();
+        h.place(VmSpec::typical("db", ServerRole::Database).with_cpu_demand(8.0))
+            .unwrap();
         assert!((h.power_watts() - 320.0).abs() < 1e-9);
         assert!(h.cpu_utilization() >= 1.0);
         assert!(h.evict("db").is_some());

@@ -36,6 +36,6 @@ pub use cost::{CostModel, CostReport};
 pub use host::{Host, HostSpec};
 pub use numa::{NumaHost, NumaNode, NumaPlacement, NumaPolicy, NumaTopology};
 pub use placement::{ConsolidationPlan, ConsolidationPlanner, PlacementStrategy};
-pub use provision::{ProvisioningReport, Provisioner};
+pub use provision::{Provisioner, ProvisioningReport};
 pub use vdi::{DensityLimit, DesktopProfile, VdiConfig, VdiDensityReport, VdiEstimator};
 pub use vmspec::{ServerRole, VmSpec};

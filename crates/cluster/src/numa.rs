@@ -49,15 +49,26 @@ impl NumaTopology {
     /// A symmetric topology of `node_count` identical nodes.
     pub fn symmetric(node_count: u32, cores_per_node: u32, memory_per_node: ByteSize) -> Self {
         let nodes = (0..node_count.max(1))
-            .map(|id| NumaNode { id, cores: cores_per_node, memory: memory_per_node })
+            .map(|id| NumaNode {
+                id,
+                cores: cores_per_node,
+                memory: memory_per_node,
+            })
             .collect();
-        NumaTopology { nodes, remote_access_penalty: 1.5 }
+        NumaTopology {
+            nodes,
+            remote_access_penalty: 1.5,
+        }
     }
 
     /// Split a [`HostSpec`] evenly into `node_count` nodes.
     pub fn of_host(spec: &HostSpec, node_count: u32) -> Self {
         let n = node_count.max(1);
-        Self::symmetric(n, spec.cores / n, ByteSize::new(spec.memory.as_u64() / n as u64))
+        Self::symmetric(
+            n,
+            spec.cores / n,
+            ByteSize::new(spec.memory.as_u64() / n as u64),
+        )
     }
 
     /// Override the remote-access penalty (builder style).
@@ -178,7 +189,10 @@ impl NumaHost {
 
     /// Free memory on a node.
     pub fn node_free_memory(&self, node: usize) -> u64 {
-        self.topology.nodes[node].memory.as_u64().saturating_sub(self.node_memory_used[node])
+        self.topology.nodes[node]
+            .memory
+            .as_u64()
+            .saturating_sub(self.node_memory_used[node])
     }
 
     /// Memory utilisation per node (0.0–1.0).
@@ -209,7 +223,10 @@ impl NumaHost {
         if self.placements.is_empty() {
             return 1.0;
         }
-        self.placements.iter().map(|p| p.local_fraction()).sum::<f64>()
+        self.placements
+            .iter()
+            .map(|p| p.local_fraction())
+            .sum::<f64>()
             / self.placements.len() as f64
     }
 
@@ -218,13 +235,18 @@ impl NumaHost {
         if self.placements.is_empty() {
             return 1.0;
         }
-        self.placements.iter().map(|p| p.expected_slowdown(&self.topology)).sum::<f64>()
+        self.placements
+            .iter()
+            .map(|p| p.expected_slowdown(&self.topology))
+            .sum::<f64>()
             / self.placements.len() as f64
     }
 
     /// Whether the host still has room for `vm` (memory and cores, host-wide).
     pub fn fits(&self, vm: &VmSpec) -> bool {
-        let free_mem: u64 = (0..self.topology.node_count()).map(|n| self.node_free_memory(n)).sum();
+        let free_mem: u64 = (0..self.topology.node_count())
+            .map(|n| self.node_free_memory(n))
+            .sum();
         let used_cores: f64 = self.node_cores_used.iter().sum();
         free_mem >= vm.memory.as_u64()
             && used_cores + vm.cpu_demand_cores <= self.topology.total_cores() as f64
@@ -283,14 +305,20 @@ impl NumaHost {
             .max_by_key(|(_, m)| m.as_u64())
             .map(|(n, _)| *n)
             .unwrap_or(0);
-        NumaPlacement { vm: vm.name.clone(), home_node, memory_by_node }
+        NumaPlacement {
+            vm: vm.name.clone(),
+            home_node,
+            memory_by_node,
+        }
     }
 
     /// Stripe memory across nodes proportionally to free capacity; vCPUs go
     /// to the node with the fewest committed cores.
     fn place_interleaved(&self, vm: &VmSpec) -> NumaPlacement {
         let need = vm.memory.as_u64();
-        let free: Vec<u64> = (0..self.topology.node_count()).map(|n| self.node_free_memory(n)).collect();
+        let free: Vec<u64> = (0..self.topology.node_count())
+            .map(|n| self.node_free_memory(n))
+            .collect();
         let total_free: u64 = free.iter().sum();
         let mut memory_by_node = Vec::new();
         let mut assigned = 0u64;
@@ -310,7 +338,7 @@ impl NumaHost {
         }
         // Distribute the rounding remainder to nodes that still have room.
         let mut remainder = need - assigned;
-        for n in 0..free.len() {
+        for (n, &free_n) in free.iter().enumerate() {
             if remainder == 0 {
                 break;
             }
@@ -319,10 +347,13 @@ impl NumaHost {
                 .filter(|(node, _)| *node == n as u32)
                 .map(|(_, m)| m.as_u64())
                 .sum();
-            let room = free[n].saturating_sub(already);
+            let room = free_n.saturating_sub(already);
             let take = remainder.min(room);
             if take > 0 {
-                match memory_by_node.iter_mut().find(|(node, _)| *node == n as u32) {
+                match memory_by_node
+                    .iter_mut()
+                    .find(|(node, _)| *node == n as u32)
+                {
                     Some(entry) => entry.1 = ByteSize::new(entry.1.as_u64() + take),
                     None => memory_by_node.push((n as u32, ByteSize::new(take))),
                 }
@@ -336,7 +367,11 @@ impl NumaHost {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(n, _)| n as u32)
             .unwrap_or(0);
-        NumaPlacement { vm: vm.name.clone(), home_node, memory_by_node }
+        NumaPlacement {
+            vm: vm.name.clone(),
+            home_node,
+            memory_by_node,
+        }
     }
 }
 
@@ -348,7 +383,10 @@ mod tests {
 
     fn two_node_host() -> NumaHost {
         // 2 nodes × 4 cores × 6 GiB = the deck-era 8-core / 12 GiB box.
-        NumaHost::new(NumaTopology::of_host(&HostSpec::deck_era_server(HostId::new(0)), 2))
+        NumaHost::new(NumaTopology::of_host(
+            &HostSpec::deck_era_server(HostId::new(0)),
+            2,
+        ))
     }
 
     #[test]
@@ -360,8 +398,16 @@ mod tests {
         let host_topo = NumaTopology::of_host(&HostSpec::modern_server(HostId::new(1)), 2);
         assert_eq!(host_topo.total_cores(), 32);
         assert_eq!(host_topo.total_memory(), ByteSize::gib(128));
-        assert_eq!(NumaTopology::symmetric(0, 4, ByteSize::gib(1)).node_count(), 1);
-        assert_eq!(NumaTopology::symmetric(2, 4, ByteSize::gib(1)).with_remote_penalty(0.3).remote_access_penalty, 1.0);
+        assert_eq!(
+            NumaTopology::symmetric(0, 4, ByteSize::gib(1)).node_count(),
+            1
+        );
+        assert_eq!(
+            NumaTopology::symmetric(2, 4, ByteSize::gib(1))
+                .with_remote_penalty(0.3)
+                .remote_access_penalty,
+            1.0
+        );
     }
 
     #[test]
@@ -395,14 +441,28 @@ mod tests {
 
         // A second 4 GiB VM still fits on the other node.
         let big2 = big.clone();
-        let p2 = host.place(&VmSpec { name: "sql-2".into(), ..big2 }, NumaPolicy::Packed).unwrap();
+        let p2 = host
+            .place(
+                &VmSpec {
+                    name: "sql-2".into(),
+                    ..big2
+                },
+                NumaPolicy::Packed,
+            )
+            .unwrap();
         assert_eq!(p2.memory_by_node.len(), 1);
         assert_ne!(p1.home_node, p2.home_node);
 
         // A third one no longer fits on any single node (2 GiB free on each)
         // and must split.
         let p3 = host
-            .place(&VmSpec { name: "sql-3".into(), ..big.clone() }, NumaPolicy::Packed)
+            .place(
+                &VmSpec {
+                    name: "sql-3".into(),
+                    ..big.clone()
+                },
+                NumaPolicy::Packed,
+            )
             .unwrap();
         assert!(p3.memory_by_node.len() > 1);
         assert!(p3.local_fraction() < 1.0);
@@ -443,16 +503,27 @@ mod tests {
     fn placement_accounting_totals_match() {
         let mut host = two_node_host();
         let mut placed_total = 0u64;
-        for (i, role) in [ServerRole::AppServer, ServerRole::Web, ServerRole::Mail, ServerRole::Database]
-            .iter()
-            .enumerate()
+        for (i, role) in [
+            ServerRole::AppServer,
+            ServerRole::Web,
+            ServerRole::Mail,
+            ServerRole::Database,
+        ]
+        .iter()
+        .enumerate()
         {
             let vm = VmSpec::typical(&format!("vm-{i}"), *role);
             let p = host.place(&vm, NumaPolicy::Packed).unwrap();
             placed_total += p.total_memory().as_u64();
-            assert_eq!(p.total_memory(), vm.memory, "placement must cover the whole VM");
+            assert_eq!(
+                p.total_memory(),
+                vm.memory,
+                "placement must cover the whole VM"
+            );
         }
-        let used: u64 = (0..2).map(|n| host.topology().nodes[n].memory.as_u64() - host.node_free_memory(n)).sum();
+        let used: u64 = (0..2)
+            .map(|n| host.topology().nodes[n].memory.as_u64() - host.node_free_memory(n))
+            .sum();
         assert_eq!(used, placed_total);
     }
 

@@ -77,7 +77,11 @@ impl ConsolidationPlan {
 
     /// Total electrical draw of the used hosts, in watts.
     pub fn total_power_watts(&self) -> f64 {
-        self.hosts.iter().filter(|h| h.vm_count() > 0).map(|h| h.power_watts()).sum()
+        self.hosts
+            .iter()
+            .filter(|h| h.vm_count() > 0)
+            .map(|h| h.power_watts())
+            .sum()
     }
 
     /// Which host a named VM landed on.
@@ -100,7 +104,11 @@ pub struct ConsolidationPlanner {
 impl ConsolidationPlanner {
     /// Create a planner that may use up to `max_hosts` hosts of the given shape.
     pub fn new(host_template: HostSpec, max_hosts: usize) -> Self {
-        ConsolidationPlanner { host_template, max_hosts, memory_overcommit: 1.0 }
+        ConsolidationPlanner {
+            host_template,
+            max_hosts,
+            memory_overcommit: 1.0,
+        }
     }
 
     /// Allow memory overcommit up to `factor` (relies on ballooning).
@@ -182,7 +190,11 @@ impl ConsolidationPlanner {
             }
         }
 
-        Ok(ConsolidationPlan { strategy, hosts, unplaced })
+        Ok(ConsolidationPlan {
+            strategy,
+            hosts,
+            unplaced,
+        })
     }
 }
 
@@ -199,7 +211,9 @@ mod tests {
     #[test]
     fn ffd_consolidates_the_deck_fleet_at_3_to_4_per_host() {
         let fleet = VmSpec::nireus_fleet();
-        let plan = planner(60).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+        let plan = planner(60)
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         assert!(plan.unplaced.is_empty());
         assert_eq!(plan.vms_placed(), 50);
         let ratio = plan.consolidation_ratio();
@@ -214,10 +228,18 @@ mod tests {
     #[test]
     fn one_per_host_matches_physical_estate() {
         let fleet = VmSpec::nireus_fleet();
-        let plan = planner(60).plan(&fleet, PlacementStrategy::OnePerHost).unwrap();
+        let plan = planner(60)
+            .plan(&fleet, PlacementStrategy::OnePerHost)
+            .unwrap();
         assert_eq!(plan.hosts_used(), 50);
         assert!((plan.consolidation_ratio() - 1.0).abs() < 1e-9);
-        assert!(plan.total_power_watts() > planner(60).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap().total_power_watts());
+        assert!(
+            plan.total_power_watts()
+                > planner(60)
+                    .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+                    .unwrap()
+                    .total_power_watts()
+        );
     }
 
     #[test]
@@ -226,22 +248,34 @@ mod tests {
         let plan = planner(25).plan(&fleet, PlacementStrategy::Spread).unwrap();
         assert!(plan.unplaced.is_empty());
         assert_eq!(plan.hosts_used(), 25);
-        assert!(plan.consolidation_ratio() < planner(60).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap().consolidation_ratio());
+        assert!(
+            plan.consolidation_ratio()
+                < planner(60)
+                    .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+                    .unwrap()
+                    .consolidation_ratio()
+        );
     }
 
     #[test]
     fn host_limit_produces_unplaced_vms() {
         let fleet = VmSpec::nireus_fleet();
-        let plan = planner(3).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+        let plan = planner(3)
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         assert!(!plan.unplaced.is_empty());
         assert_eq!(plan.vms_placed() + plan.unplaced.len(), 50);
-        assert!(planner(0).plan(&fleet, PlacementStrategy::FirstFitDecreasing).is_err());
+        assert!(planner(0)
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .is_err());
     }
 
     #[test]
     fn overcommit_reduces_hosts_needed() {
         let fleet = VmSpec::nireus_fleet();
-        let strict = planner(60).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+        let strict = planner(60)
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         let relaxed = planner(60)
             .with_memory_overcommit(1.5)
             .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
@@ -255,7 +289,9 @@ mod tests {
             VmSpec::typical("a", ServerRole::Web),
             VmSpec::typical("b", ServerRole::Web),
         ];
-        let plan = planner(5).plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+        let plan = planner(5)
+            .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         assert_eq!(plan.hosts_used(), 1);
         assert!(plan.host_of("a").is_some());
         assert_eq!(plan.host_of("a"), plan.host_of("b"));
@@ -264,17 +300,27 @@ mod tests {
         assert_eq!(PlacementStrategy::OnePerHost.name(), "one-per-host");
         assert_eq!(PlacementStrategy::Spread.name(), "spread");
 
-        let empty = planner(5).plan(&[], PlacementStrategy::FirstFitDecreasing).unwrap();
+        let empty = planner(5)
+            .plan(&[], PlacementStrategy::FirstFitDecreasing)
+            .unwrap();
         assert_eq!(empty.consolidation_ratio(), 0.0);
         assert_eq!(empty.avg_memory_utilization(), 0.0);
     }
 
     #[test]
     fn oversized_vm_is_reported_unplaced() {
-        let huge = VmSpec::typical("huge", ServerRole::Database).with_memory(rvisor_types::ByteSize::gib(64));
-        let plan = planner(4).plan(&[huge.clone()], PlacementStrategy::FirstFitDecreasing).unwrap();
+        let huge = VmSpec::typical("huge", ServerRole::Database)
+            .with_memory(rvisor_types::ByteSize::gib(64));
+        let plan = planner(4)
+            .plan(
+                std::slice::from_ref(&huge),
+                PlacementStrategy::FirstFitDecreasing,
+            )
+            .unwrap();
         assert_eq!(plan.unplaced, vec![huge.clone()]);
-        let plan = planner(4).plan(&[huge.clone()], PlacementStrategy::OnePerHost).unwrap();
+        let plan = planner(4)
+            .plan(std::slice::from_ref(&huge), PlacementStrategy::OnePerHost)
+            .unwrap();
         assert_eq!(plan.unplaced.len(), 1);
         let plan = planner(4).plan(&[huge], PlacementStrategy::Spread).unwrap();
         assert_eq!(plan.unplaced.len(), 1);

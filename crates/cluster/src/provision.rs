@@ -59,7 +59,9 @@ pub struct Provisioner {
 
 impl std::fmt::Debug for Provisioner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Provisioner").field("storage", &self.storage).finish()
+        f.debug_struct("Provisioner")
+            .field("storage", &self.storage)
+            .finish()
     }
 }
 
@@ -75,7 +77,11 @@ impl Provisioner {
     }
 
     /// Provision a new disk from `template` using `strategy`.
-    pub fn provision(&mut self, template: &str, strategy: CloneStrategy) -> Result<ProvisioningReport> {
+    pub fn provision(
+        &mut self,
+        template: &str,
+        strategy: CloneStrategy,
+    ) -> Result<ProvisioningReport> {
         let size = self
             .library
             .template(template)
@@ -138,12 +144,16 @@ mod tests {
     #[test]
     fn cow_clone_is_instant_full_copy_is_not() {
         let mut p = provisioner(64);
-        let cow = p.provision("win2003-golden", CloneStrategy::CopyOnWrite).unwrap();
+        let cow = p
+            .provision("win2003-golden", CloneStrategy::CopyOnWrite)
+            .unwrap();
         assert!(cow.is_instant());
         assert_eq!(cow.storage_time, Nanoseconds::ZERO);
         assert_eq!(cow.disk_size, ByteSize::mib(64));
 
-        let full = p.provision("win2003-golden", CloneStrategy::FullCopy).unwrap();
+        let full = p
+            .provision("win2003-golden", CloneStrategy::FullCopy)
+            .unwrap();
         assert!(!full.is_instant());
         assert_eq!(full.bytes_copied, 64 << 20);
         assert!(full.storage_time > Nanoseconds::from_millis(100));
@@ -153,30 +163,55 @@ mod tests {
     #[test]
     fn provisioned_disks_are_usable_and_independent() {
         let mut p = provisioner(4);
-        let mut a = p.provision("win2003-golden", CloneStrategy::CopyOnWrite).unwrap();
-        let mut b = p.provision("win2003-golden", CloneStrategy::CopyOnWrite).unwrap();
-        a.disk.write_sectors(0, &vec![0xAA; SECTOR_SIZE as usize]).unwrap();
+        let mut a = p
+            .provision("win2003-golden", CloneStrategy::CopyOnWrite)
+            .unwrap();
+        let mut b = p
+            .provision("win2003-golden", CloneStrategy::CopyOnWrite)
+            .unwrap();
+        a.disk
+            .write_sectors(0, &vec![0xAA; SECTOR_SIZE as usize])
+            .unwrap();
         let mut buf = vec![0u8; SECTOR_SIZE as usize];
         b.disk.read_sectors(0, &mut buf).unwrap();
-        assert_eq!(buf[0], 0x55, "clone b must still see the golden image boot sector");
+        assert_eq!(
+            buf[0], 0x55,
+            "clone b must still see the golden image boot sector"
+        );
     }
 
     #[test]
     fn storage_time_scales_with_image_size() {
         let mut small = provisioner(16);
         let mut large = provisioner(256);
-        let t_small = small.provision("win2003-golden", CloneStrategy::FullCopy).unwrap().storage_time;
-        let t_large = large.provision("win2003-golden", CloneStrategy::FullCopy).unwrap().storage_time;
+        let t_small = small
+            .provision("win2003-golden", CloneStrategy::FullCopy)
+            .unwrap()
+            .storage_time;
+        let t_large = large
+            .provision("win2003-golden", CloneStrategy::FullCopy)
+            .unwrap()
+            .storage_time;
         assert!(t_large.as_nanos() > 10 * t_small.as_nanos());
     }
 
     #[test]
     fn provision_many_aggregates() {
         let mut p = provisioner(8);
-        let (reports, total) = p.provision_many("win2003-golden", CloneStrategy::FullCopy, 5).unwrap();
+        let (reports, total) = p
+            .provision_many("win2003-golden", CloneStrategy::FullCopy, 5)
+            .unwrap();
         assert_eq!(reports.len(), 5);
-        assert_eq!(total.as_nanos(), reports.iter().map(|r| r.storage_time.as_nanos()).sum::<u64>());
-        let (cow_reports, cow_total) = p.provision_many("win2003-golden", CloneStrategy::CopyOnWrite, 5).unwrap();
+        assert_eq!(
+            total.as_nanos(),
+            reports
+                .iter()
+                .map(|r| r.storage_time.as_nanos())
+                .sum::<u64>()
+        );
+        let (cow_reports, cow_total) = p
+            .provision_many("win2003-golden", CloneStrategy::CopyOnWrite, 5)
+            .unwrap();
         assert_eq!(cow_reports.len(), 5);
         assert_eq!(cow_total, Nanoseconds::ZERO);
     }
@@ -186,7 +221,9 @@ mod tests {
         let mut p = provisioner(4);
         assert!(p.provision("missing", CloneStrategy::FullCopy).is_err());
         // New templates can be registered through library_mut.
-        p.library_mut().add_blank_template("data", "blank data disk", ByteSize::mib(1)).unwrap();
+        p.library_mut()
+            .add_blank_template("data", "blank data disk", ByteSize::mib(1))
+            .unwrap();
         assert!(p.provision("data", CloneStrategy::CopyOnWrite).is_ok());
     }
 }

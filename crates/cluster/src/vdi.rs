@@ -39,8 +39,11 @@ pub enum DesktopProfile {
 
 impl DesktopProfile {
     /// All profiles, for sweeps.
-    pub const ALL: [DesktopProfile; 3] =
-        [DesktopProfile::TaskWorker, DesktopProfile::KnowledgeWorker, DesktopProfile::PowerUser];
+    pub const ALL: [DesktopProfile; 3] = [
+        DesktopProfile::TaskWorker,
+        DesktopProfile::KnowledgeWorker,
+        DesktopProfile::PowerUser,
+    ];
 
     /// A short name for benchmark labels.
     pub fn name(self) -> &'static str {
@@ -284,7 +287,11 @@ impl VdiEstimator {
             max_vcpu_per_core: 1.0,
             ..self.config
         };
-        VdiEstimator { host: self.host.clone(), config: baseline_config }.density()
+        VdiEstimator {
+            host: self.host.clone(),
+            config: baseline_config,
+        }
+        .density()
     }
 }
 
@@ -330,11 +337,22 @@ mod tests {
             balloon_reclaim_fraction: 0.0,
             ..VdiConfig::typical(DesktopProfile::KnowledgeWorker)
         };
-        let with_sharing = VdiConfig { page_sharing_fraction: 0.4, ..base };
-        let with_both = VdiConfig { balloon_reclaim_fraction: 0.7, ..with_sharing };
-        assert_eq!(base.effective_memory_per_desktop(), DesktopProfile::KnowledgeWorker.memory());
+        let with_sharing = VdiConfig {
+            page_sharing_fraction: 0.4,
+            ..base
+        };
+        let with_both = VdiConfig {
+            balloon_reclaim_fraction: 0.7,
+            ..with_sharing
+        };
+        assert_eq!(
+            base.effective_memory_per_desktop(),
+            DesktopProfile::KnowledgeWorker.memory()
+        );
         assert!(with_sharing.effective_memory_per_desktop() < base.effective_memory_per_desktop());
-        assert!(with_both.effective_memory_per_desktop() < with_sharing.effective_memory_per_desktop());
+        assert!(
+            with_both.effective_memory_per_desktop() < with_sharing.effective_memory_per_desktop()
+        );
     }
 
     #[test]
@@ -350,7 +368,10 @@ mod tests {
         // most (the 1:1 vCPU ratio binds at 16 two-vCPU desktops on 32
         // cores); sharing + ballooning + CPU oversubscription should at
         // least double it.
-        assert!(baseline.desktops >= 10 && baseline.desktops <= 32, "baseline {baseline:?}");
+        assert!(
+            baseline.desktops >= 10 && baseline.desktops <= 32,
+            "baseline {baseline:?}"
+        );
         assert!(tuned.desktops >= 2 * baseline.desktops, "tuned {tuned:?}");
         assert!(tuned.improvement_over(&baseline) >= 2.0);
     }
@@ -389,7 +410,11 @@ mod tests {
             .map(|d| {
                 let mem = GuestMemory::flat(ByteSize::pages_of(64)).unwrap();
                 for p in 0..64u64 {
-                    let value = if p < 32 { 0xba5e_0000 + p } else { (d + 1) * 1_000_000 + p };
+                    let value = if p < 32 {
+                        0xba5e_0000 + p
+                    } else {
+                        (d + 1) * 1_000_000 + p
+                    };
                     mem.write_u64(GuestAddress(p * PAGE_SIZE), value).unwrap();
                 }
                 mem
@@ -402,7 +427,9 @@ mod tests {
         let measured = assumed.with_measured_sharing(&analysis);
         assert!((measured.page_sharing_fraction - analysis.savings_fraction()).abs() < 1e-12);
         let a = VdiEstimator::new(modern_host(), assumed).unwrap().density();
-        let b = VdiEstimator::new(modern_host(), measured).unwrap().density();
+        let b = VdiEstimator::new(modern_host(), measured)
+            .unwrap()
+            .density();
         // Both are valid estimates; the measured one just uses the measured fraction.
         assert!(a.desktops > 0 && b.desktops > 0);
     }

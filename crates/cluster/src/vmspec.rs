@@ -79,7 +79,13 @@ impl VmSpec {
     /// A spec with the role's typical shape.
     pub fn typical(name: &str, role: ServerRole) -> Self {
         let (vcpus, memory, util) = role.typical_shape();
-        VmSpec { name: name.to_string(), role, vcpus, memory, cpu_demand_cores: util * vcpus as f64 }
+        VmSpec {
+            name: name.to_string(),
+            role,
+            vcpus,
+            memory,
+            cpu_demand_cores: util * vcpus as f64,
+        }
     }
 
     /// Override the memory size (builder style).
@@ -147,7 +153,12 @@ mod tests {
         assert_eq!(spec.vcpus, 4);
         assert!((spec.cpu_demand_cores - 2.5).abs() < 1e-12);
         assert_eq!(VmSpec::typical("x", ServerRole::Web).with_vcpus(0).vcpus, 1);
-        assert_eq!(VmSpec::typical("x", ServerRole::Web).with_cpu_demand(-1.0).cpu_demand_cores, 0.0);
+        assert_eq!(
+            VmSpec::typical("x", ServerRole::Web)
+                .with_cpu_demand(-1.0)
+                .cpu_demand_cores,
+            0.0
+        );
     }
 
     #[test]

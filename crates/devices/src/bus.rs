@@ -64,7 +64,9 @@ impl MmioBus {
     /// Register `device` at `region`. Fails if the region overlaps an existing one.
     pub fn register(&self, region: GuestRegion, device: Arc<Mutex<dyn MmioDevice>>) -> Result<()> {
         if region.len == 0 {
-            return Err(Error::Device("cannot register a zero-length MMIO region".into()));
+            return Err(Error::Device(
+                "cannot register a zero-length MMIO region".into(),
+            ));
         }
         let mut devices = self.devices.write();
         for (existing, _) in devices.values() {
@@ -144,7 +146,12 @@ impl PortBus {
     }
 
     /// Register `device` for ports `[base, base + count)`.
-    pub fn register(&self, base: u32, count: u32, device: Arc<Mutex<dyn PortDevice>>) -> Result<()> {
+    pub fn register(
+        &self,
+        base: u32,
+        count: u32,
+        device: Arc<Mutex<dyn PortDevice>>,
+    ) -> Result<()> {
         if count == 0 {
             return Err(Error::Device("cannot register zero ports".into()));
         }
@@ -152,7 +159,9 @@ impl PortBus {
         for (&existing_base, (existing_count, _)) in devices.iter() {
             let existing_end = existing_base + existing_count;
             if base < existing_end && existing_base < base + count {
-                return Err(Error::Device(format!("port range 0x{base:x} overlaps an existing device")));
+                return Err(Error::Device(format!(
+                    "port range 0x{base:x} overlaps an existing device"
+                )));
             }
         }
         devices.insert(base, (count, device));
@@ -210,7 +219,11 @@ mod tests {
 
     impl Scratch {
         fn new() -> Self {
-            Scratch { value: 0, reads: 0, writes: 0 }
+            Scratch {
+                value: 0,
+                reads: 0,
+                writes: 0,
+            }
         }
     }
 
@@ -246,7 +259,8 @@ mod tests {
     fn mmio_routing_and_offsets() {
         let bus = MmioBus::new();
         let dev = Arc::new(Mutex::new(Scratch::new()));
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), dev.clone()).unwrap();
+        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), dev.clone())
+            .unwrap();
 
         bus.write(GuestAddress(0x1010), 77, 8).unwrap();
         assert_eq!(bus.read(GuestAddress(0x1004), 8).unwrap(), 77 + 4);
@@ -258,24 +272,40 @@ mod tests {
     fn mmio_unmapped_access_fails() {
         let bus = MmioBus::new();
         let dev = Arc::new(Mutex::new(Scratch::new()));
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), dev).unwrap();
-        assert!(matches!(bus.read(GuestAddress(0xfff), 8), Err(Error::UnmappedIo(_))));
-        assert!(matches!(bus.read(GuestAddress(0x1100), 8), Err(Error::UnmappedIo(_))));
-        assert!(matches!(bus.write(GuestAddress(0x2000), 0, 8), Err(Error::UnmappedIo(_))));
+        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), dev)
+            .unwrap();
+        assert!(matches!(
+            bus.read(GuestAddress(0xfff), 8),
+            Err(Error::UnmappedIo(_))
+        ));
+        assert!(matches!(
+            bus.read(GuestAddress(0x1100), 8),
+            Err(Error::UnmappedIo(_))
+        ));
+        assert!(matches!(
+            bus.write(GuestAddress(0x2000), 0, 8),
+            Err(Error::UnmappedIo(_))
+        ));
     }
 
     #[test]
     fn mmio_overlap_rejected() {
         let bus = MmioBus::new();
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), Arc::new(Mutex::new(Scratch::new())))
-            .unwrap();
+        bus.register(
+            GuestRegion::new(GuestAddress(0x1000), 0x100),
+            Arc::new(Mutex::new(Scratch::new())),
+        )
+        .unwrap();
         let res = bus.register(
             GuestRegion::new(GuestAddress(0x10f0), 0x100),
             Arc::new(Mutex::new(Scratch::new())),
         );
         assert!(res.is_err());
         assert!(bus
-            .register(GuestRegion::new(GuestAddress(0x1100), 0x100), Arc::new(Mutex::new(Scratch::new())))
+            .register(
+                GuestRegion::new(GuestAddress(0x1100), 0x100),
+                Arc::new(Mutex::new(Scratch::new()))
+            )
             .is_ok());
         assert_eq!(bus.len(), 2);
         assert!(!bus.is_empty());
@@ -285,10 +315,16 @@ mod tests {
     fn mmio_zero_length_rejected_and_unregister() {
         let bus = MmioBus::new();
         assert!(bus
-            .register(GuestRegion::new(GuestAddress(0x1000), 0), Arc::new(Mutex::new(Scratch::new())))
+            .register(
+                GuestRegion::new(GuestAddress(0x1000), 0),
+                Arc::new(Mutex::new(Scratch::new()))
+            )
             .is_err());
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x10), Arc::new(Mutex::new(Scratch::new())))
-            .unwrap();
+        bus.register(
+            GuestRegion::new(GuestAddress(0x1000), 0x10),
+            Arc::new(Mutex::new(Scratch::new())),
+        )
+        .unwrap();
         assert!(bus.unregister(GuestAddress(0x1000)));
         assert!(!bus.unregister(GuestAddress(0x1000)));
         assert!(bus.is_empty());
@@ -299,8 +335,10 @@ mod tests {
         let bus = MmioBus::new();
         let a = Arc::new(Mutex::new(Scratch::new()));
         let b = Arc::new(Mutex::new(Scratch::new()));
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), a.clone()).unwrap();
-        bus.register(GuestRegion::new(GuestAddress(0x2000), 0x100), b.clone()).unwrap();
+        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x100), a.clone())
+            .unwrap();
+        bus.register(GuestRegion::new(GuestAddress(0x2000), 0x100), b.clone())
+            .unwrap();
         bus.write(GuestAddress(0x1000), 1, 8).unwrap();
         bus.write(GuestAddress(0x2000), 2, 8).unwrap();
         assert_eq!(a.lock().value, 1);
@@ -322,22 +360,35 @@ mod tests {
     #[test]
     fn port_overlap_and_zero_count_rejected() {
         let bus = PortBus::new();
-        bus.register(0x100, 16, Arc::new(Mutex::new(Scratch::new()))).unwrap();
-        assert!(bus.register(0x108, 16, Arc::new(Mutex::new(Scratch::new()))).is_err());
-        assert!(bus.register(0xf8, 16, Arc::new(Mutex::new(Scratch::new()))).is_err());
-        assert!(bus.register(0x200, 0, Arc::new(Mutex::new(Scratch::new()))).is_err());
-        assert!(bus.register(0x110, 16, Arc::new(Mutex::new(Scratch::new()))).is_ok());
+        bus.register(0x100, 16, Arc::new(Mutex::new(Scratch::new())))
+            .unwrap();
+        assert!(bus
+            .register(0x108, 16, Arc::new(Mutex::new(Scratch::new())))
+            .is_err());
+        assert!(bus
+            .register(0xf8, 16, Arc::new(Mutex::new(Scratch::new())))
+            .is_err());
+        assert!(bus
+            .register(0x200, 0, Arc::new(Mutex::new(Scratch::new())))
+            .is_err());
+        assert!(bus
+            .register(0x110, 16, Arc::new(Mutex::new(Scratch::new())))
+            .is_ok());
     }
 
     #[test]
     fn debug_formatting_lists_devices() {
         let mmio = MmioBus::new();
-        mmio.register(GuestRegion::new(GuestAddress(0x1000), 0x10), Arc::new(Mutex::new(Scratch::new())))
-            .unwrap();
+        mmio.register(
+            GuestRegion::new(GuestAddress(0x1000), 0x10),
+            Arc::new(Mutex::new(Scratch::new())),
+        )
+        .unwrap();
         let s = format!("{mmio:?}");
         assert!(s.contains("scratch"));
         let pio = PortBus::new();
-        pio.register(0x3f8, 1, Arc::new(Mutex::new(Scratch::new()))).unwrap();
+        pio.register(0x3f8, 1, Arc::new(Mutex::new(Scratch::new())))
+            .unwrap();
         assert!(format!("{pio:?}").contains("scratch-port"));
     }
 
@@ -345,8 +396,11 @@ mod tests {
     fn bus_clones_share_routing_table() {
         let bus = MmioBus::new();
         let view = bus.clone();
-        bus.register(GuestRegion::new(GuestAddress(0x1000), 0x10), Arc::new(Mutex::new(Scratch::new())))
-            .unwrap();
+        bus.register(
+            GuestRegion::new(GuestAddress(0x1000), 0x10),
+            Arc::new(Mutex::new(Scratch::new())),
+        )
+        .unwrap();
         assert_eq!(view.len(), 1);
         assert!(view.read(GuestAddress(0x1000), 8).is_ok());
     }

@@ -49,7 +49,10 @@ impl InterruptController {
 
     /// A handle that asserts `line`, for handing to a device.
     pub fn line(&self, line: u32) -> InterruptLine {
-        InterruptLine { controller: self.clone(), line: line % NUM_LINES }
+        InterruptLine {
+            controller: self.clone(),
+            line: line % NUM_LINES,
+        }
     }
 
     /// Assert `line` (edge-triggered): latch it pending unless masked.

@@ -33,7 +33,11 @@ impl Rtc {
     /// Create an RTC reading from `clock`; the boot time is captured now.
     pub fn new(clock: Arc<ManualClock>) -> Self {
         let boot_time = clock.now();
-        Rtc { clock, boot_time, reads: 0 }
+        Rtc {
+            clock,
+            boot_time,
+            reads: 0,
+        }
     }
 
     /// The boot timestamp.

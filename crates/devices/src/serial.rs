@@ -39,12 +39,21 @@ pub struct SerialConsole {
 impl SerialConsole {
     /// Create a console with no interrupt line attached.
     pub fn new() -> Self {
-        SerialConsole { output: Vec::new(), input: VecDeque::new(), irq: None, tx_bytes: 0, rx_bytes: 0 }
+        SerialConsole {
+            output: Vec::new(),
+            input: VecDeque::new(),
+            irq: None,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
     }
 
     /// Create a console that raises `irq` whenever host input is queued.
     pub fn with_interrupt(irq: InterruptLine) -> Self {
-        SerialConsole { irq: Some(irq), ..Self::new() }
+        SerialConsole {
+            irq: Some(irq),
+            ..Self::new()
+        }
     }
 
     /// Bytes the guest has written so far.

@@ -40,7 +40,13 @@ pub struct CountdownTimer {
 impl CountdownTimer {
     /// Create a disarmed timer.
     pub fn new(clock: Arc<ManualClock>, irq: InterruptLine) -> Self {
-        CountdownTimer { clock, irq, deadline: None, period: None, expirations: 0 }
+        CountdownTimer {
+            clock,
+            irq,
+            deadline: None,
+            period: None,
+            expirations: 0,
+        }
     }
 
     /// Whether the timer is currently armed.

@@ -54,7 +54,11 @@ impl Balloon {
     /// Create a balloon for `memory`, never touching the first
     /// `reserved_low_pages` pages (where boot code and page tables live).
     pub fn new(memory: GuestMemory, reserved_low_pages: u64) -> Self {
-        Balloon { memory, reserved_low_pages, inner: Mutex::new(BalloonInner::default()) }
+        Balloon {
+            memory,
+            reserved_low_pages,
+            inner: Mutex::new(BalloonInner::default()),
+        }
     }
 
     /// Inflate the balloon by `pages` pages.
@@ -92,10 +96,16 @@ impl Balloon {
         let mut inner = self.inner.lock();
         let total = self.memory.total_pages();
         if page < self.reserved_low_pages || page >= total {
-            return Err(Error::BalloonExhausted { requested_pages: 1, available_pages: 0 });
+            return Err(Error::BalloonExhausted {
+                requested_pages: 1,
+                available_pages: 0,
+            });
         }
         if inner.held.contains(&page) {
-            return Err(Error::BalloonExhausted { requested_pages: 1, available_pages: 0 });
+            return Err(Error::BalloonExhausted {
+                requested_pages: 1,
+                available_pages: 0,
+            });
         }
         self.memory.discard_page(page)?;
         inner.held.insert(page);
@@ -118,7 +128,13 @@ impl Balloon {
     /// Returns the global indices returned to the guest.
     pub fn deflate(&self, pages: u64) -> Vec<u64> {
         let mut inner = self.inner.lock();
-        let give_back: Vec<u64> = inner.held.iter().rev().take(pages as usize).copied().collect();
+        let give_back: Vec<u64> = inner
+            .held
+            .iter()
+            .rev()
+            .take(pages as usize)
+            .copied()
+            .collect();
         for p in &give_back {
             inner.held.remove(p);
         }
@@ -198,7 +214,13 @@ mod tests {
         // 8 pages total, 2 reserved -> at most 6 can be ballooned.
         assert!(balloon.inflate(6).is_ok());
         let err = balloon.inflate(1).unwrap_err();
-        assert!(matches!(err, Error::BalloonExhausted { available_pages: 0, .. }));
+        assert!(matches!(
+            err,
+            Error::BalloonExhausted {
+                available_pages: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

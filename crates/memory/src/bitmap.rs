@@ -22,7 +22,10 @@ impl DirtyBitmap {
     /// Create a bitmap able to track `pages` pages, all initially clean.
     pub fn new(pages: u64) -> Self {
         let words = pages.div_ceil(64) as usize;
-        DirtyBitmap { words: (0..words).map(|_| AtomicU64::new(0)).collect(), pages }
+        DirtyBitmap {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            pages,
+        }
     }
 
     /// Number of pages tracked.
@@ -64,7 +67,10 @@ impl DirtyBitmap {
 
     /// Number of dirty pages.
     pub fn count(&self) -> u64 {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as u64).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
     }
 
     /// Clear every bit, starting a new tracking epoch.

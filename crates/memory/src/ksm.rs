@@ -66,7 +66,10 @@ pub struct KsmConfig {
 
 impl Default for KsmConfig {
     fn default() -> Self {
-        KsmConfig { pages_per_round: u64::MAX, merge_zero_pages: true }
+        KsmConfig {
+            pages_per_round: u64::MAX,
+            merge_zero_pages: true,
+        }
     }
 }
 
@@ -162,8 +165,12 @@ impl KsmManager {
 
     /// Remove a VM and break all of its shared pages.
     pub fn unregister_vm(&mut self, id: VmId) {
-        let pages: Vec<PageKey> =
-            self.merged_of.keys().filter(|(vm, _)| *vm == id).copied().collect();
+        let pages: Vec<PageKey> = self
+            .merged_of
+            .keys()
+            .filter(|(vm, _)| *vm == id)
+            .copied()
+            .collect();
         for key in pages {
             self.break_sharing(key);
         }
@@ -399,8 +406,11 @@ mod tests {
     fn memory_with_pattern(pages: u64, seed: u64) -> GuestMemory {
         let mem = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
         for p in 0..pages {
-            mem.write_u64(GuestAddress(p * PAGE_SIZE), seed.wrapping_mul(31).wrapping_add(p))
-                .unwrap();
+            mem.write_u64(
+                GuestAddress(p * PAGE_SIZE),
+                seed.wrapping_mul(31).wrapping_add(p),
+            )
+            .unwrap();
         }
         mem
     }
@@ -440,7 +450,10 @@ mod tests {
 
     #[test]
     fn distinct_vms_share_nothing() {
-        let mut ksm = KsmManager::new(KsmConfig { merge_zero_pages: false, ..Default::default() });
+        let mut ksm = KsmManager::new(KsmConfig {
+            merge_zero_pages: false,
+            ..Default::default()
+        });
         ksm.register_vm(VmId::new(0), memory_with_pattern(16, 1));
         ksm.register_vm(VmId::new(1), memory_with_pattern(16, 2));
         ksm.scan_until_stable(8).unwrap();
@@ -459,7 +472,8 @@ mod tests {
         assert_eq!(before.pages_saved(), 8);
         assert!(ksm.is_merged(VmId::new(0), 3));
 
-        a.write_u64(GuestAddress(3 * PAGE_SIZE), 0xdead_beef).unwrap();
+        a.write_u64(GuestAddress(3 * PAGE_SIZE), 0xdead_beef)
+            .unwrap();
         ksm.notify_write(VmId::new(0), 3);
 
         let after = ksm.stats();
@@ -479,7 +493,8 @@ mod tests {
         assert!(ksm.is_merged(VmId::new(0), 5));
 
         // Write without notifying (models DMA into guest memory).
-        a.write_u64(GuestAddress(5 * PAGE_SIZE), 0x1234_5678_9abc).unwrap();
+        a.write_u64(GuestAddress(5 * PAGE_SIZE), 0x1234_5678_9abc)
+            .unwrap();
         ksm.scan_round().unwrap();
         assert!(!ksm.is_merged(VmId::new(0), 5));
         assert_eq!(ksm.stats().cow_breaks, 1);
@@ -487,7 +502,10 @@ mod tests {
 
     #[test]
     fn budgeted_rounds_cover_everything_eventually() {
-        let mut ksm = KsmManager::new(KsmConfig { pages_per_round: 10, ..Default::default() });
+        let mut ksm = KsmManager::new(KsmConfig {
+            pages_per_round: 10,
+            ..Default::default()
+        });
         ksm.register_vm(VmId::new(0), memory_with_pattern(32, 4));
         ksm.register_vm(VmId::new(1), memory_with_pattern(32, 4));
         // 64 pages at 10 pages/round: needs 7 rounds per pass, two passes to merge.
@@ -520,14 +538,29 @@ mod tests {
     fn zero_page_policy_is_respected() {
         // Two VMs that never wrote anything: all pages are zero.
         let mut with_zero = KsmManager::new(KsmConfig::default());
-        with_zero.register_vm(VmId::new(0), GuestMemory::flat(ByteSize::pages_of(8)).unwrap());
-        with_zero.register_vm(VmId::new(1), GuestMemory::flat(ByteSize::pages_of(8)).unwrap());
+        with_zero.register_vm(
+            VmId::new(0),
+            GuestMemory::flat(ByteSize::pages_of(8)).unwrap(),
+        );
+        with_zero.register_vm(
+            VmId::new(1),
+            GuestMemory::flat(ByteSize::pages_of(8)).unwrap(),
+        );
         with_zero.scan_until_stable(4).unwrap();
         assert_eq!(with_zero.stats().pages_saved(), 15);
 
-        let mut without = KsmManager::new(KsmConfig { merge_zero_pages: false, ..Default::default() });
-        without.register_vm(VmId::new(0), GuestMemory::flat(ByteSize::pages_of(8)).unwrap());
-        without.register_vm(VmId::new(1), GuestMemory::flat(ByteSize::pages_of(8)).unwrap());
+        let mut without = KsmManager::new(KsmConfig {
+            merge_zero_pages: false,
+            ..Default::default()
+        });
+        without.register_vm(
+            VmId::new(0),
+            GuestMemory::flat(ByteSize::pages_of(8)).unwrap(),
+        );
+        without.register_vm(
+            VmId::new(1),
+            GuestMemory::flat(ByteSize::pages_of(8)).unwrap(),
+        );
         without.scan_until_stable(4).unwrap();
         assert_eq!(without.stats().pages_saved(), 0);
     }

@@ -47,7 +47,9 @@ impl GuestMemoryBuilder {
     /// Finish building; regions are sorted by start address.
     pub fn build(mut self) -> GuestMemory {
         self.regions.sort_by_key(|r| r.start());
-        GuestMemory { regions: Arc::new(self.regions) }
+        GuestMemory {
+            regions: Arc::new(self.regions),
+        }
     }
 }
 
@@ -63,7 +65,9 @@ pub struct GuestMemory {
 impl GuestMemory {
     /// Convenience constructor: a single region of `size` bytes at address 0.
     pub fn flat(size: ByteSize) -> Result<Self> {
-        Ok(GuestMemoryBuilder::new().with_region(GuestAddress(0), size)?.build())
+        Ok(GuestMemoryBuilder::new()
+            .with_region(GuestAddress(0), size)?
+            .build())
     }
 
     /// The regions making up the address space, ordered by start address.
@@ -96,7 +100,9 @@ impl GuestMemory {
 
     /// Whether the whole `[addr, addr + len)` range is backed by a single region.
     pub fn range_in_single_region(&self, addr: GuestAddress, len: u64) -> bool {
-        self.regions.iter().any(|r| r.range().contains_range(addr, len))
+        self.regions
+            .iter()
+            .any(|r| r.range().contains_range(addr, len))
     }
 
     /// Read `buf.len()` bytes at `addr`. The access must not straddle regions.

@@ -25,9 +25,11 @@ impl MemoryRegion {
     /// the stack (dirty tracking, ballooning, migration) relies on it.
     pub fn new(start: GuestAddress, len: u64) -> Result<Self> {
         if len == 0 {
-            return Err(Error::InvalidRegionConfig("region length must be non-zero".into()));
+            return Err(Error::InvalidRegionConfig(
+                "region length must be non-zero".into(),
+            ));
         }
-        if len % PAGE_SIZE != 0 {
+        if !len.is_multiple_of(PAGE_SIZE) {
             return Err(Error::InvalidRegionConfig(format!(
                 "region length {len:#x} is not a multiple of the page size"
             )));
@@ -38,7 +40,9 @@ impl MemoryRegion {
             )));
         }
         if start.checked_add(len).is_none() {
-            return Err(Error::InvalidRegionConfig("region wraps the address space".into()));
+            return Err(Error::InvalidRegionConfig(
+                "region wraps the address space".into(),
+            ));
         }
         let pages = len / PAGE_SIZE;
         Ok(MemoryRegion {
@@ -208,7 +212,9 @@ mod tests {
         let r = region();
         let mut buf = [0u8; 8];
         assert!(r.read(GuestAddress(0x0), &mut buf).is_err());
-        assert!(r.read(GuestAddress(0x1000 + 4 * PAGE_SIZE - 4), &mut buf).is_err());
+        assert!(r
+            .read(GuestAddress(0x1000 + 4 * PAGE_SIZE - 4), &mut buf)
+            .is_err());
         assert!(r.write(GuestAddress(0x5000), &buf).is_err());
     }
 
@@ -219,7 +225,8 @@ mod tests {
         r.write(GuestAddress(0x1000), &[0u8; 10]).unwrap();
         assert_eq!(r.dirty_bitmap().dirty_pages(), vec![0]);
         // A write spanning a page boundary dirties both pages.
-        r.write(GuestAddress(0x1000 + PAGE_SIZE - 2), &[0u8; 4]).unwrap();
+        r.write(GuestAddress(0x1000 + PAGE_SIZE - 2), &[0u8; 4])
+            .unwrap();
         assert_eq!(r.dirty_bitmap().dirty_pages(), vec![0, 1]);
     }
 

@@ -41,8 +41,11 @@ pub enum PageCompression {
 
 impl PageCompression {
     /// All modes, for ablation sweeps.
-    pub const ALL: [PageCompression; 3] =
-        [PageCompression::None, PageCompression::ZeroPages, PageCompression::Xbzrle];
+    pub const ALL: [PageCompression; 3] = [
+        PageCompression::None,
+        PageCompression::ZeroPages,
+        PageCompression::Xbzrle,
+    ];
 
     /// A short name for benchmark labels.
     pub fn name(self) -> &'static str {
@@ -145,7 +148,9 @@ pub fn xbzrle_decode(old: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
         let skip = u16::from_le_bytes([delta[i], delta[i + 1]]) as usize;
         let copy = u16::from_le_bytes([delta[i + 2], delta[i + 3]]) as usize;
         i += 4;
-        pos = pos.checked_add(skip).ok_or_else(|| Error::Migration("xbzrle skip overflow".into()))?;
+        pos = pos
+            .checked_add(skip)
+            .ok_or_else(|| Error::Migration("xbzrle skip overflow".into()))?;
         if pos + copy > out.len() || i + copy > delta.len() {
             return Err(Error::Migration("xbzrle delta exceeds page bounds".into()));
         }
@@ -345,7 +350,7 @@ mod tests {
 
     #[test]
     fn xbzrle_rejects_length_mismatch_and_corrupt_delta() {
-        assert!(xbzrle_encode(&page_of(1), &vec![0u8; 16]).is_none());
+        assert!(xbzrle_encode(&page_of(1), &[0u8; 16]).is_none());
         // Truncated header.
         assert!(xbzrle_decode(&page_of(1), &[1, 0]).is_err());
         // Copy count runs past the page end.
@@ -410,13 +415,19 @@ mod tests {
         let mut changed = base.clone();
         changed[0] = 1;
         let wire = c.compress(0, &changed);
-        assert!(matches!(wire, WirePage::Raw(_)), "evicted page must be resent raw");
+        assert!(
+            matches!(wire, WirePage::Raw(_)),
+            "evicted page must be resent raw"
+        );
     }
 
     #[test]
     fn apply_handles_all_wire_forms() {
         let current = page_of(2);
-        assert_eq!(PageCompressor::apply(&current, &WirePage::Zero).unwrap(), page_of(0));
+        assert_eq!(
+            PageCompressor::apply(&current, &WirePage::Zero).unwrap(),
+            page_of(0)
+        );
         assert_eq!(
             PageCompressor::apply(&current, &WirePage::Raw(page_of(9))).unwrap(),
             page_of(9)
@@ -424,7 +435,10 @@ mod tests {
         let mut new = current.clone();
         new[12] = 0xee;
         let delta = xbzrle_encode(&current, &new).unwrap();
-        assert_eq!(PageCompressor::apply(&current, &WirePage::Delta(delta)).unwrap(), new);
+        assert_eq!(
+            PageCompressor::apply(&current, &WirePage::Delta(delta)).unwrap(),
+            new
+        );
     }
 
     mod properties {

@@ -66,9 +66,18 @@ impl ConstantRateDirtier {
 
     /// A dirtier expressed as a fraction of a link's bandwidth — the natural
     /// parameterisation for convergence experiments.
-    pub fn from_bandwidth_fraction(link_bytes_per_sec: u64, fraction: f64, working_set_start: u64, working_set_pages: u64) -> Self {
+    pub fn from_bandwidth_fraction(
+        link_bytes_per_sec: u64,
+        fraction: f64,
+        working_set_start: u64,
+        working_set_pages: u64,
+    ) -> Self {
         let bytes_per_sec = (link_bytes_per_sec as f64 * fraction).max(0.0) as u64;
-        Self::new(bytes_per_sec / PAGE_SIZE, working_set_start, working_set_pages)
+        Self::new(
+            bytes_per_sec / PAGE_SIZE,
+            working_set_start,
+            working_set_pages,
+        )
     }
 }
 

@@ -169,7 +169,10 @@ impl PreCopy {
         let mut converged = false;
         let mut compressor = match config.compression {
             PageCompression::None => None,
-            mode => Some(PageCompressor::with_cache_capacity(mode, config.xbzrle_cache_pages)),
+            mode => Some(PageCompressor::with_cache_capacity(
+                mode,
+                config.xbzrle_cache_pages,
+            )),
         };
 
         // Round 1: everything. Clear the dirty bitmap first so only writes
@@ -293,7 +296,8 @@ mod tests {
         let dst = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
         // Put a recognisable pattern into the source.
         for p in 0..pages {
-            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 7 + 1).unwrap();
+            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 7 + 1)
+                .unwrap();
         }
         (src, dst)
     }
@@ -306,8 +310,7 @@ mod tests {
     fn stop_and_copy_moves_everything_with_downtime_equal_total() {
         let (src, dst) = memories(256);
         let mut l = link();
-        let report =
-            StopAndCopy::migrate(&src, &dst, &[VcpuState::default()], &mut l).unwrap();
+        let report = StopAndCopy::migrate(&src, &dst, &[VcpuState::default()], &mut l).unwrap();
         assert_eq!(report.kind, MigrationKind::StopAndCopy);
         assert_eq!(report.downtime, report.total_time);
         assert_eq!(report.pages_transferred, 256);
@@ -322,8 +325,15 @@ mod tests {
         let mut l = link();
         assert!(StopAndCopy::migrate(&src, &dst, &[], &mut l).is_err());
         assert!(PostCopy::migrate(&src, &dst, &[], &mut l, &MigrationConfig::default()).is_err());
-        assert!(PreCopy::migrate(&src, &dst, &[], &mut l, &mut IdleDirtier, &MigrationConfig::default())
-            .is_err());
+        assert!(PreCopy::migrate(
+            &src,
+            &dst,
+            &[],
+            &mut l,
+            &mut IdleDirtier,
+            &MigrationConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -368,7 +378,11 @@ mod tests {
                 &config,
             )
             .unwrap();
-            assert_eq!(src.checksum(), dst.checksum(), "memory must match at fraction {fraction}");
+            assert_eq!(
+                src.checksum(),
+                dst.checksum(),
+                "memory must match at fraction {fraction}"
+            );
             downtimes.push(report.downtime);
         }
         assert!(downtimes[0] < downtimes[1]);
@@ -378,12 +392,26 @@ mod tests {
     #[test]
     fn precopy_gives_up_when_dirty_rate_exceeds_bandwidth() {
         let (src, dst) = memories(512);
-        let mut l = Link::new(LinkModel { bytes_per_second: 10_000_000, latency: Nanoseconds::from_micros(100) });
+        let mut l = Link::new(LinkModel {
+            bytes_per_second: 10_000_000,
+            latency: Nanoseconds::from_micros(100),
+        });
         // Dirty at 3x the link bandwidth over a large working set: cannot converge.
         let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(10_000_000, 3.0, 0, 512);
-        let config = MigrationConfig { max_rounds: 5, dirty_page_threshold: 4, ..Default::default() };
-        let report =
-            PreCopy::migrate(&src, &dst, &[VcpuState::default()], &mut l, &mut dirtier, &config).unwrap();
+        let config = MigrationConfig {
+            max_rounds: 5,
+            dirty_page_threshold: 4,
+            ..Default::default()
+        };
+        let report = PreCopy::migrate(
+            &src,
+            &dst,
+            &[VcpuState::default()],
+            &mut l,
+            &mut dirtier,
+            &config,
+        )
+        .unwrap();
         assert!(!report.converged);
         assert_eq!(report.rounds, 5);
         // It still finishes (forced stop-and-copy) and memory still matches.
@@ -397,9 +425,14 @@ mod tests {
         for pages in [256u64, 2048, 8192] {
             let (src, dst) = memories(pages);
             let mut l = link();
-            let report =
-                PostCopy::migrate(&src, &dst, &[VcpuState::default()], &mut l, &MigrationConfig::default())
-                    .unwrap();
+            let report = PostCopy::migrate(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut l,
+                &MigrationConfig::default(),
+            )
+            .unwrap();
             assert_eq!(src.checksum(), dst.checksum());
             assert!(report.remote_faults > 0);
             assert!(report.avg_fault_latency > Nanoseconds::ZERO);
@@ -416,9 +449,14 @@ mod tests {
         let sc = StopAndCopy::migrate(&src, &dst, &[VcpuState::default()], &mut l1).unwrap();
         let (src2, dst2) = memories(4096);
         let mut l2 = link();
-        let pc =
-            PostCopy::migrate(&src2, &dst2, &[VcpuState::default()], &mut l2, &MigrationConfig::default())
-                .unwrap();
+        let pc = PostCopy::migrate(
+            &src2,
+            &dst2,
+            &[VcpuState::default()],
+            &mut l2,
+            &MigrationConfig::default(),
+        )
+        .unwrap();
         assert!(pc.downtime.as_nanos() * 100 < sc.downtime.as_nanos());
     }
 
@@ -450,8 +488,10 @@ mod tests {
 
         let (src, dst) = make();
         let mut l = link();
-        let config =
-            MigrationConfig { compression: PageCompression::ZeroPages, ..Default::default() };
+        let config = MigrationConfig {
+            compression: PageCompression::ZeroPages,
+            ..Default::default()
+        };
         let compressed = PreCopy::migrate(
             &src,
             &dst,
@@ -461,7 +501,11 @@ mod tests {
             &config,
         )
         .unwrap();
-        assert_eq!(src.checksum(), dst.checksum(), "compression must not corrupt memory");
+        assert_eq!(
+            src.checksum(),
+            dst.checksum(),
+            "compression must not corrupt memory"
+        );
         // 15/16 of the pages collapse to one-byte markers.
         assert!(compressed.bytes_transferred * 8 < raw.bytes_transferred);
         assert!(compressed.total_time < raw.total_time);
@@ -478,7 +522,10 @@ mod tests {
                 0,
                 2048,
             );
-            let config = MigrationConfig { compression, ..Default::default() };
+            let config = MigrationConfig {
+                compression,
+                ..Default::default()
+            };
             let report = PreCopy::migrate(
                 &src,
                 &dst,
@@ -488,7 +535,11 @@ mod tests {
                 &config,
             )
             .unwrap();
-            assert_eq!(src.checksum(), dst.checksum(), "memory mismatch with {compression:?}");
+            assert_eq!(
+                src.checksum(),
+                dst.checksum(),
+                "memory mismatch with {compression:?}"
+            );
             report
         };
 

@@ -81,11 +81,14 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::BTreeSet<_> =
-            [MigrationKind::StopAndCopy, MigrationKind::PreCopy, MigrationKind::PostCopy]
-                .iter()
-                .map(|k| k.name())
-                .collect();
+        let names: std::collections::BTreeSet<_> = [
+            MigrationKind::StopAndCopy,
+            MigrationKind::PreCopy,
+            MigrationKind::PostCopy,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
         assert_eq!(names.len(), 3);
     }
 
@@ -106,7 +109,11 @@ mod tests {
         assert!((r.transfer_amplification() - 2.0).abs() < 1e-9);
         assert!((r.effective_bandwidth_bytes_per_sec() - (1 << 30) as f64).abs() < 1.0);
 
-        let degenerate = MigrationReport { memory_size: ByteSize::ZERO, total_time: Nanoseconds::ZERO, ..r };
+        let degenerate = MigrationReport {
+            memory_size: ByteSize::ZERO,
+            total_time: Nanoseconds::ZERO,
+            ..r
+        };
         assert_eq!(degenerate.transfer_amplification(), 0.0);
         assert_eq!(degenerate.effective_bandwidth_bytes_per_sec(), 0.0);
     }

@@ -64,7 +64,12 @@ impl Frame {
     /// Build a frame. The payload is not padded; [`Frame::wire_len`] accounts
     /// for minimum frame size the way a real NIC would.
     pub fn new(src: MacAddr, dst: MacAddr, ethertype: u16, payload: impl Into<Bytes>) -> Self {
-        Frame { dst, src, ethertype, payload: payload.into() }
+        Frame {
+            dst,
+            src,
+            ethertype,
+            payload: payload.into(),
+        }
     }
 
     /// A broadcast frame.
@@ -126,17 +131,35 @@ mod tests {
         assert!(!a.is_multicast());
         assert!(MacAddr::BROADCAST.is_broadcast());
         assert!(MacAddr::BROADCAST.is_multicast());
-        assert_eq!(MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1]).to_string(), "de:ad:be:ef:00:01");
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
     }
 
     #[test]
     fn wire_len_respects_minimum() {
-        let f = Frame::new(MacAddr::local(0), MacAddr::local(1), ETHERTYPE_IPV4, vec![0u8; 10]);
+        let f = Frame::new(
+            MacAddr::local(0),
+            MacAddr::local(1),
+            ETHERTYPE_IPV4,
+            vec![0u8; 10],
+        );
         assert_eq!(f.wire_len(), MIN_FRAME_SIZE);
-        let f = Frame::new(MacAddr::local(0), MacAddr::local(1), ETHERTYPE_IPV4, vec![0u8; 1500]);
+        let f = Frame::new(
+            MacAddr::local(0),
+            MacAddr::local(1),
+            ETHERTYPE_IPV4,
+            vec![0u8; 1500],
+        );
         assert_eq!(f.wire_len(), 1514);
         assert!(!f.oversized());
-        let f = Frame::new(MacAddr::local(0), MacAddr::local(1), ETHERTYPE_IPV4, vec![0u8; 1600]);
+        let f = Frame::new(
+            MacAddr::local(0),
+            MacAddr::local(1),
+            ETHERTYPE_IPV4,
+            vec![0u8; 1600],
+        );
         assert!(f.oversized());
     }
 

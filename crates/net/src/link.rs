@@ -23,22 +23,34 @@ pub struct LinkModel {
 impl LinkModel {
     /// A 1 Gbit/s link with 200 µs latency (the deck's office LAN).
     pub fn gigabit() -> Self {
-        LinkModel { bytes_per_second: 125_000_000, latency: Nanoseconds::from_micros(200) }
+        LinkModel {
+            bytes_per_second: 125_000_000,
+            latency: Nanoseconds::from_micros(200),
+        }
     }
 
     /// A 10 Gbit/s datacenter link with 50 µs latency.
     pub fn ten_gigabit() -> Self {
-        LinkModel { bytes_per_second: 1_250_000_000, latency: Nanoseconds::from_micros(50) }
+        LinkModel {
+            bytes_per_second: 1_250_000_000,
+            latency: Nanoseconds::from_micros(50),
+        }
     }
 
     /// A 100 Mbit/s WAN-ish link with 5 ms latency (cross-site DR traffic).
     pub fn wan() -> Self {
-        LinkModel { bytes_per_second: 12_500_000, latency: Nanoseconds::from_millis(5) }
+        LinkModel {
+            bytes_per_second: 12_500_000,
+            latency: Nanoseconds::from_millis(5),
+        }
     }
 
     /// Construct from a bandwidth expressed in megabits per second.
     pub fn from_mbps(mbps: u64, latency: Nanoseconds) -> Self {
-        LinkModel { bytes_per_second: mbps * 1_000_000 / 8, latency }
+        LinkModel {
+            bytes_per_second: mbps * 1_000_000 / 8,
+            latency,
+        }
     }
 
     /// Time to push `bytes` through the link (serialization + propagation).
@@ -72,7 +84,12 @@ pub struct Link {
 impl Link {
     /// Create an idle link with the given model.
     pub fn new(model: LinkModel) -> Self {
-        Link { model, free_at: Nanoseconds::ZERO, bytes_carried: 0, transfers: 0 }
+        Link {
+            model,
+            free_at: Nanoseconds::ZERO,
+            bytes_carried: 0,
+            transfers: 0,
+        }
     }
 
     /// The link's model.
@@ -98,7 +115,11 @@ impl Link {
     /// Schedule a transfer of `bytes` starting no earlier than `now`;
     /// returns the simulated completion time.
     pub fn transmit(&mut self, now: Nanoseconds, bytes: u64) -> Nanoseconds {
-        let start = if now > self.free_at { now } else { self.free_at };
+        let start = if now > self.free_at {
+            now
+        } else {
+            self.free_at
+        };
         let done = start.saturating_add(self.model.transfer_time(bytes));
         self.free_at = done;
         self.bytes_carried += bytes;
@@ -121,11 +142,20 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let link = LinkModel { bytes_per_second: 1_000_000, latency: Nanoseconds::from_micros(10) };
+        let link = LinkModel {
+            bytes_per_second: 1_000_000,
+            latency: Nanoseconds::from_micros(10),
+        };
         assert_eq!(link.transfer_time(0), Nanoseconds::from_micros(10));
         // 1 MB at 1 MB/s = 1 s + latency.
-        assert_eq!(link.transfer_time(1_000_000), Nanoseconds(1_000_000_000 + 10_000));
-        let zero = LinkModel { bytes_per_second: 0, latency: Nanoseconds::from_micros(1) };
+        assert_eq!(
+            link.transfer_time(1_000_000),
+            Nanoseconds(1_000_000_000 + 10_000)
+        );
+        let zero = LinkModel {
+            bytes_per_second: 0,
+            latency: Nanoseconds::from_micros(1),
+        };
         assert_eq!(zero.transfer_time(123), Nanoseconds::from_micros(1));
     }
 
@@ -149,7 +179,10 @@ mod tests {
 
     #[test]
     fn sequential_transfers_queue() {
-        let mut link = Link::new(LinkModel { bytes_per_second: 1_000_000, latency: Nanoseconds::ZERO });
+        let mut link = Link::new(LinkModel {
+            bytes_per_second: 1_000_000,
+            latency: Nanoseconds::ZERO,
+        });
         let t1 = link.transmit(Nanoseconds::ZERO, 500_000); // 0.5 s
         assert_eq!(t1, Nanoseconds::from_millis(500));
         // Submitted "earlier" than the link frees up: queues behind.

@@ -66,8 +66,15 @@ impl VirtualSwitch {
     pub fn add_port_with_queue(&self, rx_capacity: usize) -> SwitchPort {
         let mut inner = self.inner.lock();
         let index = inner.ports.len();
-        inner.ports.push(PortState { rx: VecDeque::new(), rx_capacity: rx_capacity.max(1), dropped: 0 });
-        SwitchPort { switch: self.clone(), index }
+        inner.ports.push(PortState {
+            rx: VecDeque::new(),
+            rx_capacity: rx_capacity.max(1),
+            dropped: 0,
+        });
+        SwitchPort {
+            switch: self.clone(),
+            index,
+        }
     }
 
     /// Number of ports.
@@ -223,7 +230,11 @@ mod tests {
     fn broadcast_reaches_all_but_sender() {
         let sw = VirtualSwitch::new();
         let ports: Vec<_> = (0..4).map(|_| sw.add_port()).collect();
-        ports[0].send(Frame::broadcast(MacAddr::local(0), ETHERTYPE_IPV4, vec![1u8; 50]));
+        ports[0].send(Frame::broadcast(
+            MacAddr::local(0),
+            ETHERTYPE_IPV4,
+            vec![1u8; 50],
+        ));
         assert_eq!(ports[0].pending(), 0);
         for p in &ports[1..] {
             assert_eq!(p.pending(), 1);

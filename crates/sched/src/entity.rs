@@ -86,7 +86,12 @@ pub struct VcpuEntity {
 impl VcpuEntity {
     /// A CPU-bound entity with the default weight and no cap.
     pub fn cpu_bound(id: EntityId) -> Self {
-        VcpuEntity { id, weight: 256, cap_percent: None, runnable: RunnableModel::Always }
+        VcpuEntity {
+            id,
+            weight: 256,
+            cap_percent: None,
+            runnable: RunnableModel::Always,
+        }
     }
 
     /// Set the weight (builder style).
@@ -126,23 +131,41 @@ mod tests {
 
     #[test]
     fn builders() {
-        let e = VcpuEntity::cpu_bound(id(3)).with_weight(512).with_cap(50).with_duty_cycle(1, 4);
+        let e = VcpuEntity::cpu_bound(id(3))
+            .with_weight(512)
+            .with_cap(50)
+            .with_duty_cycle(1, 4);
         assert_eq!(e.weight, 512);
         assert_eq!(e.cap_percent, Some(50));
-        assert_eq!(e.runnable, RunnableModel::DutyCycle { active: 1, period: 4 });
+        assert_eq!(
+            e.runnable,
+            RunnableModel::DutyCycle {
+                active: 1,
+                period: 4
+            }
+        );
         // Weight of zero is clamped to one.
         assert_eq!(VcpuEntity::cpu_bound(id(1)).with_weight(0).weight, 1);
     }
 
     #[test]
     fn duty_cycle_runnability() {
-        let m = RunnableModel::DutyCycle { active: 2, period: 5 };
+        let m = RunnableModel::DutyCycle {
+            active: 2,
+            period: 5,
+        };
         let runnable: Vec<bool> = (0..10).map(|q| m.is_runnable(q)).collect();
-        assert_eq!(runnable, vec![true, true, false, false, false, true, true, false, false, false]);
+        assert_eq!(
+            runnable,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
         assert!((m.demand_fraction() - 0.4).abs() < 1e-12);
         assert!(RunnableModel::Always.is_runnable(123));
         assert_eq!(RunnableModel::Always.demand_fraction(), 1.0);
-        let degenerate = RunnableModel::DutyCycle { active: 1, period: 0 };
+        let degenerate = RunnableModel::DutyCycle {
+            active: 1,
+            period: 0,
+        };
         assert!(!degenerate.is_runnable(0));
         assert_eq!(degenerate.demand_fraction(), 0.0);
     }

@@ -28,7 +28,11 @@ pub fn fairness_index(allocations: &[f64]) -> f64 {
 /// Returns 0.0 for perfect weighted fairness. Entities that received no
 /// entitlement (zero total weight) yield 0.0.
 pub fn weighted_share_error(allocations: &[f64], weights: &[u32]) -> f64 {
-    assert_eq!(allocations.len(), weights.len(), "allocations and weights must align");
+    assert_eq!(
+        allocations.len(),
+        weights.len(),
+        "allocations and weights must align"
+    );
     let total_alloc: f64 = allocations.iter().sum();
     let total_weight: f64 = weights.iter().map(|&w| w as f64).sum();
     if total_alloc == 0.0 || total_weight == 0.0 {
@@ -87,7 +91,7 @@ mod tests {
         #[test]
         fn jain_index_is_bounded(allocs in proptest::collection::vec(0.0f64..1000.0, 1..20)) {
             let j = fairness_index(&allocs);
-            prop_assert!(j >= 0.0 && j <= 1.0 + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&j));
         }
 
         #[test]

@@ -128,7 +128,9 @@ impl CreditScheduler {
     }
 
     fn cap_quanta(entity: &VcpuEntity) -> Option<u64> {
-        entity.cap_percent.map(|cap| (cap as u64 * QUANTA_PER_PERIOD) / 100)
+        entity
+            .cap_percent
+            .map(|cap| (cap as u64 * QUANTA_PER_PERIOD) / 100)
     }
 }
 
@@ -138,9 +140,11 @@ impl Scheduler for CreditScheduler {
     }
 
     fn add_entity(&mut self, entity: VcpuEntity) {
-        self.accounts
-            .entry(entity.id)
-            .or_insert(CreditAccount { entity, credits: 0, ran_this_period: 0 });
+        self.accounts.entry(entity.id).or_insert(CreditAccount {
+            entity,
+            credits: 0,
+            ran_this_period: 0,
+        });
     }
 
     fn remove_entity(&mut self, id: EntityId) {
@@ -149,7 +153,7 @@ impl Scheduler for CreditScheduler {
 
     fn pick(&mut self, pcpus: usize, runnable: &[EntityId], quantum: u64) -> Vec<EntityId> {
         self.pcpus_hint = pcpus;
-        if quantum % QUANTA_PER_PERIOD == 0 {
+        if quantum.is_multiple_of(QUANTA_PER_PERIOD) {
             self.replenish(pcpus);
         }
         let mut candidates: Vec<&CreditAccount> = runnable
@@ -162,7 +166,11 @@ impl Scheduler for CreditScheduler {
             .collect();
         // UNDER (positive credits) before OVER, then by credit balance.
         candidates.sort_by_key(|acct| (acct.credits <= 0, -acct.credits));
-        candidates.into_iter().take(pcpus).map(|acct| acct.entity.id).collect()
+        candidates
+            .into_iter()
+            .take(pcpus)
+            .map(|acct| acct.entity.id)
+            .collect()
     }
 
     fn charge(&mut self, id: EntityId, _quantum: u64) {
@@ -208,7 +216,11 @@ impl Scheduler for StrideScheduler {
         // New entities start at the current minimum pass so they don't get a
         // huge burst of back-pay.
         let min_pass = self.accounts.values().map(|a| a.pass).min().unwrap_or(0);
-        self.accounts.entry(entity.id).or_insert(StrideAccount { entity, stride, pass: min_pass });
+        self.accounts.entry(entity.id).or_insert(StrideAccount {
+            entity,
+            stride,
+            pass: min_pass,
+        });
     }
 
     fn remove_entity(&mut self, id: EntityId) {
@@ -216,10 +228,16 @@ impl Scheduler for StrideScheduler {
     }
 
     fn pick(&mut self, pcpus: usize, runnable: &[EntityId], _quantum: u64) -> Vec<EntityId> {
-        let mut candidates: Vec<&StrideAccount> =
-            runnable.iter().filter_map(|id| self.accounts.get(id)).collect();
+        let mut candidates: Vec<&StrideAccount> = runnable
+            .iter()
+            .filter_map(|id| self.accounts.get(id))
+            .collect();
         candidates.sort_by_key(|a| (a.pass, a.entity.id));
-        candidates.into_iter().take(pcpus).map(|a| a.entity.id).collect()
+        candidates
+            .into_iter()
+            .take(pcpus)
+            .map(|a| a.entity.id)
+            .collect()
     }
 
     fn charge(&mut self, id: EntityId, _quantum: u64) {
@@ -246,14 +264,22 @@ mod tests {
             .collect()
     }
 
-    fn run(scheduler: &mut dyn Scheduler, ents: &[VcpuEntity], pcpus: usize, quanta: u64) -> BTreeMap<EntityId, u64> {
+    fn run(
+        scheduler: &mut dyn Scheduler,
+        ents: &[VcpuEntity],
+        pcpus: usize,
+        quanta: u64,
+    ) -> BTreeMap<EntityId, u64> {
         for e in ents {
             scheduler.add_entity(*e);
         }
         let mut runtime: BTreeMap<EntityId, u64> = ents.iter().map(|e| (e.id, 0)).collect();
         for q in 0..quanta {
-            let runnable: Vec<EntityId> =
-                ents.iter().filter(|e| e.runnable.is_runnable(q)).map(|e| e.id).collect();
+            let runnable: Vec<EntityId> = ents
+                .iter()
+                .filter(|e| e.runnable.is_runnable(q))
+                .map(|e| e.id)
+                .collect();
             let picked = scheduler.pick(pcpus, &runnable, q);
             assert!(picked.len() <= pcpus);
             for p in &picked {
@@ -269,7 +295,7 @@ mod tests {
         let ents = entities(&[256, 256, 256, 256]);
         let mut rr = RoundRobin::new();
         let runtime = run(&mut rr, &ents, 2, 1000);
-        for (_, &t) in &runtime {
+        for &t in runtime.values() {
             assert_eq!(t, 500);
         }
         assert_eq!(rr.name(), "round-robin");
@@ -376,7 +402,11 @@ mod tests {
     #[test]
     fn removal_stops_scheduling() {
         let ents = entities(&[256, 256]);
-        for sched in [&mut RoundRobin::new() as &mut dyn Scheduler, &mut CreditScheduler::new(), &mut StrideScheduler::new()] {
+        for sched in [
+            &mut RoundRobin::new() as &mut dyn Scheduler,
+            &mut CreditScheduler::new(),
+            &mut StrideScheduler::new(),
+        ] {
             sched.add_entity(ents[0]);
             sched.add_entity(ents[1]);
             sched.remove_entity(ents[0].id);

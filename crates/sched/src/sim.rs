@@ -25,7 +25,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { pcpus: 4, quanta: 1000, quantum: Nanoseconds::from_millis(30) }
+        SimConfig {
+            pcpus: 4,
+            quanta: 1000,
+            quantum: Nanoseconds::from_millis(30),
+        }
     }
 }
 
@@ -78,7 +82,10 @@ pub struct HostSim {
 impl HostSim {
     /// Create a simulation with the given host configuration.
     pub fn new(config: SimConfig) -> Self {
-        HostSim { config, entities: Vec::new() }
+        HostSim {
+            config,
+            entities: Vec::new(),
+        }
     }
 
     /// Add a vCPU entity to the workload.
@@ -103,7 +110,8 @@ impl HostSim {
         for e in &self.entities {
             scheduler.add_entity(*e);
         }
-        let mut runtime: BTreeMap<EntityId, u64> = self.entities.iter().map(|e| (e.id, 0)).collect();
+        let mut runtime: BTreeMap<EntityId, u64> =
+            self.entities.iter().map(|e| (e.id, 0)).collect();
         let mut last_assignment: Vec<Option<EntityId>> = vec![None; self.config.pcpus];
         let mut context_switches = 0u64;
         let mut busy_pcpu_quanta = 0u64;
@@ -129,12 +137,20 @@ impl HostSim {
                     last_assignment[slot] = Some(*id);
                 }
             }
-            for slot in picked.len()..self.config.pcpus {
-                last_assignment[slot] = None;
+            for slot in last_assignment
+                .iter_mut()
+                .take(self.config.pcpus)
+                .skip(picked.len())
+            {
+                *slot = None;
             }
         }
 
-        let allocations: Vec<f64> = self.entities.iter().map(|e| runtime[&e.id] as f64).collect();
+        let allocations: Vec<f64> = self
+            .entities
+            .iter()
+            .map(|e| runtime[&e.id] as f64)
+            .collect();
         let weights: Vec<u32> = self.entities.iter().map(|e| e.weight).collect();
         let cpu_time = runtime
             .iter()
@@ -169,7 +185,11 @@ mod tests {
     }
 
     fn sim(pcpus: usize, quanta: u64) -> HostSim {
-        HostSim::new(SimConfig { pcpus, quanta, quantum: Nanoseconds::from_millis(30) })
+        HostSim::new(SimConfig {
+            pcpus,
+            quanta,
+            quantum: Nanoseconds::from_millis(30),
+        })
     }
 
     #[test]
@@ -183,8 +203,18 @@ mod tests {
             s.run(&mut CreditScheduler::new()),
             s.run(&mut StrideScheduler::new()),
         ] {
-            assert!(report.jain_index > 0.99, "{}: jain {}", report.scheduler, report.jain_index);
-            assert!(report.weighted_error < 0.05, "{}: err {}", report.scheduler, report.weighted_error);
+            assert!(
+                report.jain_index > 0.99,
+                "{}: jain {}",
+                report.scheduler,
+                report.jain_index
+            );
+            assert!(
+                report.weighted_error < 0.05,
+                "{}: err {}",
+                report.scheduler,
+                report.weighted_error
+            );
             assert!((report.utilization - 1.0).abs() < 1e-9);
         }
     }
@@ -200,8 +230,16 @@ mod tests {
         let stride = s.run(&mut StrideScheduler::new());
         assert!(credit.weighted_error < rr.weighted_error);
         assert!(stride.weighted_error < rr.weighted_error);
-        assert!(credit.weighted_error < 0.15, "credit err {}", credit.weighted_error);
-        assert!(stride.weighted_error < 0.05, "stride err {}", stride.weighted_error);
+        assert!(
+            credit.weighted_error < 0.15,
+            "credit err {}",
+            credit.weighted_error
+        );
+        assert!(
+            stride.weighted_error < 0.05,
+            "stride err {}",
+            stride.weighted_error
+        );
     }
 
     #[test]

@@ -39,17 +39,26 @@ pub struct BackupPolicy {
 impl BackupPolicy {
     /// The classic "weekly full, daily incremental" policy.
     pub fn weekly_full_daily_incremental() -> Self {
-        BackupPolicy { interval: Nanoseconds::from_secs(24 * 3600), fulls_every: 7 }
+        BackupPolicy {
+            interval: Nanoseconds::from_secs(24 * 3600),
+            fulls_every: 7,
+        }
     }
 
     /// Nightly full backups (the pre-virtualization tape habit).
     pub fn nightly_full() -> Self {
-        BackupPolicy { interval: Nanoseconds::from_secs(24 * 3600), fulls_every: 1 }
+        BackupPolicy {
+            interval: Nanoseconds::from_secs(24 * 3600),
+            fulls_every: 1,
+        }
     }
 
     /// Hourly incrementals with a nightly full — an aggressive-RPO policy.
     pub fn hourly_incremental() -> Self {
-        BackupPolicy { interval: Nanoseconds::from_secs(3600), fulls_every: 24 }
+        BackupPolicy {
+            interval: Nanoseconds::from_secs(3600),
+            fulls_every: 24,
+        }
     }
 
     /// Validate the policy.
@@ -97,7 +106,8 @@ impl BackupTarget {
     /// Time to write `size` to the target.
     pub fn write_time(&self, size: ByteSize) -> Nanoseconds {
         Nanoseconds(
-            (size.as_u64() as u128 * 1_000_000_000 / self.write_bytes_per_sec.max(1) as u128) as u64,
+            (size.as_u64() as u128 * 1_000_000_000 / self.write_bytes_per_sec.max(1) as u128)
+                as u64,
         )
     }
 
@@ -195,10 +205,14 @@ impl BackupSimulator {
     /// Advance simulated time by one policy interval and take the backup the
     /// policy calls for. `memory` should already contain (and have dirty
     /// tracking for) whatever the guest wrote during the interval.
-    pub fn run_interval(&mut self, memory: &GuestMemory, vcpus: &[VcpuState]) -> Result<BackupRecord> {
+    pub fn run_interval(
+        &mut self,
+        memory: &GuestMemory,
+        vcpus: &[VcpuState],
+    ) -> Result<BackupRecord> {
         self.now = self.now.saturating_add(self.policy.interval);
         let take_full =
-            self.last_full.is_none() || self.backups_taken % self.policy.fulls_every == 0;
+            self.last_full.is_none() || self.backups_taken.is_multiple_of(self.policy.fulls_every);
         let snapshot = if take_full {
             VmSnapshot::capture_full(
                 self.vm,
@@ -213,7 +227,8 @@ impl BackupSimulator {
                 self.vm,
                 &format!("backup-{}", self.backups_taken),
                 self.now,
-                self.last_snapshot_id().expect("incremental always has a predecessor"),
+                self.last_snapshot_id()
+                    .expect("incremental always has a predecessor"),
                 memory,
                 vcpus.to_vec(),
                 BTreeMap::new(),
@@ -231,7 +246,12 @@ impl BackupSimulator {
             self.last_full = Some(id);
         }
         self.backups_taken += 1;
-        let record = BackupRecord { id, kind, taken_at: self.now, size };
+        let record = BackupRecord {
+            id,
+            kind,
+            taken_at: self.now,
+            size,
+        };
         self.history.push(record);
         Ok(record)
     }
@@ -249,15 +269,21 @@ impl BackupSimulator {
             .ok_or_else(|| Error::Snapshot("no backups have been taken yet".into()))?;
         let chain_bytes = self.chain_size(id)?;
         let (vcpus, _) = self.store.restore(id, memory)?;
-        let rto = self.target.restore_setup.saturating_add(self.target.read_time(chain_bytes));
+        let rto = self
+            .target
+            .restore_setup
+            .saturating_add(self.target.read_time(chain_bytes));
         Ok((vcpus, rto))
     }
 
     /// Summarise the schedule so far.
     pub fn report(&self) -> BackupReport {
-        let bytes_stored =
-            ByteSize::new(self.history.iter().map(|r| r.size.as_u64()).sum::<u64>());
-        let fulls_taken = self.history.iter().filter(|r| r.kind == SnapshotKind::Full).count() as u32;
+        let bytes_stored = ByteSize::new(self.history.iter().map(|r| r.size.as_u64()).sum::<u64>());
+        let fulls_taken = self
+            .history
+            .iter()
+            .filter(|r| r.kind == SnapshotKind::Full)
+            .count() as u32;
         let full_size = self
             .history
             .iter()
@@ -271,7 +297,10 @@ impl BackupSimulator {
         let mut longest_chain = 0u32;
         for record in &self.history {
             if let Ok(size) = self.chain_size(record.id) {
-                let rto = self.target.restore_setup.saturating_add(self.target.read_time(size));
+                let rto = self
+                    .target
+                    .restore_setup
+                    .saturating_add(self.target.read_time(size));
                 if rto > worst_rto {
                     worst_rto = rto;
                 }
@@ -294,7 +323,9 @@ impl BackupSimulator {
     /// Total bytes that must be read back to restore `id` (its whole chain).
     fn chain_size(&self, id: SnapshotId) -> Result<ByteSize> {
         let chain = self.store.chain_of(id)?;
-        Ok(ByteSize::new(chain.iter().map(|s| s.approx_size().as_u64()).sum()))
+        Ok(ByteSize::new(
+            chain.iter().map(|s| s.approx_size().as_u64()).sum(),
+        ))
     }
 }
 
@@ -314,20 +345,34 @@ mod tests {
 
     fn dirty_pages(mem: &GuestMemory, pages: &[u64]) {
         for &p in pages {
-            mem.write_u64(GuestAddress(p * PAGE_SIZE), 0xd1d1_0000 + p).unwrap();
+            mem.write_u64(GuestAddress(p * PAGE_SIZE), 0xd1d1_0000 + p)
+                .unwrap();
         }
     }
 
     #[test]
     fn policy_validation() {
-        assert!(BackupPolicy::weekly_full_daily_incremental().validate().is_ok());
-        assert!(BackupPolicy { interval: Nanoseconds::ZERO, fulls_every: 1 }.validate().is_err());
-        assert!(BackupPolicy { interval: Nanoseconds::from_secs(60), fulls_every: 0 }
+        assert!(BackupPolicy::weekly_full_daily_incremental()
             .validate()
-            .is_err());
+            .is_ok());
+        assert!(BackupPolicy {
+            interval: Nanoseconds::ZERO,
+            fulls_every: 1
+        }
+        .validate()
+        .is_err());
+        assert!(BackupPolicy {
+            interval: Nanoseconds::from_secs(60),
+            fulls_every: 0
+        }
+        .validate()
+        .is_err());
         assert!(BackupSimulator::new(
             VmId::new(0),
-            BackupPolicy { interval: Nanoseconds::ZERO, fulls_every: 1 },
+            BackupPolicy {
+                interval: Nanoseconds::ZERO,
+                fulls_every: 1
+            },
             BackupTarget::default()
         )
         .is_err());
@@ -391,7 +436,11 @@ mod tests {
         assert_eq!(report.rpo, Nanoseconds::from_secs(24 * 3600));
         // Incrementals of a lightly-written guest store far less than
         // re-writing the full image every day.
-        assert!(report.storage_saving_fraction() > 0.7, "saving {}", report.storage_saving_fraction());
+        assert!(
+            report.storage_saving_fraction() > 0.7,
+            "saving {}",
+            report.storage_saving_fraction()
+        );
     }
 
     #[test]

@@ -104,17 +104,18 @@ impl ExportManifest {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (key, value) = line
-                .split_once(':')
-                .ok_or_else(|| Error::Snapshot(format!("manifest line {} is malformed: {line}", lineno + 1)))?;
+            let (key, value) = line.split_once(':').ok_or_else(|| {
+                Error::Snapshot(format!("manifest line {} is malformed: {line}", lineno + 1))
+            })?;
             let value = value.trim();
             match key.trim() {
                 "rvisor-appliance" => versioned = true,
                 "name" => name = Some(value.to_string()),
                 "vcpus" => {
-                    vcpus = Some(value.parse::<u32>().map_err(|_| {
-                        Error::Snapshot(format!("invalid vcpus value `{value}`"))
-                    })?)
+                    vcpus =
+                        Some(value.parse::<u32>().map_err(|_| {
+                            Error::Snapshot(format!("invalid vcpus value `{value}`"))
+                        })?)
                 }
                 "memory-bytes" => {
                     memory = Some(ByteSize::new(value.parse::<u64>().map_err(|_| {
@@ -122,9 +123,9 @@ impl ExportManifest {
                     })?))
                 }
                 "disk" => {
-                    let (disk_name, size) = value.rsplit_once(' ').ok_or_else(|| {
-                        Error::Snapshot(format!("invalid disk line `{value}`"))
-                    })?;
+                    let (disk_name, size) = value
+                        .rsplit_once(' ')
+                        .ok_or_else(|| Error::Snapshot(format!("invalid disk line `{value}`")))?;
                     disks.insert(
                         disk_name.trim().to_string(),
                         size.parse::<u64>()
@@ -151,7 +152,9 @@ impl ExportManifest {
             }
         }
         if !versioned {
-            return Err(Error::Snapshot("missing rvisor-appliance version line".into()));
+            return Err(Error::Snapshot(
+                "missing rvisor-appliance version line".into(),
+            ));
         }
         Ok(ExportManifest {
             name: name.ok_or_else(|| Error::Snapshot("manifest missing name".into()))?,
@@ -190,7 +193,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let text = "# exported by rvisor\n\nrvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1024\n";
+        let text =
+            "# exported by rvisor\n\nrvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1024\n";
         let m = ExportManifest::from_text(text).unwrap();
         assert_eq!(m.name, "x");
         assert_eq!(m.vcpus, 1);
@@ -203,16 +207,25 @@ mod tests {
         assert!(ExportManifest::from_text("").is_err());
         assert!(ExportManifest::from_text("name: x\nvcpus: 1\nmemory-bytes: 10\n").is_err()); // no version
         assert!(ExportManifest::from_text("rvisor-appliance: 1\nname x\n").is_err()); // missing colon
-        assert!(ExportManifest::from_text("rvisor-appliance: 1\nname: x\nvcpus: many\nmemory-bytes: 1\n").is_err());
-        assert!(ExportManifest::from_text("rvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1\nbogus: 1\n")
-            .is_err());
-        assert!(ExportManifest::from_text("rvisor-appliance: 1\nvcpus: 1\nmemory-bytes: 1\n").is_err()); // no name
-        assert!(ExportManifest::from_text("rvisor-appliance: 1\nname: x\nmemory-bytes: 1\n").is_err()); // no vcpus
-        assert!(ExportManifest::from_text("rvisor-appliance: 1\nname: x\nvcpus: 1\n").is_err()); // no memory
+        assert!(ExportManifest::from_text(
+            "rvisor-appliance: 1\nname: x\nvcpus: many\nmemory-bytes: 1\n"
+        )
+        .is_err());
+        assert!(ExportManifest::from_text(
+            "rvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1\nbogus: 1\n"
+        )
+        .is_err());
         assert!(
-            ExportManifest::from_text("rvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1\ndisk: nosize\n")
-                .is_err()
-        );
+            ExportManifest::from_text("rvisor-appliance: 1\nvcpus: 1\nmemory-bytes: 1\n").is_err()
+        ); // no name
+        assert!(
+            ExportManifest::from_text("rvisor-appliance: 1\nname: x\nmemory-bytes: 1\n").is_err()
+        ); // no vcpus
+        assert!(ExportManifest::from_text("rvisor-appliance: 1\nname: x\nvcpus: 1\n").is_err()); // no memory
+        assert!(ExportManifest::from_text(
+            "rvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1\ndisk: nosize\n"
+        )
+        .is_err());
         assert!(ExportManifest::from_text(
             "rvisor-appliance: 1\nname: x\nvcpus: 1\nmemory-bytes: 1\nchecksum: mem abc\n"
         )

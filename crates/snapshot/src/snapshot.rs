@@ -44,7 +44,10 @@ impl MemorySnapshot {
         for p in 0..total_pages {
             pages.push((p, memory.read_page(p)?));
         }
-        Ok(MemorySnapshot { total_size: memory.total_size(), pages })
+        Ok(MemorySnapshot {
+            total_size: memory.total_size(),
+            pages,
+        })
     }
 
     /// Capture only the listed pages of `memory`.
@@ -56,7 +59,10 @@ impl MemorySnapshot {
         for &p in &sorted {
             pages.push((p, memory.read_page(p)?));
         }
-        Ok(MemorySnapshot { total_size: memory.total_size(), pages })
+        Ok(MemorySnapshot {
+            total_size: memory.total_size(),
+            pages,
+        })
     }
 
     /// Number of pages stored.
@@ -195,7 +201,10 @@ mod tests {
         let target = memory();
         snap.apply(&target).unwrap();
         assert_eq!(target.read_u64(GuestAddress(0x100)).unwrap(), 0xabcdef);
-        assert_eq!(target.read_u64(GuestAddress(8 * PAGE_SIZE + 8)).unwrap(), 77);
+        assert_eq!(
+            target.read_u64(GuestAddress(8 * PAGE_SIZE + 8)).unwrap(),
+            77
+        );
         assert_eq!(target.checksum(), mem.checksum());
     }
 

@@ -37,7 +37,12 @@ impl SnapshotStore {
 
     /// Total approximate bytes held across all snapshots.
     pub fn total_size(&self) -> ByteSize {
-        ByteSize::new(self.snapshots.values().map(|s| s.approx_size().as_u64()).sum())
+        ByteSize::new(
+            self.snapshots
+                .values()
+                .map(|s| s.approx_size().as_u64())
+                .sum(),
+        )
     }
 
     /// Insert a snapshot, assigning it an id. Incremental snapshots must name
@@ -76,7 +81,9 @@ impl SnapshotStore {
     /// Delete a snapshot. Fails if another snapshot depends on it.
     pub fn delete(&mut self, id: SnapshotId) -> Result<()> {
         if self.snapshots.values().any(|s| s.parent == Some(id)) {
-            return Err(Error::Snapshot(format!("{id} has dependent incremental snapshots")));
+            return Err(Error::Snapshot(format!(
+                "{id} has dependent incremental snapshots"
+            )));
         }
         self.snapshots
             .remove(&id)
@@ -100,7 +107,9 @@ impl SnapshotStore {
             cursor = snap.parent;
         }
         if chain.last().map(|s| s.kind) != Some(SnapshotKind::Full) {
-            return Err(Error::Snapshot(format!("chain of {id} does not end in a full snapshot")));
+            return Err(Error::Snapshot(format!(
+                "chain of {id} does not end in a full snapshot"
+            )));
         }
         chain.reverse();
         Ok(chain)
@@ -197,7 +206,10 @@ mod tests {
         // Restoring the intermediate point excludes later writes.
         let target_mid = memory();
         store.restore(inc1_id, &target_mid).unwrap();
-        assert_eq!(target_mid.read_u64(GuestAddress(3 * PAGE_SIZE)).unwrap(), 333);
+        assert_eq!(
+            target_mid.read_u64(GuestAddress(3 * PAGE_SIZE)).unwrap(),
+            333
+        );
         assert_eq!(target_mid.read_u64(GuestAddress(5 * PAGE_SIZE)).unwrap(), 0);
 
         assert_eq!(store.len(), 3);
@@ -267,7 +279,10 @@ mod tests {
         let inc_id = store.insert(inc).unwrap();
         // Corrupt the base snapshot's stored pages.
         if let Some(snap) = store.snapshots.get_mut(&base) {
-            snap.memory = MemorySnapshot { total_size: snap.memory.total_size, pages: vec![] };
+            snap.memory = MemorySnapshot {
+                total_size: snap.memory.total_size,
+                pages: vec![],
+            };
         }
         let target = memory();
         assert!(store.restore(inc_id, &target).is_err());

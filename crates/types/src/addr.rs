@@ -16,7 +16,9 @@ use std::fmt;
 /// assert_eq!(a.unchecked_add(0x20).0, 0x1020);
 /// assert!(a.is_page_aligned());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct GuestAddress(pub u64);
 
 impl GuestAddress {
@@ -60,7 +62,7 @@ impl GuestAddress {
 
     /// Whether this address is 4 KiB aligned.
     pub const fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Round down to the containing page boundary.
@@ -164,7 +166,10 @@ impl MemoryRegionConfig {
 
     /// The described region.
     pub const fn region(&self) -> GuestRegion {
-        GuestRegion { start: self.base, len: self.size.as_u64() }
+        GuestRegion {
+            start: self.base,
+            len: self.size.as_u64(),
+        }
     }
 }
 

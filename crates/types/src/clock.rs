@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A duration or instant expressed in simulated nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Nanoseconds(pub u64);
 
 impl Nanoseconds {
@@ -149,7 +151,9 @@ impl ManualClock {
 
     /// Create a clock starting at `start`.
     pub fn starting_at(start: Nanoseconds) -> Self {
-        ManualClock { now: Arc::new(AtomicU64::new(start.0)) }
+        ManualClock {
+            now: Arc::new(AtomicU64::new(start.0)),
+        }
     }
 
     /// Set the clock to an absolute instant (must not go backwards).
@@ -162,7 +166,10 @@ impl ManualClock {
             if t.0 < cur {
                 return false;
             }
-            match self.now.compare_exchange(cur, t.0, Ordering::SeqCst, Ordering::SeqCst) {
+            match self
+                .now
+                .compare_exchange(cur, t.0, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -208,7 +215,10 @@ mod tests {
         assert_eq!(a - b, Nanoseconds::from_millis(1));
         assert_eq!(b * 4, Nanoseconds::from_millis(4));
         assert_eq!(b.saturating_sub(a), Nanoseconds::ZERO);
-        assert_eq!(Nanoseconds(u64::MAX).saturating_add(b), Nanoseconds(u64::MAX));
+        assert_eq!(
+            Nanoseconds(u64::MAX).saturating_add(b),
+            Nanoseconds(u64::MAX)
+        );
     }
 
     #[test]

@@ -144,14 +144,26 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::OutOfBounds { addr: GuestAddress(0x1000), len: 8 };
-        assert_eq!(e.to_string(), "guest memory access out of bounds: 8 bytes at 0x1000");
+        let e = Error::OutOfBounds {
+            addr: GuestAddress(0x1000),
+            len: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "guest memory access out of bounds: 8 bytes at 0x1000"
+        );
 
-        let e = Error::PageFault { vaddr: 0xdead, write: true };
+        let e = Error::PageFault {
+            vaddr: 0xdead,
+            write: true,
+        };
         assert!(e.to_string().contains("write"));
         assert!(e.to_string().contains("0xdead"));
 
-        let e = Error::InvalidVmState { operation: "resume", state: "Destroyed".into() };
+        let e = Error::InvalidVmState {
+            operation: "resume",
+            state: "Destroyed".into(),
+        };
         assert_eq!(e.to_string(), "cannot resume: VM is Destroyed");
     }
 

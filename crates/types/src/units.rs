@@ -26,7 +26,9 @@ pub const PAGE_SIZE: u64 = 4 * KIB;
 /// assert_eq!(sz.pages(), 131_072);
 /// assert_eq!(format!("{sz}"), "512.00 MiB");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -75,7 +77,7 @@ impl ByteSize {
 
     /// Whether the size is an exact multiple of the page size.
     pub const fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Round up to the next page boundary.
@@ -171,7 +173,10 @@ mod tests {
         assert_eq!(ByteSize::new(PAGE_SIZE + 1).pages(), 2);
         assert!(ByteSize::new(PAGE_SIZE).is_page_aligned());
         assert!(!ByteSize::new(PAGE_SIZE + 1).is_page_aligned());
-        assert_eq!(ByteSize::new(PAGE_SIZE + 1).page_align_up().as_u64(), 2 * PAGE_SIZE);
+        assert_eq!(
+            ByteSize::new(PAGE_SIZE + 1).page_align_up().as_u64(),
+            2 * PAGE_SIZE
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@ enum Slot {
     /// A fully resolved instruction.
     Ready(Instr),
     /// A conditional branch to a label.
-    BranchTo { cond: Cond, rs1: Reg, rs2: Reg, label: String },
+    BranchTo {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
     /// An unconditional jump (with link register) to a label.
     JalTo { rd: Reg, label: String },
 }
@@ -51,7 +56,10 @@ impl Assembler {
 
     /// Create an assembler for a program loaded at `base`.
     pub fn with_base(base: u64) -> Self {
-        Assembler { base, ..Self::default() }
+        Assembler {
+            base,
+            ..Self::default()
+        }
     }
 
     /// The base address the program is assembled for.
@@ -89,21 +97,35 @@ impl Assembler {
 
     /// Append a conditional branch to a (possibly forward) label.
     pub fn branch_to(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::BranchTo { cond, rs1, rs2, label: label.to_string() });
+        self.slots.push(Slot::BranchTo {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
         self
     }
 
     /// Append an unconditional jump to a (possibly forward) label.
     pub fn jal_to(&mut self, rd: Reg, label: &str) -> &mut Self {
-        self.slots.push(Slot::JalTo { rd, label: label.to_string() });
+        self.slots.push(Slot::JalTo {
+            rd,
+            label: label.to_string(),
+        });
         self
     }
 
     /// Append a `MovImm`/`MovHigh` pair that loads an arbitrary 64-bit constant.
     pub fn load_const(&mut self, rd: Reg, value: u64) -> &mut Self {
         // MovImm sign-extends; load the high half first, then shift in the low half.
-        self.push(Instr::MovImm { rd, imm: (value >> 32) as i32 });
-        self.push(Instr::MovHigh { rd, imm: value as u32 as i32 });
+        self.push(Instr::MovImm {
+            rd,
+            imm: (value >> 32) as i32,
+        });
+        self.push(Instr::MovHigh {
+            rd,
+            imm: value as u32 as i32,
+        });
         self
     }
 
@@ -115,15 +137,28 @@ impl Assembler {
             let next_pc = pc + INSTR_BYTES;
             let instr = match slot {
                 Slot::Ready(instr) => *instr,
-                Slot::BranchTo { cond, rs1, rs2, label } => {
+                Slot::BranchTo {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = self.resolve(label)?;
                     let offset = Self::rel_offset(next_pc, target)?;
-                    Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, imm: offset }
+                    Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        imm: offset,
+                    }
                 }
                 Slot::JalTo { rd, label } => {
                     let target = self.resolve(label)?;
                     let offset = Self::rel_offset(next_pc, target)?;
-                    Instr::Jal { rd: *rd, imm: offset }
+                    Instr::Jal {
+                        rd: *rd,
+                        imm: offset,
+                    }
                 }
             };
             out.extend_from_slice(&instr.encode());
@@ -154,7 +189,11 @@ mod tests {
         let r = Reg::new;
         asm.push(Instr::MovImm { rd: r(1), imm: 2 });
         asm.label("top");
-        asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+        asm.push(Instr::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: -1,
+        });
         asm.branch_to(Cond::Eq, r(1), Reg::ZERO, "done"); // forward
         asm.jal_to(Reg::ZERO, "top"); // backward
         asm.label("done");

@@ -164,7 +164,12 @@ pub struct VcpuConfig {
 impl VcpuConfig {
     /// A configuration with the default cost model for `mode`.
     pub fn new(id: VcpuId, mode: ExecMode) -> Self {
-        VcpuConfig { id, mode, costs: mode.default_costs(), tlb_entries: 64 }
+        VcpuConfig {
+            id,
+            mode,
+            costs: mode.default_costs(),
+            tlb_entries: 64,
+        }
     }
 }
 
@@ -367,7 +372,10 @@ impl Vcpu {
         match self.mmu.translate(memory, vaddr, write, user) {
             Ok(t) => {
                 if !t.tlb_hit {
-                    self.charge(self.config.costs.tlb_miss_cycles * self.config.costs.cycle_ns, elapsed);
+                    self.charge(
+                        self.config.costs.tlb_miss_cycles * self.config.costs.cycle_ns,
+                        elapsed,
+                    );
                 }
                 Ok(t.paddr)
             }
@@ -492,7 +500,10 @@ impl Vcpu {
                             self.stats.mmio_exits += 1;
                             self.stats.exits += 1;
                             self.charge(costs.mmio_exit_ns, &mut elapsed);
-                            break ExitReason::MmioRead { addr: paddr, size: 8 };
+                            break ExitReason::MmioRead {
+                                addr: paddr,
+                                size: 8,
+                            };
                         }
                     }
                 }
@@ -515,11 +526,20 @@ impl Vcpu {
                             self.stats.mmio_exits += 1;
                             self.stats.exits += 1;
                             self.charge(costs.mmio_exit_ns, &mut elapsed);
-                            break ExitReason::MmioWrite { addr: paddr, value, size: 8 };
+                            break ExitReason::MmioWrite {
+                                addr: paddr,
+                                value,
+                                size: 8,
+                            };
                         }
                     }
                 }
-                Instr::Branch { cond, rs1, rs2, imm } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    imm,
+                } => {
                     let a = self.reg(rs1);
                     let b = self.reg(rs2);
                     let taken = match cond {
@@ -559,7 +579,10 @@ impl Vcpu {
                     self.stats.pio_exits += 1;
                     self.stats.exits += 1;
                     self.charge(costs.pio_exit_ns, &mut elapsed);
-                    break ExitReason::PioOut { port: imm as u32, value };
+                    break ExitReason::PioOut {
+                        port: imm as u32,
+                        value,
+                    };
                 }
                 Instr::In { rd, imm } => {
                     self.pending = Pending::PioIn { rd };
@@ -606,7 +629,11 @@ impl Vcpu {
         };
 
         self.stats.sim_time_ns += elapsed;
-        Ok(RunOutcome { exit: outcome, instructions: executed, elapsed: Nanoseconds(elapsed) })
+        Ok(RunOutcome {
+            exit: outcome,
+            instructions: executed,
+            elapsed: Nanoseconds(elapsed),
+        })
     }
 }
 
@@ -645,7 +672,12 @@ mod tests {
             &[
                 Instr::MovImm { rd: r(1), imm: 6 },
                 Instr::MovImm { rd: r(2), imm: 7 },
-                Instr::Alu { op: AluOp::Mul, rd: r(3), rs1: r(1), rs2: r(2) },
+                Instr::Alu {
+                    op: AluOp::Mul,
+                    rd: r(3),
+                    rs1: r(1),
+                    rs2: r(2),
+                },
                 Instr::Halt,
             ],
         );
@@ -659,7 +691,17 @@ mod tests {
     #[test]
     fn r0_is_hardwired_zero() {
         let mem = memory();
-        load(&mem, 0, &[Instr::MovImm { rd: Reg::ZERO, imm: 99 }, Instr::Halt]);
+        load(
+            &mem,
+            0,
+            &[
+                Instr::MovImm {
+                    rd: Reg::ZERO,
+                    imm: 99,
+                },
+                Instr::Halt,
+            ],
+        );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         cpu.run(&mem, 10).unwrap();
         assert_eq!(cpu.reg(Reg::ZERO), 0);
@@ -673,8 +715,16 @@ mod tests {
         asm.push(Instr::MovImm { rd: r(1), imm: 10 }); // counter
         asm.push(Instr::MovImm { rd: r(2), imm: 0 }); // accumulator
         asm.label("loop");
-        asm.push(Instr::AddImm { rd: r(2), rs1: r(2), imm: 3 });
-        asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+        asm.push(Instr::AddImm {
+            rd: r(2),
+            rs1: r(2),
+            imm: 3,
+        });
+        asm.push(Instr::AddImm {
+            rd: r(1),
+            rs1: r(1),
+            imm: -1,
+        });
         asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
         asm.push(Instr::Halt);
         let program = asm.assemble().unwrap();
@@ -694,10 +744,24 @@ mod tests {
             &mem,
             0,
             &[
-                Instr::MovImm { rd: r(1), imm: 0x8000 },
-                Instr::MovImm { rd: r(2), imm: 1234 },
-                Instr::Store { rs2: r(2), rs1: r(1), imm: 16 },
-                Instr::Load { rd: r(3), rs1: r(1), imm: 16 },
+                Instr::MovImm {
+                    rd: r(1),
+                    imm: 0x8000,
+                },
+                Instr::MovImm {
+                    rd: r(2),
+                    imm: 1234,
+                },
+                Instr::Store {
+                    rs2: r(2),
+                    rs1: r(1),
+                    imm: 16,
+                },
+                Instr::Load {
+                    rd: r(3),
+                    rs1: r(1),
+                    imm: 16,
+                },
                 Instr::Halt,
             ],
         );
@@ -715,18 +779,42 @@ mod tests {
             &mem,
             0,
             &[
-                Instr::MovImm { rd: r(1), imm: 0x20_0000 },
-                Instr::Store { rs2: r(2), rs1: r(1), imm: 0 },
-                Instr::Load { rd: r(3), rs1: r(1), imm: 8 },
+                Instr::MovImm {
+                    rd: r(1),
+                    imm: 0x20_0000,
+                },
+                Instr::Store {
+                    rs2: r(2),
+                    rs1: r(1),
+                    imm: 0,
+                },
+                Instr::Load {
+                    rd: r(3),
+                    rs1: r(1),
+                    imm: 8,
+                },
                 Instr::Halt,
             ],
         );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         let out = cpu.run(&mem, 10).unwrap();
-        assert_eq!(out.exit, ExitReason::MmioWrite { addr: GuestAddress(0x20_0000), value: 0, size: 8 });
+        assert_eq!(
+            out.exit,
+            ExitReason::MmioWrite {
+                addr: GuestAddress(0x20_0000),
+                value: 0,
+                size: 8
+            }
+        );
 
         let out = cpu.run(&mem, 10).unwrap();
-        assert_eq!(out.exit, ExitReason::MmioRead { addr: GuestAddress(0x20_0008), size: 8 });
+        assert_eq!(
+            out.exit,
+            ExitReason::MmioRead {
+                addr: GuestAddress(0x20_0008),
+                size: 8
+            }
+        );
         cpu.complete_mmio_read(0xabcd).unwrap();
         let out = cpu.run(&mem, 10).unwrap();
         assert_eq!(out.exit, ExitReason::Halt);
@@ -741,7 +829,18 @@ mod tests {
         load(
             &mem,
             0,
-            &[Instr::MovImm { rd: r(1), imm: 0x20_0000 }, Instr::Load { rd: r(3), rs1: r(1), imm: 0 }, Instr::Halt],
+            &[
+                Instr::MovImm {
+                    rd: r(1),
+                    imm: 0x20_0000,
+                },
+                Instr::Load {
+                    rd: r(3),
+                    rs1: r(1),
+                    imm: 0,
+                },
+                Instr::Halt,
+            ],
         );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         let out = cpu.run(&mem, 10).unwrap();
@@ -761,15 +860,31 @@ mod tests {
             0,
             &[
                 Instr::MovImm { rd: r(1), imm: 65 },
-                Instr::Out { rs1: r(1), imm: 0x3f8 },
-                Instr::In { rd: r(2), imm: 0x3f8 },
-                Instr::Hypercall { nr: 4, rd: r(3), rs1: r(1) },
+                Instr::Out {
+                    rs1: r(1),
+                    imm: 0x3f8,
+                },
+                Instr::In {
+                    rd: r(2),
+                    imm: 0x3f8,
+                },
+                Instr::Hypercall {
+                    nr: 4,
+                    rd: r(3),
+                    rs1: r(1),
+                },
                 Instr::Halt,
             ],
         );
         let mut cpu = vcpu(ExecMode::Paravirt);
         let out = cpu.run(&mem, 10).unwrap();
-        assert_eq!(out.exit, ExitReason::PioOut { port: 0x3f8, value: 65 });
+        assert_eq!(
+            out.exit,
+            ExitReason::PioOut {
+                port: 0x3f8,
+                value: 65
+            }
+        );
         let out = cpu.run(&mem, 10).unwrap();
         assert_eq!(out.exit, ExitReason::PioIn { port: 0x3f8 });
         cpu.complete_pio_in(66).unwrap();
@@ -788,7 +903,14 @@ mod tests {
     fn instruction_limit_preempts() {
         let mem = memory();
         // Infinite loop: jump to self.
-        load(&mem, 0, &[Instr::Jal { rd: Reg::ZERO, imm: -(INSTR_BYTES as i32) }]);
+        load(
+            &mem,
+            0,
+            &[Instr::Jal {
+                rd: Reg::ZERO,
+                imm: -(INSTR_BYTES as i32),
+            }],
+        );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         let out = cpu.run(&mem, 50).unwrap();
         assert_eq!(out.exit, ExitReason::InstructionLimit);
@@ -808,22 +930,40 @@ mod tests {
     #[test]
     fn privileged_traps_counted_only_when_mode_traps() {
         let mem = memory();
-        let program =
-            [Instr::TlbFlush, Instr::TlbFlush, Instr::WriteCsr { rs1: Reg::new(1), imm: 20 }, Instr::Halt];
-        for (mode, expected_traps) in
-            [(ExecMode::TrapAndEmulate, 4), (ExecMode::Paravirt, 4), (ExecMode::HardwareAssist, 0)]
-        {
+        let program = [
+            Instr::TlbFlush,
+            Instr::TlbFlush,
+            Instr::WriteCsr {
+                rs1: Reg::new(1),
+                imm: 20,
+            },
+            Instr::Halt,
+        ];
+        for (mode, expected_traps) in [
+            (ExecMode::TrapAndEmulate, 4),
+            (ExecMode::Paravirt, 4),
+            (ExecMode::HardwareAssist, 0),
+        ] {
             load(&mem, 0, &program);
             let mut cpu = vcpu(mode);
             cpu.run(&mem, 10).unwrap();
-            assert_eq!(cpu.stats().privileged_traps, expected_traps, "mode {mode:?}");
+            assert_eq!(
+                cpu.stats().privileged_traps,
+                expected_traps,
+                "mode {mode:?}"
+            );
         }
     }
 
     #[test]
     fn trap_and_emulate_charges_more_time_for_privileged_work() {
         let mem = memory();
-        let program = [Instr::TlbFlush, Instr::TlbFlush, Instr::TlbFlush, Instr::Halt];
+        let program = [
+            Instr::TlbFlush,
+            Instr::TlbFlush,
+            Instr::TlbFlush,
+            Instr::Halt,
+        ];
         load(&mem, 0, &program);
         let mut te = Vcpu::new(VcpuConfig::new(VcpuId::new(0), ExecMode::TrapAndEmulate));
         let mut hw = Vcpu::new(VcpuConfig::new(VcpuId::new(1), ExecMode::HardwareAssist));
@@ -841,8 +981,14 @@ mod tests {
             &mem,
             0,
             &[
-                Instr::ReadCsr { rd: r(1), imm: CSR_VCPU_ID },
-                Instr::ReadCsr { rd: r(2), imm: CSR_MODE },
+                Instr::ReadCsr {
+                    rd: r(1),
+                    imm: CSR_VCPU_ID,
+                },
+                Instr::ReadCsr {
+                    rd: r(2),
+                    imm: CSR_MODE,
+                },
                 Instr::MovImm { rd: r(3), imm: 55 },
                 Instr::WriteCsr { rs1: r(3), imm: 20 },
                 Instr::ReadCsr { rd: r(4), imm: 20 },
@@ -866,7 +1012,13 @@ mod tests {
         load(
             &mem,
             0,
-            &[Instr::MovImm { rd: r(1), imm: 0x100 }, Instr::Iret { rs1: r(1) }],
+            &[
+                Instr::MovImm {
+                    rd: r(1),
+                    imm: 0x100,
+                },
+                Instr::Iret { rs1: r(1) },
+            ],
         );
         load(&mem, 0x100, &[Instr::TlbFlush, Instr::Halt]);
         let mut cpu = vcpu(ExecMode::HardwareAssist);
@@ -882,7 +1034,11 @@ mod tests {
         load(
             &mem,
             0,
-            &[Instr::MovImm { rd: r(5), imm: 123 }, Instr::Pause, Instr::Halt],
+            &[
+                Instr::MovImm { rd: r(5), imm: 123 },
+                Instr::Pause,
+                Instr::Halt,
+            ],
         );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         cpu.run(&mem, 10).unwrap(); // stops at Pause
@@ -909,16 +1065,32 @@ mod tests {
             &mem,
             0,
             &[
-                Instr::MovImm { rd: r(1), imm: 0x40000 },
+                Instr::MovImm {
+                    rd: r(1),
+                    imm: 0x40000,
+                },
                 Instr::SetPtbr { rs1: r(1) },
-                Instr::MovImm { rd: r(2), imm: 0x9000 }, // unmapped vaddr
-                Instr::Load { rd: r(3), rs1: r(2), imm: 0 },
+                Instr::MovImm {
+                    rd: r(2),
+                    imm: 0x9000,
+                }, // unmapped vaddr
+                Instr::Load {
+                    rd: r(3),
+                    rs1: r(2),
+                    imm: 0,
+                },
                 Instr::Halt,
             ],
         );
         let mut cpu = vcpu(ExecMode::HardwareAssist);
         let out = cpu.run(&mem, 100).unwrap();
-        assert_eq!(out.exit, ExitReason::PageFault { vaddr: 0x9000, write: false });
+        assert_eq!(
+            out.exit,
+            ExitReason::PageFault {
+                vaddr: 0x9000,
+                write: false
+            }
+        );
         // Hypervisor fixes the mapping (demand paging) and resumes; the load retries.
         ed.map(0x9000, GuestAddress(0x9000), true, false).unwrap();
         mem.write_u64(GuestAddress(0x9000), 777).unwrap();

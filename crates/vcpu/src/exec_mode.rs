@@ -34,8 +34,11 @@ pub enum ExecMode {
 
 impl ExecMode {
     /// All modes, for sweeps.
-    pub const ALL: [ExecMode; 3] =
-        [ExecMode::TrapAndEmulate, ExecMode::Paravirt, ExecMode::HardwareAssist];
+    pub const ALL: [ExecMode; 3] = [
+        ExecMode::TrapAndEmulate,
+        ExecMode::Paravirt,
+        ExecMode::HardwareAssist,
+    ];
 
     /// A short human-readable name (used in benchmark output).
     pub fn name(self) -> &'static str {
@@ -196,7 +199,10 @@ mod tests {
     #[test]
     fn free_costs_are_zero() {
         let f = ExecCosts::FREE;
-        assert_eq!(f.cycle_ns + f.exit_ns + f.hypercall_ns + f.mmio_exit_ns + f.pio_exit_ns, 0);
+        assert_eq!(
+            f.cycle_ns + f.exit_ns + f.hypercall_ns + f.mmio_exit_ns + f.pio_exit_ns,
+            0
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Reg {
     /// Intended for hand-written assembly in tests and workloads; decoded
     /// instructions go through [`Reg::try_new`].
     pub fn new(idx: u8) -> Self {
-        assert!((idx as usize) < NUM_REGS, "register index {idx} out of range");
+        assert!(
+            (idx as usize) < NUM_REGS,
+            "register index {idx} out of range"
+        );
         Reg(idx)
     }
 
@@ -294,20 +297,8 @@ impl AluOp {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
-            AluOp::Rem => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Rem => a.checked_rem(b).unwrap_or(a),
             AluOp::And => a & b,
             AluOp::Or => a | b,
             AluOp::Xor => a ^ b,
@@ -363,11 +354,21 @@ impl Instr {
             Instr::Halt => (op::HALT, 0, 0, 0, 0),
             Instr::MovImm { rd, imm } => (op::MOV_IMM, rd.0, 0, 0, imm),
             Instr::MovHigh { rd, imm } => (op::MOV_HIGH, rd.0, 0, 0, imm),
-            Instr::Alu { op: alu, rd, rs1, rs2 } => (op::ALU, rd.0, rs1.0, rs2.0, alu.to_byte() as i32),
+            Instr::Alu {
+                op: alu,
+                rd,
+                rs1,
+                rs2,
+            } => (op::ALU, rd.0, rs1.0, rs2.0, alu.to_byte() as i32),
             Instr::AddImm { rd, rs1, imm } => (op::ADD_IMM, rd.0, rs1.0, 0, imm),
             Instr::Load { rd, rs1, imm } => (op::LOAD, rd.0, rs1.0, 0, imm),
             Instr::Store { rs2, rs1, imm } => (op::STORE, 0, rs1.0, rs2.0, imm),
-            Instr::Branch { cond, rs1, rs2, imm } => (op::BRANCH, cond.to_byte(), rs1.0, rs2.0, imm),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => (op::BRANCH, cond.to_byte(), rs1.0, rs2.0, imm),
             Instr::Jal { rd, imm } => (op::JAL, rd.0, 0, 0, imm),
             Instr::Jalr { rd, rs1 } => (op::JALR, rd.0, rs1.0, 0, 0),
             Instr::Hypercall { nr, rd, rs1 } => (op::HYPERCALL, rd.0, rs1.0, 0, nr as i32),
@@ -411,9 +412,21 @@ impl Instr {
                 rs1: reg(b2)?,
                 rs2: reg(b3)?,
             },
-            op::ADD_IMM => Instr::AddImm { rd: reg(b1)?, rs1: reg(b2)?, imm },
-            op::LOAD => Instr::Load { rd: reg(b1)?, rs1: reg(b2)?, imm },
-            op::STORE => Instr::Store { rs2: reg(b3)?, rs1: reg(b2)?, imm },
+            op::ADD_IMM => Instr::AddImm {
+                rd: reg(b1)?,
+                rs1: reg(b2)?,
+                imm,
+            },
+            op::LOAD => Instr::Load {
+                rd: reg(b1)?,
+                rs1: reg(b2)?,
+                imm,
+            },
+            op::STORE => Instr::Store {
+                rs2: reg(b3)?,
+                rs1: reg(b2)?,
+                imm,
+            },
             op::BRANCH => Instr::Branch {
                 cond: Cond::from_byte(b1).ok_or_else(invalid)?,
                 rs1: reg(b2)?,
@@ -421,8 +434,15 @@ impl Instr {
                 imm,
             },
             op::JAL => Instr::Jal { rd: reg(b1)?, imm },
-            op::JALR => Instr::Jalr { rd: reg(b1)?, rs1: reg(b2)? },
-            op::HYPERCALL => Instr::Hypercall { nr: imm as u16, rd: reg(b1)?, rs1: reg(b2)? },
+            op::JALR => Instr::Jalr {
+                rd: reg(b1)?,
+                rs1: reg(b2)?,
+            },
+            op::HYPERCALL => Instr::Hypercall {
+                nr: imm as u16,
+                rd: reg(b1)?,
+                rs1: reg(b2)?,
+            },
             op::OUT => Instr::Out { rs1: reg(b2)?, imm },
             op::IN => Instr::In { rd: reg(b1)?, imm },
             op::SET_PTBR => Instr::SetPtbr { rs1: reg(b2)? },
@@ -447,18 +467,61 @@ mod tests {
             Instr::Nop,
             Instr::Halt,
             Instr::MovImm { rd: r(1), imm: -5 },
-            Instr::MovHigh { rd: r(2), imm: 0x1234 },
-            Instr::Alu { op: AluOp::Add, rd: r(3), rs1: r(1), rs2: r(2) },
-            Instr::Alu { op: AluOp::Shr, rd: r(3), rs1: r(1), rs2: r(2) },
-            Instr::AddImm { rd: r(4), rs1: r(3), imm: 1024 },
-            Instr::Load { rd: r(5), rs1: r(4), imm: 8 },
-            Instr::Store { rs2: r(5), rs1: r(4), imm: -8 },
-            Instr::Branch { cond: Cond::Ne, rs1: r(1), rs2: r(0), imm: -16 },
+            Instr::MovHigh {
+                rd: r(2),
+                imm: 0x1234,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Instr::Alu {
+                op: AluOp::Shr,
+                rd: r(3),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Instr::AddImm {
+                rd: r(4),
+                rs1: r(3),
+                imm: 1024,
+            },
+            Instr::Load {
+                rd: r(5),
+                rs1: r(4),
+                imm: 8,
+            },
+            Instr::Store {
+                rs2: r(5),
+                rs1: r(4),
+                imm: -8,
+            },
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: r(1),
+                rs2: r(0),
+                imm: -16,
+            },
             Instr::Jal { rd: r(31), imm: 64 },
-            Instr::Jalr { rd: r(0), rs1: r(31) },
-            Instr::Hypercall { nr: 7, rd: r(1), rs1: r(2) },
-            Instr::Out { rs1: r(2), imm: 0x3f8 },
-            Instr::In { rd: r(2), imm: 0x3f8 },
+            Instr::Jalr {
+                rd: r(0),
+                rs1: r(31),
+            },
+            Instr::Hypercall {
+                nr: 7,
+                rd: r(1),
+                rs1: r(2),
+            },
+            Instr::Out {
+                rs1: r(2),
+                imm: 0x3f8,
+            },
+            Instr::In {
+                rd: r(2),
+                imm: 0x3f8,
+            },
             Instr::SetPtbr { rs1: r(10) },
             Instr::TlbFlush,
             Instr::ReadCsr { rd: r(6), imm: 3 },
@@ -483,13 +546,39 @@ mod tests {
         assert!(Instr::Halt.is_privileged());
         assert!(Instr::TlbFlush.is_privileged());
         assert!(Instr::SetPtbr { rs1: Reg::new(1) }.is_privileged());
-        assert!(Instr::Out { rs1: Reg::new(1), imm: 0 }.is_privileged());
-        assert!(Instr::WriteCsr { rs1: Reg::new(1), imm: 0 }.is_privileged());
-        assert!(Instr::ReadCsr { rd: Reg::new(1), imm: 16 }.is_privileged());
-        assert!(!Instr::ReadCsr { rd: Reg::new(1), imm: 3 }.is_privileged());
+        assert!(Instr::Out {
+            rs1: Reg::new(1),
+            imm: 0
+        }
+        .is_privileged());
+        assert!(Instr::WriteCsr {
+            rs1: Reg::new(1),
+            imm: 0
+        }
+        .is_privileged());
+        assert!(Instr::ReadCsr {
+            rd: Reg::new(1),
+            imm: 16
+        }
+        .is_privileged());
+        assert!(!Instr::ReadCsr {
+            rd: Reg::new(1),
+            imm: 3
+        }
+        .is_privileged());
         assert!(!Instr::Nop.is_privileged());
-        assert!(!Instr::Hypercall { nr: 0, rd: Reg::ZERO, rs1: Reg::ZERO }.is_privileged());
-        assert!(!Instr::Load { rd: Reg::new(1), rs1: Reg::new(2), imm: 0 }.is_privileged());
+        assert!(!Instr::Hypercall {
+            nr: 0,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO
+        }
+        .is_privileged());
+        assert!(!Instr::Load {
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            imm: 0
+        }
+        .is_privileged());
     }
 
     #[test]

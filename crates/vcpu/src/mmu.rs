@@ -151,7 +151,10 @@ struct Tlb {
 
 impl Tlb {
     fn new(size: usize) -> Self {
-        Tlb { entries: vec![None; size.max(1)], stats: TlbStats::default() }
+        Tlb {
+            entries: vec![None; size.max(1)],
+            stats: TlbStats::default(),
+        }
     }
 
     fn slot(&self, vpn: u64) -> usize {
@@ -199,7 +202,12 @@ impl Mmu {
     /// Create an MMU with a TLB of `tlb_entries` slots. Paging starts disabled
     /// (identity mapping), as on real hardware before the OS sets a page table.
     pub fn new(tlb_entries: usize) -> Self {
-        Mmu { ptbr: GuestAddress::ZERO, paging_enabled: false, tlb: Tlb::new(tlb_entries), walks: 0 }
+        Mmu {
+            ptbr: GuestAddress::ZERO,
+            paging_enabled: false,
+            tlb: Tlb::new(tlb_entries),
+            walks: 0,
+        }
     }
 
     /// Set the page-table base register and enable paging. Flushes the TLB.
@@ -249,7 +257,10 @@ impl Mmu {
     ) -> std::result::Result<Translation, TranslateFault> {
         if !self.paging_enabled {
             // Identity map while paging is off (boot-time accesses).
-            return Ok(Translation { paddr: GuestAddress(vaddr), tlb_hit: true });
+            return Ok(Translation {
+                paddr: GuestAddress(vaddr),
+                tlb_hit: true,
+            });
         }
         if vaddr >> VADDR_BITS != 0 {
             return Err(TranslateFault::OutOfRange);
@@ -264,7 +275,10 @@ impl Mmu {
             if user && !e.user {
                 return Err(TranslateFault::NotUser);
             }
-            return Ok(Translation { paddr: e.frame.unchecked_add(offset), tlb_hit: true });
+            return Ok(Translation {
+                paddr: e.frame.unchecked_add(offset),
+                tlb_hit: true,
+            });
         }
 
         let pte = self.walk(memory, vaddr)?;
@@ -283,7 +297,10 @@ impl Mmu {
         if user && !pte.user() {
             return Err(TranslateFault::NotUser);
         }
-        Ok(Translation { paddr: pte.frame().unchecked_add(offset), tlb_hit: false })
+        Ok(Translation {
+            paddr: pte.frame().unchecked_add(offset),
+            tlb_hit: false,
+        })
     }
 
     /// Perform the two-level walk, returning the leaf PTE.
@@ -297,12 +314,16 @@ impl Mmu {
         let l2_index = (vaddr >> 12) & (ENTRIES_PER_TABLE - 1);
 
         let l1_addr = self.ptbr.unchecked_add(l1_index * PTE_SIZE);
-        let l1 = Pte(memory.read_u64(l1_addr).map_err(|_| TranslateFault::NotMapped)?);
+        let l1 = Pte(memory
+            .read_u64(l1_addr)
+            .map_err(|_| TranslateFault::NotMapped)?);
         if !l1.valid() {
             return Err(TranslateFault::NotMapped);
         }
         let l2_addr = l1.frame().unchecked_add(l2_index * PTE_SIZE);
-        let l2 = Pte(memory.read_u64(l2_addr).map_err(|_| TranslateFault::NotMapped)?);
+        let l2 = Pte(memory
+            .read_u64(l2_addr)
+            .map_err(|_| TranslateFault::NotMapped)?);
         if !l2.valid() {
             return Err(TranslateFault::NotMapped);
         }
@@ -328,9 +349,15 @@ impl PageTableEditor {
     /// Create an editor whose tables live in
     /// `[table_area, table_area + table_area_size)` of guest physical memory.
     /// The root (L1) table occupies the first page of that area.
-    pub fn new(memory: GuestMemory, table_area: GuestAddress, table_area_size: u64) -> Result<Self> {
+    pub fn new(
+        memory: GuestMemory,
+        table_area: GuestAddress,
+        table_area_size: u64,
+    ) -> Result<Self> {
         if !table_area.is_page_aligned() || table_area_size < PAGE_SIZE {
-            return Err(Error::Config("page-table area must be page aligned and at least one page".into()));
+            return Err(Error::Config(
+                "page-table area must be page aligned and at least one page".into(),
+            ));
         }
         memory.fill(table_area, PAGE_SIZE, 0)?;
         Ok(PageTableEditor {
@@ -348,9 +375,17 @@ impl PageTableEditor {
 
     /// Map the virtual page containing `vaddr` to the physical frame
     /// containing `paddr`.
-    pub fn map(&mut self, vaddr: u64, paddr: GuestAddress, writable: bool, user: bool) -> Result<()> {
+    pub fn map(
+        &mut self,
+        vaddr: u64,
+        paddr: GuestAddress,
+        writable: bool,
+        user: bool,
+    ) -> Result<()> {
         if vaddr >> VADDR_BITS != 0 {
-            return Err(Error::Config(format!("virtual address 0x{vaddr:x} outside the 30-bit space")));
+            return Err(Error::Config(format!(
+                "virtual address 0x{vaddr:x} outside the 30-bit space"
+            )));
         }
         let l1_index = (vaddr >> 21) & (ENTRIES_PER_TABLE - 1);
         let l2_index = (vaddr >> 12) & (ENTRIES_PER_TABLE - 1);
@@ -368,7 +403,13 @@ impl PageTableEditor {
     }
 
     /// Identity-map `[start, start + len)` so virtual address == physical address.
-    pub fn identity_map(&mut self, start: GuestAddress, len: u64, writable: bool, user: bool) -> Result<()> {
+    pub fn identity_map(
+        &mut self,
+        start: GuestAddress,
+        len: u64,
+        writable: bool,
+        user: bool,
+    ) -> Result<()> {
         let mut addr = start.page_base();
         let end = start.unchecked_add(len);
         while addr.0 < end.0 {
@@ -483,8 +524,14 @@ mod tests {
         ed.map(0x4000, GuestAddress(0x9000), false, false).unwrap();
         let mut mmu = Mmu::new(16);
         mmu.set_ptbr(ed.root());
-        assert_eq!(mmu.translate(&mem, 0x4000, true, false).unwrap_err(), TranslateFault::NotWritable);
-        assert_eq!(mmu.translate(&mem, 0x4000, false, true).unwrap_err(), TranslateFault::NotUser);
+        assert_eq!(
+            mmu.translate(&mem, 0x4000, true, false).unwrap_err(),
+            TranslateFault::NotWritable
+        );
+        assert_eq!(
+            mmu.translate(&mem, 0x4000, false, true).unwrap_err(),
+            TranslateFault::NotUser
+        );
         assert!(mmu.translate(&mem, 0x4000, false, false).is_ok());
     }
 
@@ -494,9 +541,13 @@ mod tests {
         let ed = editor(&mem);
         let mut mmu = Mmu::new(16);
         mmu.set_ptbr(ed.root());
-        assert_eq!(mmu.translate(&mem, 0x4000, false, false).unwrap_err(), TranslateFault::NotMapped);
         assert_eq!(
-            mmu.translate(&mem, 1 << VADDR_BITS, false, false).unwrap_err(),
+            mmu.translate(&mem, 0x4000, false, false).unwrap_err(),
+            TranslateFault::NotMapped
+        );
+        assert_eq!(
+            mmu.translate(&mem, 1 << VADDR_BITS, false, false)
+                .unwrap_err(),
             TranslateFault::OutOfRange
         );
     }
@@ -511,7 +562,10 @@ mod tests {
         assert!(mmu.translate(&mem, 0x4000, false, false).is_ok());
         ed.unmap(0x4000).unwrap();
         mmu.flush_tlb();
-        assert_eq!(mmu.translate(&mem, 0x4000, false, false).unwrap_err(), TranslateFault::NotMapped);
+        assert_eq!(
+            mmu.translate(&mem, 0x4000, false, false).unwrap_err(),
+            TranslateFault::NotMapped
+        );
         // Unmapping a never-mapped address is a no-op.
         ed.unmap(0x2000_0000 - PAGE_SIZE).unwrap();
     }
@@ -520,7 +574,8 @@ mod tests {
     fn identity_map_covers_range() {
         let mem = memory();
         let mut ed = editor(&mem);
-        ed.identity_map(GuestAddress(0), 16 * PAGE_SIZE, true, true).unwrap();
+        ed.identity_map(GuestAddress(0), 16 * PAGE_SIZE, true, true)
+            .unwrap();
         let mut mmu = Mmu::new(64);
         mmu.set_ptbr(ed.root());
         for page in 0..16u64 {

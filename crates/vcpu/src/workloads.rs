@@ -93,7 +93,12 @@ impl Workload {
     /// Build a workload with an explicit entry point and data area.
     pub fn with_layout(kind: WorkloadKind, entry: u64, data_base: u64) -> Result<Self> {
         let code = Self::generate(kind, entry, data_base)?;
-        Ok(Workload { kind, entry, data_base, code })
+        Ok(Workload {
+            kind,
+            entry,
+            data_base,
+            code,
+        })
     }
 
     /// The workload kind.
@@ -153,11 +158,35 @@ impl Workload {
                 asm.push(Instr::MovImm { rd: r(2), imm: 1 });
                 asm.push(Instr::MovImm { rd: r(3), imm: 3 });
                 asm.label("loop");
-                asm.push(Instr::Alu { op: AluOp::Mul, rd: r(2), rs1: r(2), rs2: r(3) });
-                asm.push(Instr::Alu { op: AluOp::Add, rd: r(4), rs1: r(4), rs2: r(2) });
-                asm.push(Instr::Alu { op: AluOp::Xor, rd: r(2), rs1: r(2), rs2: r(4) });
-                asm.push(Instr::Alu { op: AluOp::Or, rd: r(4), rs1: r(4), rs2: r(3) });
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::Alu {
+                    op: AluOp::Mul,
+                    rd: r(2),
+                    rs1: r(2),
+                    rs2: r(3),
+                });
+                asm.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: r(4),
+                    rs1: r(4),
+                    rs2: r(2),
+                });
+                asm.push(Instr::Alu {
+                    op: AluOp::Xor,
+                    rd: r(2),
+                    rs1: r(2),
+                    rs2: r(4),
+                });
+                asm.push(Instr::Alu {
+                    op: AluOp::Or,
+                    rd: r(4),
+                    rs1: r(4),
+                    rs2: r(3),
+                });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
                 asm.push(Instr::Halt);
             }
@@ -169,20 +198,47 @@ impl Workload {
                 asm.load_const(r(2), pages.max(1));
                 asm.load_const(r(3), data_base);
                 asm.label("page");
-                asm.push(Instr::Store { rs2: r(1), rs1: r(3), imm: 0 });
-                asm.push(Instr::Alu { op: AluOp::Add, rd: r(3), rs1: r(3), rs2: r(5) });
-                asm.push(Instr::AddImm { rd: r(2), rs1: r(2), imm: -1 });
+                asm.push(Instr::Store {
+                    rs2: r(1),
+                    rs1: r(3),
+                    imm: 0,
+                });
+                asm.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: r(3),
+                    rs1: r(3),
+                    rs2: r(5),
+                });
+                asm.push(Instr::AddImm {
+                    rd: r(2),
+                    rs1: r(2),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(2), Reg::ZERO, "page");
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "pass");
                 asm.push(Instr::Halt);
             }
             WorkloadKind::IoBound { requests, port } => {
                 asm.load_const(r(1), requests.max(1));
-                asm.push(Instr::MovImm { rd: r(2), imm: 0x5a });
+                asm.push(Instr::MovImm {
+                    rd: r(2),
+                    imm: 0x5a,
+                });
                 asm.label("io");
-                asm.push(Instr::Out { rs1: r(2), imm: port as i32 });
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::Out {
+                    rs1: r(2),
+                    imm: port as i32,
+                });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "io");
                 asm.push(Instr::Halt);
             }
@@ -192,7 +248,11 @@ impl Workload {
                 asm.label("loop");
                 asm.push(Instr::TlbFlush);
                 asm.push(Instr::WriteCsr { rs1: r(2), imm: 20 });
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
                 asm.push(Instr::Halt);
             }
@@ -200,8 +260,16 @@ impl Workload {
                 asm.load_const(r(1), iterations.max(1));
                 asm.push(Instr::MovImm { rd: r(2), imm: 42 });
                 asm.label("loop");
-                asm.push(Instr::Hypercall { nr: 1, rd: r(3), rs1: r(2) });
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::Hypercall {
+                    nr: 1,
+                    rd: r(3),
+                    rs1: r(2),
+                });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
                 asm.push(Instr::Halt);
             }
@@ -209,7 +277,11 @@ impl Workload {
                 asm.load_const(r(1), wakeups.max(1));
                 asm.label("loop");
                 asm.push(Instr::Pause);
-                asm.push(Instr::AddImm { rd: r(1), rs1: r(1), imm: -1 });
+                asm.push(Instr::AddImm {
+                    rd: r(1),
+                    rs1: r(1),
+                    imm: -1,
+                });
                 asm.branch_to(Cond::Ne, r(1), Reg::ZERO, "loop");
                 asm.push(Instr::Halt);
             }
@@ -226,7 +298,8 @@ mod tests {
     use rvisor_types::{ByteSize, VcpuId};
 
     fn run_to_halt(workload: &Workload, mode: ExecMode) -> (Vcpu, GuestMemory, u64) {
-        let mem = GuestMemory::flat(ByteSize::new(workload.required_memory()).page_align_up()).unwrap();
+        let mem =
+            GuestMemory::flat(ByteSize::new(workload.required_memory()).page_align_up()).unwrap();
         let mut cfg = VcpuConfig::new(VcpuId::new(0), mode);
         cfg.costs = ExecCosts::FREE;
         let mut cpu = Vcpu::new(cfg);
@@ -255,7 +328,10 @@ mod tests {
         let (cpu, _mem, _) = run_to_halt(&w, ExecMode::HardwareAssist);
         let stats = cpu.stats();
         assert_eq!(stats.halts, 1);
-        assert_eq!(stats.mmio_exits + stats.pio_exits + stats.hypercalls + stats.page_faults, 0);
+        assert_eq!(
+            stats.mmio_exits + stats.pio_exits + stats.hypercalls + stats.page_faults,
+            0
+        );
         assert!(stats.instructions > 600);
     }
 
@@ -267,12 +343,19 @@ mod tests {
         // Exactly `pages` distinct data pages were dirtied (code loading clears its own dirt).
         assert_eq!(mem.dirty_page_count(), pages);
         let first_data_page = DEFAULT_DATA_BASE / PAGE_SIZE;
-        assert!(mem.dirty_pages().iter().all(|&p| p >= first_data_page && p < first_data_page + pages));
+        assert!(mem
+            .dirty_pages()
+            .iter()
+            .all(|&p| p >= first_data_page && p < first_data_page + pages));
     }
 
     #[test]
     fn io_bound_generates_exact_pio_exits() {
-        let w = Workload::new(WorkloadKind::IoBound { requests: 57, port: 0x3f8 }).unwrap();
+        let w = Workload::new(WorkloadKind::IoBound {
+            requests: 57,
+            port: 0x3f8,
+        })
+        .unwrap();
         let (cpu, _mem, _) = run_to_halt(&w, ExecMode::HardwareAssist);
         assert_eq!(cpu.stats().pio_exits, 57);
     }
@@ -305,7 +388,11 @@ mod tests {
 
     #[test]
     fn workload_metadata() {
-        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 16, passes: 1 }).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty {
+            pages: 16,
+            passes: 1,
+        })
+        .unwrap();
         assert_eq!(w.kind().name(), "memory-dirty");
         assert_eq!(w.entry(), DEFAULT_ENTRY);
         assert_eq!(w.data_base(), DEFAULT_DATA_BASE);
@@ -317,8 +404,14 @@ mod tests {
     fn all_kinds_have_distinct_names() {
         let kinds = [
             WorkloadKind::ComputeBound { iterations: 1 },
-            WorkloadKind::MemoryDirty { pages: 1, passes: 1 },
-            WorkloadKind::IoBound { requests: 1, port: 0 },
+            WorkloadKind::MemoryDirty {
+                pages: 1,
+                passes: 1,
+            },
+            WorkloadKind::IoBound {
+                requests: 1,
+                port: 0,
+            },
             WorkloadKind::PrivilegedHeavy { iterations: 1 },
             WorkloadKind::HypercallHeavy { iterations: 1 },
             WorkloadKind::Idle { wakeups: 1 },
@@ -329,7 +422,12 @@ mod tests {
 
     #[test]
     fn custom_layout_is_respected() {
-        let w = Workload::with_layout(WorkloadKind::ComputeBound { iterations: 3 }, 0x2000, 0x20_0000).unwrap();
+        let w = Workload::with_layout(
+            WorkloadKind::ComputeBound { iterations: 3 },
+            0x2000,
+            0x20_0000,
+        )
+        .unwrap();
         let mem = GuestMemory::flat(ByteSize::mib(4)).unwrap();
         let mut cfg = VcpuConfig::new(VcpuId::new(0), ExecMode::HardwareAssist);
         cfg.costs = ExecCosts::FREE;

@@ -48,7 +48,11 @@ impl std::fmt::Debug for VirtioBalloon {
 impl VirtioBalloon {
     /// Create a balloon device wrapping the memory-level [`Balloon`].
     pub fn new(balloon: Balloon) -> Self {
-        VirtioBalloon { balloon, target_pages: 0, stats: VirtioBalloonStats::default() }
+        VirtioBalloon {
+            balloon,
+            target_pages: 0,
+            stats: VirtioBalloonStats::default(),
+        }
     }
 
     /// Host-side: set the number of pages the guest should give back.
@@ -76,7 +80,12 @@ impl VirtioBalloon {
         &self.balloon
     }
 
-    fn process_pfns(&mut self, mem: &GuestMemory, queue: &mut VirtQueue, inflate: bool) -> Result<bool> {
+    fn process_pfns(
+        &mut self,
+        mem: &GuestMemory,
+        queue: &mut VirtQueue,
+        inflate: bool,
+    ) -> Result<bool> {
         let mut raise = false;
         while let Some(chain) = queue.pop(mem)? {
             let data = chain.read_all(mem)?;
@@ -120,7 +129,12 @@ impl VirtioDevice for VirtioBalloon {
         2
     }
 
-    fn process_queue(&mut self, index: usize, mem: &GuestMemory, queue: &mut VirtQueue) -> Result<bool> {
+    fn process_queue(
+        &mut self,
+        index: usize,
+        mem: &GuestMemory,
+        queue: &mut VirtQueue,
+    ) -> Result<bool> {
         match index {
             INFLATE_QUEUE => self.process_pfns(mem, queue, true),
             DEFLATE_QUEUE => self.process_pfns(mem, queue, false),
@@ -157,7 +171,12 @@ mod tests {
         let driver = DriverQueue::new(layout, GuestAddress((end.0 + 0xfff) & !0xfff), 64 * 1024);
         driver.init(&mem).unwrap();
         let balloon = Balloon::new(mem.clone(), 8);
-        (mem, VirtQueue::new(layout), driver, VirtioBalloon::new(balloon))
+        (
+            mem,
+            VirtQueue::new(layout),
+            driver,
+            VirtioBalloon::new(balloon),
+        )
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl std::fmt::Debug for VirtioBlk {
 impl VirtioBlk {
     /// Create a virtio-blk device over `backend`.
     pub fn new(backend: Box<dyn BlockBackend>) -> Self {
-        VirtioBlk { backend, stats: VirtioBlkStats::default() }
+        VirtioBlk {
+            backend,
+            stats: VirtioBlkStats::default(),
+        }
     }
 
     /// Request counters.
@@ -90,7 +93,9 @@ impl VirtioBlk {
         let readable: Vec<_> = chain.readable().collect();
         let writable: Vec<_> = chain.writable().collect();
         if readable.is_empty() || writable.is_empty() {
-            return Err(Error::InvalidDescriptor("virtio-blk chain missing header or status".into()));
+            return Err(Error::InvalidDescriptor(
+                "virtio-blk chain missing header or status".into(),
+            ));
         }
         let header = mem.read_vec(readable[0].addr, 16)?;
         let req_type = u32::from_le_bytes(header[0..4].try_into().unwrap());
@@ -185,7 +190,12 @@ impl VirtioDevice for VirtioBlk {
         1
     }
 
-    fn process_queue(&mut self, _index: usize, mem: &GuestMemory, queue: &mut VirtQueue) -> Result<bool> {
+    fn process_queue(
+        &mut self,
+        _index: usize,
+        mem: &GuestMemory,
+        queue: &mut VirtQueue,
+    ) -> Result<bool> {
         self.stats.doorbells += 1;
         let mut raise = false;
         while let Some(chain) = queue.pop(mem)? {
@@ -223,12 +233,7 @@ mod tests {
         (mem, device, driver, blk)
     }
 
-    fn submit_write(
-        mem: &GuestMemory,
-        driver: &mut DriverQueue,
-        sector: u64,
-        data: &[u8],
-    ) -> u16 {
+    fn submit_write(mem: &GuestMemory, driver: &mut DriverQueue, sector: u64, data: &[u8]) -> u16 {
         let header = VirtioBlk::request_header(VIRTIO_BLK_T_OUT, sector);
         let (head, _) = driver.add_chain(mem, &[&header, data], &[1]).unwrap();
         head

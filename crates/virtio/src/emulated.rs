@@ -99,18 +99,24 @@ impl EmulatedDisk {
         let result = match command {
             CMD_READ_SECTOR => {
                 self.ptr = 0;
-                self.backend.read_sectors(self.sector, &mut self.buffer).map(|_| {
-                    self.stats.sectors_read += 1;
-                })
+                self.backend
+                    .read_sectors(self.sector, &mut self.buffer)
+                    .map(|_| {
+                        self.stats.sectors_read += 1;
+                    })
             }
             CMD_WRITE_SECTOR => {
                 self.ptr = 0;
-                self.backend.write_sectors(self.sector, &self.buffer).map(|_| {
-                    self.stats.sectors_written += 1;
-                })
+                self.backend
+                    .write_sectors(self.sector, &self.buffer)
+                    .map(|_| {
+                        self.stats.sectors_written += 1;
+                    })
             }
             CMD_FLUSH => self.backend.flush(),
-            _ => Err(rvisor_types::Error::Device(format!("unknown command {command}"))),
+            _ => Err(rvisor_types::Error::Device(format!(
+                "unknown command {command}"
+            ))),
         };
         self.status = match result {
             Ok(()) => 0,
@@ -161,7 +167,11 @@ impl MmioDevice for EmulatedDisk {
 
 /// Drive a full sector write through the register interface (host-side guest
 /// driver stand-in, mirroring what the benchmark's guest would do).
-pub fn driver_write_sector(disk: &mut EmulatedDisk, sector: u64, data: &[u8; SECTOR_SIZE as usize]) {
+pub fn driver_write_sector(
+    disk: &mut EmulatedDisk,
+    sector: u64,
+    data: &[u8; SECTOR_SIZE as usize],
+) {
     disk.write(REG_SECTOR, sector, 8);
     disk.write(REG_PTR, 0, 8);
     for chunk in data.chunks_exact(8) {

@@ -134,7 +134,9 @@ impl VirtioMmio {
     /// own in-process driver, bypassing the register dance).
     pub fn setup_queue(&mut self, index: usize, layout: QueueLayout) -> Result<()> {
         if index >= self.queues.len() {
-            return Err(rvisor_types::Error::Device(format!("queue {index} out of range")));
+            return Err(rvisor_types::Error::Device(format!(
+                "queue {index} out of range"
+            )));
         }
         self.queue_configs[index] = QueueConfig {
             size: layout.size,
@@ -200,10 +202,16 @@ impl MmioDevice for VirtioMmio {
             regs::VERSION => VERSION,
             regs::DEVICE_ID => self.device.device_type().id() as u64,
             regs::QUEUE_NUM_MAX => DEFAULT_QUEUE_NUM_MAX as u64,
-            regs::QUEUE_NUM => self.queue_configs.get(self.queue_sel).map(|c| c.size as u64).unwrap_or(0),
-            regs::QUEUE_READY => {
-                self.queue_configs.get(self.queue_sel).map(|c| c.ready as u64).unwrap_or(0)
-            }
+            regs::QUEUE_NUM => self
+                .queue_configs
+                .get(self.queue_sel)
+                .map(|c| c.size as u64)
+                .unwrap_or(0),
+            regs::QUEUE_READY => self
+                .queue_configs
+                .get(self.queue_sel)
+                .map(|c| c.ready as u64)
+                .unwrap_or(0),
             regs::INTERRUPT_STATUS => self.interrupt_status,
             regs::STATUS => self.status,
             o if o >= regs::CONFIG => self.device.read_config(o - regs::CONFIG),
@@ -281,7 +289,10 @@ mod tests {
         assert_eq!(mmio.read(regs::MAGIC_VALUE, 4), MAGIC);
         assert_eq!(mmio.read(regs::VERSION, 4), VERSION);
         assert_eq!(mmio.read(regs::DEVICE_ID, 4), 2); // block
-        assert_eq!(mmio.read(regs::QUEUE_NUM_MAX, 4), DEFAULT_QUEUE_NUM_MAX as u64);
+        assert_eq!(
+            mmio.read(regs::QUEUE_NUM_MAX, 4),
+            DEFAULT_QUEUE_NUM_MAX as u64
+        );
         assert_eq!(mmio.read(regs::CONFIG, 8), 128); // capacity sectors of a 64 KiB disk
         assert_eq!(mmio.name(), "virtio-mmio");
         assert!(format!("{mmio:?}").contains("device_id"));
@@ -327,7 +338,9 @@ mod tests {
         driver.init(&mem).unwrap();
         let mut driver = driver;
         let header = VirtioBlk::request_header(VIRTIO_BLK_T_OUT, 0);
-        driver.add_chain(&mem, &[&header, &[0u8; 512]], &[1]).unwrap();
+        driver
+            .add_chain(&mem, &[&header, &[0u8; 512]], &[1])
+            .unwrap();
         mmio.write(regs::QUEUE_NOTIFY, 0, 4);
         assert!(driver.poll_used(&mem).unwrap().is_some());
     }
@@ -340,7 +353,7 @@ mod tests {
         assert_eq!(mmio.read(0x500 - 1, 4), 0); // config beyond device space
         assert_eq!(mmio.read(0x0c, 4), 0); // unimplemented register
         mmio.write(0x0c, 7, 4); // ignored
-        // Selecting a queue that does not exist must not panic.
+                                // Selecting a queue that does not exist must not panic.
         mmio.write(regs::QUEUE_SEL, 9, 4);
         assert_eq!(mmio.read(regs::QUEUE_NUM, 4), 0);
         mmio.write(regs::QUEUE_NUM, 16, 4);

@@ -48,14 +48,21 @@ pub struct VirtioNet {
 
 impl std::fmt::Debug for VirtioNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VirtioNet").field("mac", &self.mac).field("stats", &self.stats).finish()
+        f.debug_struct("VirtioNet")
+            .field("mac", &self.mac)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
 impl VirtioNet {
     /// Create a NIC with address `mac`, attached to `port`.
     pub fn new(mac: MacAddr, port: SwitchPort) -> Self {
-        VirtioNet { mac, port, stats: VirtioNetStats::default() }
+        VirtioNet {
+            mac,
+            port,
+            stats: VirtioNetStats::default(),
+        }
     }
 
     /// The NIC's MAC address.
@@ -132,7 +139,12 @@ impl VirtioDevice for VirtioNet {
         2
     }
 
-    fn process_queue(&mut self, index: usize, mem: &GuestMemory, queue: &mut VirtQueue) -> Result<bool> {
+    fn process_queue(
+        &mut self,
+        index: usize,
+        mem: &GuestMemory,
+        queue: &mut VirtQueue,
+    ) -> Result<bool> {
         match index {
             TX_QUEUE => self.transmit(mem, queue),
             RX_QUEUE => self.deliver_rx(mem, queue),
@@ -177,7 +189,14 @@ mod tests {
         rx_drv.init(&mem).unwrap();
         tx_drv.init(&mem).unwrap();
         let dev = VirtioNet::new(MacAddr::local(index), switch.add_port());
-        Nic { mem, rx_q: VirtQueue::new(rx_layout), tx_q: VirtQueue::new(tx_layout), rx_drv, tx_drv, dev }
+        Nic {
+            mem,
+            rx_q: VirtQueue::new(rx_layout),
+            tx_q: VirtQueue::new(tx_layout),
+            rx_drv,
+            tx_drv,
+            dev,
+        }
     }
 
     fn post_rx_buffers(n: &mut Nic, count: usize) {

@@ -55,7 +55,9 @@ impl QueueLayout {
     /// for placing data buffers after the rings).
     pub fn contiguous(base: GuestAddress, size: u16) -> Result<(Self, GuestAddress)> {
         if !size.is_power_of_two() || size == 0 {
-            return Err(Error::Config(format!("queue size {size} is not a power of two")));
+            return Err(Error::Config(format!(
+                "queue size {size} is not a power of two"
+            )));
         }
         let desc_table = base;
         let desc_len = DESC_SIZE * size as u64;
@@ -66,11 +68,20 @@ impl QueueLayout {
         let used_ring = GuestAddress((avail_ring.0 + avail_len + 3) & !3);
         let used_len = 4 + 8 * size as u64 + 2;
         let end = GuestAddress((used_ring.0 + used_len + 7) & !7);
-        Ok((QueueLayout { desc_table, avail_ring, used_ring, size }, end))
+        Ok((
+            QueueLayout {
+                desc_table,
+                avail_ring,
+                used_ring,
+                size,
+            },
+            end,
+        ))
     }
 
     fn desc_addr(&self, index: u16) -> GuestAddress {
-        self.desc_table.unchecked_add(DESC_SIZE * (index % self.size) as u64)
+        self.desc_table
+            .unchecked_add(DESC_SIZE * (index % self.size) as u64)
     }
 
     fn avail_idx_addr(&self) -> GuestAddress {
@@ -78,7 +89,8 @@ impl QueueLayout {
     }
 
     fn avail_ring_addr(&self, slot: u16) -> GuestAddress {
-        self.avail_ring.unchecked_add(4 + 2 * (slot % self.size) as u64)
+        self.avail_ring
+            .unchecked_add(4 + 2 * (slot % self.size) as u64)
     }
 
     fn used_event_addr(&self) -> GuestAddress {
@@ -90,7 +102,8 @@ impl QueueLayout {
     }
 
     fn used_ring_addr(&self, slot: u16) -> GuestAddress {
-        self.used_ring.unchecked_add(4 + 8 * (slot % self.size) as u64)
+        self.used_ring
+            .unchecked_add(4 + 8 * (slot % self.size) as u64)
     }
 
     fn avail_event_addr(&self) -> GuestAddress {
@@ -190,7 +203,13 @@ pub struct VirtQueue {
 impl VirtQueue {
     /// Create a device-side queue over `layout`.
     pub fn new(layout: QueueLayout) -> Self {
-        VirtQueue { layout, next_avail: 0, next_used: 0, event_idx: false, stats: QueueStats::default() }
+        VirtQueue {
+            layout,
+            next_avail: 0,
+            next_used: 0,
+            event_idx: false,
+            stats: QueueStats::default(),
+        }
     }
 
     /// Enable or disable EVENT_IDX notification suppression.
@@ -267,7 +286,10 @@ impl VirtQueue {
             }
             index = next;
         }
-        Ok(DescriptorChain { head_index: head, descriptors })
+        Ok(DescriptorChain {
+            head_index: head,
+            descriptors,
+        })
     }
 
     /// Return a completed chain to the driver with `len` bytes written.
@@ -366,7 +388,9 @@ impl DriverQueue {
             // Wrap: the benches reuse the area ring-style.
             self.data_offset = 0;
             if len > self.data_size {
-                return Err(Error::Config(format!("buffer of {len} bytes exceeds the data area")));
+                return Err(Error::Config(format!(
+                    "buffer of {len} bytes exceeds the data area"
+                )));
             }
         }
         let addr = self.data_base.unchecked_add(self.data_offset);
@@ -388,7 +412,9 @@ impl DriverQueue {
             return Err(Error::InvalidDescriptor("empty chain".into()));
         }
         if total > self.layout.size as usize {
-            return Err(Error::InvalidDescriptor("chain larger than the queue".into()));
+            return Err(Error::InvalidDescriptor(
+                "chain larger than the queue".into(),
+            ));
         }
         let head = self.next_desc;
         let mut index = head;
@@ -564,7 +590,7 @@ mod tests {
         let chain = device.pop(&mem).unwrap().unwrap();
         assert_eq!(chain.readable_len(), 0);
         assert_eq!(chain.writable_len(), 256);
-        let written = chain.write_all(&mem, &vec![0x5a; 200]).unwrap();
+        let written = chain.write_all(&mem, &[0x5a; 200]).unwrap();
         assert_eq!(written, 200);
         // First buffer got 128 bytes, second got 72.
         let bufs: Vec<_> = chain.writable().collect();
@@ -587,7 +613,8 @@ mod tests {
         let (mem, mut device, mut driver) = setup(8);
         driver.add_chain(&mem, &[b"x"], &[]).unwrap();
         // Corrupt the head index to point outside the table.
-        mem.write_u16(device.layout().avail_ring_addr(0), 99).unwrap();
+        mem.write_u16(device.layout().avail_ring_addr(0), 99)
+            .unwrap();
         assert!(device.pop(&mem).is_err());
     }
 
@@ -597,7 +624,8 @@ mod tests {
         driver.add_chain(&mem, &[b"abc"], &[]).unwrap();
         // Make descriptor 0 point to itself forever.
         let base = device.layout().desc_addr(0);
-        mem.write_u16(base.unchecked_add(12), VIRTQ_DESC_F_NEXT).unwrap();
+        mem.write_u16(base.unchecked_add(12), VIRTQ_DESC_F_NEXT)
+            .unwrap();
         mem.write_u16(base.unchecked_add(14), 0).unwrap();
         assert!(device.pop(&mem).is_err());
     }
@@ -648,7 +676,10 @@ mod tests {
             }
         }
         assert_eq!(device.stats().completed, 8);
-        assert!(notifications < 8, "expected suppression, got {notifications} interrupts");
+        assert!(
+            notifications < 8,
+            "expected suppression, got {notifications} interrupts"
+        );
         // The driver still reaps everything.
         let mut reaped = 0;
         while driver.poll_used(&mem).unwrap().is_some() {

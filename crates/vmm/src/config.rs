@@ -21,7 +21,11 @@ pub struct DiskConfig {
 impl DiskConfig {
     /// A read-write disk of `size`.
     pub fn new(name: &str, size: ByteSize) -> Self {
-        DiskConfig { name: name.to_string(), size, read_only: false }
+        DiskConfig {
+            name: name.to_string(),
+            size,
+            read_only: false,
+        }
     }
 }
 
@@ -113,7 +117,10 @@ impl VmConfig {
             return Err(Error::Config("VM memory must be non-zero".into()));
         }
         if !self.memory.is_page_aligned() {
-            return Err(Error::Config(format!("VM memory {} is not page aligned", self.memory)));
+            return Err(Error::Config(format!(
+                "VM memory {} is not page aligned",
+                self.memory
+            )));
         }
         if self.memory.as_u64() > RAM_MAX {
             return Err(Error::Config(format!(
@@ -126,7 +133,10 @@ impl VmConfig {
             return Err(Error::Config("VM needs at least one vCPU".into()));
         }
         if self.vcpus > 64 {
-            return Err(Error::Config(format!("{} vCPUs exceeds the supported maximum of 64", self.vcpus)));
+            return Err(Error::Config(format!(
+                "{} vCPUs exceeds the supported maximum of 64",
+                self.vcpus
+            )));
         }
         for d in &self.disks {
             if d.size.as_u64() == 0 {
@@ -162,20 +172,37 @@ mod tests {
         assert!(cfg.with_net && cfg.with_balloon);
         assert_eq!(cfg.slice_instructions, 5_000);
         assert_eq!(VmConfig::new("x").with_vcpus(0).vcpus, 1);
-        assert_eq!(VmConfig::new("x").with_slice_instructions(0).slice_instructions, 1);
+        assert_eq!(
+            VmConfig::new("x")
+                .with_slice_instructions(0)
+                .slice_instructions,
+            1
+        );
     }
 
     #[test]
     fn invalid_configs_rejected() {
         assert!(VmConfig::new("").validate().is_err());
-        assert!(VmConfig::new("x").with_memory(ByteSize::ZERO).validate().is_err());
-        assert!(VmConfig::new("x").with_memory(ByteSize::new(1234)).validate().is_err());
-        assert!(VmConfig::new("x").with_memory(ByteSize::gib(2)).validate().is_err());
+        assert!(VmConfig::new("x")
+            .with_memory(ByteSize::ZERO)
+            .validate()
+            .is_err());
+        assert!(VmConfig::new("x")
+            .with_memory(ByteSize::new(1234))
+            .validate()
+            .is_err());
+        assert!(VmConfig::new("x")
+            .with_memory(ByteSize::gib(2))
+            .validate()
+            .is_err());
         let mut cfg = VmConfig::new("x");
         cfg.vcpus = 0;
         assert!(cfg.validate().is_err());
         cfg.vcpus = 65;
         assert!(cfg.validate().is_err());
-        assert!(VmConfig::new("x").with_disk(DiskConfig::new("d", ByteSize::ZERO)).validate().is_err());
+        assert!(VmConfig::new("x")
+            .with_disk(DiskConfig::new("d", ByteSize::ZERO))
+            .validate()
+            .is_err());
     }
 }

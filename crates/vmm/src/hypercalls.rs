@@ -62,11 +62,26 @@ pub struct HypercallResult {
 /// this helper covers the pure ones and is shared by the VM and tests.
 pub fn handle_pure(nr: HypercallNr, arg: u64, now: Nanoseconds) -> HypercallResult {
     match nr {
-        HypercallNr::Ping => HypercallResult { return_value: arg, end_slice: false },
-        HypercallNr::GetTime => HypercallResult { return_value: now.as_nanos(), end_slice: false },
-        HypercallNr::Yield => HypercallResult { return_value: 0, end_slice: true },
-        HypercallNr::Idle => HypercallResult { return_value: 0, end_slice: true },
-        HypercallNr::ConsolePutChar => HypercallResult { return_value: 0, end_slice: false },
+        HypercallNr::Ping => HypercallResult {
+            return_value: arg,
+            end_slice: false,
+        },
+        HypercallNr::GetTime => HypercallResult {
+            return_value: now.as_nanos(),
+            end_slice: false,
+        },
+        HypercallNr::Yield => HypercallResult {
+            return_value: 0,
+            end_slice: true,
+        },
+        HypercallNr::Idle => HypercallResult {
+            return_value: 0,
+            end_slice: true,
+        },
+        HypercallNr::ConsolePutChar => HypercallResult {
+            return_value: 0,
+            end_slice: false,
+        },
     }
 }
 
@@ -92,7 +107,10 @@ mod tests {
     fn pure_handlers() {
         let now = Nanoseconds::from_millis(5);
         assert_eq!(handle_pure(HypercallNr::Ping, 42, now).return_value, 42);
-        assert_eq!(handle_pure(HypercallNr::GetTime, 0, now).return_value, 5_000_000);
+        assert_eq!(
+            handle_pure(HypercallNr::GetTime, 0, now).return_value,
+            5_000_000
+        );
         assert!(handle_pure(HypercallNr::Yield, 0, now).end_slice);
         assert!(handle_pure(HypercallNr::Idle, 100, now).end_slice);
         assert!(!handle_pure(HypercallNr::ConsolePutChar, b'x' as u64, now).end_slice);

@@ -76,7 +76,13 @@ mod tests {
 
     #[test]
     fn irq_lines_are_distinct() {
-        let lines = [irq::SERIAL, irq::TIMER, irq::VIRTIO_BLK, irq::VIRTIO_NET, irq::VIRTIO_BALLOON];
+        let lines = [
+            irq::SERIAL,
+            irq::TIMER,
+            irq::VIRTIO_BLK,
+            irq::VIRTIO_NET,
+            irq::VIRTIO_BALLOON,
+        ];
         let set: std::collections::BTreeSet<_> = lines.iter().collect();
         assert_eq!(set.len(), lines.len());
     }

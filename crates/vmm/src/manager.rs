@@ -123,7 +123,12 @@ impl Vmm {
 
     /// Total guest memory configured across all VMs.
     pub fn total_guest_memory(&self) -> ByteSize {
-        ByteSize::new(self.vms.values().map(|vm| vm.config().memory.as_u64()).sum())
+        ByteSize::new(
+            self.vms
+                .values()
+                .map(|vm| vm.config().memory.as_u64())
+                .sum(),
+        )
     }
 
     /// Borrow a VM.
@@ -168,7 +173,9 @@ impl Vmm {
                 return Ok(());
             }
         }
-        Err(Error::VcpuFault(format!("VMs still runnable after {max_rounds} rounds")))
+        Err(Error::VcpuFault(format!(
+            "VMs still runnable after {max_rounds} rounds"
+        )))
     }
 
     /// Take a full snapshot of a VM into this host's snapshot store.
@@ -242,15 +249,15 @@ impl Vmm {
                     let memory = source_vm.memory().clone();
                     let states_placeholder = source_vm.save_vcpu_states();
                     let mut dirtier = RunningVmDirtier { vm: source_vm };
-                    let report = PreCopy::migrate(
+
+                    PreCopy::migrate(
                         &memory,
                         &dest_memory,
                         &states_placeholder,
                         link,
                         &mut dirtier,
                         &config,
-                    )?;
-                    report
+                    )?
                 }
                 MigrationOutcome::PostCopy => {
                     if source_vm.lifecycle() == VmLifecycle::Running {
@@ -332,7 +339,9 @@ mod tests {
         assert!(vmm.snapshot_vm(ghost, "x").is_err());
         let mut other = Vmm::new("other");
         let mut link = Link::new(LinkModel::gigabit());
-        assert!(vmm.migrate_to(ghost, &mut other, &mut link, MigrationOutcome::PreCopy).is_err());
+        assert!(vmm
+            .migrate_to(ghost, &mut other, &mut link, MigrationOutcome::PreCopy)
+            .is_err());
     }
 
     #[test]
@@ -358,32 +367,43 @@ mod tests {
             let w = Workload::new(WorkloadKind::Idle { wakeups: 5_000 }).unwrap();
             vm.load_workload(&w).unwrap();
             // Leave a marker in guest memory that must survive the migration.
-            vm.memory().write_u64(GuestAddress(0x2000), 0xfeedface).unwrap();
+            vm.memory()
+                .write_u64(GuestAddress(0x2000), 0xfeedface)
+                .unwrap();
         }
         (vmm, id)
     }
 
     #[test]
     fn migration_moves_memory_and_state() {
-        for outcome in [MigrationOutcome::StopAndCopy, MigrationOutcome::PreCopy, MigrationOutcome::PostCopy] {
+        for outcome in [
+            MigrationOutcome::StopAndCopy,
+            MigrationOutcome::PreCopy,
+            MigrationOutcome::PostCopy,
+        ] {
             let (mut source, id) = loaded_vmm_with_marker();
             let source_checksum_before = source.vm(id).unwrap().memory().checksum();
             let mut dest = Vmm::new("dest");
             let mut link = Link::new(LinkModel::gigabit());
-            let (dest_id, report) = source.migrate_to(id, &mut dest, &mut link, outcome).unwrap();
+            let (dest_id, report) = source
+                .migrate_to(id, &mut dest, &mut link, outcome)
+                .unwrap();
 
             // Source is gone, destination runs with identical memory.
             assert!(source.vm(id).is_err());
             let dest_vm = dest.vm(dest_id).unwrap();
             assert_eq!(dest_vm.lifecycle(), VmLifecycle::Running);
-            assert_eq!(dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), 0xfeedface);
+            assert_eq!(
+                dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(),
+                0xfeedface
+            );
             if outcome != MigrationOutcome::PreCopy {
                 // For the paused engines the memory image is bit-identical to the
                 // pre-migration source.
                 assert_eq!(dest_vm.memory().checksum(), source_checksum_before);
             }
             assert!(report.total_time > Nanoseconds::ZERO);
-            assert!(report.bytes_transferred as u64 >= ByteSize::mib(4).as_u64());
+            assert!(report.bytes_transferred >= ByteSize::mib(4).as_u64());
 
             // The migrated guest can keep running to completion on the destination.
             let dest_vm = dest.vm_mut(dest_id).unwrap();
@@ -403,12 +423,21 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             let vm = vmm.vm(id).unwrap();
             for p in 0..16u64 {
-                let value = if i < 2 { 0xc0de_0000 + p } else { 0xd1ff_0000 + p };
-                vm.memory().write_u64(GuestAddress(p * 4096), value).unwrap();
+                let value = if i < 2 {
+                    0xc0de_0000 + p
+                } else {
+                    0xd1ff_0000 + p
+                };
+                vm.memory()
+                    .write_u64(GuestAddress(p * 4096), value)
+                    .unwrap();
             }
         }
         let analysis = vmm.dedup_analysis().unwrap();
-        assert!(analysis.pages_saved() >= 16, "clones must be fully shareable: {analysis:?}");
+        assert!(
+            analysis.pages_saved() >= 16,
+            "clones must be fully shareable: {analysis:?}"
+        );
 
         let mut ksm = vmm.ksm_manager(rvisor_memory::KsmConfig::default());
         assert_eq!(ksm.vm_count(), 3);
@@ -425,12 +454,18 @@ mod tests {
             let (mut source, id) = loaded_vmm_with_marker();
             let mut dest = Vmm::new("dest");
             let mut link = Link::new(LinkModel::gigabit());
-            let config = MigrationConfig { compression, ..Default::default() };
+            let config = MigrationConfig {
+                compression,
+                ..Default::default()
+            };
             let (dest_id, report) = source
                 .migrate_to_with_config(id, &mut dest, &mut link, MigrationOutcome::PreCopy, config)
                 .unwrap();
             let dest_vm = dest.vm(dest_id).unwrap();
-            assert_eq!(dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), 0xfeedface);
+            assert_eq!(
+                dest_vm.memory().read_u64(GuestAddress(0x2000)).unwrap(),
+                0xfeedface
+            );
             report
         };
         let raw = run(PageCompression::None);
@@ -444,12 +479,16 @@ mod tests {
         let (mut s1, id1) = loaded_vmm_with_marker();
         let mut d1 = Vmm::new("d1");
         let mut link1 = Link::new(LinkModel::gigabit());
-        let (_, pre) = s1.migrate_to(id1, &mut d1, &mut link1, MigrationOutcome::PreCopy).unwrap();
+        let (_, pre) = s1
+            .migrate_to(id1, &mut d1, &mut link1, MigrationOutcome::PreCopy)
+            .unwrap();
 
         let (mut s2, id2) = loaded_vmm_with_marker();
         let mut d2 = Vmm::new("d2");
         let mut link2 = Link::new(LinkModel::gigabit());
-        let (_, stop) = s2.migrate_to(id2, &mut d2, &mut link2, MigrationOutcome::StopAndCopy).unwrap();
+        let (_, stop) = s2
+            .migrate_to(id2, &mut d2, &mut link2, MigrationOutcome::StopAndCopy)
+            .unwrap();
 
         assert!(pre.downtime <= stop.downtime);
     }

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use rvisor_block::RamDisk;
 use rvisor_devices::{CountdownTimer, InterruptController, MmioBus, PortBus, Rtc, SerialConsole};
 use rvisor_memory::{Balloon, GuestMemory};
 use rvisor_net::{MacAddr, VirtualSwitch};
@@ -13,7 +14,6 @@ use rvisor_types::{
 };
 use rvisor_vcpu::{ExitReason, Vcpu, VcpuConfig, VcpuStats, Workload};
 use rvisor_virtio::{QueueLayout, VirtioBlk, VirtioMmio, VirtioNet};
-use rvisor_block::RamDisk;
 
 use crate::config::VmConfig;
 use crate::hypercalls::{handle_pure, HypercallNr};
@@ -113,7 +113,10 @@ impl Vm {
         let serial = Arc::new(Mutex::new(SerialConsole::with_interrupt(
             interrupts.line(layout::irq::SERIAL),
         )));
-        mmio.register(GuestRegion::new(layout::SERIAL_MMIO, layout::MMIO_WINDOW), serial.clone())?;
+        mmio.register(
+            GuestRegion::new(layout::SERIAL_MMIO, layout::MMIO_WINDOW),
+            serial.clone(),
+        )?;
         ports.register(layout::SERIAL_PORT, 8, serial.clone())?;
         let rtc = Arc::new(Mutex::new(Rtc::new(Arc::clone(&clock))));
         mmio.register(GuestRegion::new(layout::RTC_MMIO, layout::MMIO_WINDOW), rtc)?;
@@ -121,7 +124,10 @@ impl Vm {
             Arc::clone(&clock),
             interrupts.line(layout::irq::TIMER),
         )));
-        mmio.register(GuestRegion::new(layout::TIMER_MMIO, layout::MMIO_WINDOW), timer.clone())?;
+        mmio.register(
+            GuestRegion::new(layout::TIMER_MMIO, layout::MMIO_WINDOW),
+            timer.clone(),
+        )?;
 
         // virtio-blk for the first configured disk.
         let virtio_blk = if let Some(disk_cfg) = config.disks.first() {
@@ -133,7 +139,10 @@ impl Vm {
                 memory.clone(),
                 interrupts.line(layout::irq::VIRTIO_BLK),
             )));
-            mmio.register(GuestRegion::new(layout::VIRTIO_BLK_MMIO, layout::MMIO_WINDOW), transport.clone())?;
+            mmio.register(
+                GuestRegion::new(layout::VIRTIO_BLK_MMIO, layout::MMIO_WINDOW),
+                transport.clone(),
+            )?;
             Some(transport)
         } else {
             None
@@ -156,7 +165,10 @@ impl Vm {
                 memory.clone(),
                 interrupts.line(layout::irq::VIRTIO_NET),
             )));
-            mmio.register(GuestRegion::new(layout::VIRTIO_NET_MMIO, layout::MMIO_WINDOW), transport.clone())?;
+            mmio.register(
+                GuestRegion::new(layout::VIRTIO_NET_MMIO, layout::MMIO_WINDOW),
+                transport.clone(),
+            )?;
             Some(transport)
         } else {
             None
@@ -267,7 +279,8 @@ impl Vm {
 
     /// Load a guest program image at `entry` and point vCPU 0 at it.
     pub fn load_program(&mut self, image: &[u8], entry: u64) -> Result<()> {
-        self.memory.write(rvisor_types::GuestAddress(entry), image)?;
+        self.memory
+            .write(rvisor_types::GuestAddress(entry), image)?;
         self.memory.clear_dirty();
         self.vcpus[0].set_pc(entry);
         if self.lifecycle == VmLifecycle::Created {
@@ -300,7 +313,10 @@ impl Vm {
                 self.lifecycle = VmLifecycle::Paused;
                 Ok(())
             }
-            other => Err(Error::InvalidVmState { operation: "pause", state: format!("{other:?}") }),
+            other => Err(Error::InvalidVmState {
+                operation: "pause",
+                state: format!("{other:?}"),
+            }),
         }
     }
 
@@ -311,7 +327,10 @@ impl Vm {
                 self.lifecycle = VmLifecycle::Running;
                 Ok(())
             }
-            other => Err(Error::InvalidVmState { operation: "resume", state: format!("{other:?}") }),
+            other => Err(Error::InvalidVmState {
+                operation: "resume",
+                state: format!("{other:?}"),
+            }),
         }
     }
 
@@ -453,7 +472,11 @@ impl Vm {
     }
 
     /// Take a full snapshot of the VM into `store`, pausing it if running.
-    pub fn snapshot(&mut self, name: &str, store: &mut SnapshotStore) -> Result<rvisor_snapshot::SnapshotId> {
+    pub fn snapshot(
+        &mut self,
+        name: &str,
+        store: &mut SnapshotStore,
+    ) -> Result<rvisor_snapshot::SnapshotId> {
         let was_running = self.lifecycle == VmLifecycle::Running;
         if was_running {
             self.pause()?;
@@ -561,7 +584,11 @@ mod tests {
     #[test]
     fn workload_too_big_for_memory_rejected() {
         let mut vm = small_vm();
-        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 10_000, passes: 1 }).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty {
+            pages: 10_000,
+            passes: 1,
+        })
+        .unwrap();
         assert!(vm.load_workload(&w).is_err());
     }
 
@@ -571,10 +598,23 @@ mod tests {
         let mut asm = Assembler::new();
         let r = Reg::new;
         // Write 'H' via the serial port, 'i' via the console hypercall.
-        asm.push(Instr::MovImm { rd: r(1), imm: b'H' as i32 });
-        asm.push(Instr::Out { rs1: r(1), imm: layout::SERIAL_PORT as i32 });
-        asm.push(Instr::MovImm { rd: r(2), imm: b'i' as i32 });
-        asm.push(Instr::Hypercall { nr: HypercallNr::ConsolePutChar.raw(), rd: r(3), rs1: r(2) });
+        asm.push(Instr::MovImm {
+            rd: r(1),
+            imm: b'H' as i32,
+        });
+        asm.push(Instr::Out {
+            rs1: r(1),
+            imm: layout::SERIAL_PORT as i32,
+        });
+        asm.push(Instr::MovImm {
+            rd: r(2),
+            imm: b'i' as i32,
+        });
+        asm.push(Instr::Hypercall {
+            nr: HypercallNr::ConsolePutChar.raw(),
+            rd: r(3),
+            rs1: r(2),
+        });
         asm.push(Instr::Halt);
         vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
         vm.run_to_halt().unwrap();
@@ -591,13 +631,32 @@ mod tests {
         let mut asm = Assembler::new();
         let r = Reg::new;
         asm.load_const(r(1), layout::RTC_MMIO.0 + 8); // full time register
-        asm.push(Instr::Load { rd: r(2), rs1: r(1), imm: 0 });
-        asm.push(Instr::MovImm { rd: r(4), imm: 1234 });
-        asm.push(Instr::Hypercall { nr: HypercallNr::Ping.raw(), rd: r(5), rs1: r(4) });
+        asm.push(Instr::Load {
+            rd: r(2),
+            rs1: r(1),
+            imm: 0,
+        });
+        asm.push(Instr::MovImm {
+            rd: r(4),
+            imm: 1234,
+        });
+        asm.push(Instr::Hypercall {
+            nr: HypercallNr::Ping.raw(),
+            rd: r(5),
+            rs1: r(4),
+        });
         // Store both results to memory so the test can read them back.
         asm.load_const(r(6), 0x2000);
-        asm.push(Instr::Store { rs2: r(2), rs1: r(6), imm: 0 });
-        asm.push(Instr::Store { rs2: r(5), rs1: r(6), imm: 8 });
+        asm.push(Instr::Store {
+            rs2: r(2),
+            rs1: r(6),
+            imm: 0,
+        });
+        asm.push(Instr::Store {
+            rs2: r(5),
+            rs1: r(6),
+            imm: 8,
+        });
         asm.push(Instr::Halt);
         vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
         vm.run_to_halt().unwrap();
@@ -611,13 +670,24 @@ mod tests {
         let mut vm = small_vm();
         let mut asm = Assembler::new();
         let r = Reg::new;
-        asm.push(Instr::Hypercall { nr: 999, rd: r(5), rs1: Reg::ZERO });
+        asm.push(Instr::Hypercall {
+            nr: 999,
+            rd: r(5),
+            rs1: Reg::ZERO,
+        });
         asm.load_const(r(6), 0x2000);
-        asm.push(Instr::Store { rs2: r(5), rs1: r(6), imm: 0 });
+        asm.push(Instr::Store {
+            rs2: r(5),
+            rs1: r(6),
+            imm: 0,
+        });
         asm.push(Instr::Halt);
         vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
         vm.run_to_halt().unwrap();
-        assert_eq!(vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), u64::MAX);
+        assert_eq!(
+            vm.memory().read_u64(GuestAddress(0x2000)).unwrap(),
+            u64::MAX
+        );
     }
 
     #[test]
@@ -655,10 +725,18 @@ mod tests {
         // Write a marker, pause via Pause, then overwrite the marker and halt.
         asm.load_const(r(1), 0x3000);
         asm.push(Instr::MovImm { rd: r(2), imm: 111 });
-        asm.push(Instr::Store { rs2: r(2), rs1: r(1), imm: 0 });
+        asm.push(Instr::Store {
+            rs2: r(2),
+            rs1: r(1),
+            imm: 0,
+        });
         asm.push(Instr::Pause);
         asm.push(Instr::MovImm { rd: r(2), imm: 222 });
-        asm.push(Instr::Store { rs2: r(2), rs1: r(1), imm: 0 });
+        asm.push(Instr::Store {
+            rs2: r(2),
+            rs1: r(1),
+            imm: 0,
+        });
         asm.push(Instr::Halt);
         vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
 
@@ -682,7 +760,12 @@ mod tests {
 
     #[test]
     fn balloon_integration() {
-        let vm = Vm::new(VmConfig::new("b").with_memory(ByteSize::mib(4)).with_balloon()).unwrap();
+        let vm = Vm::new(
+            VmConfig::new("b")
+                .with_memory(ByteSize::mib(4))
+                .with_balloon(),
+        )
+        .unwrap();
         assert!(vm.balloon().is_some());
         let reached = vm.set_balloon_pages(100).unwrap();
         assert_eq!(reached, 100);
@@ -711,7 +794,9 @@ mod tests {
         assert_eq!(guard.read(rvisor_virtio::mmio::regs::DEVICE_ID, 4), 2);
         drop(guard);
         assert!(small_vm().virtio_blk().is_none());
-        assert!(small_vm().setup_blk_queue(QueueLayout::contiguous(GuestAddress(0x1000), 16).unwrap().0).is_err());
+        assert!(small_vm()
+            .setup_blk_queue(QueueLayout::contiguous(GuestAddress(0x1000), 16).unwrap().0)
+            .is_err());
         assert!(format!("{vm:?}").contains("full"));
     }
 
@@ -721,20 +806,34 @@ mod tests {
         vm.serial_input(b"A");
         let mut asm = Assembler::new();
         let r = Reg::new;
-        asm.push(Instr::In { rd: r(1), imm: layout::SERIAL_PORT as i32 });
+        asm.push(Instr::In {
+            rd: r(1),
+            imm: layout::SERIAL_PORT as i32,
+        });
         asm.load_const(r(2), 0x2000);
-        asm.push(Instr::Store { rs2: r(1), rs1: r(2), imm: 0 });
+        asm.push(Instr::Store {
+            rs2: r(1),
+            rs1: r(2),
+            imm: 0,
+        });
         asm.push(Instr::Halt);
         vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
         vm.run_to_halt().unwrap();
-        assert_eq!(vm.memory().read_u64(GuestAddress(0x2000)).unwrap(), b'A' as u64);
+        assert_eq!(
+            vm.memory().read_u64(GuestAddress(0x2000)).unwrap(),
+            b'A' as u64
+        );
         assert!(vm.interrupts().is_pending(layout::irq::SERIAL));
     }
 
     #[test]
     fn memory_dirty_workload_dirties_pages() {
         let mut vm = Vm::new(VmConfig::new("dirty").with_memory(ByteSize::mib(8))).unwrap();
-        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 64, passes: 1 }).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty {
+            pages: 64,
+            passes: 1,
+        })
+        .unwrap();
         vm.load_workload(&w).unwrap();
         vm.run_to_halt().unwrap();
         assert_eq!(vm.memory().dirty_page_count(), 64);

@@ -6,9 +6,7 @@
 //! cargo run --example consolidation
 //! ```
 
-use virtlab::cluster::{
-    ConsolidationPlanner, CostModel, HostSpec, PlacementStrategy, VmSpec,
-};
+use virtlab::cluster::{ConsolidationPlanner, CostModel, HostSpec, PlacementStrategy, VmSpec};
 use virtlab::types::HostId;
 
 fn main() {
@@ -26,17 +24,23 @@ fn main() {
     let planner = ConsolidationPlanner::new(host.clone(), 60);
 
     // Baseline: one physical server per workload (the pre-virtualization estate).
-    let baseline = planner.plan(&fleet, PlacementStrategy::OnePerHost).expect("baseline plan");
+    let baseline = planner
+        .plan(&fleet, PlacementStrategy::OnePerHost)
+        .expect("baseline plan");
     // Consolidated: first-fit-decreasing bin packing.
-    let consolidated =
-        planner.plan(&fleet, PlacementStrategy::FirstFitDecreasing).expect("consolidated plan");
+    let consolidated = planner
+        .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+        .expect("consolidated plan");
     // Consolidated with 1.5x memory overcommit enabled by ballooning.
     let overcommitted = ConsolidationPlanner::new(host, 60)
         .with_memory_overcommit(1.5)
         .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
         .expect("overcommitted plan");
 
-    println!("{:<28} {:>8} {:>10} {:>12} {:>12}", "plan", "hosts", "VMs/host", "mem util", "power (W)");
+    println!(
+        "{:<28} {:>8} {:>10} {:>12} {:>12}",
+        "plan", "hosts", "VMs/host", "mem util", "power (W)"
+    );
     for (name, plan) in [
         ("one-per-host (baseline)", &baseline),
         ("consolidated (FFD)", &consolidated),
@@ -54,10 +58,22 @@ fn main() {
 
     let cost = CostModel::default();
     let report = cost.compare(&baseline, &consolidated);
-    println!("\nannual power+cooling cost (baseline):     {:>10.0} EUR", report.baseline_annual_euro);
-    println!("annual power+cooling cost (consolidated): {:>10.0} EUR", report.consolidated_annual_euro);
-    println!("annual saving:                            {:>10.0} EUR", report.annual_saving_euro());
-    println!("saving per virtualized server:            {:>10.0} EUR", report.saving_per_vm_euro());
+    println!(
+        "\nannual power+cooling cost (baseline):     {:>10.0} EUR",
+        report.baseline_annual_euro
+    );
+    println!(
+        "annual power+cooling cost (consolidated): {:>10.0} EUR",
+        report.consolidated_annual_euro
+    );
+    println!(
+        "annual saving:                            {:>10.0} EUR",
+        report.annual_saving_euro()
+    );
+    println!(
+        "saving per virtualized server:            {:>10.0} EUR",
+        report.saving_per_vm_euro()
+    );
     println!(
         "\n(the source material claims ~200-250 EUR/server/year and ~10,000 EUR/year overall)"
     );

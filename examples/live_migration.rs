@@ -7,9 +7,7 @@
 //! ```
 
 use virtlab::memory::GuestMemory;
-use virtlab::migrate::{
-    ConstantRateDirtier, MigrationConfig, PostCopy, PreCopy, StopAndCopy,
-};
+use virtlab::migrate::{ConstantRateDirtier, MigrationConfig, PostCopy, PreCopy, StopAndCopy};
 use virtlab::net::{Link, LinkModel};
 use virtlab::vcpu::{VcpuState, Workload, WorkloadKind};
 use virtlab::vmm::MigrationOutcome;
@@ -67,7 +65,9 @@ fn manager_level_migration() {
         let vm = source_host.vm_mut(vm_id).unwrap();
         let workload = Workload::new(WorkloadKind::Idle { wakeups: 100_000 }).unwrap();
         vm.load_workload(&workload).unwrap();
-        vm.memory().write_u64(virtlab::GuestAddress(0x4000), 0xC0FFEE).unwrap();
+        vm.memory()
+            .write_u64(virtlab::GuestAddress(0x4000), 0xC0FFEE)
+            .unwrap();
         // Let it run a little before the migration starts.
         vm.run_for(virtlab::Nanoseconds::from_millis(5)).unwrap();
     }
@@ -81,16 +81,26 @@ fn manager_level_migration() {
     println!("VM now lives on {}: {:?}", dest_host.name(), migrated);
     println!(
         "memory intact: 0x{:x} (expected 0xC0FFEE)",
-        migrated.memory().read_u64(virtlab::GuestAddress(0x4000)).unwrap()
+        migrated
+            .memory()
+            .read_u64(virtlab::GuestAddress(0x4000))
+            .unwrap()
     );
     println!("downtime {}, total {}", report.downtime, report.total_time);
-    println!("source host now has {} VMs, destination {}", source_host.vm_count(), dest_host.vm_count());
+    println!(
+        "source host now has {} VMs, destination {}",
+        source_host.vm_count(),
+        dest_host.vm_count()
+    );
 }
 
 fn dirty_rate_sweep() {
     println!("\n-- pre-copy downtime vs dirty rate (256 MiB guest, 1 Gbit/s link) --\n");
     let ram = ByteSize::mib(256);
-    println!("{:>12} {:>14} {:>14} {:>8} {:>10}", "dirty rate", "downtime", "total", "rounds", "converged");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8} {:>10}",
+        "dirty rate", "downtime", "total", "rounds", "converged"
+    );
     for fraction in [0.0, 0.2, 0.4, 0.6, 0.8, 1.2] {
         let source = GuestMemory::flat(ram).unwrap();
         let dest = GuestMemory::flat(ram).unwrap();

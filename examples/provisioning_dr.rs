@@ -26,9 +26,14 @@ fn provisioning() {
         .unwrap();
     let mut provisioner = Provisioner::new(library, StorageModel::ssd());
 
-    println!("{:<18} {:>14} {:>16} {:>16}", "strategy", "bytes copied", "storage time", "instant?");
+    println!(
+        "{:<18} {:>14} {:>16} {:>16}",
+        "strategy", "bytes copied", "storage time", "instant?"
+    );
     for strategy in [CloneStrategy::FullCopy, CloneStrategy::CopyOnWrite] {
-        let report = provisioner.provision("win2003-appserver", strategy).unwrap();
+        let report = provisioner
+            .provision("win2003-appserver", strategy)
+            .unwrap();
         println!(
             "{:<18} {:>14} {:>16} {:>16}",
             format!("{strategy:?}"),
@@ -39,10 +44,12 @@ fn provisioning() {
     }
 
     // Standing up a whole branch office: ten clones each way.
-    let (_, full_total) =
-        provisioner.provision_many("win2003-appserver", CloneStrategy::FullCopy, 10).unwrap();
-    let (_, cow_total) =
-        provisioner.provision_many("win2003-appserver", CloneStrategy::CopyOnWrite, 10).unwrap();
+    let (_, full_total) = provisioner
+        .provision_many("win2003-appserver", CloneStrategy::FullCopy, 10)
+        .unwrap();
+    let (_, cow_total) = provisioner
+        .provision_many("win2003-appserver", CloneStrategy::CopyOnWrite, 10)
+        .unwrap();
     println!("\n10 servers via full copy:     {full_total}");
     println!("10 servers via CoW templates: {cow_total}");
 }
@@ -50,13 +57,21 @@ fn provisioning() {
 fn backups_and_restore() {
     println!("\n-- snapshot chains (backup / disaster recovery) --\n");
     let mut vm = Vm::new(VmConfig::new("cognos-prod").with_memory(ByteSize::mib(32))).unwrap();
-    let workload = Workload::new(WorkloadKind::MemoryDirty { pages: 256, passes: 1 }).unwrap();
+    let workload = Workload::new(WorkloadKind::MemoryDirty {
+        pages: 256,
+        passes: 1,
+    })
+    .unwrap();
     vm.load_workload(&workload).unwrap();
     let mut store = SnapshotStore::new();
 
     // Nightly full backup.
     let full = vm.snapshot("nightly-full", &mut store).unwrap();
-    println!("full snapshot {}: {}", full, store.get(full).unwrap().approx_size());
+    println!(
+        "full snapshot {}: {}",
+        full,
+        store.get(full).unwrap().approx_size()
+    );
 
     // The guest does a day of work (dirties pages), then an incremental backup.
     vm.run_to_halt().unwrap();
@@ -80,9 +95,15 @@ fn backups_and_restore() {
     );
 
     // Disaster strikes: corrupt guest memory, then restore from the chain.
-    vm.memory().fill(GuestAddress(0x100000), 64 * 4096, 0xff).unwrap();
+    vm.memory()
+        .fill(GuestAddress(0x100000), 64 * 4096, 0xff)
+        .unwrap();
     vm.restore_snapshot(incremental_id, &store).unwrap();
-    println!("restored {} OK; store holds {} of backups", incremental_id, store.total_size());
+    println!(
+        "restored {} OK; store holds {} of backups",
+        incremental_id,
+        store.total_size()
+    );
 }
 
 fn export_manifest() {

@@ -21,11 +21,24 @@ fn main() -> virtlab::Result<()> {
     let mut asm = Assembler::new();
     let r = Reg::new;
     let message = b"Hello from the guest!\n";
-    asm.push(Instr::MovImm { rd: r(1), imm: message[0] as i32 });
-    asm.push(Instr::Out { rs1: r(1), imm: layout::SERIAL_PORT as i32 });
+    asm.push(Instr::MovImm {
+        rd: r(1),
+        imm: message[0] as i32,
+    });
+    asm.push(Instr::Out {
+        rs1: r(1),
+        imm: layout::SERIAL_PORT as i32,
+    });
     for &byte in &message[1..] {
-        asm.push(Instr::MovImm { rd: r(1), imm: byte as i32 });
-        asm.push(Instr::Hypercall { nr: HypercallNr::ConsolePutChar.raw(), rd: r(2), rs1: r(1) });
+        asm.push(Instr::MovImm {
+            rd: r(1),
+            imm: byte as i32,
+        });
+        asm.push(Instr::Hypercall {
+            nr: HypercallNr::ConsolePutChar.raw(),
+            rd: r(2),
+            rs1: r(1),
+        });
     }
     asm.push(Instr::Halt);
     vm.load_program(&asm.assemble()?, 0x1000)?;

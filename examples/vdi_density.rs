@@ -40,7 +40,9 @@ fn main() {
             } else {
                 (d as u64 + 1) * 10_000_019 + p
             };
-            vm.memory().write_u64(GuestAddress(p * PAGE_SIZE), value).expect("seed page");
+            vm.memory()
+                .write_u64(GuestAddress(p * PAGE_SIZE), value)
+                .expect("seed page");
         }
     }
     println!(
@@ -73,10 +75,7 @@ fn main() {
     // 3. Feed the measured sharing fraction into the density estimator for a
     //    modern consolidation host and compare desktop profiles.
     let host = HostSpec::modern_server(HostId::new(0));
-    println!(
-        "host: {} cores, {} RAM",
-        host.cores, host.memory
-    );
+    println!("host: {} cores, {} RAM", host.cores, host.memory);
     println!(
         "{:<18} {:>10} {:>10} {:>24} {:>12}",
         "profile", "baseline", "tuned", "effective mem/desktop", "limited by"
@@ -102,7 +101,8 @@ fn main() {
         {
             let est = VdiEstimator::new(
                 host,
-                VdiConfig::typical(DesktopProfile::KnowledgeWorker).with_measured_sharing(&analysis),
+                VdiConfig::typical(DesktopProfile::KnowledgeWorker)
+                    .with_measured_sharing(&analysis),
             )
             .expect("estimator");
             est.density().improvement_over(&est.baseline_density())

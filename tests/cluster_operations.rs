@@ -2,10 +2,10 @@
 //! live migration between managers, snapshot-based disaster recovery, and
 //! the cost model — the operational story end to end.
 
+use virtlab::block::{synthetic_os_image, CloneStrategy, ImageLibrary, StorageModel};
 use virtlab::cluster::{
     ConsolidationPlanner, CostModel, HostSpec, PlacementStrategy, Provisioner, VmSpec,
 };
-use virtlab::block::{synthetic_os_image, CloneStrategy, ImageLibrary, StorageModel};
 use virtlab::migrate::MigrationReport;
 use virtlab::net::{Link, LinkModel};
 use virtlab::types::{GuestAddress, HostId};
@@ -19,7 +19,9 @@ fn consolidation_plan_boots_real_vms_on_each_host() {
     // down) VM per placed workload, and run them all.
     let fleet: Vec<VmSpec> = VmSpec::nireus_fleet().into_iter().take(12).collect();
     let planner = ConsolidationPlanner::new(HostSpec::deck_era_server(HostId::new(0)), 10);
-    let plan = planner.plan(&fleet, PlacementStrategy::FirstFitDecreasing).unwrap();
+    let plan = planner
+        .plan(&fleet, PlacementStrategy::FirstFitDecreasing)
+        .unwrap();
     assert!(plan.unplaced.is_empty());
 
     let mut hosts: Vec<Vmm> = Vec::new();
@@ -62,15 +64,18 @@ fn maintenance_evacuation_migrates_every_vm_off_a_host() {
         let vm = source.vm_mut(id).unwrap();
         let w = Workload::new(WorkloadKind::Idle { wakeups: 50_000 }).unwrap();
         vm.load_workload(&w).unwrap();
-        vm.memory().write_u64(GuestAddress(0x3000), 0xbeef_0000 + i as u64).unwrap();
+        vm.memory()
+            .write_u64(GuestAddress(0x3000), 0xbeef_0000 + i as u64)
+            .unwrap();
         ids.push(id);
     }
 
     let mut link = Link::new(LinkModel::ten_gigabit());
     let mut reports: Vec<MigrationReport> = Vec::new();
     for id in ids {
-        let (_, report) =
-            source.migrate_to(id, &mut target, &mut link, MigrationOutcome::PreCopy).unwrap();
+        let (_, report) = source
+            .migrate_to(id, &mut target, &mut link, MigrationOutcome::PreCopy)
+            .unwrap();
         reports.push(report);
     }
 
@@ -94,18 +99,30 @@ fn maintenance_evacuation_migrates_every_vm_off_a_host() {
 #[test]
 fn disaster_recovery_restores_a_vm_from_its_backup_chain() {
     let mut vmm = Vmm::new("primary-site");
-    let id = vmm.create_vm(VmConfig::new("erp-db").with_memory(ByteSize::mib(16))).unwrap();
+    let id = vmm
+        .create_vm(VmConfig::new("erp-db").with_memory(ByteSize::mib(16)))
+        .unwrap();
     {
         let vm = vmm.vm_mut(id).unwrap();
-        let w = Workload::new(WorkloadKind::MemoryDirty { pages: 128, passes: 1 }).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty {
+            pages: 128,
+            passes: 1,
+        })
+        .unwrap();
         vm.load_workload(&w).unwrap();
-        vm.memory().write_u64(GuestAddress(0x8000), 0x1CEB00DA).unwrap();
+        vm.memory()
+            .write_u64(GuestAddress(0x8000), 0x1CEB00DA)
+            .unwrap();
     }
     let snap = vmm.snapshot_vm(id, "nightly").unwrap();
     let checksum_at_backup = vmm.vm(id).unwrap().memory().checksum();
 
     // "Ransomware" scribbles over guest memory.
-    vmm.vm(id).unwrap().memory().fill(GuestAddress(0), ByteSize::mib(1).as_u64(), 0x66).unwrap();
+    vmm.vm(id)
+        .unwrap()
+        .memory()
+        .fill(GuestAddress(0), ByteSize::mib(1).as_u64(), 0x66)
+        .unwrap();
     assert_ne!(vmm.vm(id).unwrap().memory().checksum(), checksum_at_backup);
 
     // Restore from the snapshot store and verify integrity.
@@ -113,26 +130,38 @@ fn disaster_recovery_restores_a_vm_from_its_backup_chain() {
     let vm = vmm.vm_mut(id).unwrap();
     store_snapshot.memory.apply(vm.memory()).unwrap();
     assert_eq!(vm.memory().checksum(), checksum_at_backup);
-    assert_eq!(vm.memory().read_u64(GuestAddress(0x8000)).unwrap(), 0x1CEB00DA);
+    assert_eq!(
+        vm.memory().read_u64(GuestAddress(0x8000)).unwrap(),
+        0x1CEB00DA
+    );
 }
 
 #[test]
 fn branch_office_rollout_uses_cow_templates() {
     let mut library = ImageLibrary::new();
     library
-        .add_template("branch-gold", "branch office server", synthetic_os_image(ByteSize::mib(32)))
+        .add_template(
+            "branch-gold",
+            "branch office server",
+            synthetic_os_image(ByteSize::mib(32)),
+        )
         .unwrap();
     let mut provisioner = Provisioner::new(library, StorageModel::hdd());
 
-    let (full_reports, full_time) =
-        provisioner.provision_many("branch-gold", CloneStrategy::FullCopy, 4).unwrap();
-    let (cow_reports, cow_time) =
-        provisioner.provision_many("branch-gold", CloneStrategy::CopyOnWrite, 4).unwrap();
+    let (full_reports, full_time) = provisioner
+        .provision_many("branch-gold", CloneStrategy::FullCopy, 4)
+        .unwrap();
+    let (cow_reports, cow_time) = provisioner
+        .provision_many("branch-gold", CloneStrategy::CopyOnWrite, 4)
+        .unwrap();
 
     assert_eq!(full_reports.len(), 4);
     assert_eq!(cow_reports.len(), 4);
     assert_eq!(cow_time.as_nanos(), 0);
-    assert!(full_time.as_millis_f64() > 100.0, "full copies over HDD take real time");
+    assert!(
+        full_time.as_millis_f64() > 100.0,
+        "full copies over HDD take real time"
+    );
 
     // Each provisioned disk can actually back a VM's virtio-blk device.
     let vm = Vm::new(
@@ -166,7 +195,11 @@ fn overcommit_with_ballooning_fits_more_vms() {
     let mut vmm = Vmm::new("overcommitted-host");
     for i in 0..relaxed.vms_placed() {
         let id = vmm
-            .create_vm(VmConfig::new(&format!("vm-{i}")).with_memory(ByteSize::mib(8)).with_balloon())
+            .create_vm(
+                VmConfig::new(&format!("vm-{i}"))
+                    .with_memory(ByteSize::mib(8))
+                    .with_balloon(),
+            )
             .unwrap();
         // Reclaim a third of each VM's memory.
         let pages = vmm.vm(id).unwrap().memory().total_pages() / 3;
@@ -175,7 +208,15 @@ fn overcommit_with_ballooning_fits_more_vms() {
     let reclaimed: u64 = vmm
         .vm_ids()
         .iter()
-        .map(|&id| vmm.vm(id).unwrap().balloon().unwrap().stats().ballooned.as_u64())
+        .map(|&id| {
+            vmm.vm(id)
+                .unwrap()
+                .balloon()
+                .unwrap()
+                .stats()
+                .ballooned
+                .as_u64()
+        })
         .sum();
     assert!(reclaimed > 0);
 }

@@ -33,7 +33,9 @@ fn vmm_with_clones(count: u32, memory: ByteSize, shared_fraction: f64) -> Vmm {
             } else {
                 (d as u64 + 1) * 5_000_011 + p
             };
-            vm.memory().write_u64(GuestAddress(p * PAGE_SIZE), value).expect("seed");
+            vm.memory()
+                .write_u64(GuestAddress(p * PAGE_SIZE), value)
+                .expect("seed");
         }
     }
     vmm
@@ -44,13 +46,23 @@ fn ksm_scanner_converges_to_the_analysis_bound_and_feeds_vdi_sizing() {
     let vmm = vmm_with_clones(4, ByteSize::mib(8), 0.5);
 
     let analysis = vmm.dedup_analysis().expect("analysis");
-    assert!(analysis.savings_fraction() > 0.3, "clones share half their pages: {analysis:?}");
+    assert!(
+        analysis.savings_fraction() > 0.3,
+        "clones share half their pages: {analysis:?}"
+    );
 
     let mut ksm = vmm.ksm_manager(KsmConfig::default());
     ksm.scan_until_stable(8).expect("scan");
     let stats = ksm.stats();
-    assert_eq!(stats.pages_saved(), analysis.pages_saved(), "scanner must reach the bound");
-    assert!(stats.sharing_ratio() >= 3.9, "four identical copies share one page");
+    assert_eq!(
+        stats.pages_saved(),
+        analysis.pages_saved(),
+        "scanner must reach the bound"
+    );
+    assert!(
+        stats.sharing_ratio() >= 3.9,
+        "four identical copies share one page"
+    );
 
     // The measured sharing fraction feeds the VDI density estimate and buys
     // strictly more desktops than assuming no sharing at all.
@@ -60,7 +72,9 @@ fn ksm_scanner_converges_to_the_analysis_bound_and_feeds_vdi_sizing() {
         ..VdiConfig::typical(DesktopProfile::KnowledgeWorker)
     };
     let measured = no_sharing.with_measured_sharing(&analysis);
-    let base = VdiEstimator::new(host.clone(), no_sharing).unwrap().density();
+    let base = VdiEstimator::new(host.clone(), no_sharing)
+        .unwrap()
+        .density();
     let tuned = VdiEstimator::new(host, measured).unwrap().density();
     assert!(tuned.desktops > base.desktops);
 }
@@ -76,7 +90,9 @@ fn writes_after_the_scan_break_sharing_and_lower_the_savings() {
     // The first clone's guest writes into a shared page.
     let id = vmm.vm_ids()[0];
     let vm = vmm.vm(id).expect("vm");
-    vm.memory().write_u64(GuestAddress(0), 0xdead_beef).expect("write");
+    vm.memory()
+        .write_u64(GuestAddress(0), 0xdead_beef)
+        .expect("write");
     ksm.notify_write(id, 0);
 
     assert_eq!(ksm.stats().pages_saved(), before - 1);
@@ -95,17 +111,25 @@ fn compressed_precopy_between_managers_moves_less_and_stays_correct() {
             // A quarter of the guest holds data; the rest stays zero.
             let pages = vm.memory().total_pages();
             for p in 0..pages / 4 {
-                vm.memory().write_u64(GuestAddress(p * PAGE_SIZE), p * 3 + 1).expect("seed");
+                vm.memory()
+                    .write_u64(GuestAddress(p * PAGE_SIZE), p * 3 + 1)
+                    .expect("seed");
             }
         }
         let source_checksum = source.vm(id).unwrap().memory().checksum();
         let mut dest = Vmm::new("dest");
         let mut link = Link::new(LinkModel::gigabit());
-        let config = MigrationConfig { compression, ..Default::default() };
+        let config = MigrationConfig {
+            compression,
+            ..Default::default()
+        };
         let (dest_id, report) = source
             .migrate_to_with_config(id, &mut dest, &mut link, MigrationOutcome::PreCopy, config)
             .expect("migrate");
-        assert_eq!(dest.vm(dest_id).unwrap().memory().checksum(), source_checksum);
+        assert_eq!(
+            dest.vm(dest_id).unwrap().memory().checksum(),
+            source_checksum
+        );
         report
     };
 
@@ -125,8 +149,12 @@ fn numa_packing_keeps_the_fleet_local_where_interleaving_pays_the_penalty() {
     let mut packed = NumaHost::new(topology.clone());
     let mut interleaved = NumaHost::new(topology);
     for vm in &fleet {
-        packed.place(vm, NumaPolicy::Packed).expect("packed placement");
-        interleaved.place(vm, NumaPolicy::Interleaved).expect("interleaved placement");
+        packed
+            .place(vm, NumaPolicy::Packed)
+            .expect("packed placement");
+        interleaved
+            .place(vm, NumaPolicy::Interleaved)
+            .expect("interleaved placement");
     }
     assert!(packed.avg_local_fraction() > 0.99);
     assert!(interleaved.avg_local_fraction() < 0.6);
@@ -138,7 +166,9 @@ fn numa_packing_keeps_the_fleet_local_where_interleaving_pays_the_penalty() {
 fn backup_schedule_restores_after_a_week_of_writes() {
     let memory = GuestMemory::flat(ByteSize::mib(16)).expect("memory");
     for p in 0..memory.total_pages() {
-        memory.write_u64(GuestAddress(p * PAGE_SIZE), p + 7).expect("seed");
+        memory
+            .write_u64(GuestAddress(p * PAGE_SIZE), p + 7)
+            .expect("seed");
     }
     memory.clear_dirty();
 
@@ -151,9 +181,12 @@ fn backup_schedule_restores_after_a_week_of_writes() {
     for day in 0..7u64 {
         for w in 0..16u64 {
             let page = (day * 16 + w) % memory.total_pages();
-            memory.write_u64(GuestAddress(page * PAGE_SIZE), 0xfeed_0000 + day * 100 + w).expect("write");
+            memory
+                .write_u64(GuestAddress(page * PAGE_SIZE), 0xfeed_0000 + day * 100 + w)
+                .expect("write");
         }
-        sim.run_interval(&memory, &[VcpuState::default()]).expect("backup");
+        sim.run_interval(&memory, &[VcpuState::default()])
+            .expect("backup");
     }
     let report = sim.report();
     assert_eq!(report.backups_taken, 7);
@@ -187,10 +220,12 @@ fn faulty_disk_surfaces_errors_without_corrupting_good_sectors() {
         disk.read_sectors(sector, &mut out).expect("good sector");
         assert_eq!(out, payload);
     }
-    assert_eq!(disk.fault_stats().range_failures as usize, 32 + 0);
+    assert_eq!(disk.fault_stats().range_failures as usize, 32);
 
     // A transient outage that heals: after recovery everything succeeds again.
-    let plan = FaultPlan::none().with_bad_range(0, u64::MAX / 2, FaultKind::Write).with_recovery_after(3);
+    let plan = FaultPlan::none()
+        .with_bad_range(0, u64::MAX / 2, FaultKind::Write)
+        .with_recovery_after(3);
     let mut flaky = FaultyDisk::new(RamDisk::new(ByteSize::mib(1)), plan);
     let mut errors = 0;
     for attempt in 0..6u64 {

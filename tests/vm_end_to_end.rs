@@ -18,13 +18,28 @@ fn guest_program_crosses_serial_rtc_and_memory() {
     let r = Reg::new;
     // Print "ok", read the RTC, store the time, halt.
     for &b in b"ok" {
-        asm.push(Instr::MovImm { rd: r(1), imm: b as i32 });
-        asm.push(Instr::Hypercall { nr: HypercallNr::ConsolePutChar.raw(), rd: r(2), rs1: r(1) });
+        asm.push(Instr::MovImm {
+            rd: r(1),
+            imm: b as i32,
+        });
+        asm.push(Instr::Hypercall {
+            nr: HypercallNr::ConsolePutChar.raw(),
+            rd: r(2),
+            rs1: r(1),
+        });
     }
     asm.load_const(r(3), layout::RTC_MMIO.0 + 8);
-    asm.push(Instr::Load { rd: r(4), rs1: r(3), imm: 0 });
+    asm.push(Instr::Load {
+        rd: r(4),
+        rs1: r(3),
+        imm: 0,
+    });
     asm.load_const(r(5), 0x20_0000);
-    asm.push(Instr::Store { rs2: r(4), rs1: r(5), imm: 0 });
+    asm.push(Instr::Store {
+        rs2: r(4),
+        rs1: r(5),
+        imm: 0,
+    });
     asm.push(Instr::Halt);
 
     vm.load_program(&asm.assemble().unwrap(), 0x1000).unwrap();
@@ -44,7 +59,9 @@ fn all_exec_modes_produce_identical_results_with_different_costs() {
     let mut times = Vec::new();
     for mode in ExecMode::ALL {
         let mut vm = Vm::new(
-            VmConfig::new("modes").with_memory(ByteSize::mib(8)).with_exec_mode(mode),
+            VmConfig::new("modes")
+                .with_memory(ByteSize::mib(8))
+                .with_exec_mode(mode),
         )
         .unwrap();
         let w = Workload::new(WorkloadKind::PrivilegedHeavy { iterations: 2_000 }).unwrap();
@@ -58,9 +75,20 @@ fn all_exec_modes_produce_identical_results_with_different_costs() {
     assert_eq!(times[1].2, times[2].2);
     // Trap-and-emulate is the slowest on this exit-heavy guest; paravirt and
     // hardware-assist are both much faster.
-    let te = times.iter().find(|(m, ..)| *m == ExecMode::TrapAndEmulate).unwrap().1;
-    let hw = times.iter().find(|(m, ..)| *m == ExecMode::HardwareAssist).unwrap().1;
-    assert!(te > hw, "trap-and-emulate {te} should exceed hw-assist {hw}");
+    let te = times
+        .iter()
+        .find(|(m, ..)| *m == ExecMode::TrapAndEmulate)
+        .unwrap()
+        .1;
+    let hw = times
+        .iter()
+        .find(|(m, ..)| *m == ExecMode::HardwareAssist)
+        .unwrap()
+        .1;
+    assert!(
+        te > hw,
+        "trap-and-emulate {te} should exceed hw-assist {hw}"
+    );
 }
 
 #[test]
@@ -84,13 +112,19 @@ fn virtio_blk_io_through_a_vm() {
 
     let payload = vec![0x5au8; SECTOR_SIZE as usize];
     let write_header = VirtioBlk::request_header(VIRTIO_BLK_T_OUT, 7);
-    driver.add_chain(vm.memory(), &[&write_header, &payload], &[1]).unwrap();
+    driver
+        .add_chain(vm.memory(), &[&write_header, &payload], &[1])
+        .unwrap();
     let read_header = VirtioBlk::request_header(VIRTIO_BLK_T_IN, 7);
-    driver.add_chain(vm.memory(), &[&read_header], &[SECTOR_SIZE as u32, 1]).unwrap();
+    driver
+        .add_chain(vm.memory(), &[&read_header], &[SECTOR_SIZE as u32, 1])
+        .unwrap();
 
     // Ring the doorbell through the MMIO register, exactly as the guest would.
     let transport = vm.virtio_blk().unwrap();
-    transport.lock().write(virtlab::virtio::mmio::regs::QUEUE_NOTIFY, 0, 4);
+    transport
+        .lock()
+        .write(virtlab::virtio::mmio::regs::QUEUE_NOTIFY, 0, 4);
 
     // Both completions arrive and the read saw the written data.
     let (_, len_w) = driver.poll_used(vm.memory()).unwrap().unwrap();
@@ -102,7 +136,12 @@ fn virtio_blk_io_through_a_vm() {
 
 #[test]
 fn balloon_reclaims_memory_from_a_vm() {
-    let vm = Vm::new(VmConfig::new("balloon").with_memory(ByteSize::mib(8)).with_balloon()).unwrap();
+    let vm = Vm::new(
+        VmConfig::new("balloon")
+            .with_memory(ByteSize::mib(8))
+            .with_balloon(),
+    )
+    .unwrap();
     let total_pages = vm.memory().total_pages();
     vm.set_balloon_pages(total_pages / 2).unwrap();
     let stats = vm.balloon().unwrap().stats();
@@ -121,10 +160,18 @@ fn two_vms_exchange_frames_over_a_shared_switch() {
 
     let mut vmm = virtlab::Vmm::new("net-host");
     let a = vmm
-        .create_vm(VmConfig::new("vm-a").with_memory(ByteSize::mib(8)).with_net())
+        .create_vm(
+            VmConfig::new("vm-a")
+                .with_memory(ByteSize::mib(8))
+                .with_net(),
+        )
         .unwrap();
     let b = vmm
-        .create_vm(VmConfig::new("vm-b").with_memory(ByteSize::mib(8)).with_net())
+        .create_vm(
+            VmConfig::new("vm-b")
+                .with_memory(ByteSize::mib(8))
+                .with_net(),
+        )
         .unwrap();
 
     // Configure queues on both NICs (host-side driver stand-in).
@@ -135,8 +182,7 @@ fn two_vms_exchange_frames_over_a_shared_switch() {
         transport.lock().setup_queue(RX_QUEUE, rx).unwrap();
         transport.lock().setup_queue(TX_QUEUE, tx).unwrap();
         let rx_drv = DriverQueue::new(rx, GuestAddress(tx_end.0 + 0x1000), 256 * 1024);
-        let tx_drv =
-            DriverQueue::new(tx, GuestAddress(tx_end.0 + 0x1000 + 256 * 1024), 256 * 1024);
+        let tx_drv = DriverQueue::new(tx, GuestAddress(tx_end.0 + 0x1000 + 256 * 1024), 256 * 1024);
         rx_drv.init(vm.memory()).unwrap();
         tx_drv.init(vm.memory()).unwrap();
         (rx_drv, tx_drv)
@@ -146,20 +192,57 @@ fn two_vms_exchange_frames_over_a_shared_switch() {
 
     // b posts receive buffers and announces itself with a broadcast.
     for _ in 0..4 {
-        b_rx.add_chain(vmm.vm(b).unwrap().memory(), &[], &[2048]).unwrap();
+        b_rx.add_chain(vmm.vm(b).unwrap().memory(), &[], &[2048])
+            .unwrap();
     }
     let announce = Frame::broadcast(MacAddr::local(b.raw()), ETHERTYPE_IPV4, vec![0u8; 32]);
-    b_tx.add_chain(vmm.vm(b).unwrap().memory(), &[&VirtioNet::tx_packet(&announce)], &[]).unwrap();
-    vmm.vm(b).unwrap().virtio_net().unwrap().lock().notify(TX_QUEUE).unwrap();
+    b_tx.add_chain(
+        vmm.vm(b).unwrap().memory(),
+        &[&VirtioNet::tx_packet(&announce)],
+        &[],
+    )
+    .unwrap();
+    vmm.vm(b)
+        .unwrap()
+        .virtio_net()
+        .unwrap()
+        .lock()
+        .notify(TX_QUEUE)
+        .unwrap();
 
     // a sends a unicast frame to b.
-    let frame = Frame::new(MacAddr::local(a.raw()), MacAddr::local(b.raw()), ETHERTYPE_IPV4, vec![7u8; 600]);
-    a_tx.add_chain(vmm.vm(a).unwrap().memory(), &[&VirtioNet::tx_packet(&frame)], &[]).unwrap();
-    vmm.vm(a).unwrap().virtio_net().unwrap().lock().notify(TX_QUEUE).unwrap();
+    let frame = Frame::new(
+        MacAddr::local(a.raw()),
+        MacAddr::local(b.raw()),
+        ETHERTYPE_IPV4,
+        vec![7u8; 600],
+    );
+    a_tx.add_chain(
+        vmm.vm(a).unwrap().memory(),
+        &[&VirtioNet::tx_packet(&frame)],
+        &[],
+    )
+    .unwrap();
+    vmm.vm(a)
+        .unwrap()
+        .virtio_net()
+        .unwrap()
+        .lock()
+        .notify(TX_QUEUE)
+        .unwrap();
 
     // b polls its receive queue and finds the frame.
-    vmm.vm(b).unwrap().virtio_net().unwrap().lock().poll_queue(RX_QUEUE).unwrap();
-    let (_, len) = b_rx.poll_used(vmm.vm(b).unwrap().memory()).unwrap().unwrap();
+    vmm.vm(b)
+        .unwrap()
+        .virtio_net()
+        .unwrap()
+        .lock()
+        .poll_queue(RX_QUEUE)
+        .unwrap();
+    let (_, len) = b_rx
+        .poll_used(vmm.vm(b).unwrap().memory())
+        .unwrap()
+        .unwrap();
     assert_eq!(len as usize, 12 + 14 + 600);
     assert!(vmm.switch().stats().forwarded >= 1);
 }

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of [`Bytes`] the workspace uses: construction from
+//! vectors/slices, cheap reference-counted clones, and read access through
+//! `Deref<Target = [u8]>`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Wrap a static slice (copies under the shim; zero-copy in real `bytes`).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copy the contents out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(a: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(a)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Bytes { data: Arc::from(b) }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn copy_from_slice_is_independent() {
+        let src = vec![9u8; 4];
+        let b = Bytes::copy_from_slice(&src);
+        drop(src);
+        assert_eq!(b.to_vec(), vec![9u8; 4]);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(&b"a\n"[..]);
+        assert_eq!(format!("{:?}", b), "b\"a\\n\"");
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, `black_box` — with a simple
+//! mean-of-samples wall-clock measurement instead of criterion's full
+//! statistical machinery. Results print one line per benchmark:
+//!
+//! ```text
+//! group/name/param ... 1234 ns/iter (throughput 512 MiB/s)
+//! ```
+//!
+//! The shim honours `--bench` (ignored filter args are accepted) so that
+//! `cargo bench` still runs every target, and compiles identically under
+//! `cargo bench --no-run`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim treats all variants the
+/// same (one setup per routine invocation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch under real criterion.
+    SmallInput,
+    /// Large inputs: few iterations per batch under real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter rendered with `Display`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    /// Total time spent in measured code.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Iteration budget the harness asks the closure to consume.
+    budget: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.budget {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.budget;
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.budget {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Measurement settings shared by a group's benchmarks.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+            throughput: None,
+        }
+    }
+}
+
+fn run_one(label: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: keep running single iterations until the warm-up budget is
+    // spent, using the mean to size the measured run.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: 1,
+    };
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    // Size the measured run by *wall-clock* cost per call, not by measured
+    // time: `iter_batched` setup (e.g. building a large disk image per
+    // iteration) is excluded from the measurement but still costs real time,
+    // and sizing by measured time alone would schedule millions of setups
+    // for a cheap routine behind an expensive setup.
+    let per_call_wall = (warm_start.elapsed().as_nanos() / warm_iters as u128).max(1);
+
+    // Size the measured run to roughly fit the measurement budget, but
+    // always take at least `sample_size` measurements so the knob benches
+    // set has its intended "at least this many data points" effect.
+    let floor = settings.sample_size.max(1) as u128;
+    let target_iters =
+        (settings.measurement_time.as_nanos() / per_call_wall).clamp(floor, 1_000_000) as u64;
+    let mut bench = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        budget: target_iters,
+    };
+    f(&mut bench);
+
+    if bench.iters == 0 {
+        println!("{label:<50} ... no measured iterations");
+        return;
+    }
+    let ns = bench.elapsed.as_nanos() as f64 / bench.iters as f64;
+    match settings.throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / ns.max(f64::MIN_POSITIVE);
+            println!("{label:<50} ... {ns:>12.1} ns/iter ({gib_s:.3} GB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elems = n as f64 / ns.max(f64::MIN_POSITIVE) * 1e9;
+            println!("{label:<50} ... {ns:>12.1} ns/iter ({elems:.0} elem/s)");
+        }
+        None => println!("{label:<50} ... {ns:>12.1} ns/iter"),
+    }
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the minimum number of measured iterations (real criterion takes
+    /// `n` statistical samples; the shim guarantees at least `n` iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &self.settings, &mut f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, &self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply command-line arguments (`cargo bench` passes `--bench` and
+    /// filters; the shim accepts and ignores them).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, &Settings::default(), &mut f);
+        self
+    }
+
+    /// Print the final summary (no-op; results print incrementally).
+    pub fn final_summary(&self) {}
+}
+
+/// Bundle benchmark functions into a group callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_with_input(BenchmarkId::new("input", 2), &3u64, |b, &x| {
+            b.iter_batched(
+                || vec![x; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

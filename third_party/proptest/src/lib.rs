@@ -1,0 +1,540 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace's property tests use a compact subset of the proptest API:
+//! the `proptest!` macro with optional `ProptestConfig::with_cases`, range and
+//! `any::<T>()` strategies, tuple strategies, `collection::{vec, btree_map,
+//! btree_set}`, `array::uniform8`, `num::<int>::ANY`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. This crate implements exactly that
+//! subset on top of a small deterministic RNG (SplitMix64), so the property
+//! tests run reproducibly in environments with no access to crates.io.
+//!
+//! Compared to the real proptest there is no shrinking and no persisted
+//! failure seeds: every run draws the same deterministic case sequence, so a
+//! failure reproduces by simply re-running the test.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    /// Deterministic pseudo-random generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed, seed-derived stream.
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng {
+                state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635_ccf5_f4a9,
+            }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A float uniformly distributed in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// A usize uniformly distributed in `[lo, hi]` (inclusive).
+        pub fn next_usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            let width = (hi - lo) as u64 + 1;
+            lo + (self.next_u64() % width) as usize
+        }
+    }
+
+    /// Stand-in for `proptest::test_runner::Config` (`ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges and tuples.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % width;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.next_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.next_f64() as $t * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary {
+        /// Draw an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.next_f64() as f32
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub PhantomData<T>);
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections with a size range.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.next_usize_inclusive(self.lo, self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `BTreeMap`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A `BTreeMap` with target size drawn from `size`. As with the real
+    /// proptest, key collisions may make the map smaller than the target.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 8 + 16 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// Strategy producing a `BTreeSet`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` with target size drawn from `size`. Collisions may make
+    /// the set smaller than the target, as with the real proptest.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 8 + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[S::Value; N]`.
+    #[derive(Clone, Debug)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// An array of `N` values drawn from `element`.
+    pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArrayStrategy<S, N> {
+        UniformArrayStrategy { element }
+    }
+
+    macro_rules! uniform_n {
+        ($($name:ident, $n:literal;)*) => {$(
+            /// An array of values drawn from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_n! {
+        uniform4, 4;
+        uniform8, 8;
+        uniform16, 16;
+        uniform32, 32;
+    }
+}
+
+pub mod num {
+    //! Per-type `ANY` strategy constants, mirroring `proptest::num`.
+
+    macro_rules! num_mod {
+        ($($m:ident),*) => {$(
+            /// Strategies for this primitive type.
+            pub mod $m {
+                use std::marker::PhantomData;
+                /// The whole-domain strategy for this type.
+                pub const ANY: crate::arbitrary::Any<$m> = crate::arbitrary::Any(PhantomData);
+            }
+        )*};
+    }
+    num_mod!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod prelude {
+    //! The subset of `proptest::prelude` the workspace uses.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }` item
+/// becomes a `#[test]` that runs the body for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(0x70_72_6f_70);
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                { $body }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let w = Strategy::generate(&(5usize..=5), &mut rng);
+            assert_eq!(w, 5);
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_hit_size_targets() {
+        let mut rng = crate::test_runner::TestRng::deterministic(2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 3..6), &mut rng);
+            assert!((3..6).contains(&v.len()));
+            let s = Strategy::generate(&crate::collection::btree_set(0u64..1000, 0..10), &mut rng);
+            assert!(s.len() < 10);
+            let m = Strategy::generate(
+                &crate::collection::btree_map(0u64..1000, any::<u8>(), 2..4),
+                &mut rng,
+            );
+            assert!(m.len() <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, tuples, arrays, trailing commas.
+        #[test]
+        fn macro_forms_work(
+            x in 0u32..100,
+            (a, b) in (0u8..10, any::<bool>()),
+            arr in crate::array::uniform8(any::<u8>()),
+            mut v in crate::collection::vec(crate::num::u8::ANY, 1..4),
+        ) {
+            prop_assert!(x < 100, "x out of range: {}", x);
+            prop_assert!(b || a < 10);
+            prop_assert_eq!(arr.len(), 8);
+            v.push(0);
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's crates derive `Serialize`/`Deserialize` on their config
+//! and report types so that downstream users can persist them, but nothing in
+//! the workspace itself serializes through serde data formats. This shim
+//! keeps those derives compiling in environments with no access to crates.io:
+//! the traits are blanket-implemented markers and the derive macros expand to
+//! nothing. Swapping the path dependency back to the real `serde` is a
+//! manifest-only change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+// Derive macros live in the macro namespace, so they can share the trait
+// names exactly as the real serde does.
+pub use serde_derive::{Deserialize, Serialize};

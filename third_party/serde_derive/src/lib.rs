@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments without network access to crates.io,
+//! so the real `serde` cannot be fetched. The sources only ever *derive*
+//! `Serialize`/`Deserialize` (no code calls a serializer), which means an
+//! empty expansion is sufficient: the companion `serde` shim provides blanket
+//! implementations of the marker traits, and these derives exist purely so
+//! that `#[derive(Serialize, Deserialize)]` resolves.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`. Accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
