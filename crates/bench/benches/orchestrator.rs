@@ -1,0 +1,94 @@
+//! Experiment E15 — the orchestrated datacenter: SLA metrics of a
+//! day-in-the-life cluster run under each rebalance policy and each
+//! workload shape, plus the cost of the orchestration hot loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rvisor_orch::{
+    run_datacenter, ConsolidateAndPowerDown, OrchParams, RebalancePolicy, Scenario, ScenarioConfig,
+    SpreadRebalance, ThresholdRebalance, WorkloadShape,
+};
+use rvisor_types::Nanoseconds;
+
+fn policy(name: &str) -> Box<dyn RebalancePolicy> {
+    match name {
+        "threshold" => Box::new(ThresholdRebalance),
+        "consolidate" => Box::new(ConsolidateAndPowerDown),
+        _ => Box::new(SpreadRebalance),
+    }
+}
+
+fn table_scenario(shape: WorkloadShape) -> Scenario {
+    let cfg = ScenarioConfig {
+        duration: Nanoseconds::from_secs(6 * 3600),
+        ..ScenarioConfig::day(15, shape, 8, 120)
+    }
+    .with_host_failures(1);
+    Scenario::generate(cfg).unwrap()
+}
+
+fn print_tables() {
+    println!("\n=== E15: orchestrated datacenter (8 hosts, 120 VM arrivals, 6 h) ===");
+    println!(
+        "{:<14} {:<14} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "shape", "policy", "placed", "migrated", "downtime", "restored", "VM-lost", "avg-hosts"
+    );
+    for shape in WorkloadShape::ALL {
+        let scenario = table_scenario(shape);
+        for name in ["threshold", "consolidate", "spread"] {
+            let report = run_datacenter(8, OrchParams::default(), policy(name), &scenario).unwrap();
+            println!(
+                "{:<14} {:<14} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9.1}",
+                shape.name(),
+                name,
+                report.vms_placed,
+                report.migrations_completed,
+                format!("{}", report.migration_downtime_total),
+                report.vms_restored,
+                report.vms_lost_permanently,
+                report.avg_hosts_powered(),
+            );
+        }
+    }
+    println!("(deterministic: same seed replays to an identical report)");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+
+    let mut group = c.benchmark_group("e15_orchestrator");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // End-to-end: a compact two-hour day per policy.
+    let small = Scenario::generate(
+        ScenarioConfig {
+            duration: Nanoseconds::from_secs(2 * 3600),
+            ..ScenarioConfig::day(15, WorkloadShape::SteadyState, 4, 30)
+        }
+        .with_host_failures(1),
+    )
+    .unwrap();
+    for name in ["threshold", "consolidate", "spread"] {
+        group.bench_with_input(BenchmarkId::new("day_run", name), &small, |b, s| {
+            b.iter(|| {
+                run_datacenter(4, OrchParams::default(), policy(name), s)
+                    .unwrap()
+                    .events_processed
+            })
+        });
+    }
+
+    // Scenario generation alone (the pure-RNG part of the pipeline).
+    group.bench_function("generate_500vm_day", |b| {
+        let cfg = ScenarioConfig::day(15, WorkloadShape::DiurnalWave, 32, 500);
+        b.iter(|| Scenario::generate(cfg).unwrap().events.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,8 +16,9 @@
 //! [`DesktopProfile`] and reports which resource limits density — the
 //! figure the E12 benchmark sweeps. The sharing fraction can either be
 //! assumed (a planning number) or measured by running
-//! [`rvisor_memory::ksm::analyze_sharing`] over real [`GuestMemory`]
-//! instances and passing the result in.
+//! [`rvisor_memory::ksm::analyze_sharing`] over real
+//! [`GuestMemory`](rvisor_memory::GuestMemory) instances and passing the
+//! result in.
 
 use serde::{Deserialize, Serialize};
 

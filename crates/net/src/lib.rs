@@ -5,9 +5,9 @@
 //!
 //! Two consumers drive the design:
 //!
-//! * **virtio-net** ([`rvisor-virtio`]) attaches each VM's NIC to a
+//! * **virtio-net** (`rvisor-virtio`) attaches each VM's NIC to a
 //!   [`VirtualSwitch`] port and exchanges [`Frame`]s with its peers;
-//! * **live migration** ([`rvisor-migrate`]) pushes memory pages through a
+//! * **live migration** (`rvisor-migrate`) pushes memory pages through a
 //!   [`Link`], whose bandwidth model determines round lengths and downtime —
 //!   exactly the quantity experiment E4 sweeps.
 

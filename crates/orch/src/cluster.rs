@@ -1,0 +1,556 @@
+//! The cluster: real per-host [`Vmm`] stacks plus capacity accounting.
+//!
+//! Each [`OrchHost`] pairs two views of one physical machine:
+//!
+//! * a [`rvisor_cluster::Host`] doing VmSpec-level capacity accounting
+//!   (configured memory, sustained CPU demand — what the placement and
+//!   rebalance policies reason about), and
+//! * a live [`Vmm`] holding real guest-memory-backed VMs (what migrations,
+//!   snapshots and DR restores actually operate on).
+//!
+//! The accounting scale and the simulation scale differ deliberately: specs
+//! speak in GiBs of configured RAM, while each live guest gets
+//! [`OrchParams::guest_memory`](crate::OrchParams::guest_memory) of real
+//! backing so a 500-VM datacenter stays tractable. All byte-counted results
+//! (migration traffic, backup sizes) are therefore in *simulation-scale*
+//! bytes.
+
+use std::collections::BTreeMap;
+
+use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
+use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
+use rvisor_migrate::MigrationReport;
+use rvisor_net::Link;
+use rvisor_snapshot::{SnapshotId, SnapshotStore};
+use rvisor_types::{Error, GuestAddress, HostId, Result, PAGE_SIZE};
+use rvisor_vcpu::{Workload, WorkloadKind};
+
+use crate::params::OrchParams;
+
+/// Guest code entry point for the synthetic tenant workload.
+const TENANT_ENTRY: u64 = 0x1000;
+/// Data area of the synthetic tenant workload (kept low so tiny guests fit).
+const TENANT_DATA_BASE: u64 = 0x8000;
+/// First page where per-VM identity markers are written.
+const MARKER_BASE: u64 = 0xa000;
+/// Idle wakeups budgeted per tenant guest; enough simulated "uptime" to
+/// survive a day of migration rounds without the guest halting.
+const TENANT_WAKEUPS: u64 = 1_000_000;
+
+/// Power/health state of one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostPower {
+    /// Powered and accepting placements.
+    On,
+    /// Consolidation policy powered it down; can be powered back on.
+    Off,
+    /// Failed; its VMs are gone and it stays dead for the rest of the run.
+    Failed,
+}
+
+/// One physical machine: accounting view plus the live VMM.
+#[derive(Debug)]
+pub struct OrchHost {
+    accounting: Host,
+    vmm: Vmm,
+    power: HostPower,
+    vm_ids: BTreeMap<String, rvisor_types::VmId>,
+}
+
+impl OrchHost {
+    /// The host's identifier.
+    pub fn id(&self) -> HostId {
+        self.accounting.spec.id
+    }
+
+    /// Current power/health state.
+    pub fn power(&self) -> HostPower {
+        self.power
+    }
+
+    /// The capacity-accounting view (specs placed, utilization).
+    pub fn accounting(&self) -> &Host {
+        &self.accounting
+    }
+
+    /// The live per-host VM manager.
+    pub fn vmm(&self) -> &Vmm {
+        &self.vmm
+    }
+
+    /// CPU utilization as a fraction of physical cores.
+    pub fn cpu_utilization(&self) -> f64 {
+        self.accounting.cpu_utilization()
+    }
+
+    /// Memory committed as a fraction of installed RAM.
+    pub fn memory_utilization(&self) -> f64 {
+        self.accounting.memory_committed().as_u64() as f64
+            / self.accounting.spec.memory.as_u64().max(1) as f64
+    }
+
+    /// Names of the VMs placed here, in placement order.
+    pub fn vm_names(&self) -> Vec<String> {
+        self.accounting
+            .placed
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    fn live_vm_mut(&mut self, name: &str) -> Result<&mut Vm> {
+        let id = *self
+            .vm_ids
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("no live VM named {name} on {}", self.id())))?;
+        self.vmm.vm_mut(id)
+    }
+}
+
+/// A datacenter: hosts sharing one migration/DR network link.
+#[derive(Debug)]
+pub struct Cluster {
+    hosts: Vec<OrchHost>,
+    link: Link,
+    params: OrchParams,
+}
+
+impl Cluster {
+    /// Build a cluster of `host_specs` hosts, all powered on and empty.
+    pub fn new(host_specs: Vec<HostSpec>, params: OrchParams) -> Result<Self> {
+        params.validate()?;
+        if host_specs.is_empty() {
+            return Err(Error::Config("cluster needs at least one host".into()));
+        }
+        let hosts = host_specs
+            .into_iter()
+            .map(|spec| OrchHost {
+                vmm: Vmm::new(&format!("host-{}", spec.id.raw())),
+                accounting: Host::with_overcommit(spec, params.memory_overcommit),
+                power: HostPower::On,
+                vm_ids: BTreeMap::new(),
+            })
+            .collect();
+        Ok(Cluster {
+            hosts,
+            link: Link::new(params.network),
+            params,
+        })
+    }
+
+    /// All hosts, in id order.
+    pub fn hosts(&self) -> &[OrchHost] {
+        &self.hosts
+    }
+
+    /// The shared migration/DR link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Number of hosts currently powered on.
+    pub fn powered_on(&self) -> usize {
+        self.hosts
+            .iter()
+            .filter(|h| h.power == HostPower::On)
+            .count()
+    }
+
+    /// Total VMs placed across powered hosts.
+    pub fn total_vms(&self) -> usize {
+        self.hosts.iter().map(|h| h.accounting.vm_count()).sum()
+    }
+
+    fn index_of(&self, host: HostId) -> Result<usize> {
+        self.hosts
+            .iter()
+            .position(|h| h.id() == host)
+            .ok_or(Error::UnknownHost(host))
+    }
+
+    /// Which host (if any) currently runs the named VM.
+    pub fn host_of(&self, vm: &str) -> Option<HostId> {
+        self.hosts
+            .iter()
+            .find(|h| h.vm_ids.contains_key(vm))
+            .map(|h| h.id())
+    }
+
+    /// Pick a powered-on host for `spec` under `strategy`.
+    ///
+    /// * `FirstFitDecreasing` — first host (id order) with room: packs.
+    /// * `Spread` — the least CPU-utilized host with room: balances.
+    /// * `OnePerHost` — the first *empty* host: the no-consolidation
+    ///   baseline.
+    pub fn choose_host(&self, strategy: PlacementStrategy, spec: &VmSpec) -> Option<HostId> {
+        let candidates = self
+            .hosts
+            .iter()
+            .filter(|h| h.power == HostPower::On && h.accounting.fits(spec));
+        match strategy {
+            PlacementStrategy::FirstFitDecreasing => candidates.map(|h| h.id()).next(),
+            PlacementStrategy::OnePerHost => candidates
+                .filter(|h| h.accounting.vm_count() == 0)
+                .map(|h| h.id())
+                .next(),
+            PlacementStrategy::Spread => candidates
+                .min_by(|a, b| {
+                    a.cpu_utilization()
+                        .partial_cmp(&b.cpu_utilization())
+                        .expect("utilization is never NaN")
+                        .then(a.id().cmp(&b.id()))
+                })
+                .map(|h| h.id()),
+        }
+    }
+
+    /// Deploy a new live VM for `spec` on `host`.
+    pub fn deploy(&mut self, host: HostId, spec: VmSpec) -> Result<()> {
+        let guest_memory = self.params.guest_memory;
+        let idx = self.index_of(host)?;
+        let h = &mut self.hosts[idx];
+        if h.power != HostPower::On {
+            return Err(Error::Config(format!("{host} is not powered on")));
+        }
+        h.accounting.place(spec.clone())?;
+        let config = VmConfig::new(&spec.name).with_memory(guest_memory);
+        let id = match h.vmm.create_vm(config) {
+            Ok(id) => id,
+            Err(e) => {
+                h.accounting.evict(&spec.name);
+                return Err(e);
+            }
+        };
+        h.vm_ids.insert(spec.name.clone(), id);
+        let vm = h.vmm.vm_mut(id)?;
+        let workload = Workload::with_layout(
+            WorkloadKind::Idle {
+                wakeups: TENANT_WAKEUPS,
+            },
+            TENANT_ENTRY,
+            TENANT_DATA_BASE,
+        )?;
+        vm.load_workload(&workload)?;
+        // Stamp a per-VM identity so backups and migrations carry real,
+        // distinguishable guest state (and dirty a few pages doing so).
+        let stamp = spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+            (acc ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        for k in 0..4u64 {
+            vm.memory()
+                .write_u64(GuestAddress(MARKER_BASE + k * PAGE_SIZE), stamp ^ k)?;
+        }
+        Ok(())
+    }
+
+    /// Destroy the named VM; returns the host it lived on and its spec.
+    pub fn destroy(&mut self, vm: &str) -> Result<(HostId, VmSpec)> {
+        let host = self
+            .host_of(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        let idx = self.index_of(host)?;
+        let h = &mut self.hosts[idx];
+        let id = h.vm_ids.remove(vm).expect("host_of found it");
+        h.vmm.destroy_vm(id)?;
+        let spec = h
+            .accounting
+            .evict(vm)
+            .ok_or_else(|| Error::Config(format!("accounting lost track of {vm}")))?;
+        Ok((host, spec))
+    }
+
+    /// Update the accounting CPU demand of the named VM (a load change).
+    pub fn set_cpu_demand(&mut self, vm: &str, demand_cores: f64) -> Result<HostId> {
+        let host = self
+            .host_of(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        let idx = self.index_of(host)?;
+        let placed = &mut self.hosts[idx].accounting.placed;
+        let entry = placed
+            .iter_mut()
+            .find(|s| s.name == vm)
+            .expect("host_of found it");
+        entry.cpu_demand_cores = demand_cores.max(0.0);
+        Ok(host)
+    }
+
+    /// Snapshot the named VM into `store` (the DR site).
+    pub fn backup(
+        &mut self,
+        vm: &str,
+        label: &str,
+        store: &mut SnapshotStore,
+    ) -> Result<SnapshotId> {
+        let host = self
+            .host_of(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        let idx = self.index_of(host)?;
+        let live = self.hosts[idx].live_vm_mut(vm)?;
+        live.snapshot(label, store)
+    }
+
+    /// Power a host back on (consolidation undo, or DR capacity).
+    pub fn power_on(&mut self, host: HostId) -> Result<()> {
+        let idx = self.index_of(host)?;
+        match self.hosts[idx].power {
+            HostPower::Off => {
+                self.hosts[idx].power = HostPower::On;
+                Ok(())
+            }
+            HostPower::On => Ok(()),
+            HostPower::Failed => Err(Error::Config(format!("{host} has failed; cannot power on"))),
+        }
+    }
+
+    /// Power an *empty* host off (idempotent for already-parked hosts;
+    /// failed hosts are not power-manageable, matching [`Self::power_on`]).
+    pub fn power_off(&mut self, host: HostId) -> Result<()> {
+        let idx = self.index_of(host)?;
+        let h = &mut self.hosts[idx];
+        if h.power == HostPower::Failed {
+            return Err(Error::Config(format!(
+                "{host} has failed; cannot power off"
+            )));
+        }
+        if h.accounting.vm_count() > 0 {
+            return Err(Error::Config(format!(
+                "{host} still hosts {} VMs",
+                h.accounting.vm_count()
+            )));
+        }
+        h.power = HostPower::Off;
+        Ok(())
+    }
+
+    /// Fail a host abruptly. Every VM on it is lost; returns their specs.
+    pub fn fail_host(&mut self, host: HostId) -> Result<Vec<VmSpec>> {
+        let idx = self.index_of(host)?;
+        let h = &mut self.hosts[idx];
+        let lost = std::mem::take(&mut h.accounting.placed);
+        h.vm_ids.clear();
+        // Drop the whole VMM: guest memory, switch, local snapshots — gone.
+        h.vmm = Vmm::new(&format!("host-{}-dead", host.raw()));
+        h.power = HostPower::Failed;
+        Ok(lost)
+    }
+
+    /// Live-migrate the named VM from its current host to `to`.
+    pub fn migrate(
+        &mut self,
+        vm: &str,
+        to: HostId,
+        engine: MigrationOutcome,
+    ) -> Result<MigrationReport> {
+        let from = self
+            .host_of(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        if from == to {
+            return Err(Error::Config(format!("{vm} is already on {to}")));
+        }
+        let from_idx = self.index_of(from)?;
+        let to_idx = self.index_of(to)?;
+        if self.hosts[to_idx].power != HostPower::On {
+            return Err(Error::Config(format!("{to} is not powered on")));
+        }
+        let spec = self.hosts[from_idx]
+            .accounting
+            .placed
+            .iter()
+            .find(|s| s.name == vm)
+            .cloned()
+            .expect("host_of found it");
+        if !self.hosts[to_idx].accounting.fits(&spec) {
+            return Err(Error::CapacityExceeded(format!(
+                "{vm} does not fit on {to}"
+            )));
+        }
+
+        // Sync the link clock to "now" happens at the orchestrator level via
+        // its own accounting; engines serialize on the link's free_at.
+        let (src, dst) = if from_idx < to_idx {
+            let (l, r) = self.hosts.split_at_mut(to_idx);
+            (&mut l[from_idx], &mut r[0])
+        } else {
+            let (l, r) = self.hosts.split_at_mut(from_idx);
+            (&mut r[0], &mut l[to_idx])
+        };
+        let vm_id = *src.vm_ids.get(vm).expect("live VM tracked");
+        let (new_id, report) = src
+            .vmm
+            .migrate_to(vm_id, &mut dst.vmm, &mut self.link, engine)?;
+        src.vm_ids.remove(vm);
+        dst.vm_ids.insert(vm.to_string(), new_id);
+        let spec = src.accounting.evict(vm).expect("accounting tracked");
+        dst.accounting.place(spec).expect("fits() checked above");
+        Ok(report)
+    }
+
+    /// Recreate the named VM on `to` from a DR snapshot and resume it.
+    pub fn restore(
+        &mut self,
+        spec: &VmSpec,
+        snapshot: SnapshotId,
+        store: &SnapshotStore,
+        to: HostId,
+    ) -> Result<()> {
+        let guest_memory = self.params.guest_memory;
+        let idx = self.index_of(to)?;
+        let h = &mut self.hosts[idx];
+        if h.power != HostPower::On {
+            return Err(Error::Config(format!("{to} is not powered on")));
+        }
+        h.accounting.place(spec.clone())?;
+        let config = VmConfig::new(&spec.name).with_memory(guest_memory);
+        let id = match h.vmm.create_vm(config) {
+            Ok(id) => id,
+            Err(e) => {
+                h.accounting.evict(&spec.name);
+                return Err(e);
+            }
+        };
+        h.vm_ids.insert(spec.name.clone(), id);
+        let vm = h.vmm.vm_mut(id)?;
+        vm.restore_snapshot(snapshot, store)?;
+        vm.resume()?;
+        debug_assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvisor_cluster::ServerRole;
+
+    fn small_params() -> OrchParams {
+        OrchParams {
+            guest_memory: rvisor_types::ByteSize::kib(256),
+            ..Default::default()
+        }
+    }
+
+    fn specs(n: usize) -> Vec<HostSpec> {
+        (0..n)
+            .map(|i| HostSpec::modern_server(HostId::new(i as u32)))
+            .collect()
+    }
+
+    fn web(name: &str) -> VmSpec {
+        VmSpec::typical(name, ServerRole::Web)
+    }
+
+    #[test]
+    fn deploy_destroy_and_accounting() {
+        let mut c = Cluster::new(specs(2), small_params()).unwrap();
+        let h = c
+            .choose_host(PlacementStrategy::FirstFitDecreasing, &web("a"))
+            .unwrap();
+        c.deploy(h, web("a")).unwrap();
+        assert_eq!(c.total_vms(), 1);
+        assert_eq!(c.host_of("a"), Some(h));
+        let vmm = c.hosts()[0].vmm();
+        let id = vmm.find_vm("a").unwrap();
+        assert_eq!(vmm.lifecycle_of(id).unwrap(), VmLifecycle::Running);
+
+        let (host, spec) = c.destroy("a").unwrap();
+        assert_eq!(host, h);
+        assert_eq!(spec.name, "a");
+        assert_eq!(c.total_vms(), 0);
+        assert!(c.destroy("a").is_err());
+    }
+
+    #[test]
+    fn migration_moves_vm_and_accounting() {
+        let mut c = Cluster::new(specs(2), small_params()).unwrap();
+        c.deploy(HostId::new(0), web("mv")).unwrap();
+        let report = c
+            .migrate("mv", HostId::new(1), MigrationOutcome::PreCopy)
+            .unwrap();
+        assert!(report.total_time > rvisor_types::Nanoseconds::ZERO);
+        assert_eq!(c.host_of("mv"), Some(HostId::new(1)));
+        assert_eq!(c.hosts()[0].accounting().vm_count(), 0);
+        assert_eq!(c.hosts()[1].accounting().vm_count(), 1);
+        // The guest's identity markers survived the move.
+        let vmm = c.hosts()[1].vmm();
+        let id = vmm.find_vm("mv").unwrap();
+        let stamp = vmm
+            .vm(id)
+            .unwrap()
+            .memory()
+            .read_u64(GuestAddress(MARKER_BASE))
+            .unwrap();
+        assert_ne!(stamp, 0);
+        assert!(c
+            .migrate("mv", HostId::new(1), MigrationOutcome::PreCopy)
+            .is_err());
+    }
+
+    #[test]
+    fn backup_failure_and_restore_roundtrip() {
+        let mut c = Cluster::new(specs(2), small_params()).unwrap();
+        c.deploy(HostId::new(0), web("dr")).unwrap();
+        let mut store = SnapshotStore::new();
+        let snap = c.backup("dr", "hourly", &mut store).unwrap();
+        let stamp_before = {
+            let vmm = c.hosts()[0].vmm();
+            let id = vmm.find_vm("dr").unwrap();
+            vmm.vm(id)
+                .unwrap()
+                .memory()
+                .read_u64(GuestAddress(MARKER_BASE))
+                .unwrap()
+        };
+
+        let lost = c.fail_host(HostId::new(0)).unwrap();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(c.host_of("dr"), None);
+        assert_eq!(c.hosts()[0].power(), HostPower::Failed);
+        assert!(c.power_on(HostId::new(0)).is_err());
+
+        c.restore(&lost[0], snap, &store, HostId::new(1)).unwrap();
+        assert_eq!(c.host_of("dr"), Some(HostId::new(1)));
+        let vmm = c.hosts()[1].vmm();
+        let id = vmm.find_vm("dr").unwrap();
+        let vm = vmm.vm(id).unwrap();
+        assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+        assert_eq!(
+            vm.memory().read_u64(GuestAddress(MARKER_BASE)).unwrap(),
+            stamp_before
+        );
+    }
+
+    #[test]
+    fn power_management_rules() {
+        let mut c = Cluster::new(specs(2), small_params()).unwrap();
+        c.deploy(HostId::new(0), web("p")).unwrap();
+        assert!(c.power_off(HostId::new(0)).is_err()); // not empty
+        c.power_off(HostId::new(1)).unwrap();
+        assert_eq!(c.powered_on(), 1);
+        // An off host never receives placements.
+        assert_eq!(
+            c.choose_host(PlacementStrategy::Spread, &web("q")),
+            Some(HostId::new(0))
+        );
+        c.power_on(HostId::new(1)).unwrap();
+        assert_eq!(c.powered_on(), 2);
+        // Spread now prefers the empty host.
+        assert_eq!(
+            c.choose_host(PlacementStrategy::Spread, &web("q")),
+            Some(HostId::new(1))
+        );
+        assert_eq!(
+            c.choose_host(PlacementStrategy::OnePerHost, &web("q")),
+            Some(HostId::new(1))
+        );
+    }
+
+    #[test]
+    fn load_change_updates_accounting() {
+        let mut c = Cluster::new(specs(1), small_params()).unwrap();
+        c.deploy(HostId::new(0), web("l")).unwrap();
+        let before = c.hosts()[0].cpu_utilization();
+        c.set_cpu_demand("l", 8.0).unwrap();
+        assert!(c.hosts()[0].cpu_utilization() > before);
+        assert!(c.set_cpu_demand("ghost", 1.0).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! # rvisor-orch
+//!
+//! A deterministic discrete-event **datacenter orchestrator**: the layer
+//! that plays a whole cluster *over time* — VMs arriving and departing,
+//! hosts saturating and failing, migrations and disaster-recovery restores
+//! firing in response — by driving the real per-host stacks the rest of the
+//! workspace provides.
+//!
+//! ## The event model
+//!
+//! Simulation state advances only when an [`OrchEvent`] fires. Events live
+//! in an [`EventQueue`] keyed by `(Nanoseconds, sequence)`: pops are
+//! non-decreasing in time, and same-instant events fire in push order
+//! (stable FIFO tie-breaking), which is what makes a run a pure function of
+//! its inputs — the same [`Scenario`] seed, [`OrchParams`] and policy always
+//! produce an `==`-equal [`OrchReport`].
+//!
+//! *Scenario events* come from the deterministic workload generator
+//! ([`Scenario::generate`], three named shapes: steady-state, diurnal wave,
+//! flash crowd):
+//!
+//! * [`OrchEvent::VmArrival`] — place via the configured
+//!   [`PlacementStrategy`](rvisor_cluster::PlacementStrategy), deferring to
+//!   a pending queue when the cluster is full (the wait is the *placement
+//!   latency* SLA metric).
+//! * [`OrchEvent::VmDeparture`] / [`OrchEvent::LoadChange`] — tenant churn;
+//!   load changes update the capacity accounting the policies read.
+//! * [`OrchEvent::HostFailure`] — a host dies with everything on it; after
+//!   the `failover_detection_delay` the orchestrator restores every
+//!   backed-up casualty from the DR snapshot store onto surviving capacity
+//!   (the outage per VM is the *VM-time-lost* SLA metric).
+//!
+//! *Internal events* are scheduled by the orchestrator itself: periodic
+//! [`OrchEvent::RebalanceTick`] / [`OrchEvent::BackupTick`] and deferred
+//! [`OrchEvent::RestoreComplete`] completions.
+//!
+//! ## The policy model
+//!
+//! On every rebalance tick the orchestrator hands the cluster to its
+//! [`RebalancePolicy`], which returns a [`RebalancePlan`] — migrations plus
+//! power actions — that the orchestrator then executes through
+//! [`Vmm::migrate_to`](rvisor::Vmm::migrate_to) (engine per decision:
+//! pre-copy/post-copy for running guests, stop-and-copy otherwise) and the
+//! cluster power controls. Three policies ship: [`ThresholdRebalance`]
+//! (hotspot relief), [`ConsolidateAndPowerDown`] (energy), and
+//! [`SpreadRebalance`] (balance). Every knob they read — thresholds,
+//! intervals, caps — is a named field of [`OrchParams`], per the "no
+//! constants buried in the loop" rule.
+//!
+//! ## Scale vs. fidelity
+//!
+//! Capacity accounting uses real [`VmSpec`](rvisor_cluster::VmSpec) sizes
+//! (GiBs), while each live guest is backed by
+//! [`OrchParams::guest_memory`] of actual RAM so 500-VM days stay cheap;
+//! migrations move and checksums protect *that* memory, so byte counts in
+//! the report are simulation-scale.
+//!
+//! ```
+//! use rvisor_orch::{
+//!     run_datacenter, OrchParams, Scenario, ScenarioConfig, ThresholdRebalance, WorkloadShape,
+//! };
+//!
+//! let scenario = Scenario::generate(
+//!     ScenarioConfig::day(42, WorkloadShape::SteadyState, 4, 24).with_host_failures(1),
+//! )
+//! .unwrap();
+//! let report = run_datacenter(
+//!     4,
+//!     OrchParams::default(),
+//!     Box::new(ThresholdRebalance),
+//!     &scenario,
+//! )
+//! .unwrap();
+//! assert_eq!(report.vms_arrived, 24);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod event;
+pub mod orchestrator;
+pub mod params;
+pub mod policy;
+pub mod report;
+pub mod scenario;
+
+pub use cluster::{Cluster, HostPower, OrchHost};
+pub use event::{EventQueue, OrchEvent, Scheduled};
+pub use orchestrator::{run_datacenter, Orchestrator};
+pub use params::{OrchParams, MIN_GUEST_MEMORY};
+pub use policy::{
+    ConsolidateAndPowerDown, MigrationDecision, RebalancePlan, RebalancePolicy, SpreadRebalance,
+    ThresholdRebalance,
+};
+pub use report::OrchReport;
+pub use scenario::{Lcg, Scenario, ScenarioConfig, WorkloadShape};

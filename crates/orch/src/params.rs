@@ -1,0 +1,156 @@
+//! Named, validated orchestration parameters.
+//!
+//! Following "On Heuristic Models, Assumptions, and Parameters", every knob
+//! that shapes orchestration behaviour is an explicit, documented field of
+//! [`OrchParams`] rather than a constant buried in the event loop. A run's
+//! report is only meaningful alongside the parameter set that produced it.
+
+use rvisor::MigrationOutcome;
+use rvisor_cluster::PlacementStrategy;
+use rvisor_net::LinkModel;
+use rvisor_snapshot::BackupTarget;
+use rvisor_types::{ByteSize, Error, Nanoseconds, Result};
+
+/// Smallest admissible [`OrchParams::guest_memory`]: the synthetic tenant
+/// guest's fixed layout (code at 4 KiB, data at 32 KiB, identity markers up
+/// to ~52 KiB) must fit with headroom.
+pub const MIN_GUEST_MEMORY: ByteSize = ByteSize::kib(64);
+
+/// Every tunable of an orchestrator run, with production-flavoured defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchParams {
+    /// How arriving VMs are assigned to hosts.
+    pub placement: PlacementStrategy,
+    /// Memory overcommit factor applied to every host's capacity
+    /// accounting (1.0 = none; >1.0 relies on ballooning/KSM headroom).
+    pub memory_overcommit: f64,
+    /// Engine used for policy-driven rebalancing migrations of running VMs.
+    pub migration_engine: MigrationOutcome,
+    /// Interval between rebalance-policy evaluations.
+    pub rebalance_interval: Nanoseconds,
+    /// A host above this CPU utilization (fraction of cores) is overloaded
+    /// and becomes a migration source for the threshold/spread policies.
+    pub overload_cpu_threshold: f64,
+    /// A host below this CPU utilization is a consolidation candidate.
+    pub underload_cpu_threshold: f64,
+    /// Upper bound on migrations started per rebalance tick (keeps one tick
+    /// from saturating the migration link for the rest of the day).
+    pub max_migrations_per_tick: usize,
+    /// The spread policy migrates only while the CPU-utilization gap between
+    /// the most- and least-loaded powered hosts exceeds this fraction
+    /// (hysteresis; prevents migration ping-pong).
+    pub spread_utilization_gap: f64,
+    /// Interval between DR backup sweeps.
+    pub backup_interval: Nanoseconds,
+    /// Delay between a host failing and the orchestrator noticing (failover
+    /// detection: missed heartbeats, confirmation probes).
+    pub failover_detection_delay: Nanoseconds,
+    /// Bandwidth/latency model of the DR backup target.
+    pub backup_target: BackupTarget,
+    /// Fixed latency charged for provisioning a VM once capacity is found
+    /// (template clone + boot).
+    pub provision_latency: Nanoseconds,
+    /// Actual guest RAM given to each simulated VM. Capacity *accounting*
+    /// uses the VmSpec's configured memory; the live guest is scaled down so
+    /// a 500-VM datacenter fits in the harness' memory. Explicitly named so
+    /// nobody mistakes the simulation scale for the accounting scale.
+    pub guest_memory: ByteSize,
+    /// The shared migration/DR network, applied to the cluster's link.
+    pub network: LinkModel,
+}
+
+impl Default for OrchParams {
+    fn default() -> Self {
+        OrchParams {
+            placement: PlacementStrategy::FirstFitDecreasing,
+            memory_overcommit: 1.0,
+            migration_engine: MigrationOutcome::PreCopy,
+            rebalance_interval: Nanoseconds::from_secs(5 * 60),
+            overload_cpu_threshold: 0.85,
+            underload_cpu_threshold: 0.25,
+            max_migrations_per_tick: 4,
+            spread_utilization_gap: 0.20,
+            backup_interval: Nanoseconds::from_secs(3600),
+            failover_detection_delay: Nanoseconds::from_secs(30),
+            backup_target: BackupTarget::default(),
+            provision_latency: Nanoseconds::from_secs(45),
+            guest_memory: ByteSize::kib(256),
+            network: LinkModel::ten_gigabit(),
+        }
+    }
+}
+
+impl OrchParams {
+    /// Validate parameter sanity (thresholds ordered, intervals non-zero).
+    pub fn validate(&self) -> Result<()> {
+        if self.rebalance_interval == Nanoseconds::ZERO {
+            return Err(Error::Config("rebalance_interval must be non-zero".into()));
+        }
+        if self.backup_interval == Nanoseconds::ZERO {
+            return Err(Error::Config("backup_interval must be non-zero".into()));
+        }
+        if !(0.0..=1.0).contains(&self.underload_cpu_threshold)
+            || self.overload_cpu_threshold <= self.underload_cpu_threshold
+        {
+            return Err(Error::Config(format!(
+                "thresholds must satisfy 0 <= underload ({}) < overload ({})",
+                self.underload_cpu_threshold, self.overload_cpu_threshold
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.spread_utilization_gap) {
+            return Err(Error::Config(
+                "spread_utilization_gap must be within [0, 1]".into(),
+            ));
+        }
+        if self.memory_overcommit < 1.0 {
+            return Err(Error::Config(
+                "memory_overcommit must be at least 1.0".into(),
+            ));
+        }
+        if self.guest_memory < MIN_GUEST_MEMORY || !self.guest_memory.is_page_aligned() {
+            return Err(Error::Config(format!(
+                "guest_memory must be a page multiple of at least {MIN_GUEST_MEMORY} \
+                 (the tenant workload layout must fit)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        OrchParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut p = OrchParams {
+            rebalance_interval: Nanoseconds::ZERO,
+            ..Default::default()
+        };
+        assert!(p.validate().is_err());
+        p.rebalance_interval = Nanoseconds::from_secs(60);
+        p.overload_cpu_threshold = 0.2;
+        p.underload_cpu_threshold = 0.5;
+        assert!(p.validate().is_err());
+        p.overload_cpu_threshold = 0.9;
+        p.underload_cpu_threshold = 0.2;
+        p.memory_overcommit = 0.5;
+        assert!(p.validate().is_err());
+        p.memory_overcommit = 1.5;
+        p.guest_memory = ByteSize::new(4097);
+        assert!(p.validate().is_err());
+        // Page-aligned but too small for the tenant workload layout.
+        p.guest_memory = ByteSize::kib(16);
+        assert!(p.validate().is_err());
+        p.guest_memory = ByteSize::kib(256);
+        p.backup_interval = Nanoseconds::ZERO;
+        assert!(p.validate().is_err());
+        p.backup_interval = Nanoseconds::from_secs(3600);
+        p.validate().unwrap();
+    }
+}

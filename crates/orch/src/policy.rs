@@ -1,0 +1,462 @@
+//! Pluggable rebalance policies.
+//!
+//! On every [`OrchEvent::RebalanceTick`](crate::OrchEvent::RebalanceTick) the
+//! orchestrator hands the current cluster state to its [`RebalancePolicy`],
+//! which returns a [`RebalancePlan`] — migrations to start and hosts to power
+//! on or off. Policies *plan* against a capacity shadow (so multi-move plans
+//! stay feasible) and never mutate the cluster; execution, error handling and
+//! SLA accounting stay in the orchestrator.
+//!
+//! Three policies ship with the crate:
+//!
+//! * [`ThresholdRebalance`] — classic hotspot relief: drain VMs off hosts
+//!   above `overload_cpu_threshold` onto the least-loaded hosts with room.
+//! * [`ConsolidateAndPowerDown`] — energy-driven: evacuate hosts below
+//!   `underload_cpu_threshold` into the rest of the fleet and power the
+//!   empties down.
+//! * [`SpreadRebalance`] — latency-driven: keep the CPU-utilization gap
+//!   between the hottest and coldest powered host under
+//!   `spread_utilization_gap`.
+
+use rvisor::MigrationOutcome;
+use rvisor_types::HostId;
+
+use crate::cluster::{Cluster, HostPower};
+use crate::params::OrchParams;
+
+/// One planned migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationDecision {
+    /// Which VM to move.
+    pub vm: String,
+    /// Destination host.
+    pub to: HostId,
+    /// Engine to use (policies pick stop-and-copy for non-running guests).
+    pub engine: MigrationOutcome,
+}
+
+/// Everything a policy wants done this tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Migrations, in execution order.
+    pub migrations: Vec<MigrationDecision>,
+    /// Hosts to power on *before* the migrations run.
+    pub power_on: Vec<HostId>,
+    /// Hosts to power off *after* the migrations run (must end up empty).
+    pub power_off: Vec<HostId>,
+}
+
+impl RebalancePlan {
+    /// Whether the plan does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.migrations.is_empty() && self.power_on.is_empty() && self.power_off.is_empty()
+    }
+}
+
+/// A rebalancing strategy consulted on every rebalance tick.
+pub trait RebalancePolicy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce a plan for the current cluster state. Must not assume the
+    /// orchestrator executes every entry (capacity may shift under it).
+    fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan;
+}
+
+/// Mutable capacity image used while building multi-move plans.
+struct Shadow {
+    id: HostId,
+    powered: bool,
+    cores: f64,
+    mem_capacity: u64,
+    cpu_committed: f64,
+    mem_committed: u64,
+    /// `(name, cpu_demand_cores, memory_bytes)` per placed VM.
+    vms: Vec<(String, f64, u64)>,
+}
+
+impl Shadow {
+    fn util(&self) -> f64 {
+        self.cpu_committed / self.cores
+    }
+
+    fn fits(&self, demand: f64, mem: u64) -> bool {
+        self.powered
+            && self.cpu_committed + demand <= self.cores
+            && self.mem_committed + mem <= self.mem_capacity
+    }
+}
+
+fn shadows(cluster: &Cluster) -> Vec<Shadow> {
+    cluster
+        .hosts()
+        .iter()
+        .map(|h| Shadow {
+            id: h.id(),
+            powered: h.power() == HostPower::On,
+            cores: h.accounting().spec.cores as f64,
+            mem_capacity: h.accounting().memory_capacity().as_u64(),
+            cpu_committed: h.accounting().cpu_committed(),
+            mem_committed: h.accounting().memory_committed().as_u64(),
+            vms: h
+                .accounting()
+                .placed
+                .iter()
+                .map(|s| (s.name.clone(), s.cpu_demand_cores, s.memory.as_u64()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Engine for moving `vm` off `from`: live pre/post-copy for running guests,
+/// stop-and-copy when the guest is paused or already halted (nothing is
+/// executing, so downtime is free anyway).
+fn engine_for(cluster: &Cluster, from: HostId, vm: &str, params: &OrchParams) -> MigrationOutcome {
+    let running = cluster
+        .hosts()
+        .iter()
+        .find(|h| h.id() == from)
+        .and_then(|h| {
+            let id = h.vmm().find_vm(vm)?;
+            h.vmm().lifecycle_of(id).ok()
+        })
+        .map(|lc| lc == rvisor::VmLifecycle::Running)
+        .unwrap_or(false);
+    if running {
+        params.migration_engine
+    } else {
+        MigrationOutcome::StopAndCopy
+    }
+}
+
+/// Apply one planned move to the shadow image.
+fn shadow_move(shadows: &mut [Shadow], from_idx: usize, to_idx: usize, vm_idx: usize) {
+    let (name, demand, mem) = shadows[from_idx].vms.remove(vm_idx);
+    shadows[from_idx].cpu_committed -= demand;
+    shadows[from_idx].mem_committed -= mem;
+    shadows[to_idx].cpu_committed += demand;
+    shadows[to_idx].mem_committed += mem;
+    shadows[to_idx].vms.push((name, demand, mem));
+}
+
+/// Drain VMs off overloaded hosts onto the least-loaded hosts with room.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThresholdRebalance;
+
+impl RebalancePolicy for ThresholdRebalance {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {
+        let mut sh = shadows(cluster);
+        let mut plan = RebalancePlan::default();
+        for _ in 0..params.max_migrations_per_tick {
+            // Hottest overloaded host.
+            let Some(src) = (0..sh.len())
+                .filter(|&i| sh[i].powered && sh[i].util() > params.overload_cpu_threshold)
+                .max_by(|&a, &b| {
+                    sh[a]
+                        .util()
+                        .partial_cmp(&sh[b].util())
+                        .expect("utilization is never NaN")
+                        .then(sh[b].id.cmp(&sh[a].id))
+                })
+            else {
+                break;
+            };
+            // Its most demanding VM that fits somewhere cooler.
+            let mut order: Vec<usize> = (0..sh[src].vms.len()).collect();
+            order.sort_by(|&a, &b| {
+                sh[src].vms[b]
+                    .1
+                    .partial_cmp(&sh[src].vms[a].1)
+                    .expect("demand is never NaN")
+                    .then(sh[src].vms[a].0.cmp(&sh[src].vms[b].0))
+            });
+            let mut moved = false;
+            for vm_idx in order {
+                let (ref name, demand, mem) = sh[src].vms[vm_idx];
+                let name = name.clone();
+                let dest = (0..sh.len())
+                    .filter(|&j| {
+                        j != src
+                            && sh[j].fits(demand, mem)
+                            && sh[j].util() < params.overload_cpu_threshold
+                    })
+                    .min_by(|&a, &b| {
+                        sh[a]
+                            .util()
+                            .partial_cmp(&sh[b].util())
+                            .expect("utilization is never NaN")
+                            .then(sh[a].id.cmp(&sh[b].id))
+                    });
+                if let Some(dst) = dest {
+                    plan.migrations.push(MigrationDecision {
+                        vm: name.clone(),
+                        to: sh[dst].id,
+                        engine: engine_for(cluster, sh[src].id, &name, params),
+                    });
+                    shadow_move(&mut sh, src, dst, vm_idx);
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                break; // nothing movable: stop planning this tick
+            }
+        }
+        plan
+    }
+}
+
+/// Evacuate underloaded hosts and power them down.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConsolidateAndPowerDown;
+
+impl RebalancePolicy for ConsolidateAndPowerDown {
+    fn name(&self) -> &'static str {
+        "consolidate-power-down"
+    }
+
+    fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {
+        let mut sh = shadows(cluster);
+        let mut plan = RebalancePlan::default();
+        // Coldest first: the cheapest host to evacuate.
+        let mut sources: Vec<usize> = (0..sh.len())
+            .filter(|&i| sh[i].powered && sh[i].util() < params.underload_cpu_threshold)
+            .collect();
+        sources.sort_by(|&a, &b| {
+            sh[a]
+                .util()
+                .partial_cmp(&sh[b].util())
+                .expect("utilization is never NaN")
+                .then(sh[a].id.cmp(&sh[b].id))
+        });
+
+        for src in sources {
+            if plan.migrations.len() >= params.max_migrations_per_tick {
+                break;
+            }
+            if plan.migrations.len() + sh[src].vms.len() > params.max_migrations_per_tick {
+                continue; // cannot finish the evacuation this tick; skip
+            }
+            // Tentatively rehome every VM; all must fit or none move.
+            let mut moves: Vec<(usize, usize)> = Vec::new(); // (vm_idx snapshotted order, dst)
+            let mut trial = sh
+                .iter()
+                .map(|s| (s.cpu_committed, s.mem_committed))
+                .collect::<Vec<_>>();
+            let mut feasible = true;
+            for (vm_idx, &(_, demand, mem)) in sh[src].vms.iter().enumerate() {
+                // Warmest destination that still stays under the overload bar.
+                let dest = (0..sh.len())
+                    .filter(|&j| {
+                        j != src
+                            && sh[j].powered
+                            && trial[j].0 + demand <= sh[j].cores * params.overload_cpu_threshold
+                            && trial[j].1 + mem <= sh[j].mem_capacity
+                    })
+                    .max_by(|&a, &b| {
+                        (trial[a].0 / sh[a].cores)
+                            .partial_cmp(&(trial[b].0 / sh[b].cores))
+                            .expect("utilization is never NaN")
+                            .then(sh[b].id.cmp(&sh[a].id))
+                    });
+                match dest {
+                    Some(dst) => {
+                        trial[dst].0 += demand;
+                        trial[dst].1 += mem;
+                        moves.push((vm_idx, dst));
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            // Commit: highest index first so removals don't shift earlier ones.
+            moves.sort_by_key(|m| std::cmp::Reverse(m.0));
+            for (vm_idx, dst) in moves {
+                let name = sh[src].vms[vm_idx].0.clone();
+                plan.migrations.push(MigrationDecision {
+                    vm: name.clone(),
+                    to: sh[dst].id,
+                    engine: engine_for(cluster, sh[src].id, &name, params),
+                });
+                shadow_move(&mut sh, src, dst, vm_idx);
+            }
+            plan.power_off.push(sh[src].id);
+            // An evacuated host must not become a destination later in the
+            // same plan.
+            sh[src].powered = false;
+        }
+        plan
+    }
+}
+
+/// Keep the hottest-to-coldest utilization gap bounded.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpreadRebalance;
+
+impl RebalancePolicy for SpreadRebalance {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+
+    fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {
+        let mut sh = shadows(cluster);
+        let mut plan = RebalancePlan::default();
+        for _ in 0..params.max_migrations_per_tick {
+            let powered: Vec<usize> = (0..sh.len()).filter(|&i| sh[i].powered).collect();
+            if powered.len() < 2 {
+                break;
+            }
+            let &hot = powered
+                .iter()
+                .max_by(|&&a, &&b| {
+                    sh[a]
+                        .util()
+                        .partial_cmp(&sh[b].util())
+                        .expect("utilization is never NaN")
+                        .then(sh[b].id.cmp(&sh[a].id))
+                })
+                .expect("non-empty");
+            let &cold = powered
+                .iter()
+                .min_by(|&&a, &&b| {
+                    sh[a]
+                        .util()
+                        .partial_cmp(&sh[b].util())
+                        .expect("utilization is never NaN")
+                        .then(sh[a].id.cmp(&sh[b].id))
+                })
+                .expect("non-empty");
+            if sh[hot].util() - sh[cold].util() <= params.spread_utilization_gap {
+                break;
+            }
+            // Smallest VM on the hot host that (a) fits on the cold one and
+            // (b) actually narrows the gap instead of swapping it.
+            let gap = sh[hot].util() - sh[cold].util();
+            let mut order: Vec<usize> = (0..sh[hot].vms.len()).collect();
+            order.sort_by(|&a, &b| {
+                sh[hot].vms[a]
+                    .1
+                    .partial_cmp(&sh[hot].vms[b].1)
+                    .expect("demand is never NaN")
+                    .then(sh[hot].vms[a].0.cmp(&sh[hot].vms[b].0))
+            });
+            let candidate = order.into_iter().find(|&vm_idx| {
+                let (_, demand, mem) = sh[hot].vms[vm_idx];
+                sh[cold].fits(demand, mem)
+                    && (demand / sh[hot].cores + demand / sh[cold].cores) < gap
+            });
+            match candidate {
+                Some(vm_idx) => {
+                    let name = sh[hot].vms[vm_idx].0.clone();
+                    plan.migrations.push(MigrationDecision {
+                        vm: name.clone(),
+                        to: sh[cold].id,
+                        engine: engine_for(cluster, sh[hot].id, &name, params),
+                    });
+                    shadow_move(&mut sh, hot, cold, vm_idx);
+                }
+                None => break,
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use rvisor_cluster::{HostSpec, ServerRole, VmSpec};
+
+    fn cluster(n_hosts: usize) -> Cluster {
+        let specs = (0..n_hosts)
+            .map(|i| HostSpec::modern_server(HostId::new(i as u32)))
+            .collect();
+        Cluster::new(specs, OrchParams::default()).unwrap()
+    }
+
+    fn vm(name: &str, demand: f64) -> VmSpec {
+        VmSpec::typical(name, ServerRole::Web).with_cpu_demand(demand)
+    }
+
+    #[test]
+    fn threshold_drains_the_hotspot() {
+        let mut c = cluster(2);
+        // Host 0: 30 of 32 cores committed (93% util). Host 1: empty.
+        for i in 0..6 {
+            c.deploy(HostId::new(0), vm(&format!("hot-{i}"), 5.0))
+                .unwrap();
+        }
+        let plan = ThresholdRebalance.plan(&c, &OrchParams::default());
+        assert!(!plan.migrations.is_empty());
+        assert!(plan.migrations.iter().all(|m| m.to == HostId::new(1)));
+        assert!(plan.power_off.is_empty());
+    }
+
+    #[test]
+    fn threshold_quiet_when_balanced() {
+        let mut c = cluster(2);
+        c.deploy(HostId::new(0), vm("a", 4.0)).unwrap();
+        c.deploy(HostId::new(1), vm("b", 4.0)).unwrap();
+        assert!(ThresholdRebalance
+            .plan(&c, &OrchParams::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn consolidate_evacuates_and_powers_down() {
+        let mut c = cluster(3);
+        c.deploy(HostId::new(0), vm("a", 10.0)).unwrap();
+        c.deploy(HostId::new(1), vm("b", 2.0)).unwrap(); // 6% util: cold
+        let plan = ConsolidateAndPowerDown.plan(&c, &OrchParams::default());
+        assert!(plan
+            .migrations
+            .iter()
+            .any(|m| m.vm == "b" && m.to == HostId::new(0)));
+        assert!(plan.power_off.contains(&HostId::new(1)));
+        // Host 2 is empty: powered off without any migrations.
+        assert!(plan.power_off.contains(&HostId::new(2)));
+    }
+
+    #[test]
+    fn spread_narrows_the_gap() {
+        let mut c = cluster(2);
+        for i in 0..4 {
+            c.deploy(HostId::new(0), vm(&format!("s-{i}"), 4.0))
+                .unwrap();
+        }
+        // 50% vs 0% utilization: gap 0.5 > 0.2 tolerance.
+        let plan = SpreadRebalance.plan(&c, &OrchParams::default());
+        assert!(!plan.migrations.is_empty());
+        assert!(plan.migrations.iter().all(|m| m.to == HostId::new(1)));
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let build = || {
+            let mut c = cluster(4);
+            for i in 0..8 {
+                c.deploy(HostId::new(i % 2), vm(&format!("v-{i}"), 3.5))
+                    .unwrap();
+            }
+            c
+        };
+        let p = OrchParams::default();
+        for policy in [
+            &ThresholdRebalance as &dyn RebalancePolicy,
+            &ConsolidateAndPowerDown,
+            &SpreadRebalance,
+        ] {
+            assert_eq!(policy.plan(&build(), &p), policy.plan(&build(), &p));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The end-of-run SLA report.
+
+use std::fmt;
+
+use rvisor_types::Nanoseconds;
+
+/// Everything a day-in-the-life run produced, in integer units so two runs
+/// of the same seed compare bit-for-bit (`==` is the determinism check).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OrchReport {
+    /// Simulated instant the run finished (the scenario horizon).
+    pub sim_end: Nanoseconds,
+    /// Events delivered from the queue.
+    pub events_processed: u64,
+    /// Events that arrived for a VM that no longer exists anywhere
+    /// (departed, or permanently lost to a failure). They are consumed and
+    /// counted — never silently lost.
+    pub events_dropped: u64,
+
+    /// VM arrivals seen.
+    pub vms_arrived: u64,
+    /// Arrivals that eventually got a host.
+    pub vms_placed: u64,
+    /// Arrivals that had to wait for capacity at least once.
+    pub placements_deferred: u64,
+    /// Arrivals still waiting when the day ended.
+    pub placements_unmet: u64,
+    /// Total arrival-to-running latency over placed VMs.
+    pub placement_latency_total: Nanoseconds,
+    /// Worst single arrival-to-running latency.
+    pub placement_latency_max: Nanoseconds,
+
+    /// VM departures honoured.
+    pub vms_departed: u64,
+    /// VMs still running when the day ended.
+    pub vms_running_at_end: u64,
+    /// Most VMs alive at once.
+    pub peak_vms: u64,
+
+    /// Migrations the policy asked for.
+    pub migrations_planned: u64,
+    /// Migrations that completed.
+    pub migrations_completed: u64,
+    /// Planned migrations skipped (capacity shifted, VM vanished).
+    pub migrations_skipped: u64,
+    /// Summed guest downtime across completed migrations.
+    pub migration_downtime_total: Nanoseconds,
+    /// Summed total migration time.
+    pub migration_time_total: Nanoseconds,
+    /// Bytes moved by migrations (simulation scale).
+    pub migration_bytes: u64,
+
+    /// Backups taken.
+    pub backups_taken: u64,
+    /// Bytes written to the DR store (simulation scale).
+    pub backup_bytes: u64,
+    /// Simulated time spent writing backups to the DR target.
+    pub backup_time_total: Nanoseconds,
+
+    /// Host failure events honoured.
+    pub hosts_failed: u64,
+    /// VMs that were on a host the instant it failed.
+    pub vms_lost_at_failure: u64,
+    /// Of those, VMs brought back from a DR backup.
+    pub vms_restored: u64,
+    /// VMs gone for good (no backup, or no capacity to restore into).
+    pub vms_lost_permanently: u64,
+    /// Summed per-VM outage (failure to restore completion / cancellation).
+    pub vm_time_lost: Nanoseconds,
+
+    /// Power-on actions taken (DR capacity, placement pressure).
+    pub power_on_actions: u64,
+    /// Power-off actions taken (consolidation).
+    pub power_off_actions: u64,
+    /// Integral of powered hosts over time (host·ns): the energy proxy.
+    pub powered_host_time: Nanoseconds,
+    /// Most hosts powered at once.
+    pub peak_hosts_powered: u64,
+    /// Hosts still powered when the day ended.
+    pub hosts_powered_at_end: u64,
+}
+
+impl OrchReport {
+    /// Mean arrival-to-running placement latency.
+    pub fn placement_latency_avg(&self) -> Nanoseconds {
+        Nanoseconds(
+            self.placement_latency_total
+                .0
+                .checked_div(self.vms_placed)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Mean downtime per completed migration.
+    pub fn migration_downtime_avg(&self) -> Nanoseconds {
+        Nanoseconds(
+            self.migration_downtime_total
+                .0
+                .checked_div(self.migrations_completed)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Average hosts powered over the day.
+    pub fn avg_hosts_powered(&self) -> f64 {
+        if self.sim_end == Nanoseconds::ZERO {
+            0.0
+        } else {
+            self.powered_host_time.0 as f64 / self.sim_end.0 as f64
+        }
+    }
+}
+
+impl fmt::Display for OrchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "orchestrator report ({} simulated)", self.sim_end)?;
+        writeln!(
+            f,
+            "  events      {} processed, {} dropped-no-target",
+            self.events_processed, self.events_dropped
+        )?;
+        writeln!(
+            f,
+            "  placement   {}/{} placed ({} deferred, {} unmet), latency avg {} max {}",
+            self.vms_placed,
+            self.vms_arrived,
+            self.placements_deferred,
+            self.placements_unmet,
+            self.placement_latency_avg(),
+            self.placement_latency_max
+        )?;
+        writeln!(
+            f,
+            "  churn       {} departed, {} running at end (peak {})",
+            self.vms_departed, self.vms_running_at_end, self.peak_vms
+        )?;
+        writeln!(
+            f,
+            "  migration   {}/{} done ({} skipped), downtime total {} avg {}, {} bytes",
+            self.migrations_completed,
+            self.migrations_planned,
+            self.migrations_skipped,
+            self.migration_downtime_total,
+            self.migration_downtime_avg(),
+            self.migration_bytes
+        )?;
+        writeln!(
+            f,
+            "  backup/DR   {} backups ({} bytes, {} write time)",
+            self.backups_taken, self.backup_bytes, self.backup_time_total
+        )?;
+        writeln!(
+            f,
+            "  failures    {} hosts failed, {} VMs hit: {} restored, {} lost, {} VM-time lost",
+            self.hosts_failed,
+            self.vms_lost_at_failure,
+            self.vms_restored,
+            self.vms_lost_permanently,
+            self.vm_time_lost
+        )?;
+        writeln!(
+            f,
+            "  power       avg {:.1} hosts on (peak {}, end {}), {} on / {} off actions",
+            self.avg_hosts_powered(),
+            self.peak_hosts_powered,
+            self.hosts_powered_at_end,
+            self.power_on_actions,
+            self.power_off_actions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_denominators() {
+        let r = OrchReport::default();
+        assert_eq!(r.placement_latency_avg(), Nanoseconds::ZERO);
+        assert_eq!(r.migration_downtime_avg(), Nanoseconds::ZERO);
+        assert_eq!(r.avg_hosts_powered(), 0.0);
+        assert!(format!("{r}").contains("orchestrator report"));
+    }
+}

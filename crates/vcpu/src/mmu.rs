@@ -18,7 +18,7 @@
 //! bits 12..  physical frame base (page aligned guest physical address)
 //! ```
 //!
-//! Translations are cached in a direct-mapped software [`Tlb`]; the TLB hit
+//! Translations are cached in a direct-mapped software TLB; the TLB hit
 //! rate is one of the quantities the virtualization-overhead experiment (E1)
 //! reports, because the cost of a miss differs sharply between shadow paging
 //! (trap-and-emulate) and nested paging (hardware-assist).

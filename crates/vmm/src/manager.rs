@@ -36,19 +36,68 @@ pub enum MigrationOutcome {
 /// the same convergence behaviour as the standalone engine benchmarks.
 struct RunningVmDirtier<'a> {
     vm: &'a mut Vm,
+    /// Pages observed entering the dirty bitmap while rounds were in flight.
+    pages_dirtied: u64,
+    /// Simulated guest time accumulated across the rounds.
+    time_run: Nanoseconds,
+}
+
+impl<'a> RunningVmDirtier<'a> {
+    fn new(vm: &'a mut Vm) -> Self {
+        RunningVmDirtier {
+            vm,
+            pages_dirtied: 0,
+            time_run: Nanoseconds::ZERO,
+        }
+    }
 }
 
 impl DirtySource for RunningVmDirtier<'_> {
-    fn run_for(&mut self, _memory: &GuestMemory, duration: Nanoseconds) -> Result<u64> {
+    fn run_for(&mut self, memory: &GuestMemory, duration: Nanoseconds) -> Result<u64> {
+        // The engine drains the dirty bitmap *after* this call, so the bitmap
+        // delta over the run is exactly the dirty traffic this round added.
+        let dirty_before = memory.dirty_page_count();
+        let mut ran = Nanoseconds::ZERO;
         if self.vm.lifecycle() == VmLifecycle::Running {
-            self.vm.run_for(duration)?;
+            ran = self.vm.run_for(duration)?;
         }
-        Ok(0)
+        let dirtied = memory.dirty_page_count().saturating_sub(dirty_before);
+        self.pages_dirtied += dirtied;
+        self.time_run = self.time_run.saturating_add(ran.max(duration));
+        Ok(dirtied)
     }
 
     fn dirty_rate_bytes_per_sec(&self) -> u64 {
-        0
+        let ns = self.time_run.as_nanos();
+        if ns == 0 {
+            return 0;
+        }
+        ((self.pages_dirtied as u128 * rvisor_types::PAGE_SIZE as u128 * 1_000_000_000)
+            / ns as u128) as u64
     }
+}
+
+/// Point-in-time lifecycle and utilization telemetry for one host, as
+/// consumed by fleet-level layers (the `rvisor-orch` orchestrator feeds its
+/// rebalance policies from this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmmUtilization {
+    /// VMs on the host, in any lifecycle state.
+    pub vm_count: usize,
+    /// VMs currently `Running`.
+    pub running: usize,
+    /// VMs currently `Paused`.
+    pub paused: usize,
+    /// VMs that have `Halted`.
+    pub halted: usize,
+    /// Guest memory configured across all VMs.
+    pub guest_memory: ByteSize,
+    /// Pages currently marked dirty across all VMs' bitmaps.
+    pub dirty_pages: u64,
+    /// Guest instructions retired across all VMs since they were created.
+    pub instructions: u64,
+    /// Simulated guest time consumed across all VMs.
+    pub sim_time: Nanoseconds,
 }
 
 /// The per-host virtual machine manager.
@@ -129,6 +178,43 @@ impl Vmm {
                 .map(|vm| vm.config().memory.as_u64())
                 .sum(),
         )
+    }
+
+    /// Find a VM by its configured name.
+    ///
+    /// Names are not required to be unique within a host; the first match in
+    /// id order wins. Fleet-level layers that key VMs by name (the
+    /// orchestrator does) are expected to keep names unique themselves.
+    pub fn find_vm(&self, name: &str) -> Option<VmId> {
+        self.vms
+            .iter()
+            .find(|(_, vm)| vm.name() == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// The lifecycle state of one VM (orchestrator hook).
+    pub fn lifecycle_of(&self, id: VmId) -> Result<VmLifecycle> {
+        Ok(self.vm(id)?.lifecycle())
+    }
+
+    /// Aggregate lifecycle/utilization telemetry across this host's VMs.
+    pub fn utilization(&self) -> VmmUtilization {
+        let mut u = VmmUtilization::default();
+        for vm in self.vms.values() {
+            u.vm_count += 1;
+            match vm.lifecycle() {
+                VmLifecycle::Running => u.running += 1,
+                VmLifecycle::Paused => u.paused += 1,
+                VmLifecycle::Halted => u.halted += 1,
+                _ => {}
+            }
+            u.guest_memory = ByteSize::new(u.guest_memory.as_u64() + vm.config().memory.as_u64());
+            u.dirty_pages += vm.memory().dirty_page_count();
+            let stats = vm.stats();
+            u.instructions += stats.instructions;
+            u.sim_time = u.sim_time.saturating_add(stats.sim_time);
+        }
+        u
     }
 
     /// Borrow a VM.
@@ -248,7 +334,7 @@ impl Vmm {
                 MigrationOutcome::PreCopy => {
                     let memory = source_vm.memory().clone();
                     let states_placeholder = source_vm.save_vcpu_states();
-                    let mut dirtier = RunningVmDirtier { vm: source_vm };
+                    let mut dirtier = RunningVmDirtier::new(source_vm);
 
                     PreCopy::migrate(
                         &memory,
@@ -284,9 +370,9 @@ impl Vmm {
         let dest_vm = destination.vm_mut(dest_id)?;
         dest_vm.restore_vcpu_states(&final_states)?;
         if source_halted {
-            dest_vm.mark_halted();
+            dest_vm.mark_halted()?;
         } else {
-            dest_vm.mark_running();
+            dest_vm.mark_running()?;
         }
 
         self.destroy_vm(id)?;
@@ -342,6 +428,67 @@ mod tests {
         assert!(vmm
             .migrate_to(ghost, &mut other, &mut link, MigrationOutcome::PreCopy)
             .is_err());
+    }
+
+    #[test]
+    fn running_vm_dirtier_reports_real_dirty_traffic() {
+        let mut vmm = Vmm::new("host");
+        let id = vmm.create_vm(config("dirty")).unwrap();
+        let vm = vmm.vm_mut(id).unwrap();
+        let w = Workload::new(WorkloadKind::MemoryDirty {
+            pages: 64,
+            passes: 200,
+        })
+        .unwrap();
+        vm.load_workload(&w).unwrap();
+        let memory = vm.memory().clone();
+        let mut dirtier = RunningVmDirtier::new(vm);
+        let dirtied = dirtier
+            .run_for(&memory, Nanoseconds::from_micros(200))
+            .unwrap();
+        assert!(dirtied > 0, "a memory-dirty guest must report dirty pages");
+        assert!(
+            dirtier.dirty_rate_bytes_per_sec() > 0,
+            "rate estimate must reflect the observed traffic"
+        );
+        // An idle (paused) guest reports nothing.
+        let vm = vmm.vm_mut(id).unwrap();
+        if vm.lifecycle() == VmLifecycle::Running {
+            vm.pause().unwrap();
+        }
+        memory.clear_dirty();
+        let mut idle = RunningVmDirtier::new(vm);
+        assert_eq!(
+            idle.run_for(&memory, Nanoseconds::from_millis(1)).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn utilization_and_find_vm_hooks() {
+        let mut vmm = Vmm::new("host");
+        let a = vmm.create_vm(config("alpha")).unwrap();
+        let b = vmm.create_vm(config("beta")).unwrap();
+        let w = Workload::new(WorkloadKind::ComputeBound { iterations: 100 }).unwrap();
+        vmm.vm_mut(a).unwrap().load_workload(&w).unwrap();
+
+        assert_eq!(vmm.find_vm("alpha"), Some(a));
+        assert_eq!(vmm.find_vm("beta"), Some(b));
+        assert_eq!(vmm.find_vm("ghost"), None);
+        assert_eq!(vmm.lifecycle_of(a).unwrap(), VmLifecycle::Running);
+        assert_eq!(vmm.lifecycle_of(b).unwrap(), VmLifecycle::Created);
+        assert!(vmm.lifecycle_of(VmId::new(99)).is_err());
+
+        let before = vmm.utilization();
+        assert_eq!(before.vm_count, 2);
+        assert_eq!(before.running, 1);
+        assert_eq!(before.guest_memory, ByteSize::mib(8));
+
+        vmm.run_all_to_halt(1000).unwrap();
+        let after = vmm.utilization();
+        assert_eq!(after.halted, 1);
+        assert!(after.instructions > before.instructions);
+        assert!(after.sim_time > before.sim_time);
     }
 
     #[test]

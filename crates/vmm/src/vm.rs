@@ -39,6 +39,37 @@ pub enum VmLifecycle {
     Destroyed,
 }
 
+impl VmLifecycle {
+    /// Whether the lifecycle graph permits moving from `self` to `to`.
+    ///
+    /// The legal edges are:
+    ///
+    /// * `Created → Running` (first program/workload load),
+    /// * `Created → Paused` (restoring a snapshot into a fresh shell),
+    /// * `Created → Halted` (migration hand-over of an already-halted guest),
+    /// * `Running ↔ Paused` (host pause/resume),
+    /// * `Running → Halted` (the guest executed a halt),
+    /// * `Halted → Paused` (snapshot restore rewinds a finished guest),
+    /// * any live state `→ Destroyed`.
+    ///
+    /// Everything else — including resurrecting a `Destroyed` VM and
+    /// re-running a `Halted` one without a restore — is rejected.
+    pub fn can_transition(self, to: VmLifecycle) -> bool {
+        use VmLifecycle::*;
+        matches!(
+            (self, to),
+            (Created, Running)
+                | (Created, Paused)
+                | (Created, Halted)
+                | (Running, Paused)
+                | (Running, Halted)
+                | (Paused, Running)
+                | (Halted, Paused)
+                | (Created | Running | Paused | Halted, Destroyed)
+        )
+    }
+}
+
 /// Aggregated execution statistics for a VM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VmRunStats {
@@ -284,7 +315,7 @@ impl Vm {
         self.memory.clear_dirty();
         self.vcpus[0].set_pc(entry);
         if self.lifecycle == VmLifecycle::Created {
-            self.lifecycle = VmLifecycle::Running;
+            self.transition(VmLifecycle::Running)?;
         }
         Ok(())
     }
@@ -301,18 +332,32 @@ impl Vm {
         workload.load(&self.memory)?;
         self.vcpus[0].set_pc(workload.entry());
         if self.lifecycle == VmLifecycle::Created {
-            self.lifecycle = VmLifecycle::Running;
+            self.transition(VmLifecycle::Running)?;
         }
+        Ok(())
+    }
+
+    /// Move the VM to lifecycle state `to`, validating the jump against the
+    /// [`VmLifecycle::can_transition`] graph.
+    ///
+    /// Every lifecycle change in this crate funnels through here, so illegal
+    /// jumps (`Destroyed → Running`, `Halted → Running` without a restore,
+    /// ...) are structurally impossible rather than merely untested.
+    pub fn transition(&mut self, to: VmLifecycle) -> Result<()> {
+        if !self.lifecycle.can_transition(to) {
+            return Err(Error::InvalidVmState {
+                operation: "transition",
+                state: format!("{:?} (to {to:?})", self.lifecycle),
+            });
+        }
+        self.lifecycle = to;
         Ok(())
     }
 
     /// Pause a running VM.
     pub fn pause(&mut self) -> Result<()> {
         match self.lifecycle {
-            VmLifecycle::Running => {
-                self.lifecycle = VmLifecycle::Paused;
-                Ok(())
-            }
+            VmLifecycle::Running => self.transition(VmLifecycle::Paused),
             other => Err(Error::InvalidVmState {
                 operation: "pause",
                 state: format!("{other:?}"),
@@ -323,10 +368,7 @@ impl Vm {
     /// Resume a paused VM.
     pub fn resume(&mut self) -> Result<()> {
         match self.lifecycle {
-            VmLifecycle::Paused => {
-                self.lifecycle = VmLifecycle::Running;
-                Ok(())
-            }
+            VmLifecycle::Paused => self.transition(VmLifecycle::Running),
             other => Err(Error::InvalidVmState {
                 operation: "resume",
                 state: format!("{other:?}"),
@@ -334,9 +376,12 @@ impl Vm {
         }
     }
 
-    /// Tear the VM down.
+    /// Tear the VM down (idempotent).
     pub fn destroy(&mut self) {
-        self.lifecycle = VmLifecycle::Destroyed;
+        if self.lifecycle != VmLifecycle::Destroyed {
+            self.transition(VmLifecycle::Destroyed)
+                .expect("every live state may be destroyed");
+        }
     }
 
     /// Aggregate statistics over all vCPUs plus VM-level counters.
@@ -377,7 +422,7 @@ impl Vm {
 
                 match outcome.exit {
                     ExitReason::Halt => {
-                        self.lifecycle = VmLifecycle::Halted;
+                        self.transition(VmLifecycle::Halted)?;
                         return Ok(false);
                     }
                     ExitReason::InstructionLimit => {
@@ -514,7 +559,9 @@ impl Vm {
         for (vcpu, state) in self.vcpus.iter_mut().zip(&vcpu_states) {
             vcpu.restore_state(state);
         }
-        self.lifecycle = VmLifecycle::Paused;
+        if self.lifecycle != VmLifecycle::Paused {
+            self.transition(VmLifecycle::Paused)?;
+        }
         Ok(())
     }
 
@@ -539,14 +586,23 @@ impl Vm {
     }
 
     /// Mark the VM runnable (used by the migration destination after restore).
-    pub fn mark_running(&mut self) {
-        self.lifecycle = VmLifecycle::Running;
+    ///
+    /// Fails if the lifecycle graph forbids the jump (e.g. on a `Halted` or
+    /// `Destroyed` VM).
+    pub fn mark_running(&mut self) -> Result<()> {
+        if self.lifecycle == VmLifecycle::Running {
+            return Ok(());
+        }
+        self.transition(VmLifecycle::Running)
     }
 
     /// Mark the VM halted (used by the migration destination when the source
     /// guest had already shut down by the time the hand-over happened).
-    pub fn mark_halted(&mut self) {
-        self.lifecycle = VmLifecycle::Halted;
+    pub fn mark_halted(&mut self) -> Result<()> {
+        if self.lifecycle == VmLifecycle::Halted {
+            return Ok(());
+        }
+        self.transition(VmLifecycle::Halted)
     }
 
     /// Set the balloon to an absolute size in pages. Requires `with_balloon`.
@@ -705,6 +761,50 @@ mod tests {
         assert!(vm.resume().is_err());
         vm.destroy();
         assert_eq!(vm.lifecycle(), VmLifecycle::Destroyed);
+    }
+
+    #[test]
+    fn transition_rejects_illegal_jumps() {
+        use VmLifecycle::*;
+        // The graph itself.
+        assert!(Created.can_transition(Running));
+        assert!(Created.can_transition(Paused));
+        assert!(Halted.can_transition(Paused));
+        assert!(!Halted.can_transition(Running));
+        assert!(!Destroyed.can_transition(Running));
+        assert!(!Destroyed.can_transition(Destroyed));
+        assert!(!Running.can_transition(Running));
+        assert!(!Paused.can_transition(Halted));
+
+        // A destroyed VM cannot be resurrected through any mutator.
+        let mut vm = small_vm();
+        vm.destroy();
+        assert!(vm.transition(Running).is_err());
+        assert!(vm.mark_running().is_err());
+        assert!(vm.mark_halted().is_err());
+        assert!(vm.pause().is_err());
+        assert!(vm.resume().is_err());
+        vm.destroy(); // idempotent, still Destroyed
+        assert_eq!(vm.lifecycle(), Destroyed);
+
+        // A halted VM cannot be marked running without a restore.
+        let mut vm = small_vm();
+        let w = Workload::new(WorkloadKind::ComputeBound { iterations: 10 }).unwrap();
+        vm.load_workload(&w).unwrap();
+        vm.run_to_halt().unwrap();
+        assert!(vm.transition(Running).is_err());
+        assert_eq!(vm.lifecycle(), Halted);
+        // ... but a snapshot restore legally rewinds it to Paused.
+        assert!(Halted.can_transition(Paused));
+
+        // Valid transitions go through.
+        let mut vm = small_vm();
+        vm.transition(Running).unwrap();
+        vm.transition(Paused).unwrap();
+        vm.transition(Running).unwrap();
+        vm.transition(Halted).unwrap();
+        vm.transition(Paused).unwrap();
+        vm.transition(Destroyed).unwrap();
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   substrates the VMM is built from, usable on their own.
 //! * [`sched`], [`migrate`], [`snapshot`], [`cluster`] — the host- and
 //!   fleet-level services the evaluation experiments exercise.
+//! * [`orch`] — the discrete-event datacenter orchestrator that drives all
+//!   of the above under one clock: arrivals, rebalancing migrations,
+//!   backups, host failures and DR restores (experiment E15).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the mapping from the evaluation's tables and figures
@@ -24,6 +27,7 @@ pub use rvisor_devices as devices;
 pub use rvisor_memory as memory;
 pub use rvisor_migrate as migrate;
 pub use rvisor_net as net;
+pub use rvisor_orch as orch;
 pub use rvisor_sched as sched;
 pub use rvisor_snapshot as snapshot;
 pub use rvisor_types as types;
