@@ -51,6 +51,13 @@ pub trait BlockBackend: Send {
     fn capacity_sectors(&self) -> u64;
 
     /// Read `buf.len()` bytes (a whole number of sectors) starting at `sector`.
+    ///
+    /// **Contract:** on `Ok`, every byte of `buf` has been overwritten —
+    /// sparse or hole-punching implementations must explicitly zero-fill
+    /// unmapped ranges rather than skip them. Device models rely on this to
+    /// reuse bounce buffers without re-zeroing between requests (virtio-blk
+    /// does); a backend that leaves bytes untouched on success would leak a
+    /// previous request's payload into the guest.
     fn read_sectors(&mut self, sector: u64, buf: &mut [u8]) -> Result<()>;
 
     /// Write `buf` (a whole number of sectors) starting at `sector`.

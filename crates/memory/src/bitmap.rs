@@ -49,9 +49,29 @@ impl DirtyBitmap {
     }
 
     /// Mark every page in `[first, first + count)` dirty.
+    ///
+    /// Operates word-at-a-time: one `fetch_or` covers up to 64 pages, so a
+    /// large `fill`/`write` costs `O(pages / 64)` atomics instead of one per
+    /// page. Out-of-range pages are ignored, exactly as [`Self::mark`] does.
     pub fn mark_range(&self, first: u64, count: u64) {
-        for p in first..first.saturating_add(count).min(self.pages) {
-            self.mark(p);
+        let end = first.saturating_add(count).min(self.pages);
+        if first >= end {
+            return;
+        }
+        let mut page = first;
+        while page < end {
+            let word = (page / 64) as usize;
+            let first_bit = page % 64;
+            // Pages of this word covered by the range: [first_bit, last_bit].
+            let last_bit = ((end - 1).min(word as u64 * 64 + 63)) % 64;
+            let width = last_bit - first_bit + 1;
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << first_bit
+            };
+            self.words[word].fetch_or(mask, Ordering::Relaxed);
+            page = (word as u64 + 1) * 64;
         }
     }
 
@@ -73,36 +93,80 @@ impl DirtyBitmap {
             .sum()
     }
 
-    /// Clear every bit, starting a new tracking epoch.
+    /// Clear every bit, starting a new tracking epoch (one store per 64-page
+    /// word).
     pub fn clear(&self) {
         for w in &self.words {
             w.store(0, Ordering::Relaxed);
         }
     }
 
-    /// The indices of all currently dirty pages, in ascending order.
-    pub fn dirty_pages(&self) -> Vec<u64> {
-        let mut out = Vec::new();
-        for (wi, w) in self.words.iter().enumerate() {
-            let mut v = w.load(Ordering::Relaxed);
-            while v != 0 {
-                let bit = v.trailing_zeros() as u64;
-                let page = wi as u64 * 64 + bit;
-                if page < self.pages {
-                    out.push(page);
-                }
-                v &= v - 1;
-            }
-        }
-        out
+    /// Number of 64-page words backing the bitmap.
+    ///
+    /// Together with [`Self::load_word`] this is the substrate for batch
+    /// traversals (`MemoryRegion::for_each_dirty_page` holds its data lock
+    /// across one word's worth of pages).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
     }
 
-    /// Atomically fetch the dirty set and clear it (per 64-page word).
+    /// Load the dirty bits of 64-page word `word` without clearing them.
+    /// Bit `b` of the result covers page `word * 64 + b`. Out-of-range words
+    /// read as zero.
+    pub fn load_word(&self, word: usize) -> u64 {
+        match self.words.get(word) {
+            Some(w) => w.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Atomically fetch and clear the dirty bits of 64-page word `word`
+    /// (the per-word harvest primitive: pages dirtied after the swap land in
+    /// the next epoch). Out-of-range words read as zero.
+    pub fn take_word(&self, word: usize) -> u64 {
+        match self.words.get(word) {
+            Some(w) => w.swap(0, Ordering::AcqRel),
+            None => 0,
+        }
+    }
+
+    /// OR `mask` back into word `word` — the error-path undo for
+    /// [`Self::take_word`]: a harvester that fails partway through a word
+    /// restores the unprocessed bits so no page is silently dropped from
+    /// the epoch. Out-of-range words are ignored.
+    pub fn restore_word(&self, word: usize, mask: u64) {
+        if let Some(w) = self.words.get(word) {
+            w.fetch_or(mask, Ordering::AcqRel);
+        }
+    }
+
+    /// Iterate the currently dirty page indices in ascending order without
+    /// clearing them — word-wise and allocation-free, unlike
+    /// [`Self::dirty_pages`] which materializes a `Vec`.
+    pub fn iter_dirty(&self) -> DirtyIter<'_> {
+        DirtyIter {
+            bitmap: self,
+            word: 0,
+            bits: self.load_word(0),
+        }
+    }
+
+    /// The indices of all currently dirty pages, in ascending order.
     ///
-    /// This is the primitive used by pre-copy migration rounds: pages dirtied
-    /// *after* their word has been harvested land in the next epoch.
-    pub fn drain(&self) -> Vec<u64> {
-        let mut out = Vec::new();
+    /// Allocating convenience wrapper over [`Self::iter_dirty`]; hot paths
+    /// should iterate (or use [`Self::drain_append_into`]) instead.
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        self.iter_dirty().collect()
+    }
+
+    /// Atomically fetch the dirty set and clear it (per 64-page word),
+    /// appending the page indices to `out` in ascending order.
+    ///
+    /// This is the buffer-reuse primitive behind pre-copy rounds: the caller
+    /// keeps one harvest `Vec` alive across rounds and pays no allocation
+    /// once its capacity has grown to the working set. Pages dirtied *after*
+    /// their word has been harvested land in the next epoch.
+    pub fn drain_append_into(&self, out: &mut Vec<u64>) {
         for (wi, w) in self.words.iter().enumerate() {
             let mut v = w.swap(0, Ordering::AcqRel);
             while v != 0 {
@@ -114,6 +178,14 @@ impl DirtyBitmap {
                 v &= v - 1;
             }
         }
+    }
+
+    /// Atomically fetch the dirty set and clear it, as a fresh `Vec`.
+    ///
+    /// Allocating convenience wrapper over [`Self::drain_append_into`].
+    pub fn drain(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.drain_append_into(&mut out);
         out
     }
 
@@ -133,6 +205,44 @@ impl DirtyBitmap {
             0.0
         } else {
             self.count() as f64 / self.pages as f64
+        }
+    }
+}
+
+/// Word-wise, non-clearing iterator over dirty page indices (ascending).
+///
+/// Each 64-page word is loaded once when the iterator reaches it, so pages
+/// marked behind the cursor during iteration may or may not be observed —
+/// the same snapshot-per-word semantics [`DirtyBitmap::drain`] has.
+#[derive(Debug)]
+pub struct DirtyIter<'a> {
+    bitmap: &'a DirtyBitmap,
+    /// Word the current `bits` snapshot came from.
+    word: usize,
+    /// Remaining dirty bits of `word`, lowest bit = next page.
+    bits: u64,
+}
+
+impl Iterator for DirtyIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as u64;
+                self.bits &= self.bits - 1;
+                let page = self.word as u64 * 64 + bit;
+                if page < self.bitmap.pages {
+                    return Some(page);
+                }
+                // Tail bits past `pages` can only appear in the last word.
+                self.bits = 0;
+            }
+            self.word += 1;
+            if self.word >= self.bitmap.word_count() {
+                return None;
+            }
+            self.bits = self.bitmap.load_word(self.word);
         }
     }
 }
@@ -228,6 +338,58 @@ mod tests {
         assert_eq!(b.count(), 64 * 1024);
     }
 
+    #[test]
+    fn iter_dirty_is_nonclearing_and_ordered() {
+        let b = DirtyBitmap::new(130);
+        for p in [0, 63, 64, 65, 127, 128, 129] {
+            b.mark(p);
+        }
+        let via_iter: Vec<u64> = b.iter_dirty().collect();
+        assert_eq!(via_iter, vec![0, 63, 64, 65, 127, 128, 129]);
+        // Iterating did not clear anything.
+        assert_eq!(b.count(), 7);
+    }
+
+    #[test]
+    fn drain_append_into_reuses_capacity() {
+        let b = DirtyBitmap::new(256);
+        b.mark_range(10, 20);
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        b.drain_append_into(&mut buf);
+        assert_eq!(buf, (10..30).collect::<Vec<u64>>());
+        assert_eq!(b.count(), 0);
+        // Appending semantics: a second harvest lands behind the first.
+        b.mark(200);
+        b.drain_append_into(&mut buf);
+        assert_eq!(buf.last(), Some(&200));
+        assert_eq!(buf.len(), 21);
+        assert_eq!(buf.capacity(), cap, "no reallocation within capacity");
+    }
+
+    #[test]
+    fn word_accessors() {
+        let b = DirtyBitmap::new(100);
+        assert_eq!(b.word_count(), 2);
+        b.mark(3);
+        b.mark(64);
+        assert_eq!(b.load_word(0), 1 << 3);
+        assert_eq!(b.load_word(1), 1);
+        assert_eq!(b.load_word(99), 0);
+    }
+
+    #[test]
+    fn mark_range_word_boundaries() {
+        // Ranges chosen to hit partial-first-word, full-middle-word and
+        // partial-last-word mask paths.
+        for (first, count) in [(0, 64), (1, 63), (63, 2), (60, 140), (64, 64), (0, 200)] {
+            let b = DirtyBitmap::new(200);
+            b.mark_range(first, count);
+            let expected: Vec<u64> = (first..(first + count).min(200)).collect();
+            assert_eq!(b.dirty_pages(), expected, "range ({first}, {count})");
+        }
+    }
+
     proptest! {
         #[test]
         fn dirty_pages_matches_reference(pages in proptest::collection::btree_set(0u64..2048, 0..300)) {
@@ -238,9 +400,48 @@ mod tests {
             let expected: Vec<u64> = pages.iter().copied().collect();
             prop_assert_eq!(b.dirty_pages(), expected.clone());
             prop_assert_eq!(b.count(), expected.len() as u64);
+            // The non-clearing iterator sees the same set in the same order.
+            let via_iter: Vec<u64> = b.iter_dirty().collect();
+            prop_assert_eq!(via_iter, expected.clone());
+            prop_assert_eq!(b.count(), expected.len() as u64);
             // drain returns the same set and empties the bitmap
             let drained: BTreeSet<u64> = b.drain().into_iter().collect();
             prop_assert_eq!(drained, pages);
+            prop_assert_eq!(b.count(), 0);
+        }
+
+        /// Word-wise `mark_range` is equivalent to the per-page loop it
+        /// replaced, including clamping and overflow behaviour.
+        #[test]
+        fn mark_range_matches_per_page_reference(
+            tracked in 1u64..300,
+            first in 0u64..350,
+            count in 0u64..350,
+        ) {
+            let word_wise = DirtyBitmap::new(tracked);
+            word_wise.mark_range(first, count);
+
+            let per_page = DirtyBitmap::new(tracked);
+            for p in first..first.saturating_add(count).min(tracked) {
+                per_page.mark(p);
+            }
+            prop_assert_eq!(word_wise.dirty_pages(), per_page.dirty_pages());
+        }
+
+        /// `drain_append_into` harvests exactly what `dirty_pages` reports — same
+        /// set, same (ascending) order — and clears the bitmap.
+        #[test]
+        fn drain_append_into_matches_dirty_pages(
+            pages in proptest::collection::btree_set(0u64..1024, 0..200),
+        ) {
+            let b = DirtyBitmap::new(1024);
+            for &p in &pages {
+                b.mark(p);
+            }
+            let expected = b.dirty_pages();
+            let mut harvested = Vec::new();
+            b.drain_append_into(&mut harvested);
+            prop_assert_eq!(harvested, expected);
             prop_assert_eq!(b.count(), 0);
         }
     }

@@ -238,14 +238,19 @@ impl KsmManager {
             self.scanned_this_pass += 1;
 
             let (vm, page) = key;
-            let contents = match self.vms.get(&vm) {
-                Some(mem) => mem.read_page(page)?,
+            // Fingerprint (and, only when zero pages are excluded from
+            // merging, zero-probe) the candidate page in place: one
+            // read-lock acquisition, no 4 KiB copy per scanned page.
+            let probe_zero = !self.config.merge_zero_pages;
+            let (fp, skip_zero) = match self.vms.get(&vm) {
+                Some(mem) => mem.with_page(page, |b| {
+                    (fingerprint(b), probe_zero && b.iter().all(|&x| x == 0))
+                })?,
                 None => continue,
             };
-            if !self.config.merge_zero_pages && contents.iter().all(|&b| b == 0) {
+            if skip_zero {
                 continue;
             }
-            let fp = fingerprint(&contents);
 
             if let Some(&merged_fp) = self.merged_of.get(&key) {
                 if merged_fp != fp {
@@ -381,11 +386,10 @@ where
 {
     let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut analysis = DedupAnalysis::default();
-    let zero_fp = fingerprint(&vec![0u8; PAGE_SIZE as usize]);
+    let zero_fp = fingerprint(&[0u8; PAGE_SIZE as usize]);
     for mem in memories {
         for page in 0..mem.total_pages() {
-            let contents = mem.read_page(page)?;
-            let fp = fingerprint(&contents);
+            let fp = mem.page_fingerprint(page)?;
             analysis.total_pages += 1;
             if fp == zero_fp {
                 analysis.zero_pages += 1;

@@ -22,6 +22,34 @@
 //! `parking_lot`-protected boxed slices rather than raw mmap'd pointers,
 //! which is exactly what a simulated substrate needs (determinism and
 //! portability rather than zero-copy with a real kernel).
+//!
+//! ## Which accessor do I want?
+//!
+//! The data plane offers both zero-copy *views* (closure-based, lock held
+//! for the closure's duration) and allocating *copies* (thin wrappers over
+//! the views, kept for convenience and out-of-tree callers). Hot paths —
+//! migration rounds, snapshot capture, KSM scans, virtio payloads — should
+//! use the views.
+//!
+//! | I want to… | Use | Copies? |
+//! |---|---|---|
+//! | borrow one page read-only | [`GuestMemory::with_page`] | no |
+//! | mutate one page in place (marks dirty) | [`GuestMemory::with_page_mut`] | no |
+//! | hash a page (KSM / dedup) | [`GuestMemory::page_fingerprint`] | no |
+//! | borrow an arbitrary single-region span | [`GuestMemory::with_slice`] / [`GuestMemory::with_slice_mut`] | no |
+//! | stream every dirty page under a batched lock | [`GuestMemory::for_each_dirty_page`] | no |
+//! | harvest + clear dirty indices into a reused buffer | [`GuestMemory::drain_dirty_into`] | no (at steady state) |
+//! | iterate dirty indices without clearing | [`DirtyBitmap::iter_dirty`] | no |
+//! | an owned copy of a page | [`GuestMemory::read_page`] | one `Vec` per call |
+//! | an owned copy of a span | [`GuestMemory::read_vec`] | one `Vec` per call |
+//! | a fresh `Vec` of dirty indices | [`GuestMemory::dirty_pages`] / [`GuestMemory::drain_dirty`] | one `Vec` per call |
+//!
+//! Multi-byte [`GuestMemory::read`]/[`GuestMemory::write`] spans may
+//! straddle **adjacent** regions (the pieces are stitched in address
+//! order); a span that runs into unbacked address space fails with
+//! [`rvisor_types::Error::CrossRegionGap`]. The closure views are
+//! single-region by construction — a contiguous borrow cannot cross
+//! backing allocations.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -33,7 +61,7 @@ pub mod memory;
 pub mod region;
 
 pub use balloon::{Balloon, BalloonStats};
-pub use bitmap::DirtyBitmap;
+pub use bitmap::{DirtyBitmap, DirtyIter};
 pub use ksm::{analyze_sharing, DedupAnalysis, KsmConfig, KsmManager, KsmStats};
 pub use memory::{GuestMemory, GuestMemoryBuilder};
 pub use region::MemoryRegion;

@@ -105,19 +105,74 @@ impl GuestMemory {
             .any(|r| r.range().contains_range(addr, len))
     }
 
-    /// Read `buf.len()` bytes at `addr`. The access must not straddle regions.
+    /// Walk the (possibly several) regions backing `[addr, addr + len)` in
+    /// address order, calling `f(region, span start, offset into the span,
+    /// span length)` for each contiguous piece.
+    ///
+    /// This is the span contract of [`Self::read`]/[`Self::write`]: accesses
+    /// may straddle *adjacent* regions, but a span whose next byte is backed
+    /// by no region fails with [`Error::CrossRegionGap`] (or
+    /// [`Error::InvalidGuestAddress`] when even the first byte is unbacked).
+    fn for_each_span(
+        &self,
+        addr: GuestAddress,
+        len: u64,
+        mut f: impl FnMut(&MemoryRegion, GuestAddress, usize, u64) -> Result<()>,
+    ) -> Result<()> {
+        let mut cur = addr;
+        let mut done = 0u64;
+        loop {
+            let region = self.regions.iter().find(|r| r.range().contains(cur));
+            let region = match region {
+                Some(r) => r,
+                None if done == 0 => return Err(Error::InvalidGuestAddress(cur)),
+                None => {
+                    return Err(Error::CrossRegionGap {
+                        addr,
+                        len,
+                        gap_at: cur,
+                    })
+                }
+            };
+            let region_end = region.start().0 + region.len();
+            let take = (region_end - cur.0).min(len - done);
+            f(region, cur, done as usize, take)?;
+            done += take;
+            if done >= len {
+                return Ok(());
+            }
+            cur = GuestAddress(region_end);
+        }
+    }
+
+    /// Read `buf.len()` bytes at `addr`.
+    ///
+    /// The span may straddle adjacent regions; a span over a hole fails with
+    /// [`Error::CrossRegionGap`] (partial reads into `buf` may have happened
+    /// by then).
     pub fn read(&self, addr: GuestAddress, buf: &mut [u8]) -> Result<()> {
-        self.find_region(addr)?.read(addr, buf)
+        self.for_each_span(addr, buf.len() as u64, |region, at, off, take| {
+            region.read(at, &mut buf[off..off + take as usize])
+        })
     }
 
     /// Write `buf` at `addr`, marking touched pages dirty.
+    ///
+    /// Same span contract as [`Self::read`]: adjacent regions are stitched,
+    /// holes fail with [`Error::CrossRegionGap`] (pieces before the gap may
+    /// already have been written).
     pub fn write(&self, addr: GuestAddress, buf: &[u8]) -> Result<()> {
-        self.find_region(addr)?.write(addr, buf)
+        self.for_each_span(addr, buf.len() as u64, |region, at, off, take| {
+            region.write(at, &buf[off..off + take as usize])
+        })
     }
 
-    /// Fill `len` bytes at `addr` with `value`.
+    /// Fill `len` bytes at `addr` with `value`. Same span contract as
+    /// [`Self::read`].
     pub fn fill(&self, addr: GuestAddress, len: u64, value: u8) -> Result<()> {
-        self.find_region(addr)?.fill(addr, len, value)
+        self.for_each_span(addr, len, |region, at, _off, take| {
+            region.fill(at, take, value)
+        })
     }
 
     /// Read a little-endian `u8`.
@@ -175,10 +230,98 @@ impl GuestMemory {
         Ok(buf)
     }
 
-    /// Copy the contents of a whole (global) page index.
-    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+    /// Run a closure over one page's bytes **without copying them**.
+    ///
+    /// `page` is a global page index. The owning region's read lock is held
+    /// for the duration of the closure; keep the work short.
+    pub fn with_page<R>(&self, page: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let (region, rel) = self.locate_page(page)?;
-        region.read_page(rel)
+        region.with_page(rel, f)
+    }
+
+    /// Run a closure over one page's bytes with write access, marking the
+    /// page dirty. `page` is a global page index.
+    pub fn with_page_mut<R>(&self, page: u64, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let (region, rel) = self.locate_page(page)?;
+        region.with_page_mut(rel, f)
+    }
+
+    /// FNV-1a fingerprint of a (global) page, hashed in place — the KSM and
+    /// dedup-analysis primitive, with no 4 KiB copy per probe.
+    pub fn page_fingerprint(&self, page: u64) -> Result<u64> {
+        let (region, rel) = self.locate_page(page)?;
+        region.page_fingerprint(rel)
+    }
+
+    /// Run a closure over an arbitrary `[addr, addr + len)` span without
+    /// copying. Unlike [`Self::read`], the span must lie inside a *single*
+    /// region (a contiguous borrow cannot cross backing allocations).
+    ///
+    /// A span that [`Self::read`] would stitch across adjacent regions
+    /// fails here; callers that must accept such spans need a copying
+    /// fallback (virtio-blk bounces multi-region payloads through its
+    /// scratch buffer, for example).
+    pub fn with_slice<R>(
+        &self,
+        addr: GuestAddress,
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        self.find_region(addr)?.with_slice(addr, len, f)
+    }
+
+    /// Run a closure over an arbitrary single-region span with write access,
+    /// marking the touched pages dirty. See [`Self::with_slice`].
+    pub fn with_slice_mut<R>(
+        &self,
+        addr: GuestAddress,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        self.find_region(addr)?.with_slice_mut(addr, len, f)
+    }
+
+    /// Visit every currently dirty page (global indices, ascending) without
+    /// clearing its bit, handing the closure `(page index, page bytes)`.
+    ///
+    /// Region read locks are held one 64-page bitmap word at a time (see
+    /// [`MemoryRegion::for_each_dirty_page`]): no per-page lock round-trip,
+    /// no per-page allocation, and writers still interleave between words.
+    pub fn for_each_dirty_page<E>(
+        &self,
+        mut f: impl FnMut(u64, &[u8]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        let mut base = 0u64;
+        for r in self.regions.iter() {
+            r.for_each_dirty_page(|rel, bytes| f(base + rel, bytes))?;
+            base += r.pages();
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::for_each_dirty_page`], but harvesting: each 64-page
+    /// word's dirty bits are atomically fetched-and-cleared before its pages
+    /// are visited, so a page dirtied during the walk lands in the next
+    /// epoch instead of being silently lost. This is what incremental
+    /// snapshot capture runs on.
+    pub fn drain_dirty_pages_with<E>(
+        &self,
+        mut f: impl FnMut(u64, &[u8]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        let mut base = 0u64;
+        for r in self.regions.iter() {
+            r.drain_dirty_pages_with(|rel, bytes| f(base + rel, bytes))?;
+            base += r.pages();
+        }
+        Ok(())
+    }
+
+    /// Copy the contents of a whole (global) page index.
+    ///
+    /// Allocating convenience wrapper over [`Self::with_page`]; hot paths
+    /// should use the view directly.
+    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+        self.with_page(page, |bytes| bytes.to_vec())
     }
 
     /// Overwrite a whole (global) page index.
@@ -243,14 +386,33 @@ impl GuestMemory {
         self.regions.iter().map(|r| r.dirty_bitmap().count()).sum()
     }
 
-    /// Atomically harvest and clear the dirty set (global page indices).
-    pub fn drain_dirty(&self) -> Vec<u64> {
-        let mut out = Vec::new();
+    /// Atomically harvest and clear the dirty set into a caller-owned buffer
+    /// (global page indices, ascending).
+    ///
+    /// `out` is cleared first, then filled; once its capacity has grown to
+    /// the working set, successive harvests perform **zero heap
+    /// allocations** — the primitive pre-copy rounds reuse one buffer with.
+    pub fn drain_dirty_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         let mut base = 0u64;
         for r in self.regions.iter() {
-            out.extend(r.dirty_bitmap().drain().into_iter().map(|p| p + base));
+            let start = out.len();
+            r.dirty_bitmap().drain_append_into(out);
+            if base != 0 {
+                for p in &mut out[start..] {
+                    *p += base;
+                }
+            }
             base += r.pages();
         }
+    }
+
+    /// Atomically harvest and clear the dirty set (global page indices).
+    ///
+    /// Allocating convenience wrapper over [`Self::drain_dirty_into`].
+    pub fn drain_dirty(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.drain_dirty_into(&mut out);
         out
     }
 
@@ -373,6 +535,142 @@ mod tests {
         assert_eq!(mem.dirty_pages(), vec![6]);
         mem.clear_dirty();
         assert_eq!(mem.dirty_page_count(), 0);
+    }
+
+    /// Two regions that touch (no hole): [0, 4 pages) and [4 pages, 8 pages).
+    fn two_adjacent_regions() -> GuestMemory {
+        GuestMemoryBuilder::new()
+            .with_region(GuestAddress(0), ByteSize::pages_of(4))
+            .unwrap()
+            .with_region(GuestAddress(4 * PAGE_SIZE), ByteSize::pages_of(4))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn span_straddling_adjacent_regions_is_stitched() {
+        let mem = two_adjacent_regions();
+        let boundary = 4 * PAGE_SIZE;
+        let payload: Vec<u8> = (0..64).collect();
+        mem.write(GuestAddress(boundary - 32), &payload).unwrap();
+        let mut back = vec![0u8; 64];
+        mem.read(GuestAddress(boundary - 32), &mut back).unwrap();
+        assert_eq!(back, payload);
+        // The last page of region 0 and the first page of region 1 are dirty.
+        assert_eq!(mem.dirty_pages(), vec![3, 4]);
+        // Typed accessors ride the same path.
+        mem.write_u64(GuestAddress(boundary - 4), 0xdead_beef_cafe_f00d)
+            .unwrap();
+        assert_eq!(
+            mem.read_u64(GuestAddress(boundary - 4)).unwrap(),
+            0xdead_beef_cafe_f00d
+        );
+        // fill() across the boundary.
+        mem.fill(GuestAddress(boundary - 8), 16, 0x5a).unwrap();
+        assert_eq!(
+            mem.read_u64(GuestAddress(boundary)).unwrap(),
+            0x5a5a_5a5a_5a5a_5a5a
+        );
+    }
+
+    #[test]
+    fn span_over_a_hole_reports_cross_region_gap() {
+        let mem = two_region_memory(); // hole between 4 pages and 0x100000
+        let start = GuestAddress(4 * PAGE_SIZE - 8);
+        let mut buf = [0u8; 16];
+        match mem.read(start, &mut buf) {
+            Err(Error::CrossRegionGap { addr, len, gap_at }) => {
+                assert_eq!(addr, start);
+                assert_eq!(len, 16);
+                assert_eq!(gap_at, GuestAddress(4 * PAGE_SIZE));
+            }
+            other => panic!("expected CrossRegionGap, got {other:?}"),
+        }
+        assert!(matches!(
+            mem.write(start, &[0u8; 16]),
+            Err(Error::CrossRegionGap { .. })
+        ));
+        assert!(matches!(
+            mem.fill(start, 16, 1),
+            Err(Error::CrossRegionGap { .. })
+        ));
+        // A span starting in the hole keeps the original error shape.
+        assert!(matches!(
+            mem.read(GuestAddress(0x50000), &mut buf),
+            Err(Error::InvalidGuestAddress(_))
+        ));
+    }
+
+    #[test]
+    fn page_views_and_fingerprints() {
+        let mem = two_region_memory();
+        mem.write_u64(GuestAddress(0x101000), 0x77).unwrap();
+        // Global page 5 is the second page of the second region.
+        assert_eq!(mem.with_page(5, |b| b[0]).unwrap(), 0x77);
+        let fp_in_place = mem.page_fingerprint(5).unwrap();
+        assert_eq!(
+            fp_in_place,
+            crate::ksm::fingerprint(&mem.read_page(5).unwrap())
+        );
+        mem.clear_dirty();
+        mem.with_page_mut(5, |b| b[8] = 1).unwrap();
+        assert_eq!(mem.dirty_pages(), vec![5]);
+        assert_ne!(mem.page_fingerprint(5).unwrap(), fp_in_place);
+        assert!(mem.with_page(100, |_| ()).is_err());
+        assert!(mem.page_fingerprint(100).is_err());
+    }
+
+    #[test]
+    fn slice_views_are_single_region() {
+        let mem = two_adjacent_regions();
+        mem.write(GuestAddress(16), &[1, 2, 3]).unwrap();
+        assert_eq!(
+            mem.with_slice(GuestAddress(16), 3, |b| b.to_vec()).unwrap(),
+            vec![1, 2, 3]
+        );
+        mem.clear_dirty();
+        mem.with_slice_mut(GuestAddress(16), 2, |b| b.fill(9))
+            .unwrap();
+        assert_eq!(mem.read_u8(GuestAddress(17)).unwrap(), 9);
+        assert_eq!(mem.dirty_pages(), vec![0]);
+        // A contiguous borrow cannot cross backing allocations, even when the
+        // regions are adjacent.
+        assert!(mem
+            .with_slice(GuestAddress(4 * PAGE_SIZE - 8), 16, |_| ())
+            .is_err());
+    }
+
+    #[test]
+    fn drain_dirty_into_reuses_buffer_across_regions() {
+        let mem = two_region_memory();
+        let mut buf = Vec::with_capacity(16);
+        mem.write_u8(GuestAddress(0), 1).unwrap();
+        mem.write_u8(GuestAddress(0x102000), 1).unwrap();
+        mem.drain_dirty_into(&mut buf);
+        assert_eq!(buf, vec![0, 6]);
+        assert_eq!(mem.dirty_page_count(), 0);
+        let cap = buf.capacity();
+        // The next harvest clears and refills without reallocating.
+        mem.write_u8(GuestAddress(0x1000), 1).unwrap();
+        mem.drain_dirty_into(&mut buf);
+        assert_eq!(buf, vec![1]);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn for_each_dirty_page_spans_regions_with_global_indices() {
+        let mem = two_region_memory();
+        mem.write_u64(GuestAddress(0x1000), 11).unwrap();
+        mem.write_u64(GuestAddress(0x102000), 22).unwrap();
+        let mut seen = Vec::new();
+        mem.for_each_dirty_page(|page, bytes| {
+            seen.push((page, bytes[0]));
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(1, 11), (6, 22)]);
+        // Non-clearing: the bits are still set.
+        assert_eq!(mem.dirty_page_count(), 2);
     }
 
     #[test]

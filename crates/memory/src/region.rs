@@ -119,17 +119,147 @@ impl MemoryRegion {
         Ok(())
     }
 
-    /// Copy a whole page out of the region. `page` is region-relative.
-    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+    /// Byte offset of a region-relative page, or `OutOfBounds`.
+    fn page_offset(&self, page: u64) -> Result<usize> {
         if page >= self.pages() {
             return Err(Error::OutOfBounds {
-                addr: self.range.start.unchecked_add(page * PAGE_SIZE),
+                addr: self.range.start.unchecked_add(page.wrapping_mul(PAGE_SIZE)),
                 len: PAGE_SIZE,
             });
         }
+        Ok((page * PAGE_SIZE) as usize)
+    }
+
+    /// Run a closure over one page's bytes **without copying them**.
+    ///
+    /// The region's read lock is held for the duration of the closure, so
+    /// keep the work short (hash, compress, memcpy into a caller buffer).
+    /// `page` is region-relative.
+    pub fn with_page<R>(&self, page: u64, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let off = self.page_offset(page)?;
         let data = self.data.read();
-        let off = (page * PAGE_SIZE) as usize;
-        Ok(data[off..off + PAGE_SIZE as usize].to_vec())
+        Ok(f(&data[off..off + PAGE_SIZE as usize]))
+    }
+
+    /// Run a closure over one page's bytes with write access, marking the
+    /// page dirty. The write lock is held for the duration of the closure.
+    /// `page` is region-relative.
+    pub fn with_page_mut<R>(&self, page: u64, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let off = self.page_offset(page)?;
+        let out = {
+            let mut data = self.data.write();
+            f(&mut data[off..off + PAGE_SIZE as usize])
+        };
+        self.dirty.mark(page);
+        Ok(out)
+    }
+
+    /// FNV-1a fingerprint of a page's contents, hashed in place (no copy).
+    /// `page` is region-relative.
+    pub fn page_fingerprint(&self, page: u64) -> Result<u64> {
+        self.with_page(page, crate::ksm::fingerprint)
+    }
+
+    /// Run a closure over an arbitrary `[addr, addr + len)` span of the
+    /// region without copying. The span must lie entirely inside this region.
+    pub fn with_slice<R>(
+        &self,
+        addr: GuestAddress,
+        len: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let off = self.offset_of(addr, len)?;
+        let data = self.data.read();
+        Ok(f(&data[off..off + len as usize]))
+    }
+
+    /// Run a closure over an arbitrary span with write access, marking the
+    /// touched pages dirty. The span must lie entirely inside this region.
+    pub fn with_slice_mut<R>(
+        &self,
+        addr: GuestAddress,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        let off = self.offset_of(addr, len)?;
+        let out = {
+            let mut data = self.data.write();
+            f(&mut data[off..off + len as usize])
+        };
+        self.mark_dirty(off as u64, len);
+        Ok(out)
+    }
+
+    /// Visit every currently dirty page (without clearing its bit), handing
+    /// the closure `(region-relative page index, page bytes)`.
+    ///
+    /// Batch traversal: the region's read lock is acquired once per 64-page
+    /// bitmap word and held across that word's pages, so harvest-style scans
+    /// pay one lock round-trip per word instead of one per page, while still
+    /// letting writers interleave between words.
+    pub fn for_each_dirty_page<E>(
+        &self,
+        f: impl FnMut(u64, &[u8]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        self.walk_dirty(false, f)
+    }
+
+    /// Like [`Self::for_each_dirty_page`], but each 64-page word's dirty
+    /// bits are atomically fetched-and-cleared *before* its pages are
+    /// visited — the batched equivalent of [`DirtyBitmap::drain_append_into`], with
+    /// the same epoch guarantee: a page dirtied after its word was harvested
+    /// stays dirty for the next harvest, never silently lost.
+    pub fn drain_dirty_pages_with<E>(
+        &self,
+        f: impl FnMut(u64, &[u8]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        self.walk_dirty(true, f)
+    }
+
+    fn walk_dirty<E>(
+        &self,
+        drain: bool,
+        mut f: impl FnMut(u64, &[u8]) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        for word in 0..self.dirty.word_count() {
+            let mut bits = if drain {
+                self.dirty.take_word(word)
+            } else {
+                self.dirty.load_word(word)
+            };
+            if bits == 0 {
+                continue;
+            }
+            let data = self.data.read();
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as u64;
+                let page = word as u64 * 64 + bit;
+                if page >= self.pages() {
+                    break;
+                }
+                let off = (page * PAGE_SIZE) as usize;
+                if let Err(e) = f(page, &data[off..off + PAGE_SIZE as usize]) {
+                    if drain {
+                        // Error-path undo: the erred page and the word's
+                        // unvisited remainder stay dirty, so a retried
+                        // harvest still sees them (later words were never
+                        // taken).
+                        self.dirty.restore_word(word, bits);
+                    }
+                    return Err(e);
+                }
+                bits &= bits - 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy a whole page out of the region. `page` is region-relative.
+    ///
+    /// Allocating convenience wrapper over [`Self::with_page`]; hot paths
+    /// should use the view directly.
+    pub fn read_page(&self, page: u64) -> Result<Vec<u8>> {
+        self.with_page(page, |bytes| bytes.to_vec())
     }
 
     /// Overwrite a whole page. `page` is region-relative.
@@ -149,14 +279,8 @@ impl MemoryRegion {
     /// contents are gone but the guest has promised not to read it, so there
     /// is nothing for migration to copy.
     pub fn discard_page(&self, page: u64) -> Result<()> {
-        if page >= self.pages() {
-            return Err(Error::OutOfBounds {
-                addr: self.range.start.unchecked_add(page * PAGE_SIZE),
-                len: PAGE_SIZE,
-            });
-        }
+        let off = self.page_offset(page)?;
         let mut data = self.data.write();
-        let off = (page * PAGE_SIZE) as usize;
         data[off..off + PAGE_SIZE as usize].fill(0);
         Ok(())
     }
@@ -271,6 +395,124 @@ mod tests {
         let total: u64 = r.with_bytes(|b| b.iter().map(|&x| x as u64).sum());
         assert_eq!(total, 7);
         assert_eq!(r.with_bytes(|b| b.len()), (4 * PAGE_SIZE) as usize);
+    }
+
+    #[test]
+    fn with_page_views_see_and_mutate_in_place() {
+        let r = region();
+        r.fill(GuestAddress(0x2000), PAGE_SIZE, 0x11).unwrap();
+        r.dirty_bitmap().clear();
+
+        let sum: u64 = r
+            .with_page(1, |b| b.iter().map(|&x| x as u64).sum())
+            .unwrap();
+        assert_eq!(sum, 0x11 * PAGE_SIZE);
+        assert_eq!(r.dirty_bitmap().count(), 0, "read view must not dirty");
+
+        r.with_page_mut(1, |b| b[0] = 0xff).unwrap();
+        assert!(r.dirty_bitmap().is_dirty(1));
+        assert_eq!(r.with_page(1, |b| b[0]).unwrap(), 0xff);
+
+        assert!(r.with_page(4, |_| ()).is_err());
+        assert!(r.with_page_mut(4, |_| ()).is_err());
+    }
+
+    #[test]
+    fn page_fingerprint_matches_out_of_place_hash() {
+        let r = region();
+        r.fill(GuestAddress(0x1000), PAGE_SIZE, 0xab).unwrap();
+        let in_place = r.page_fingerprint(0).unwrap();
+        let copied = crate::ksm::fingerprint(&r.read_page(0).unwrap());
+        assert_eq!(in_place, copied);
+        assert_ne!(in_place, r.page_fingerprint(1).unwrap());
+        assert!(r.page_fingerprint(99).is_err());
+    }
+
+    #[test]
+    fn with_slice_views() {
+        let r = region();
+        r.write(GuestAddress(0x1ffe), &[1, 2, 3, 4]).unwrap();
+        let copied: Vec<u8> = r
+            .with_slice(GuestAddress(0x1ffe), 4, |b| b.to_vec())
+            .unwrap();
+        assert_eq!(copied, vec![1, 2, 3, 4]);
+        r.dirty_bitmap().clear();
+        r.with_slice_mut(GuestAddress(0x1fff), 2, |b| b.copy_from_slice(&[9, 9]))
+            .unwrap();
+        // The mutated span straddles pages 0 and 1: both are dirty.
+        assert_eq!(r.dirty_bitmap().dirty_pages(), vec![0, 1]);
+        assert!(r.with_slice(GuestAddress(0x0), 8, |_| ()).is_err());
+        assert!(r
+            .with_slice(GuestAddress(0x1000 + 4 * PAGE_SIZE - 4), 8, |_| ())
+            .is_err());
+    }
+
+    #[test]
+    fn for_each_dirty_page_walks_exactly_the_dirty_set() {
+        let r = MemoryRegion::new(GuestAddress(0), 130 * PAGE_SIZE).unwrap();
+        for p in [0u64, 63, 64, 65, 129] {
+            r.fill(GuestAddress(p * PAGE_SIZE), 8, p as u8 + 1).unwrap();
+        }
+        let mut seen = Vec::new();
+        r.for_each_dirty_page(|page, bytes| {
+            seen.push((page, bytes[0]));
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(0, 1), (63, 64), (64, 65), (65, 66), (129, 130)]);
+        // Traversal is non-clearing.
+        assert_eq!(r.dirty_bitmap().count(), 5);
+        // Errors from the closure propagate and stop the walk.
+        let mut visits = 0;
+        let res: std::result::Result<(), &str> = r.for_each_dirty_page(|_, _| {
+            visits += 1;
+            Err("stop")
+        });
+        assert_eq!(res, Err("stop"));
+        assert_eq!(visits, 1);
+    }
+
+    #[test]
+    fn drain_dirty_pages_with_harvests_and_clears_per_word() {
+        let r = MemoryRegion::new(GuestAddress(0), 130 * PAGE_SIZE).unwrap();
+        for p in [2u64, 64, 129] {
+            r.fill(GuestAddress(p * PAGE_SIZE), 8, 0xcc).unwrap();
+        }
+        let mut seen = Vec::new();
+        r.drain_dirty_pages_with(|page, bytes| {
+            seen.push((page, bytes[0]));
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![(2, 0xcc), (64, 0xcc), (129, 0xcc)]);
+        // Harvesting: the bits are gone, a second walk sees nothing.
+        assert_eq!(r.dirty_bitmap().count(), 0);
+        // A page dirtied after its word was taken lands in the next epoch —
+        // the visitor itself cannot re-observe it, but the bitmap keeps it.
+        r.fill(GuestAddress(0), 1, 1).unwrap();
+        assert!(r.dirty_bitmap().is_dirty(0));
+    }
+
+    #[test]
+    fn drain_dirty_pages_with_restores_bits_on_error() {
+        let r = MemoryRegion::new(GuestAddress(0), 130 * PAGE_SIZE).unwrap();
+        // Three dirty pages in word 0, one in word 2 (never reached).
+        for p in [1u64, 5, 9, 129] {
+            r.fill(GuestAddress(p * PAGE_SIZE), 8, 0xee).unwrap();
+        }
+        let mut visited = Vec::new();
+        let res: std::result::Result<(), &str> = r.drain_dirty_pages_with(|page, _| {
+            if page == 5 {
+                return Err("backend full");
+            }
+            visited.push(page);
+            Ok(())
+        });
+        assert_eq!(res, Err("backend full"));
+        assert_eq!(visited, vec![1]);
+        // Page 1 was harvested; the erred page, the word remainder and the
+        // untaken later word all stay dirty for the retry.
+        assert_eq!(r.dirty_bitmap().dirty_pages(), vec![5, 9, 129]);
     }
 
     #[test]

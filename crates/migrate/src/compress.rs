@@ -136,10 +136,14 @@ pub fn xbzrle_encode(old: &[u8], new: &[u8]) -> Option<Vec<u8>> {
     }
 }
 
-/// Apply an XBZRLE delta to `old`, producing the new page contents.
-pub fn xbzrle_decode(old: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
-    let mut out = old.to_vec();
-    let mut pos = 0usize; // position in `out`
+/// Apply an XBZRLE delta directly onto `page` (the destination's current
+/// copy of the page), patching only the changed runs — no intermediate
+/// buffer.
+///
+/// On error the page may have been partially patched; callers treat a
+/// failed migration transfer as fatal for the destination page anyway.
+pub fn xbzrle_apply_in_place(page: &mut [u8], delta: &[u8]) -> Result<()> {
+    let mut pos = 0usize; // position in `page`
     let mut i = 0usize; // position in `delta`
     while i < delta.len() {
         if i + 4 > delta.len() {
@@ -151,13 +155,22 @@ pub fn xbzrle_decode(old: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
         pos = pos
             .checked_add(skip)
             .ok_or_else(|| Error::Migration("xbzrle skip overflow".into()))?;
-        if pos + copy > out.len() || i + copy > delta.len() {
+        if pos + copy > page.len() || i + copy > delta.len() {
             return Err(Error::Migration("xbzrle delta exceeds page bounds".into()));
         }
-        out[pos..pos + copy].copy_from_slice(&delta[i..i + copy]);
+        page[pos..pos + copy].copy_from_slice(&delta[i..i + copy]);
         pos += copy;
         i += copy;
     }
+    Ok(())
+}
+
+/// Apply an XBZRLE delta to `old`, producing the new page contents.
+///
+/// Allocating convenience wrapper over [`xbzrle_apply_in_place`].
+pub fn xbzrle_decode(old: &[u8], delta: &[u8]) -> Result<Vec<u8>> {
+    let mut out = old.to_vec();
+    xbzrle_apply_in_place(&mut out, delta)?;
     Ok(out)
 }
 
@@ -280,14 +293,38 @@ impl PageCompressor {
         encoded
     }
 
+    /// Apply a wire page directly onto the destination's current copy of the
+    /// page — raw overwrite, in-place zeroing, or in-place delta patching.
+    /// This is the zero-copy receive path: no per-page buffer is built.
+    pub fn apply_in_place(current: &mut [u8], wire: &WirePage) -> Result<()> {
+        match wire {
+            WirePage::Raw(bytes) => {
+                if bytes.len() != current.len() {
+                    return Err(Error::Migration(format!(
+                        "raw wire page is {} bytes but the page is {}",
+                        bytes.len(),
+                        current.len()
+                    )));
+                }
+                current.copy_from_slice(bytes);
+                Ok(())
+            }
+            WirePage::Zero => {
+                current.fill(0);
+                Ok(())
+            }
+            WirePage::Delta(delta) => xbzrle_apply_in_place(current, delta),
+        }
+    }
+
     /// Apply a wire page on the destination side, given the destination's
     /// current copy of the page. Returns the new page contents.
+    ///
+    /// Allocating convenience wrapper over [`Self::apply_in_place`].
     pub fn apply(current: &[u8], wire: &WirePage) -> Result<Vec<u8>> {
-        match wire {
-            WirePage::Raw(bytes) => Ok(bytes.clone()),
-            WirePage::Zero => Ok(vec![0u8; current.len()]),
-            WirePage::Delta(delta) => xbzrle_decode(current, delta),
-        }
+        let mut out = current.to_vec();
+        Self::apply_in_place(&mut out, wire)?;
+        Ok(out)
     }
 
     fn remember(&mut self, page: u64, contents: &[u8]) {

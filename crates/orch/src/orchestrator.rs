@@ -52,6 +52,9 @@ pub struct Orchestrator {
     power_marks: Vec<(bool, Nanoseconds)>,
     /// `RestoreComplete` events scheduled by failure handling (conservation).
     restores_scheduled: u64,
+    /// Scratch work list reused by every backup tick, so the periodic
+    /// backup sweep stops allocating its queue once the fleet size is known.
+    backup_queue: Vec<String>,
 }
 
 impl Orchestrator {
@@ -78,6 +81,7 @@ impl Orchestrator {
             report: OrchReport::default(),
             power_marks: vec![(true, Nanoseconds::ZERO); n_hosts],
             restores_scheduled: 0,
+            backup_queue: Vec::new(),
         })
     }
 
@@ -463,15 +467,20 @@ impl Orchestrator {
     }
 
     fn on_backup_tick(&mut self) -> Result<()> {
-        let names: Vec<String> = self
-            .cluster
-            .hosts()
-            .iter()
-            .filter(|h| h.power() == HostPower::On)
-            .flat_map(|h| h.vm_names())
-            .collect();
+        // The work list is a field, not a local: its backbone is reused
+        // across ticks (the per-name `String` clones remain, but the queue
+        // itself stops reallocating once it has seen the fleet size).
+        let mut queue = std::mem::take(&mut self.backup_queue);
+        queue.clear();
+        queue.extend(
+            self.cluster
+                .hosts()
+                .iter()
+                .filter(|h| h.power() == HostPower::On)
+                .flat_map(|h| h.vm_names()),
+        );
         let label = format!("backup@{}", self.now.as_nanos());
-        for name in names {
+        for name in queue.drain(..) {
             let snap = self.cluster.backup(&name, &label, &mut self.dr_store)?;
             let size = self
                 .dr_store
@@ -489,6 +498,8 @@ impl Orchestrator {
                 let _ = self.dr_store.delete(old);
             }
         }
+        // Hand the (now empty) backbone back for the next tick.
+        self.backup_queue = queue;
         Ok(())
     }
 }

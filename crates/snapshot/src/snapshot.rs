@@ -37,7 +37,8 @@ pub struct MemorySnapshot {
 }
 
 impl MemorySnapshot {
-    /// Capture every page of `memory`.
+    /// Capture every page of `memory`. The record's own `Vec<u8>` is the
+    /// only allocation per page.
     pub fn capture_full(memory: &GuestMemory) -> Result<Self> {
         let total_pages = memory.total_pages();
         let mut pages = Vec::with_capacity(total_pages as usize);
@@ -50,12 +51,13 @@ impl MemorySnapshot {
         })
     }
 
-    /// Capture only the listed pages of `memory`.
+    /// Capture only the listed pages of `memory` (any order, duplicates
+    /// tolerated).
     pub fn capture_pages(memory: &GuestMemory, page_indices: &[u64]) -> Result<Self> {
-        let mut pages = Vec::with_capacity(page_indices.len());
         let mut sorted: Vec<u64> = page_indices.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        let mut pages = Vec::with_capacity(sorted.len());
         for &p in &sorted {
             pages.push((p, memory.read_page(p)?));
         }
@@ -143,6 +145,13 @@ impl VmSnapshot {
     /// Capture an incremental snapshot containing only the pages dirtied
     /// since the dirty bitmap was last cleared (typically at the parent
     /// snapshot). The dirty bitmap is drained by this call.
+    ///
+    /// Page records are built by the batched harvesting traversal
+    /// ([`GuestMemory::drain_dirty_pages_with`]): no page-index buffer, one
+    /// region lock acquisition per 64-page bitmap word instead of one per
+    /// page, and each word's bits are atomically fetched-and-cleared before
+    /// its pages are read — a page written concurrently with the capture
+    /// stays dirty for the next epoch rather than being silently lost.
     pub fn capture_incremental(
         vm: VmId,
         name: &str,
@@ -152,7 +161,11 @@ impl VmSnapshot {
         vcpus: Vec<VcpuState>,
         device_state: BTreeMap<String, Vec<u8>>,
     ) -> Result<Self> {
-        let dirty = memory.drain_dirty();
+        let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
+        memory.drain_dirty_pages_with(|page, bytes| {
+            pages.push((page, bytes.to_vec()));
+            Ok::<(), Error>(())
+        })?;
         Ok(VmSnapshot {
             id: SnapshotId(0),
             vm,
@@ -161,7 +174,10 @@ impl VmSnapshot {
             parent: Some(parent),
             taken_at,
             vcpus,
-            memory: MemorySnapshot::capture_pages(memory, &dirty)?,
+            memory: MemorySnapshot {
+                total_size: memory.total_size(),
+                pages,
+            },
             device_state,
             memory_checksum: memory.checksum(),
         })

@@ -24,6 +24,20 @@ pub enum Error {
         /// Length of the attempted access.
         len: u64,
     },
+    /// A multi-byte guest memory access started inside a region but ran into
+    /// a hole (unbacked address space) before it was satisfied.
+    ///
+    /// Accesses spanning *adjacent* regions are legal and are stitched
+    /// together by `GuestMemory`; this error is returned only when the next
+    /// byte of the span is backed by no region at all.
+    CrossRegionGap {
+        /// Address where the access started.
+        addr: GuestAddress,
+        /// Length of the attempted access.
+        len: u64,
+        /// First address of the span not backed by any region.
+        gap_at: GuestAddress,
+    },
     /// Two memory regions overlap.
     RegionOverlap,
     /// A memory region was configured with zero size or misaligned bounds.
@@ -95,6 +109,10 @@ impl fmt::Display for Error {
             Error::OutOfBounds { addr, len } => {
                 write!(f, "guest memory access out of bounds: {len} bytes at {addr}")
             }
+            Error::CrossRegionGap { addr, len, gap_at } => write!(
+                f,
+                "guest memory access of {len} bytes at {addr} crosses into unbacked space at {gap_at}"
+            ),
             Error::RegionOverlap => write!(f, "guest memory regions overlap"),
             Error::InvalidRegionConfig(msg) => write!(f, "invalid memory region config: {msg}"),
             Error::BalloonExhausted { requested_pages, available_pages } => write!(

@@ -34,6 +34,11 @@ pub const VIRTIO_BLK_S_IOERR: u8 = 1;
 /// Status byte: unsupported request.
 pub const VIRTIO_BLK_S_UNSUPP: u8 = 2;
 
+/// Largest bounce-buffer capacity retained between requests (1 MiB — far
+/// above typical per-descriptor payloads); bigger one-off requests are
+/// served, then the scratch shrinks back.
+const SCRATCH_CAP: usize = 1 << 20;
+
 /// Per-device request counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VirtioBlkStats {
@@ -53,6 +58,9 @@ pub struct VirtioBlkStats {
 pub struct VirtioBlk {
     backend: Box<dyn BlockBackend>,
     stats: VirtioBlkStats,
+    /// Bounce buffer for read (`T_IN`) payloads, reused across requests so
+    /// steady-state I/O performs no per-descriptor heap allocation.
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for VirtioBlk {
@@ -70,6 +78,7 @@ impl VirtioBlk {
         VirtioBlk {
             backend,
             stats: VirtioBlkStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -97,7 +106,8 @@ impl VirtioBlk {
                 "virtio-blk chain missing header or status".into(),
             ));
         }
-        let header = mem.read_vec(readable[0].addr, 16)?;
+        let mut header = [0u8; 16];
+        mem.read(readable[0].addr, &mut header)?;
         let req_type = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let sector = u64::from_le_bytes(header[8..16].try_into().unwrap());
         let status_desc = writable[writable.len() - 1];
@@ -109,10 +119,14 @@ impl VirtioBlk {
                 let mut ok = true;
                 let mut current_sector = sector;
                 for d in &writable[..writable.len() - 1] {
-                    let mut buf = vec![0u8; d.len as usize];
-                    match self.backend.read_sectors(current_sector, &mut buf) {
+                    // No re-zeroing: the `BlockBackend::read_sectors`
+                    // contract guarantees every byte of the slice is
+                    // overwritten on `Ok`, and on failure nothing is copied
+                    // to the guest.
+                    self.scratch.resize(d.len as usize, 0);
+                    match self.backend.read_sectors(current_sector, &mut self.scratch) {
                         Ok(()) => {
-                            mem.write(d.addr, &buf)?;
+                            mem.write(d.addr, &self.scratch)?;
                             current_sector += d.len as u64 / SECTOR_SIZE;
                             total += d.len;
                         }
@@ -134,8 +148,25 @@ impl VirtioBlk {
                 let mut ok = true;
                 let mut current_sector = sector;
                 for d in &readable[1..] {
-                    let buf = mem.read_vec(d.addr, d.len as u64)?;
-                    match self.backend.write_sectors(current_sector, &buf) {
+                    // Zero-copy write path: the backend consumes the guest's
+                    // bytes in place through the page-view API. A payload
+                    // that straddles adjacent regions cannot be borrowed
+                    // contiguously, so it bounces through the scratch buffer
+                    // instead — same stitched-span semantics as the T_IN
+                    // direction; truly unbacked buffers still error via the
+                    // fallback `read`.
+                    let backend = &mut self.backend;
+                    let wrote = match mem.with_slice(d.addr, d.len as u64, |buf| {
+                        backend.write_sectors(current_sector, buf)
+                    }) {
+                        Ok(result) => result,
+                        Err(_) => {
+                            self.scratch.resize(d.len as usize, 0);
+                            mem.read(d.addr, &mut self.scratch)?;
+                            self.backend.write_sectors(current_sector, &self.scratch)
+                        }
+                    };
+                    match wrote {
                         Ok(()) => current_sector += d.len as u64 / SECTOR_SIZE,
                         Err(_) => {
                             ok = false;
@@ -168,6 +199,12 @@ impl VirtioBlk {
         };
 
         mem.write_u8(status_desc.addr, status)?;
+        // One oversized request must not pin its payload's worth of memory
+        // for the device's lifetime.
+        if self.scratch.capacity() > SCRATCH_CAP {
+            self.scratch.truncate(SCRATCH_CAP);
+            self.scratch.shrink_to(SCRATCH_CAP);
+        }
         // Status byte counts towards the written length per the spec.
         Ok(written + 1)
     }

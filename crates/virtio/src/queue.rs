@@ -153,10 +153,15 @@ impl DescriptorChain {
     }
 
     /// Copy all device-readable bytes into one vector.
+    ///
+    /// One allocation for the result; each descriptor's payload is read
+    /// directly into it (no per-descriptor temporary `Vec`).
     pub fn read_all(&self, mem: &GuestMemory) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(self.readable_len() as usize);
         for d in self.readable() {
-            out.extend_from_slice(&mem.read_vec(d.addr, d.len as u64)?);
+            let start = out.len();
+            out.resize(start + d.len as usize, 0);
+            mem.read(d.addr, &mut out[start..])?;
         }
         Ok(out)
     }

@@ -107,6 +107,9 @@ pub struct Vmm {
     next_vm: u32,
     switch: VirtualSwitch,
     snapshots: SnapshotStore,
+    /// Scratch id list reused by [`Self::run_all_once`] so the per-slice
+    /// scheduling loop stops allocating once it has seen the VM population.
+    slice_ids: Vec<VmId>,
 }
 
 impl std::fmt::Debug for Vmm {
@@ -128,6 +131,7 @@ impl Vmm {
             next_vm: 0,
             switch: VirtualSwitch::new(),
             snapshots: SnapshotStore::new(),
+            slice_ids: Vec::new(),
         }
     }
 
@@ -241,9 +245,13 @@ impl Vmm {
     /// Run every runnable VM for one scheduling slice (simple round-robin at
     /// the host level). Returns the number of VMs that are still runnable.
     pub fn run_all_once(&mut self) -> Result<usize> {
-        let ids: Vec<VmId> = self.vm_ids();
+        // Reuse the scratch id list: this loop runs once per scheduling slice
+        // for the lifetime of the host, so it must not allocate at steady
+        // state.
+        self.slice_ids.clear();
+        self.slice_ids.extend(self.vms.keys().copied());
         let mut runnable = 0;
-        for id in ids {
+        for &id in &self.slice_ids {
             let vm = self.vms.get_mut(&id).expect("id came from the map");
             if vm.lifecycle() == VmLifecycle::Running && vm.run_slice()? {
                 runnable += 1;
