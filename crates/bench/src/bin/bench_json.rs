@@ -1,0 +1,380 @@
+//! `bench_json` — the machine-readable perf-tracking harness behind the CI
+//! `bench-trend` job.
+//!
+//! Runs a curated set of quick micro-benchmarks over the workspace's hot
+//! paths (the wire codec, the streamed migration engine, the fabric model,
+//! the zero-copy memory plane) and emits a flat JSON map of
+//! `bench name -> ns/iter`:
+//!
+//! ```sh
+//! cargo run --release -p rvisor-bench --bin bench_json -- --out BENCH_$(git rev-parse HEAD).json
+//! ```
+//!
+//! With `--compare BENCH_baseline.json` it additionally diffs the fresh
+//! numbers against the checked-in baseline and **exits non-zero when any
+//! bench regressed by more than `--threshold` percent** (default 25). Each
+//! sample is the mean of a timed batch and the reported figure is the
+//! *median* sample, which keeps single-digit-millisecond CI runs stable
+//! enough for a coarse 25% gate. Benches present in only one of the two
+//! files are reported but never fail the gate, so adding a bench does not
+//! require a lockstep baseline update.
+//!
+//! The JSON is written one `"name": value` pair per line, so the
+//! dependency-free parser below (and any `jq`-less shell script) can read
+//! it back.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rvisor_memory::GuestMemory;
+use rvisor_migrate::compress::xbzrle_encode;
+use rvisor_migrate::{
+    ConstantRateDirtier, FabricTransport, IdleDirtier, LoopbackTransport, MigrationConfig,
+    MigrationSink, MigrationSource, PreCopy, Transport,
+};
+use rvisor_net::{Fabric, FabricParams, Link, LinkModel};
+use rvisor_types::{ByteSize, GuestAddress, Nanoseconds, PAGE_SIZE};
+use rvisor_vcpu::VcpuState;
+
+/// Samples per bench; the median is reported.
+const DEFAULT_SAMPLES: usize = 9;
+/// Target wall-clock budget per sample, nanoseconds.
+const SAMPLE_BUDGET_NS: u128 = 8_000_000;
+
+struct Args {
+    out: Option<String>,
+    compare: Option<String>,
+    threshold_pct: f64,
+    samples: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        compare: None,
+        threshold_pct: 25.0,
+        samples: DEFAULT_SAMPLES,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--compare" => args.compare = Some(value("--compare")?),
+            "--threshold" => {
+                args.threshold_pct = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?
+            }
+            "--samples" => {
+                args.samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_json [--out FILE] [--compare BASELINE] \
+                     [--threshold PCT] [--samples N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.samples == 0 {
+        return Err("--samples must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Measure `routine`: calibrate a batch size to ~`SAMPLE_BUDGET_NS`, take
+/// `samples` timed batches, report the median mean-ns-per-iteration.
+fn measure<O>(samples: usize, mut routine: impl FnMut() -> O) -> f64 {
+    // Warm-up + calibration.
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_nanos() < SAMPLE_BUDGET_NS / 4 || calib_iters == 0 {
+        std::hint::black_box(routine());
+        calib_iters += 1;
+        if calib_iters >= 10_000 {
+            break;
+        }
+    }
+    let per_iter = (start.elapsed().as_nanos() / calib_iters as u128).max(1);
+    let batch = ((SAMPLE_BUDGET_NS / per_iter).clamp(1, 100_000)) as u64;
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        means.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    means[means.len() / 2]
+}
+
+fn sparse_memories(pages: u64) -> (GuestMemory, GuestMemory) {
+    let src = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+    let dst = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+    for p in 0..pages {
+        if p % 4 != 3 {
+            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 11 + 3)
+                .unwrap();
+        }
+    }
+    (src, dst)
+}
+
+fn run_benches(samples: usize) -> BTreeMap<String, f64> {
+    const PAGES: u64 = 512; // 2 MiB guest keeps every bench in the ms range
+    let mut results = BTreeMap::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<40} {ns:>14.1} ns/iter");
+        results.insert(name.to_string(), ns);
+    };
+
+    // -- wire codec: encode one round of raw page frames --
+    {
+        let (src, _) = sparse_memories(PAGES);
+        let pages: Vec<u64> = (0..PAGES).collect();
+        let mut link = Link::new(LinkModel::ten_gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let ns = measure(samples, || {
+            let mut source = MigrationSource::raw(&src);
+            source.encode_round(&pages, &mut transport).unwrap();
+            let (_, burst) = transport.deliver(Nanoseconds::ZERO).unwrap();
+            let len = burst.len();
+            transport.recycle(burst);
+            len
+        });
+        record("wire_encode_round_2mib", ns);
+    }
+
+    // -- wire codec: checksum-verify and apply one round --
+    {
+        let (src, dst) = sparse_memories(PAGES);
+        let mut link = Link::new(LinkModel::ten_gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let mut source = MigrationSource::raw(&src);
+        source.send_hello(&mut transport).unwrap();
+        source
+            .encode_round(&(0..PAGES).collect::<Vec<_>>(), &mut transport)
+            .unwrap();
+        let (_, burst) = transport.deliver(Nanoseconds::ZERO).unwrap();
+        let ns = measure(samples, || {
+            let mut sink = MigrationSink::new(&dst);
+            sink.apply_burst(&burst).unwrap();
+            sink.pages_applied()
+        });
+        record("wire_decode_apply_round_2mib", ns);
+    }
+
+    // -- full streamed pre-copy over loopback --
+    {
+        let ns = measure(samples, || {
+            let (src, dst) = sparse_memories(PAGES);
+            let mut link = Link::new(LinkModel::ten_gigabit());
+            let mut transport = LoopbackTransport::new(&mut link);
+            PreCopy::migrate_over(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &MigrationConfig::default(),
+            )
+            .unwrap()
+        });
+        record("precopy_stream_loopback_2mib", ns);
+    }
+
+    // -- full streamed pre-copy over the fabric, dirtying guest --
+    {
+        let params = FabricParams::datacenter();
+        let ns = measure(samples, || {
+            let (src, dst) = sparse_memories(PAGES);
+            let mut fabric = Fabric::new(2, params).unwrap();
+            let mut transport = FabricTransport::new(&mut fabric, 0, 1).unwrap();
+            let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                params.nic_bytes_per_second,
+                0.3,
+                0,
+                PAGES,
+            );
+            PreCopy::migrate_over(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut dirtier,
+                &MigrationConfig::default(),
+            )
+            .unwrap()
+        });
+        record("precopy_stream_fabric_2mib", ns);
+    }
+
+    // -- fabric timing model (pure integer arithmetic) --
+    {
+        let mut fabric = Fabric::new(16, FabricParams::datacenter()).unwrap();
+        let mut i = 0usize;
+        let ns = measure(samples, || {
+            i = (i + 1) % 15;
+            fabric
+                .transfer(i, i + 1, Nanoseconds::ZERO, 1 << 20)
+                .unwrap()
+        });
+        record("fabric_transfer_1mib", ns);
+    }
+
+    // -- XBZRLE delta encode of a lightly-touched page --
+    {
+        let old = vec![0xa5u8; PAGE_SIZE as usize];
+        let mut new = old.clone();
+        for i in (0..PAGE_SIZE as usize).step_by(512) {
+            new[i] ^= 0xff;
+        }
+        let ns = measure(samples, || xbzrle_encode(&old, &new));
+        record("xbzrle_encode_page", ns);
+    }
+
+    // -- zero-copy memory plane: harvest + page copy round --
+    {
+        let (src, dst) = sparse_memories(PAGES);
+        let mut harvest: Vec<u64> = Vec::new();
+        let mut bounce = [0u8; PAGE_SIZE as usize];
+        let ns = measure(samples, || {
+            for p in (0..PAGES).step_by(2) {
+                src.mark_dirty_page(p);
+            }
+            src.drain_dirty_into(&mut harvest);
+            for &p in &harvest {
+                src.with_page(p, |bytes| bounce.copy_from_slice(bytes))
+                    .unwrap();
+                dst.with_page_mut(p, |target| target.copy_from_slice(&bounce))
+                    .unwrap();
+            }
+            harvest.len()
+        });
+        record("memory_plane_harvest_copy_round", ns);
+    }
+
+    results
+}
+
+fn to_json(results: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": {\n");
+    let last = results.len().saturating_sub(1);
+    for (i, (name, ns)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {ns:.1}{}\n",
+            if i == last { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parse the `"name": value` lines of a `bench_json` file (full JSON is not
+/// needed: the writer emits one pair per line).
+fn parse_json(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "schema" || key == "benches" {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            map.insert(key.to_string(), v);
+        }
+    }
+    map
+}
+
+fn compare(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    threshold_pct: f64,
+) -> bool {
+    println!(
+        "\n{:<40} {:>14} {:>14} {:>9}",
+        "bench", "baseline ns", "current ns", "delta"
+    );
+    let mut regressed = false;
+    for (name, &now) in current {
+        match baseline.get(name) {
+            Some(&base) if base > 0.0 => {
+                let delta_pct = (now / base - 1.0) * 100.0;
+                let verdict = if delta_pct > threshold_pct {
+                    regressed = true;
+                    "REGRESSED"
+                } else {
+                    ""
+                };
+                println!("{name:<40} {base:>14.1} {now:>14.1} {delta_pct:>+8.1}% {verdict}");
+            }
+            _ => println!("{name:<40} {:>14} {now:>14.1}   (new bench)", "-"),
+        }
+    }
+    for name in baseline.keys() {
+        if !current.contains_key(name) {
+            println!("{name:<40} (present in baseline only)");
+        }
+    }
+    if regressed {
+        println!(
+            "\nFAIL: at least one bench regressed by more than {threshold_pct}% \
+             against the baseline"
+        );
+    } else {
+        println!("\nOK: no bench regressed by more than {threshold_pct}%");
+    }
+    regressed
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_json: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let results = run_benches(args.samples);
+    let json = to_json(&results);
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bench_json: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("\nwrote {path}");
+    }
+
+    if let Some(path) = &args.compare {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_json: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = parse_json(&baseline_text);
+        if baseline.is_empty() {
+            eprintln!("bench_json: baseline {path} contains no bench entries");
+            return ExitCode::from(2);
+        }
+        if compare(&results, &baseline, args.threshold_pct) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -14,12 +14,15 @@ use rvisor_vcpu::VcpuState;
 use crate::compress::{PageCompression, PageCompressor};
 use crate::dirty::DirtySource;
 use crate::report::{MigrationKind, MigrationReport};
+use crate::wire;
 
-/// Bytes of metadata transferred per page (page index + framing).
-const PER_PAGE_OVERHEAD: u64 = 16;
-/// Approximate size of the non-memory VM state moved during the pause
-/// (vCPU registers, device state).
-const VCPU_STATE_BYTES: u64 = 4096;
+/// Bytes of metadata transferred per page: exactly one wire-format frame
+/// header ([`wire::FRAME_HEADER_BYTES`]), so the direct engines charge the
+/// same bytes the streaming path actually encodes.
+pub(crate) const PER_PAGE_OVERHEAD: u64 = wire::FRAME_HEADER_BYTES;
+/// Modelled on-wire size of one vCPU's non-memory state (registers, device
+/// state), framing included — one [`wire::FrameKind::VcpuState`] frame.
+pub(crate) const VCPU_STATE_BYTES: u64 = wire::VCPU_STATE_WIRE_BYTES;
 
 /// Shared configuration for the engines.
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +58,41 @@ impl Default for MigrationConfig {
     }
 }
 
-fn check_same_size(source: &GuestMemory, dest: &GuestMemory) -> Result<()> {
+impl MigrationConfig {
+    /// Validate the configuration. The engines call this on entry, so a
+    /// nonsensical knob fails fast instead of silently shaping a run:
+    ///
+    /// * `postcopy_fault_fraction` must lie in `[0, 1]` (NaN is rejected) —
+    ///   it is a fraction of the guest's pages;
+    /// * `max_rounds` must be at least 1 (pre-copy needs its full first
+    ///   round);
+    /// * `xbzrle_cache_pages` must be non-zero when XBZRLE is selected.
+    ///
+    /// Network-side knobs (bandwidth, MTU) live in
+    /// [`rvisor_net::FabricParams`] / [`rvisor_net::LinkModel`] and are
+    /// validated by `FabricParams::validate` when the fabric is built.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.postcopy_fault_fraction) {
+            return Err(Error::Migration(format!(
+                "postcopy_fault_fraction must be within [0, 1], got {}",
+                self.postcopy_fault_fraction
+            )));
+        }
+        if self.max_rounds == 0 {
+            return Err(Error::Migration(
+                "max_rounds must be at least 1 (pre-copy needs its first round)".into(),
+            ));
+        }
+        if self.compression == PageCompression::Xbzrle && self.xbzrle_cache_pages == 0 {
+            return Err(Error::Migration(
+                "xbzrle_cache_pages must be non-zero when XBZRLE is enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn check_same_size(source: &GuestMemory, dest: &GuestMemory) -> Result<()> {
     if source.total_size() != dest.total_size() {
         return Err(Error::Migration(format!(
             "source has {} of RAM but destination has {}",
@@ -130,6 +167,9 @@ fn copy_pages_with(
             }
         }
     }
+    // Every round's burst is terminated by an end-of-round marker frame on
+    // the wire; the direct path charges it so both paths account alike.
+    bytes += wire::END_OF_ROUND_WIRE_BYTES;
     let done = link.transmit(now, bytes);
     Ok((done, bytes))
 }
@@ -149,8 +189,11 @@ impl StopAndCopy {
     ) -> Result<MigrationReport> {
         check_same_size(source, dest)?;
         let start = link.free_at();
+        // Stream opener: version/geometry handshake (the guest is already
+        // paused for a cold migration, so it counts toward downtime).
+        let after_hello = link.transmit(start, wire::HELLO_WIRE_BYTES);
         let all_pages: Vec<u64> = (0..source.total_pages()).collect();
-        let (after_pages, bytes) = copy_pages(source, dest, &all_pages, link, start)?;
+        let (after_pages, bytes) = copy_pages(source, dest, &all_pages, link, after_hello)?;
         let state_bytes = VCPU_STATE_BYTES * vcpus.len().max(1) as u64;
         let done = link.transmit(after_pages, state_bytes);
         let elapsed = done.saturating_sub(start);
@@ -159,7 +202,7 @@ impl StopAndCopy {
             downtime: elapsed,
             total_time: elapsed,
             rounds: 1,
-            bytes_transferred: bytes + state_bytes,
+            bytes_transferred: wire::HELLO_WIRE_BYTES + bytes + state_bytes,
             pages_transferred: all_pages.len() as u64,
             memory_size: source.total_size(),
             converged: true,
@@ -183,10 +226,12 @@ impl PreCopy {
         dirty_source: &mut dyn DirtySource,
         config: &MigrationConfig,
     ) -> Result<MigrationReport> {
+        config.validate()?;
         check_same_size(source, dest)?;
         let start = link.free_at();
-        let mut now = start;
-        let mut total_bytes = 0u64;
+        // Stream opener (version/geometry handshake) while the guest runs.
+        let mut now = link.transmit(start, wire::HELLO_WIRE_BYTES);
+        let mut total_bytes = wire::HELLO_WIRE_BYTES;
         let mut total_pages = 0u64;
         let mut rounds = 0u32;
         let mut converged = false;
@@ -270,12 +315,15 @@ impl PostCopy {
         link: &mut Link,
         config: &MigrationConfig,
     ) -> Result<MigrationReport> {
+        config.validate()?;
         check_same_size(source, dest)?;
         let start = link.free_at();
+        // Stream opener crosses before the pause (connection setup).
+        let after_hello = link.transmit(start, wire::HELLO_WIRE_BYTES);
         // Downtime: only the vCPU/device state.
         let state_bytes = VCPU_STATE_BYTES * vcpus.len().max(1) as u64;
-        let resumed_at = link.transmit(start, state_bytes);
-        let downtime = resumed_at.saturating_sub(start);
+        let resumed_at = link.transmit(after_hello, state_bytes);
+        let downtime = resumed_at.saturating_sub(after_hello);
 
         // All memory still has to cross the link; demand faults additionally pay
         // a propagation round trip each because the guest is blocked on them.
@@ -297,7 +345,7 @@ impl PostCopy {
             downtime,
             total_time: done.saturating_sub(start),
             rounds: 1,
-            bytes_transferred: bytes + state_bytes,
+            bytes_transferred: wire::HELLO_WIRE_BYTES + bytes + state_bytes,
             pages_transferred: total_pages,
             memory_size: source.total_size(),
             converged: true,
@@ -575,9 +623,12 @@ mod tests {
         assert!(xbzrle.downtime <= raw.downtime);
     }
 
-    /// The seed (pre-refactor) data plane, kept verbatim as a reference: a
-    /// fresh `Vec<u8>` per page touched, a fresh `Vec<u64>` per harvest.
-    /// The zero-copy engine must be observably equivalent to it.
+    /// The seed (pre-refactor) data plane, kept as a reference: a fresh
+    /// `Vec<u8>` per page touched, a fresh `Vec<u64>` per harvest. The
+    /// zero-copy engine must be observably equivalent to it. (The only
+    /// post-seed edits are the wire-framing constants — hello opener and
+    /// end-of-round markers — which PR 4 added identically to both paths;
+    /// the allocation structure under comparison is untouched.)
     mod seed_reference {
         use super::*;
 
@@ -606,6 +657,7 @@ mod tests {
                     }
                 }
             }
+            bytes += wire::END_OF_ROUND_WIRE_BYTES;
             let done = link.transmit(now, bytes);
             Ok((done, bytes))
         }
@@ -620,8 +672,8 @@ mod tests {
             config: &MigrationConfig,
         ) -> Result<MigrationReport> {
             let start = link.free_at();
-            let mut now = start;
-            let mut total_bytes = 0u64;
+            let mut now = link.transmit(start, wire::HELLO_WIRE_BYTES);
+            let mut total_bytes = wire::HELLO_WIRE_BYTES;
             let mut total_pages = 0u64;
             let mut rounds = 0u32;
             let mut converged = false;

@@ -27,6 +27,22 @@
 //! detection and XBZRLE delta encoding (the [`compress`] module), the two
 //! techniques production migration stacks use to survive write-heavy guests
 //! on thin links.
+//!
+//! ## Two data planes, one protocol
+//!
+//! Each engine exists in two forms that are pinned equivalent by proptest:
+//!
+//! * **direct** (`migrate`, the [`engines`] module) — memory-to-memory copy
+//!   with modelled byte accounting over a [`Link`](rvisor_net::Link); the
+//!   fast path for benchmarks that sweep thousands of migrations.
+//! * **streamed** (`migrate_over`, the [`stream`] module) — the migration
+//!   crosses a [`Transport`] as a real byte stream in the versioned
+//!   [`wire`] format: framed page records with compression mode, run-length
+//!   zero pages, per-frame checksums verified before anything touches the
+//!   destination, and end-of-round markers. Point the transport at a
+//!   [`FabricTransport`] and the same migration pays per-host NIC
+//!   serialization, shared-backbone contention and MTU chunk framing
+//!   (experiment E17).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -35,8 +51,13 @@ pub mod compress;
 pub mod dirty;
 pub mod engines;
 pub mod report;
+pub mod stream;
+pub mod transport;
+pub mod wire;
 
 pub use compress::{CompressionStats, PageCompression, PageCompressor, WirePage};
 pub use dirty::{ConstantRateDirtier, DirtySource, IdleDirtier};
 pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy};
 pub use report::{MigrationKind, MigrationReport};
+pub use stream::{MigrationSink, MigrationSource};
+pub use transport::{FabricTransport, LoopbackTransport, Transport};

@@ -1,0 +1,907 @@
+//! Streaming migration: the engines split into a source-side encoder and a
+//! destination-side sink connected by a [`Transport`].
+//!
+//! The direct engines in [`engines`](crate::engines) copy memory to memory
+//! and merely *account* bytes. This module moves the same migrations as a
+//! real byte stream: [`MigrationSource`] borrows guest pages through the
+//! zero-copy views and encodes them as [`wire`] frames into the transport's
+//! burst, the transport models the bytes crossing the network (loopback
+//! link or shared fabric), and [`MigrationSink`] decodes the burst —
+//! verifying every frame checksum before anything touches guest memory —
+//! and applies pages in place on the destination.
+//!
+//! For a [`LoopbackTransport`](crate::transport::LoopbackTransport) the
+//! streamed engines produce **`==`-equal [`MigrationReport`]s and
+//! byte-identical destination memory** versus the direct engines (pinned by
+//! proptest below) — the wire protocol is free at equal modelled bandwidth.
+//! Over a [`FabricTransport`](crate::transport::FabricTransport) the same
+//! stream pays NIC serialization, backbone contention and MTU chunk
+//! framing, which is where wire migration earns its keep (experiment E17).
+
+use rvisor_memory::GuestMemory;
+use rvisor_types::{Error, Nanoseconds, Result, PAGE_SIZE};
+use rvisor_vcpu::VcpuState;
+
+use crate::compress::{xbzrle_apply_in_place, PageCompression, PageCompressor, WirePage};
+use crate::dirty::DirtySource;
+use crate::engines::PER_PAGE_OVERHEAD;
+use crate::engines::{check_same_size, MigrationConfig, PostCopy, PreCopy, StopAndCopy};
+use crate::report::{MigrationKind, MigrationReport};
+use crate::transport::Transport;
+use crate::wire::{self, FrameKind, WireFrame, MODE_DELTA, MODE_RAW, MODE_ZERO};
+
+/// The source (encode) half of a streamed migration.
+///
+/// Owns the page compressor; pages are borrowed in place from the source
+/// memory and frames are encoded *directly into the transport's burst
+/// buffer* ([`Transport::send_built`]), so a raw page crosses from guest
+/// memory to the burst with a single copy and no per-page heap allocation
+/// at steady state.
+#[derive(Debug)]
+pub struct MigrationSource<'m> {
+    memory: &'m GuestMemory,
+    compressor: Option<PageCompressor>,
+    round: u32,
+}
+
+impl<'m> MigrationSource<'m> {
+    /// An encoder sending every page raw (stop-and-copy / post-copy).
+    pub fn raw(memory: &'m GuestMemory) -> Self {
+        MigrationSource {
+            memory,
+            compressor: None,
+            round: 0,
+        }
+    }
+
+    /// An encoder honouring the configured page compression.
+    pub fn with_config(memory: &'m GuestMemory, config: &MigrationConfig) -> Self {
+        let compressor = match config.compression {
+            PageCompression::None => None,
+            mode => Some(PageCompressor::with_cache_capacity(
+                mode,
+                config.xbzrle_cache_pages,
+            )),
+        };
+        MigrationSource {
+            memory,
+            compressor,
+            round: 0,
+        }
+    }
+
+    /// Send the stream-opening Hello (version + geometry handshake).
+    pub fn send_hello(&mut self, transport: &mut dyn Transport) -> Result<()> {
+        let total_pages = self.memory.total_pages();
+        let memory_bytes = self.memory.total_size().as_u64();
+        transport.send_built(&mut |out| wire::put_hello(out, total_pages, memory_bytes))
+    }
+
+    fn flush_zero_run(transport: &mut dyn Transport, run: Option<(u64, u64)>) -> Result<()> {
+        let Some((first, count)) = run else {
+            return Ok(());
+        };
+        if count == 1 {
+            // A lone zero page costs the same 1-byte marker as the direct
+            // path; run-length coding only pays for itself from two up.
+            transport.send_built(&mut |out| wire::put_page_zero(out, first))
+        } else {
+            transport.send_built(&mut |out| wire::put_zero_run(out, first, count))
+        }
+    }
+
+    /// Encode one round: every page in `pages` (in order), consecutive zero
+    /// pages coalesced into run-length frames, terminated by an
+    /// end-of-round marker. The transport accumulates the burst; the caller
+    /// delivers it at the round boundary.
+    pub fn encode_round(&mut self, pages: &[u64], transport: &mut dyn Transport) -> Result<()> {
+        let memory = self.memory;
+        let mut pending_zero: Option<(u64, u64)> = None;
+        for &p in pages {
+            match self.compressor.as_mut() {
+                None => {
+                    // Raw fast path: the page is framed straight into the
+                    // burst under the source read lock — one copy total.
+                    let mut read = Ok(());
+                    transport.send_built(&mut |out| {
+                        read = memory.with_page(p, |contents| wire::put_page_raw(out, p, contents));
+                    })?;
+                    read?;
+                }
+                Some(c) => {
+                    let encoded = memory.with_page(p, |contents| c.compress(p, contents))?;
+                    if let WirePage::Zero = encoded {
+                        pending_zero = match pending_zero {
+                            Some((first, count)) if first + count == p => Some((first, count + 1)),
+                            other => {
+                                Self::flush_zero_run(transport, other)?;
+                                Some((p, 1))
+                            }
+                        };
+                        continue;
+                    }
+                    Self::flush_zero_run(transport, pending_zero.take())?;
+                    transport.send_built(&mut |out| wire::put_wire_page(out, p, &encoded))?;
+                }
+            }
+        }
+        Self::flush_zero_run(transport, pending_zero.take())?;
+        let round = self.round;
+        transport.send_built(&mut |out| wire::put_end_of_round(out, round))?;
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Send the vCPU state frames (at least one, mirroring the engines'
+    /// `max(1)` state accounting for vCPU-less shells).
+    pub fn send_vcpu_states(
+        &mut self,
+        states: &[VcpuState],
+        transport: &mut dyn Transport,
+    ) -> Result<()> {
+        let placeholder = [VcpuState::default()];
+        let states = if states.is_empty() {
+            &placeholder[..]
+        } else {
+            states
+        };
+        for (i, state) in states.iter().enumerate() {
+            transport.send_built(&mut |out| wire::put_vcpu_state(out, i as u32, state))?;
+        }
+        Ok(())
+    }
+
+    /// Compression statistics accumulated so far (None when sending raw).
+    pub fn compression_stats(&self) -> Option<crate::CompressionStats> {
+        self.compressor.as_ref().map(|c| c.stats())
+    }
+}
+
+/// The destination (apply) half of a streamed migration.
+///
+/// Decodes delivered bursts frame by frame; each frame's checksum was
+/// already verified by the [`wire::FrameReader`] before its payload is
+/// visible, so a corrupted frame aborts the stream *without* writing
+/// anything from that frame into guest memory.
+#[derive(Debug)]
+pub struct MigrationSink<'m> {
+    memory: &'m GuestMemory,
+    hello: Option<wire::Hello>,
+    pages_applied: u64,
+    rounds_completed: u32,
+    vcpu_states: Vec<VcpuState>,
+}
+
+impl<'m> MigrationSink<'m> {
+    /// A sink applying onto `memory`.
+    pub fn new(memory: &'m GuestMemory) -> Self {
+        MigrationSink {
+            memory,
+            hello: None,
+            pages_applied: 0,
+            rounds_completed: 0,
+            vcpu_states: Vec::new(),
+        }
+    }
+
+    /// Pages applied (every page record counts, zero runs included).
+    pub fn pages_applied(&self) -> u64 {
+        self.pages_applied
+    }
+
+    /// End-of-round markers seen.
+    pub fn rounds_completed(&self) -> u32 {
+        self.rounds_completed
+    }
+
+    /// The vCPU states carried by the stream, in vCPU order.
+    pub fn vcpu_states(&self) -> &[VcpuState] {
+        &self.vcpu_states
+    }
+
+    /// Whether the stream's Hello was seen and validated.
+    pub fn handshake_complete(&self) -> bool {
+        self.hello.is_some()
+    }
+
+    fn wire_fault(offset: u64, detail: String) -> Error {
+        Error::WireProtocol { detail, offset }
+    }
+
+    fn check_page_bounds(&self, offset: u64, first: u64, count: u64) -> Result<()> {
+        let total = self.memory.total_pages();
+        if first.checked_add(count).is_none_or(|end| end > total) {
+            return Err(Self::wire_fault(
+                offset,
+                format!("page record {first}+{count} exceeds the guest's {total} pages"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn apply_frame(&mut self, frame: &WireFrame<'_>, offset: u64) -> Result<()> {
+        if self.hello.is_none() {
+            // First frame must be the handshake.
+            let hello = wire::decode_hello(frame).map_err(|e| Self::rebase_offset(e, offset))?;
+            if hello.page_size as u64 != PAGE_SIZE {
+                return Err(Self::wire_fault(
+                    offset,
+                    format!("source page size {} != {PAGE_SIZE}", hello.page_size),
+                ));
+            }
+            if hello.total_pages != self.memory.total_pages()
+                || hello.memory_bytes != self.memory.total_size().as_u64()
+            {
+                return Err(Self::wire_fault(
+                    offset,
+                    format!(
+                        "source geometry ({} pages, {} bytes) does not match destination ({} pages, {} bytes)",
+                        hello.total_pages,
+                        hello.memory_bytes,
+                        self.memory.total_pages(),
+                        self.memory.total_size().as_u64()
+                    ),
+                ));
+            }
+            self.hello = Some(hello);
+            return Ok(());
+        }
+        match frame.header.kind {
+            FrameKind::Hello => Err(Self::wire_fault(
+                offset,
+                "duplicate Hello mid-stream".into(),
+            )),
+            FrameKind::Page => {
+                let page = frame.header.arg;
+                self.check_page_bounds(offset, page, 1)?;
+                match frame.header.mode {
+                    MODE_RAW => {
+                        if frame.payload.len() as u64 != PAGE_SIZE {
+                            return Err(Self::wire_fault(
+                                offset,
+                                format!("raw page payload is {} bytes", frame.payload.len()),
+                            ));
+                        }
+                        self.memory
+                            .with_page_mut(page, |target| target.copy_from_slice(frame.payload))?;
+                    }
+                    MODE_ZERO => {
+                        self.memory.with_page_mut(page, |target| target.fill(0))?;
+                    }
+                    MODE_DELTA => {
+                        self.memory.with_page_mut(page, |target| {
+                            xbzrle_apply_in_place(target, frame.payload)
+                        })??;
+                    }
+                    other => {
+                        return Err(Self::wire_fault(
+                            offset,
+                            format!("unknown page mode {other}"),
+                        ))
+                    }
+                }
+                self.pages_applied += 1;
+                Ok(())
+            }
+            FrameKind::ZeroRun => {
+                if frame.payload.len() != 8 {
+                    return Err(Self::wire_fault(
+                        offset,
+                        format!("zero-run payload is {} bytes, want 8", frame.payload.len()),
+                    ));
+                }
+                let first = frame.header.arg;
+                let count = u64::from_le_bytes(frame.payload.try_into().expect("checked 8 bytes"));
+                self.check_page_bounds(offset, first, count)?;
+                for page in first..first + count {
+                    self.memory.with_page_mut(page, |target| target.fill(0))?;
+                }
+                self.pages_applied += count;
+                Ok(())
+            }
+            FrameKind::VcpuState => {
+                let state = wire::decode_vcpu_state(frame.payload)
+                    .map_err(|e| Self::rebase_offset(e, offset))?;
+                self.vcpu_states.push(state);
+                Ok(())
+            }
+            FrameKind::EndOfRound => {
+                self.rounds_completed += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn rebase_offset(e: Error, offset: u64) -> Error {
+        match e {
+            Error::WireProtocol { detail, .. } => Error::WireProtocol { detail, offset },
+            other => other,
+        }
+    }
+
+    /// Decode and apply one delivered burst. On error, the offending frame
+    /// has written nothing to guest memory (checksums are verified before
+    /// payloads are applied); frames earlier in the burst have been applied.
+    pub fn apply_burst(&mut self, burst: &[u8]) -> Result<()> {
+        let mut reader = wire::FrameReader::new(burst);
+        loop {
+            let offset = reader.offset();
+            match reader.next_frame()? {
+                Some(frame) => self.apply_frame(&frame, offset)?,
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
+/// Shared phase driver: deliver the pending burst and apply it on the sink.
+fn deliver_and_apply(
+    transport: &mut dyn Transport,
+    sink: &mut MigrationSink<'_>,
+    now: Nanoseconds,
+) -> Result<Nanoseconds> {
+    let (done, burst) = transport.deliver(now)?;
+    let applied = sink.apply_burst(&burst);
+    transport.recycle(burst);
+    applied?;
+    Ok(done)
+}
+
+impl StopAndCopy {
+    /// Run a stop-and-copy migration as a wire stream over `transport`.
+    ///
+    /// Byte- and nanosecond-equivalent to [`StopAndCopy::migrate`] when the
+    /// transport is a loopback over the same link.
+    pub fn migrate_over(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+    ) -> Result<MigrationReport> {
+        check_same_size(source, dest)?;
+        let start = transport.free_at();
+        let bytes_before = transport.bytes_sent();
+        let mut src = MigrationSource::raw(source);
+        let mut sink = MigrationSink::new(dest);
+
+        src.send_hello(transport)?;
+        let after_hello = deliver_and_apply(transport, &mut sink, start)?;
+
+        let all_pages: Vec<u64> = (0..source.total_pages()).collect();
+        src.encode_round(&all_pages, transport)?;
+        let after_pages = deliver_and_apply(transport, &mut sink, after_hello)?;
+
+        src.send_vcpu_states(vcpus, transport)?;
+        let done = deliver_and_apply(transport, &mut sink, after_pages)?;
+
+        let elapsed = done.saturating_sub(start);
+        Ok(MigrationReport {
+            kind: MigrationKind::StopAndCopy,
+            downtime: elapsed,
+            total_time: elapsed,
+            rounds: 1,
+            bytes_transferred: transport.bytes_sent() - bytes_before,
+            pages_transferred: all_pages.len() as u64,
+            memory_size: source.total_size(),
+            converged: true,
+            remote_faults: 0,
+            avg_fault_latency: Nanoseconds::ZERO,
+        })
+    }
+}
+
+impl PreCopy {
+    /// Run an iterative pre-copy migration as a wire stream over
+    /// `transport`, while `dirty_source` keeps writing into the source.
+    ///
+    /// Byte- and nanosecond-equivalent to [`PreCopy::migrate`] over a
+    /// loopback transport when compression is off; with zero-page or XBZRLE
+    /// compression the run-length zero coding makes the stream *cheaper*
+    /// than the direct path's per-page markers.
+    pub fn migrate_over(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        dirty_source: &mut dyn DirtySource,
+        config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        config.validate()?;
+        check_same_size(source, dest)?;
+        let start = transport.free_at();
+        let bytes_before = transport.bytes_sent();
+        let mut src = MigrationSource::with_config(source, config);
+        let mut sink = MigrationSink::new(dest);
+
+        src.send_hello(transport)?;
+        let mut now = deliver_and_apply(transport, &mut sink, start)?;
+
+        let mut total_pages = 0u64;
+        let mut rounds = 0u32;
+        let mut converged = false;
+
+        source.clear_dirty();
+        let mut to_send: Vec<u64> = (0..source.total_pages()).collect();
+        let mut harvest: Vec<u64> = Vec::new();
+
+        loop {
+            rounds += 1;
+            let round_start = now;
+            src.encode_round(&to_send, transport)?;
+            let done = deliver_and_apply(transport, &mut sink, now)?;
+            total_pages += to_send.len() as u64;
+            let round_duration = done.saturating_sub(round_start);
+            dirty_source.run_for(source, round_duration)?;
+            now = done;
+
+            source.drain_dirty_into(&mut harvest);
+            std::mem::swap(&mut to_send, &mut harvest);
+            if to_send.len() as u64 <= config.dirty_page_threshold {
+                converged = true;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                break;
+            }
+        }
+
+        let pause_start = now;
+        src.encode_round(&to_send, transport)?;
+        let after_residual = deliver_and_apply(transport, &mut sink, now)?;
+        total_pages += to_send.len() as u64;
+        src.send_vcpu_states(vcpus, transport)?;
+        let done = deliver_and_apply(transport, &mut sink, after_residual)?;
+
+        Ok(MigrationReport {
+            kind: MigrationKind::PreCopy,
+            downtime: done.saturating_sub(pause_start),
+            total_time: done.saturating_sub(start),
+            rounds,
+            bytes_transferred: transport.bytes_sent() - bytes_before,
+            pages_transferred: total_pages,
+            memory_size: source.total_size(),
+            converged,
+            remote_faults: 0,
+            avg_fault_latency: Nanoseconds::ZERO,
+        })
+    }
+}
+
+impl PostCopy {
+    /// Run a post-copy migration as a wire stream over `transport`.
+    ///
+    /// Byte- and nanosecond-equivalent to [`PostCopy::migrate`] over a
+    /// loopback transport.
+    pub fn migrate_over(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        config.validate()?;
+        check_same_size(source, dest)?;
+        let start = transport.free_at();
+        let bytes_before = transport.bytes_sent();
+        let mut src = MigrationSource::raw(source);
+        let mut sink = MigrationSink::new(dest);
+
+        src.send_hello(transport)?;
+        let after_hello = deliver_and_apply(transport, &mut sink, start)?;
+
+        // Pause: only the vCPU/device state crosses before resume.
+        src.send_vcpu_states(vcpus, transport)?;
+        let resumed_at = deliver_and_apply(transport, &mut sink, after_hello)?;
+        let downtime = resumed_at.saturating_sub(after_hello);
+
+        let total_pages = source.total_pages();
+        let fault_pages = ((total_pages as f64) * config.postcopy_fault_fraction).round() as u64;
+        let fault_pages = fault_pages.min(total_pages);
+
+        let all_pages: Vec<u64> = (0..total_pages).collect();
+        src.encode_round(&all_pages, transport)?;
+        let after_pages = deliver_and_apply(transport, &mut sink, resumed_at)?;
+
+        let per_fault_latency = transport.transfer_time(PAGE_SIZE + PER_PAGE_OVERHEAD);
+        let fault_penalty = Nanoseconds(transport.latency().as_nanos() * fault_pages);
+        let done = after_pages.saturating_add(fault_penalty);
+
+        Ok(MigrationReport {
+            kind: MigrationKind::PostCopy,
+            downtime,
+            total_time: done.saturating_sub(start),
+            rounds: 1,
+            bytes_transferred: transport.bytes_sent() - bytes_before,
+            pages_transferred: total_pages,
+            memory_size: source.total_size(),
+            converged: true,
+            remote_faults: fault_pages,
+            avg_fault_latency: per_fault_latency.saturating_add(transport.latency()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirty::{ConstantRateDirtier, IdleDirtier};
+    use crate::transport::{FabricTransport, LoopbackTransport};
+    use rvisor_net::{Fabric, FabricParams, Link, LinkModel};
+    use rvisor_types::{ByteSize, GuestAddress};
+
+    fn memories(pages: u64) -> (GuestMemory, GuestMemory) {
+        let src = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+        let dst = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+        for p in 0..pages {
+            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 7 + 1)
+                .unwrap();
+        }
+        (src, dst)
+    }
+
+    fn region_bytes(mem: &GuestMemory) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in mem.regions() {
+            r.with_bytes(|b| out.extend_from_slice(b));
+        }
+        out
+    }
+
+    fn direct_report(
+        engine: usize,
+        pages: u64,
+        dirty_fraction: f64,
+        config: &MigrationConfig,
+    ) -> (MigrationReport, Vec<u8>) {
+        let (src, dst) = memories(pages);
+        let mut link = Link::new(LinkModel::gigabit());
+        let vcpus = [VcpuState::default()];
+        let report = match engine {
+            0 => StopAndCopy::migrate(&src, &dst, &vcpus, &mut link).unwrap(),
+            1 => {
+                let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                    LinkModel::gigabit().bytes_per_second,
+                    dirty_fraction,
+                    0,
+                    pages,
+                );
+                PreCopy::migrate(&src, &dst, &vcpus, &mut link, &mut dirtier, config).unwrap()
+            }
+            _ => PostCopy::migrate(&src, &dst, &vcpus, &mut link, config).unwrap(),
+        };
+        (report, region_bytes(&dst))
+    }
+
+    fn streamed_report(
+        engine: usize,
+        pages: u64,
+        dirty_fraction: f64,
+        config: &MigrationConfig,
+    ) -> (MigrationReport, Vec<u8>) {
+        let (src, dst) = memories(pages);
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let vcpus = [VcpuState::default()];
+        let report = match engine {
+            0 => StopAndCopy::migrate_over(&src, &dst, &vcpus, &mut transport).unwrap(),
+            1 => {
+                let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                    LinkModel::gigabit().bytes_per_second,
+                    dirty_fraction,
+                    0,
+                    pages,
+                );
+                PreCopy::migrate_over(&src, &dst, &vcpus, &mut transport, &mut dirtier, config)
+                    .unwrap()
+            }
+            _ => PostCopy::migrate_over(&src, &dst, &vcpus, &mut transport, config).unwrap(),
+        };
+        (report, region_bytes(&dst))
+    }
+
+    #[test]
+    fn loopback_stream_matches_direct_for_every_engine() {
+        let config = MigrationConfig::default();
+        for engine in 0..3 {
+            let (direct, direct_mem) = direct_report(engine, 256, 0.4, &config);
+            let (streamed, streamed_mem) = streamed_report(engine, 256, 0.4, &config);
+            assert_eq!(streamed, direct, "engine {engine} diverged");
+            assert_eq!(streamed_mem, direct_mem, "engine {engine} memory diverged");
+        }
+    }
+
+    #[test]
+    fn fabric_stream_is_slower_than_loopback_but_moves_identical_bytes() {
+        // Same nominal bandwidth/latency on both paths; the fabric
+        // additionally pays MTU chunk framing, so it must be strictly
+        // slower while landing the exact same memory image.
+        let pages = 512u64;
+        let config = MigrationConfig::default();
+        // Idle guest: round timing cannot feed back into memory contents,
+        // so the two paths must land the *same* image. (A rate dirtier
+        // would dirty different pages under different round lengths.)
+        let (loopback, loopback_mem) = streamed_report(1, pages, 0.0, &config);
+
+        let run_fabric = || {
+            let (src, dst) = memories(pages);
+            let mut fabric = Fabric::new(2, FabricParams::office_lan()).unwrap();
+            let mut transport = FabricTransport::new(&mut fabric, 0, 1).unwrap();
+            let report = PreCopy::migrate_over(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &config,
+            )
+            .unwrap();
+            (report, region_bytes(&dst))
+        };
+        let (fabric_report, fabric_mem) = run_fabric();
+        assert!(
+            fabric_report.total_time > loopback.total_time,
+            "fabric {:?} must be slower than loopback {:?}",
+            fabric_report.total_time,
+            loopback.total_time
+        );
+        assert_eq!(fabric_mem, loopback_mem);
+        // Same-seed fabric runs replay identically.
+        let (replay, replay_mem) = run_fabric();
+        assert_eq!(replay, fabric_report);
+        assert_eq!(replay_mem, fabric_mem);
+    }
+
+    #[test]
+    fn compressed_streams_land_identical_memory_for_fewer_bytes() {
+        // A sparse guest: long zero runs let the wire format undercut the
+        // direct path's per-page zero markers.
+        let pages = 1024u64;
+        let make = || {
+            let src = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+            let dst = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+            for p in (0..pages).step_by(64) {
+                src.write_u64(GuestAddress(p * PAGE_SIZE), p + 1).unwrap();
+            }
+            (src, dst)
+        };
+        for compression in [PageCompression::ZeroPages, PageCompression::Xbzrle] {
+            let config = MigrationConfig {
+                compression,
+                ..Default::default()
+            };
+            let (src, dst) = make();
+            let mut link = Link::new(LinkModel::gigabit());
+            let direct = PreCopy::migrate(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut link,
+                &mut IdleDirtier,
+                &config,
+            )
+            .unwrap();
+            let direct_mem = region_bytes(&dst);
+
+            let (src2, dst2) = make();
+            let mut link2 = Link::new(LinkModel::gigabit());
+            let mut transport = LoopbackTransport::new(&mut link2);
+            let streamed = PreCopy::migrate_over(
+                &src2,
+                &dst2,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(region_bytes(&dst2), direct_mem, "{compression:?}");
+            assert!(
+                streamed.bytes_transferred < direct.bytes_transferred,
+                "{compression:?}: run-length zeros must save bytes \
+                 ({} vs {})",
+                streamed.bytes_transferred,
+                direct.bytes_transferred
+            );
+            assert!(streamed.total_time <= direct.total_time);
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_surfaces_as_typed_error_without_poisoning_the_destination() {
+        let pages = 8u64;
+        let (src, dst) = memories(pages);
+        let mut source = MigrationSource::raw(&src);
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        source.send_hello(&mut transport).unwrap();
+        source
+            .encode_round(&(0..pages).collect::<Vec<_>>(), &mut transport)
+            .unwrap();
+        let (_, mut burst) = transport.deliver(Nanoseconds::ZERO).unwrap();
+
+        // Corrupt the payload of the third page frame (page index 2).
+        let frame = (wire::FRAME_HEADER_BYTES + PAGE_SIZE) as usize;
+        let hello = wire::HELLO_WIRE_BYTES as usize;
+        let victim_payload = hello + 2 * frame + wire::FRAME_HEADER_BYTES as usize + 17;
+        burst[victim_payload] ^= 0xff;
+
+        let dest_before = region_bytes(&dst);
+        let mut sink = MigrationSink::new(&dst);
+        let err = sink.apply_burst(&burst).expect_err("corruption must fail");
+        match &err {
+            Error::WireProtocol { offset, detail } => {
+                assert_eq!(
+                    *offset,
+                    (hello + 2 * frame) as u64,
+                    "offset names the frame"
+                );
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("wrong error type: {other:?}"),
+        }
+        // Pages 0 and 1 (before the corrupt frame) were applied; the
+        // corrupted frame wrote nothing — page 2 onward is untouched.
+        assert_eq!(sink.pages_applied(), 2);
+        let dest_after = region_bytes(&dst);
+        let page = PAGE_SIZE as usize;
+        assert_ne!(&dest_after[..2 * page], &dest_before[..2 * page]);
+        assert_eq!(&dest_after[2 * page..], &dest_before[2 * page..]);
+    }
+
+    #[test]
+    fn sink_rejects_geometry_and_protocol_violations() {
+        let (src, _) = memories(4);
+        let (_, small_dst) = memories(2);
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let mut source = MigrationSource::raw(&src);
+        source.send_hello(&mut transport).unwrap();
+        let (_, burst) = transport.deliver(Nanoseconds::ZERO).unwrap();
+        // Hello geometry vs a smaller destination.
+        let mut sink = MigrationSink::new(&small_dst);
+        assert!(matches!(
+            sink.apply_burst(&burst),
+            Err(Error::WireProtocol { .. })
+        ));
+        // A stream that does not open with Hello.
+        let mut no_hello = Vec::new();
+        wire::put_page_zero(&mut no_hello, 0);
+        let mut sink = MigrationSink::new(&small_dst);
+        assert!(matches!(
+            sink.apply_burst(&no_hello),
+            Err(Error::WireProtocol { .. })
+        ));
+        // A page index past the end of the guest.
+        transport.recycle(burst);
+        let mut sink = MigrationSink::new(&small_dst);
+        let mut bad = Vec::new();
+        wire::put_hello(&mut bad, 2, 2 * PAGE_SIZE);
+        wire::put_page_zero(&mut bad, 7);
+        assert!(matches!(
+            sink.apply_burst(&bad),
+            Err(Error::WireProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn vcpu_states_survive_the_stream() {
+        let (src, dst) = memories(4);
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let mut states = [VcpuState::default(), VcpuState::default()];
+        states[0].pc = 0xabc;
+        states[0].regs[3] = 7;
+        states[1].pc = 0xdef;
+        states[1].csrs[1] = 9;
+
+        let mut source = MigrationSource::raw(&src);
+        let mut sink = MigrationSink::new(&dst);
+        source.send_hello(&mut transport).unwrap();
+        source.send_vcpu_states(&states, &mut transport).unwrap();
+        let (_, burst) = transport.deliver(Nanoseconds::ZERO).unwrap();
+        sink.apply_burst(&burst).unwrap();
+        assert_eq!(sink.vcpu_states(), &states[..]);
+        assert!(sink.handshake_complete());
+        assert_eq!(
+            transport.bytes_sent(),
+            wire::HELLO_WIRE_BYTES + wire::vcpu_state_wire_bytes(2)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            /// A loopback-transport migration is byte-identical and
+            /// `MigrationReport`-equal to the direct in-memory path for all
+            /// three engines (the raw protocol is cost-free at equal
+            /// modelled bandwidth).
+            #[test]
+            fn loopback_stream_is_equivalent_to_the_direct_path(
+                engine in 0usize..3,
+                pages in 32u64..192,
+                dirty_fraction_pct in 0u64..120,
+            ) {
+                let config = MigrationConfig {
+                    max_rounds: 6,
+                    dirty_page_threshold: 8,
+                    ..Default::default()
+                };
+                let fraction = dirty_fraction_pct as f64 / 100.0;
+                let (direct, direct_mem) = direct_report(engine, pages, fraction, &config);
+                let (streamed, streamed_mem) = streamed_report(engine, pages, fraction, &config);
+                prop_assert_eq!(streamed, direct);
+                prop_assert_eq!(streamed_mem, direct_mem);
+            }
+
+            /// With compression on, the stream still lands byte-identical
+            /// destination memory and never spends more bytes than the
+            /// direct path (zero-run coalescing only saves). The direct
+            /// comparison uses an idle guest — zero-run savings change
+            /// round *timing*, and a rate dirtier would translate that into
+            /// different memory contents; a dirtying compressed run is
+            /// checked for source/destination agreement instead.
+            #[test]
+            fn compressed_loopback_stream_preserves_memory(
+                pages in 32u64..128,
+                dirty_fraction_pct in 0u64..100,
+                mode_idx in 1usize..3,
+                sparse_stride in 1u64..16,
+            ) {
+                let config = MigrationConfig {
+                    max_rounds: 5,
+                    dirty_page_threshold: 8,
+                    compression: PageCompression::ALL[mode_idx],
+                    ..Default::default()
+                };
+                let make = || {
+                    let src = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+                    let dst = GuestMemory::flat(ByteSize::pages_of(pages)).unwrap();
+                    for p in (0..pages).step_by(sparse_stride as usize) {
+                        src.write_u64(GuestAddress(p * PAGE_SIZE), p * 13 + 5).unwrap();
+                    }
+                    (src, dst)
+                };
+
+                let (src_a, dst_a) = make();
+                let mut link_a = Link::new(LinkModel::gigabit());
+                let direct = PreCopy::migrate(
+                    &src_a, &dst_a, &[VcpuState::default()], &mut link_a,
+                    &mut IdleDirtier, &config,
+                ).unwrap();
+
+                let (src_b, dst_b) = make();
+                let mut link_b = Link::new(LinkModel::gigabit());
+                let mut transport = LoopbackTransport::new(&mut link_b);
+                let streamed = PreCopy::migrate_over(
+                    &src_b, &dst_b, &[VcpuState::default()], &mut transport,
+                    &mut IdleDirtier, &config,
+                ).unwrap();
+
+                prop_assert_eq!(region_bytes(&dst_b), region_bytes(&dst_a));
+                prop_assert_eq!(region_bytes(&dst_b), region_bytes(&src_b));
+                prop_assert!(streamed.bytes_transferred <= direct.bytes_transferred);
+
+                // A dirtying compressed stream must still land the source's
+                // final state on the destination.
+                let (src_c, dst_c) = make();
+                let mut link_c = Link::new(LinkModel::gigabit());
+                let mut transport_c = LoopbackTransport::new(&mut link_c);
+                let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                    LinkModel::gigabit().bytes_per_second,
+                    dirty_fraction_pct as f64 / 100.0,
+                    0,
+                    pages,
+                );
+                PreCopy::migrate_over(
+                    &src_c, &dst_c, &[VcpuState::default()], &mut transport_c,
+                    &mut dirtier, &config,
+                ).unwrap();
+                prop_assert_eq!(region_bytes(&dst_c), region_bytes(&src_c));
+            }
+        }
+    }
+}

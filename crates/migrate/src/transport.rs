@@ -1,0 +1,310 @@
+//! Byte-stream transports carrying the migration wire format.
+//!
+//! The engines' streaming halves ([`stream`](crate::stream)) speak to the
+//! network only through [`Transport`]: frames are appended to an in-flight
+//! **burst** with [`Transport::send`], and a [`Transport::deliver`] call —
+//! issued at every [`EndOfRound`](crate::wire::FrameKind::EndOfRound)
+//! boundary — models the burst crossing the wire and hands the received
+//! bytes to the destination side. Two implementations ship:
+//!
+//! * [`LoopbackTransport`] — same-process delivery timed by a single
+//!   point-to-point [`Link`]; byte-for-byte and nanosecond-for-nanosecond
+//!   equivalent to the direct in-memory engines (pinned by proptest).
+//! * [`FabricTransport`] — delivery across a shared
+//!   [`Fabric`]: per-host NIC serialization, backbone
+//!   contention with every other migration and DR stream, and MTU chunk
+//!   framing, so migration duration and downtime come from modelled
+//!   bytes-on-wire.
+//!
+//! Burst buffers are recycled ([`Transport::recycle`]) so steady-state
+//! rounds allocate nothing new.
+
+use rvisor_net::{Fabric, Link};
+use rvisor_types::{Nanoseconds, Result};
+
+/// A simulated byte-stream channel between a migration source and sink.
+pub trait Transport {
+    /// Earliest simulated instant a new burst could start transmitting.
+    fn free_at(&self) -> Nanoseconds;
+
+    /// Append one encoded frame to the in-flight burst.
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Append one frame by encoding it directly into the transport's burst
+    /// buffer. This is the zero-bounce path for page frames: the encoder's
+    /// `fill` writes the frame (header + payload) straight into the burst,
+    /// so raw page bytes go guest memory → burst with a single copy.
+    fn send_built(&mut self, build: &mut dyn FnMut(&mut Vec<u8>)) -> Result<()>;
+
+    /// Transmit the accumulated burst starting no earlier than `now`.
+    /// Returns the simulated arrival time and the delivered bytes; the
+    /// caller hands the buffer back via [`Transport::recycle`] once the
+    /// sink has applied it.
+    fn deliver(&mut self, now: Nanoseconds) -> Result<(Nanoseconds, Vec<u8>)>;
+
+    /// Return a delivered burst buffer for reuse by the next round.
+    fn recycle(&mut self, buf: Vec<u8>);
+
+    /// One-way propagation latency of the underlying channel (drives the
+    /// post-copy demand-fault penalty).
+    fn latency(&self) -> Nanoseconds;
+
+    /// Modelled time for `bytes` to cross the idle channel (drives the
+    /// post-copy per-fault service time).
+    fn transfer_time(&self, bytes: u64) -> Nanoseconds;
+
+    /// Total payload bytes handed to [`Transport::deliver`] so far.
+    fn bytes_sent(&self) -> u64;
+}
+
+/// The burst/spare buffer pair every transport implementation shares: one
+/// recycling protocol, written once. Frames accumulate in `burst`; on
+/// delivery the burst is handed out whole and the previously recycled
+/// buffer takes its place, so steady-state rounds allocate nothing.
+#[derive(Debug, Default)]
+struct BurstBuffer {
+    burst: Vec<u8>,
+    spare: Vec<u8>,
+    bytes_sent: u64,
+}
+
+impl BurstBuffer {
+    fn append(&mut self, frame: &[u8]) {
+        self.burst.extend_from_slice(frame);
+    }
+
+    fn build(&mut self, build: &mut dyn FnMut(&mut Vec<u8>)) {
+        build(&mut self.burst);
+    }
+
+    fn len(&self) -> u64 {
+        self.burst.len() as u64
+    }
+
+    /// Hand the burst out for delivery, installing the recycled spare as
+    /// the next round's (empty) burst.
+    fn take(&mut self) -> Vec<u8> {
+        self.bytes_sent += self.burst.len() as u64;
+        std::mem::replace(&mut self.burst, std::mem::take(&mut self.spare))
+    }
+
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.spare = buf;
+    }
+}
+
+/// In-process delivery timed by one point-to-point [`Link`].
+///
+/// Borrows the link mutably so the caller's link keeps its busy-time
+/// account across migrations (back-to-back transfers queue), exactly like
+/// handing the same `&mut Link` to the direct engines.
+#[derive(Debug)]
+pub struct LoopbackTransport<'l> {
+    link: &'l mut Link,
+    buf: BurstBuffer,
+}
+
+impl<'l> LoopbackTransport<'l> {
+    /// Create a loopback transport over `link`.
+    pub fn new(link: &'l mut Link) -> Self {
+        LoopbackTransport {
+            link,
+            buf: BurstBuffer::default(),
+        }
+    }
+}
+
+impl Transport for LoopbackTransport<'_> {
+    fn free_at(&self) -> Nanoseconds {
+        self.link.free_at()
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.buf.append(frame);
+        Ok(())
+    }
+
+    fn send_built(&mut self, build: &mut dyn FnMut(&mut Vec<u8>)) -> Result<()> {
+        self.buf.build(build);
+        Ok(())
+    }
+
+    fn deliver(&mut self, now: Nanoseconds) -> Result<(Nanoseconds, Vec<u8>)> {
+        let done = self.link.transmit(now, self.buf.len());
+        Ok((done, self.buf.take()))
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        self.buf.recycle(buf);
+    }
+
+    fn latency(&self) -> Nanoseconds {
+        self.link.model().latency
+    }
+
+    fn transfer_time(&self, bytes: u64) -> Nanoseconds {
+        self.link.model().transfer_time(bytes)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.buf.bytes_sent
+    }
+}
+
+/// Delivery across a shared [`Fabric`], between two endpoint indices.
+///
+/// Borrows the fabric mutably: the busy-time marks the migration leaves on
+/// its NICs and the backbone are visible to every later transfer, which is
+/// how rebalance storms and DR backup traffic contend with each other.
+#[derive(Debug)]
+pub struct FabricTransport<'f> {
+    fabric: &'f mut Fabric,
+    from: usize,
+    to: usize,
+    /// Earliest simulated instant any burst of this stream may start.
+    /// Callers embedded in a larger simulation (the orchestrator) set this
+    /// to their current clock so a migration started at `t` cannot occupy
+    /// the fabric in the past — which is what makes it contend with backup
+    /// streams issued at the same instant.
+    start_floor: Nanoseconds,
+    buf: BurstBuffer,
+}
+
+impl<'f> FabricTransport<'f> {
+    /// Create a transport carrying one migration from endpoint `from` to
+    /// endpoint `to` of `fabric`.
+    pub fn new(fabric: &'f mut Fabric, from: usize, to: usize) -> Result<Self> {
+        Self::starting_at(fabric, from, to, Nanoseconds::ZERO)
+    }
+
+    /// Like [`FabricTransport::new`], but no burst starts before `floor`
+    /// (the caller's current simulated time).
+    pub fn starting_at(
+        fabric: &'f mut Fabric,
+        from: usize,
+        to: usize,
+        floor: Nanoseconds,
+    ) -> Result<Self> {
+        fabric.path_free_at(from, to)?; // validates the endpoint pair
+        Ok(FabricTransport {
+            fabric,
+            from,
+            to,
+            start_floor: floor,
+            buf: BurstBuffer::default(),
+        })
+    }
+}
+
+impl Transport for FabricTransport<'_> {
+    fn free_at(&self) -> Nanoseconds {
+        self.fabric
+            .path_free_at(self.from, self.to)
+            .expect("endpoints validated at construction")
+            .max(self.start_floor)
+    }
+
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.buf.append(frame);
+        Ok(())
+    }
+
+    fn send_built(&mut self, build: &mut dyn FnMut(&mut Vec<u8>)) -> Result<()> {
+        self.buf.build(build);
+        Ok(())
+    }
+
+    fn deliver(&mut self, now: Nanoseconds) -> Result<(Nanoseconds, Vec<u8>)> {
+        let done = self.fabric.transfer(
+            self.from,
+            self.to,
+            now.max(self.start_floor),
+            self.buf.len(),
+        )?;
+        Ok((done, self.buf.take()))
+    }
+
+    fn recycle(&mut self, buf: Vec<u8>) {
+        self.buf.recycle(buf);
+    }
+
+    fn latency(&self) -> Nanoseconds {
+        self.fabric.params().latency
+    }
+
+    fn transfer_time(&self, bytes: u64) -> Nanoseconds {
+        self.fabric.params().transfer_time(bytes)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.buf.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvisor_net::{FabricParams, LinkModel};
+
+    #[test]
+    fn loopback_times_bursts_like_the_bare_link() {
+        let mut reference = Link::new(LinkModel::gigabit());
+        let expect = reference.transmit(Nanoseconds::ZERO, 1000);
+
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut t = LoopbackTransport::new(&mut link);
+        assert_eq!(t.free_at(), Nanoseconds::ZERO);
+        t.send(&[0u8; 600]).unwrap();
+        t.send(&[1u8; 400]).unwrap();
+        let (done, buf) = t.deliver(Nanoseconds::ZERO).unwrap();
+        assert_eq!(done, expect);
+        assert_eq!(buf.len(), 1000);
+        assert_eq!(&buf[..600], &[0u8; 600][..]);
+        assert_eq!(t.bytes_sent(), 1000);
+        t.recycle(buf);
+        // The next burst reuses the recycled buffer and queues behind.
+        t.send(&[2u8; 100]).unwrap();
+        let (done2, buf2) = t.deliver(Nanoseconds::ZERO).unwrap();
+        assert!(done2 > done);
+        assert_eq!(buf2.len(), 100);
+        assert_eq!(t.latency(), LinkModel::gigabit().latency);
+        assert!(t.transfer_time(1 << 20) > t.latency());
+    }
+
+    #[test]
+    fn fabric_transport_contends_with_other_traffic() {
+        let mut fabric = Fabric::new(4, FabricParams::office_lan()).unwrap();
+        // Another tenant's transfer keeps the backbone busy first.
+        let other_done = fabric.transfer(2, 3, Nanoseconds::ZERO, 4 << 20).unwrap();
+
+        let mut t = FabricTransport::new(&mut fabric, 0, 1).unwrap();
+        assert!(t.free_at() >= other_done.saturating_sub(FabricParams::office_lan().latency));
+        t.send(&[7u8; 4096]).unwrap();
+        let (done, buf) = t.deliver(Nanoseconds::ZERO).unwrap();
+        assert!(done > other_done, "must queue behind the busy backbone");
+        assert_eq!(buf.len(), 4096);
+        t.recycle(buf);
+        assert_eq!(t.bytes_sent(), 4096);
+        assert!(FabricTransport::new(&mut fabric, 1, 1).is_err());
+    }
+
+    #[test]
+    fn start_floor_keeps_streams_out_of_the_past() {
+        let mut fabric = Fabric::new(2, FabricParams::office_lan()).unwrap();
+        let floor = Nanoseconds::from_secs(100);
+        let mut t = FabricTransport::starting_at(&mut fabric, 0, 1, floor).unwrap();
+        // The fabric is idle since t=0, but this stream belongs to a caller
+        // whose clock already reads 100 s.
+        assert_eq!(t.free_at(), floor);
+        t.send(&[0u8; 1000]).unwrap();
+        let (done, buf) = t.deliver(Nanoseconds::ZERO).unwrap();
+        assert!(
+            done > floor,
+            "the burst must not occupy the fabric before the floor"
+        );
+        t.recycle(buf);
+        // The busy-marks it leaves behind gate later same-instant traffic.
+        assert!(fabric.path_free_at(0, 1).unwrap() >= floor);
+    }
+}

@@ -1,0 +1,650 @@
+//! The versioned migration wire format.
+//!
+//! Everything a migration moves — guest pages, vCPU state, round
+//! boundaries — crosses the [`Transport`](crate::Transport) as **frames**:
+//! a fixed 16-byte header followed by a payload. The stream opens with a
+//! [`FrameKind::Hello`] carrying magic, version, page size and guest size
+//! (so an incompatible destination rejects the stream before any memory is
+//! touched), every frame carries a FNV-1a checksum verified *before* its
+//! payload is applied, zero pages can be run-length-coalesced into a single
+//! [`FrameKind::ZeroRun`] frame, and each pre-copy round is terminated by an
+//! explicit [`FrameKind::EndOfRound`] marker.
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! ```text
+//! offset 0   kind         u8   (Hello / Page / ZeroRun / VcpuState / EndOfRound)
+//! offset 1   mode         u8   (Page only: raw / zero marker / XBZRLE delta)
+//! offset 2   payload_len  u16
+//! offset 4   checksum     u32  (FNV-1a-32 over header-with-checksum-zeroed + payload)
+//! offset 8   arg          u64  (kind-specific: page index, first page, round, ...)
+//! offset 16  payload      [u8; payload_len]
+//! ```
+//!
+//! ## Accounting alignment
+//!
+//! The direct (in-memory) engines in [`engines`](crate::engines) charge the
+//! link with exactly the byte counts this format produces —
+//! [`FRAME_HEADER_BYTES`] per page record, [`HELLO_WIRE_BYTES`] per stream,
+//! [`END_OF_ROUND_WIRE_BYTES`] per round, [`VCPU_STATE_WIRE_BYTES`] per
+//! vCPU (header included) — which is what makes a loopback-transport
+//! migration report `==`-equal to the direct path (pinned by proptest in
+//! [`stream`](crate::stream)).
+
+use rvisor_types::{Error, Result, PAGE_SIZE};
+use rvisor_vcpu::cpu::{PrivMode, NUM_CSRS};
+use rvisor_vcpu::isa::NUM_REGS;
+use rvisor_vcpu::VcpuState;
+
+use crate::compress::WirePage;
+
+/// Stream magic: `"RVM1"`.
+pub const WIRE_MAGIC: u32 = 0x3152_564D;
+/// Current wire-format version. Bump on any incompatible layout change;
+/// the sink rejects streams whose Hello announces a different version.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed size of every frame header.
+pub const FRAME_HEADER_BYTES: u64 = 16;
+/// On-wire size of the Hello frame (header + magic/version/page-size/guest-size).
+pub const HELLO_WIRE_BYTES: u64 = FRAME_HEADER_BYTES + 18;
+/// On-wire size of an end-of-round marker (header only).
+pub const END_OF_ROUND_WIRE_BYTES: u64 = FRAME_HEADER_BYTES;
+/// On-wire size of one vCPU's state frame, *header included*: the modelled
+/// 4 KiB per-vCPU state figure of the engines covers its own framing.
+pub const VCPU_STATE_WIRE_BYTES: u64 = 4096;
+/// Payload bytes of one vCPU state frame (registers + CSRs, zero-padded).
+pub const VCPU_STATE_PAYLOAD_BYTES: usize = (VCPU_STATE_WIRE_BYTES - FRAME_HEADER_BYTES) as usize;
+
+/// Total on-wire bytes for the vCPU state of `n_vcpus` vCPUs (at least one
+/// frame is always sent, mirroring the engines' `max(1)` accounting).
+pub fn vcpu_state_wire_bytes(n_vcpus: usize) -> u64 {
+    VCPU_STATE_WIRE_BYTES * n_vcpus.max(1) as u64
+}
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Stream opener: magic, version, page size, guest size.
+    Hello = 1,
+    /// One guest page (raw, zero marker, or XBZRLE delta — see `mode`).
+    Page = 2,
+    /// A run of consecutive all-zero pages (`arg` = first page, payload =
+    /// count), the run-length form of the zero-page marker.
+    ZeroRun = 3,
+    /// One vCPU's architectural state (`arg` = vCPU index).
+    VcpuState = 4,
+    /// End of a pre-copy round (`arg` = round number); the source flushes
+    /// the transport here.
+    EndOfRound = 5,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Page),
+            3 => Some(FrameKind::ZeroRun),
+            4 => Some(FrameKind::VcpuState),
+            5 => Some(FrameKind::EndOfRound),
+            _ => None,
+        }
+    }
+}
+
+/// Page-frame payload encodings (the `mode` header byte).
+pub const MODE_RAW: u8 = 0;
+/// The page is all zero; payload is the 1-byte marker.
+pub const MODE_ZERO: u8 = 1;
+/// XBZRLE delta against the destination's current copy of the page.
+pub const MODE_DELTA: u8 = 2;
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// Page encoding mode (meaningful for [`FrameKind::Page`] only).
+    pub mode: u8,
+    /// Kind-specific argument (page index, first page of a run, vCPU
+    /// index, round number, total pages for Hello).
+    pub arg: u64,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+}
+
+/// A decoded frame: header plus a zero-copy view of its payload inside the
+/// received burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFrame<'a> {
+    /// The frame header.
+    pub header: FrameHeader,
+    /// The payload bytes (borrowed from the burst buffer).
+    pub payload: &'a [u8],
+}
+
+const FNV_OFFSET: u32 = 0x811c_9dc5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+fn fnv1a(mut hash: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Checksum over the header (checksum field zeroed) and payload.
+fn frame_checksum(kind: u8, mode: u8, payload_len: u16, arg: u64, payload: &[u8]) -> u32 {
+    let mut h = fnv1a(FNV_OFFSET, &[kind, mode]);
+    h = fnv1a(h, &payload_len.to_le_bytes());
+    h = fnv1a(h, &arg.to_le_bytes());
+    fnv1a(h, payload)
+}
+
+const HEADER: usize = FRAME_HEADER_BYTES as usize;
+
+/// Append a frame to `out`: 16-byte header, then `payload_len` bytes
+/// produced by `fill` (called exactly once on the zeroed payload area).
+/// Building payloads in place keeps raw page frames copy-once: the page
+/// bytes go straight from the guest-memory view into the burst buffer.
+fn put_frame(
+    out: &mut Vec<u8>,
+    kind: FrameKind,
+    mode: u8,
+    arg: u64,
+    payload_len: usize,
+    fill: impl FnOnce(&mut [u8]),
+) {
+    debug_assert!(payload_len <= u16::MAX as usize, "payload too large");
+    let start = out.len();
+    out.resize(start + HEADER + payload_len, 0);
+    let (header, payload) = out[start..].split_at_mut(HEADER);
+    fill(payload);
+    header[0] = kind as u8;
+    header[1] = mode;
+    header[2..4].copy_from_slice(&(payload_len as u16).to_le_bytes());
+    header[8..16].copy_from_slice(&arg.to_le_bytes());
+    let checksum = frame_checksum(kind as u8, mode, payload_len as u16, arg, payload);
+    out[start + 4..start + 8].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// Append the stream-opening Hello frame.
+pub fn put_hello(out: &mut Vec<u8>, total_pages: u64, memory_bytes: u64) {
+    put_frame(out, FrameKind::Hello, 0, total_pages, 18, |p| {
+        p[0..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+        p[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        p[6..10].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        p[10..18].copy_from_slice(&memory_bytes.to_le_bytes());
+    });
+}
+
+/// Append a raw page frame (copy-once from the borrowed page contents).
+pub fn put_page_raw(out: &mut Vec<u8>, page: u64, contents: &[u8]) {
+    put_frame(out, FrameKind::Page, MODE_RAW, page, contents.len(), |p| {
+        p.copy_from_slice(contents)
+    });
+}
+
+/// Append a single zero-page marker frame (1-byte payload, matching the
+/// direct path's 1-byte zero-marker accounting).
+pub fn put_page_zero(out: &mut Vec<u8>, page: u64) {
+    put_frame(out, FrameKind::Page, MODE_ZERO, page, 1, |_p| {});
+}
+
+/// Append an XBZRLE delta frame.
+pub fn put_page_delta(out: &mut Vec<u8>, page: u64, delta: &[u8]) {
+    put_frame(out, FrameKind::Page, MODE_DELTA, page, delta.len(), |p| {
+        p.copy_from_slice(delta)
+    });
+}
+
+/// Append the frame for one compressed page.
+pub fn put_wire_page(out: &mut Vec<u8>, page: u64, wire: &WirePage) {
+    match wire {
+        WirePage::Raw(bytes) => put_page_raw(out, page, bytes),
+        WirePage::Zero => put_page_zero(out, page),
+        WirePage::Delta(delta) => put_page_delta(out, page, delta),
+    }
+}
+
+/// Append a run of `count` consecutive all-zero pages starting at
+/// `first_page` as one frame (8-byte payload regardless of run length).
+pub fn put_zero_run(out: &mut Vec<u8>, first_page: u64, count: u64) {
+    put_frame(out, FrameKind::ZeroRun, MODE_ZERO, first_page, 8, |p| {
+        p.copy_from_slice(&count.to_le_bytes())
+    });
+}
+
+/// Append an end-of-round marker.
+pub fn put_end_of_round(out: &mut Vec<u8>, round: u32) {
+    put_frame(out, FrameKind::EndOfRound, 0, round as u64, 0, |_p| {});
+}
+
+/// Append one vCPU's state, zero-padded to the fixed modelled size.
+pub fn put_vcpu_state(out: &mut Vec<u8>, index: u32, state: &VcpuState) {
+    put_frame(
+        out,
+        FrameKind::VcpuState,
+        0,
+        index as u64,
+        VCPU_STATE_PAYLOAD_BYTES,
+        |p| {
+            p[0..8].copy_from_slice(&state.pc.to_le_bytes());
+            p[8..16].copy_from_slice(&state.ptbr.to_le_bytes());
+            p[16] = match state.mode {
+                PrivMode::User => 0,
+                PrivMode::Supervisor => 1,
+            };
+            p[17] = NUM_REGS as u8;
+            p[18] = NUM_CSRS as u8;
+            let mut at = 19;
+            for r in &state.regs {
+                p[at..at + 8].copy_from_slice(&r.to_le_bytes());
+                at += 8;
+            }
+            for c in &state.csrs {
+                p[at..at + 8].copy_from_slice(&c.to_le_bytes());
+                at += 8;
+            }
+        },
+    );
+}
+
+fn read_u64(p: &[u8]) -> u64 {
+    u64::from_le_bytes(p[..8].try_into().expect("8 bytes"))
+}
+
+/// Decode a vCPU state payload written by [`put_vcpu_state`].
+pub fn decode_vcpu_state(payload: &[u8]) -> Result<VcpuState> {
+    let need = 19 + 8 * (NUM_REGS + NUM_CSRS);
+    if payload.len() < need {
+        return Err(Error::WireProtocol {
+            detail: format!("vCPU state payload is {} bytes, need {need}", payload.len()),
+            offset: 0,
+        });
+    }
+    if payload[17] as usize != NUM_REGS || payload[18] as usize != NUM_CSRS {
+        return Err(Error::WireProtocol {
+            detail: format!(
+                "vCPU state register file shape {}x{} does not match {NUM_REGS}x{NUM_CSRS}",
+                payload[17], payload[18]
+            ),
+            offset: 0,
+        });
+    }
+    let mut state = VcpuState {
+        pc: read_u64(&payload[0..8]),
+        ptbr: read_u64(&payload[8..16]),
+        mode: if payload[16] == 0 {
+            PrivMode::User
+        } else {
+            PrivMode::Supervisor
+        },
+        ..VcpuState::default()
+    };
+    let mut at = 19;
+    for r in &mut state.regs {
+        *r = read_u64(&payload[at..at + 8]);
+        at += 8;
+    }
+    for c in &mut state.csrs {
+        *c = read_u64(&payload[at..at + 8]);
+        at += 8;
+    }
+    Ok(state)
+}
+
+/// Sequential zero-copy frame reader over one received burst.
+///
+/// Every frame's checksum is verified **before** the frame is handed to the
+/// caller, so a corrupted frame surfaces as a typed
+/// [`Error::WireProtocol`] without any of its payload reaching guest
+/// memory.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Read frames from `buf` (one transport burst).
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader { buf, pos: 0 }
+    }
+
+    /// Byte offset of the next unread frame within the burst.
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    fn fault(&self, detail: String) -> Error {
+        Error::WireProtocol {
+            detail,
+            offset: self.pos as u64,
+        }
+    }
+
+    /// Decode the next frame, or `None` at the end of the burst.
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame<'a>>> {
+        if self.pos == self.buf.len() {
+            return Ok(None);
+        }
+        let rest = &self.buf[self.pos..];
+        if rest.len() < HEADER {
+            return Err(self.fault(format!(
+                "truncated frame header: {} bytes left, need {HEADER}",
+                rest.len()
+            )));
+        }
+        let kind_raw = rest[0];
+        let kind = FrameKind::from_u8(kind_raw)
+            .ok_or_else(|| self.fault(format!("unknown frame kind {kind_raw}")))?;
+        let mode = rest[1];
+        let payload_len = u16::from_le_bytes([rest[2], rest[3]]);
+        let stored_checksum = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let arg = read_u64(&rest[8..16]);
+        let end = HEADER + payload_len as usize;
+        if rest.len() < end {
+            return Err(self.fault(format!(
+                "frame payload of {payload_len} bytes runs past the burst end"
+            )));
+        }
+        let payload = &rest[HEADER..end];
+        let computed = frame_checksum(kind_raw, mode, payload_len, arg, payload);
+        if computed != stored_checksum {
+            return Err(self.fault(format!(
+                "checksum mismatch on {kind:?} frame (arg {arg}): stored {stored_checksum:#010x}, computed {computed:#010x}"
+            )));
+        }
+        self.pos += end;
+        Ok(Some(WireFrame {
+            header: FrameHeader {
+                kind,
+                mode,
+                arg,
+                payload_len,
+            },
+            payload,
+        }))
+    }
+}
+
+/// Decoded contents of a Hello frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Stream format version.
+    pub version: u16,
+    /// Page size of the source.
+    pub page_size: u32,
+    /// Total pages of the source guest.
+    pub total_pages: u64,
+    /// Total guest memory bytes of the source.
+    pub memory_bytes: u64,
+}
+
+/// Validate and decode a Hello frame (magic and version are checked here;
+/// geometry checks against the destination are the sink's job).
+pub fn decode_hello(frame: &WireFrame<'_>) -> Result<Hello> {
+    let err = |detail: String| Error::WireProtocol { detail, offset: 0 };
+    if frame.header.kind != FrameKind::Hello {
+        return Err(err(format!(
+            "stream must open with a Hello frame, got {:?}",
+            frame.header.kind
+        )));
+    }
+    if frame.payload.len() < 18 {
+        return Err(err("Hello payload truncated".into()));
+    }
+    let magic = u32::from_le_bytes(frame.payload[0..4].try_into().expect("4 bytes"));
+    if magic != WIRE_MAGIC {
+        return Err(err(format!(
+            "bad stream magic {magic:#010x} (want {WIRE_MAGIC:#010x})"
+        )));
+    }
+    let version = u16::from_le_bytes([frame.payload[4], frame.payload[5]]);
+    if version != WIRE_VERSION {
+        return Err(err(format!(
+            "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    Ok(Hello {
+        version,
+        page_size: u32::from_le_bytes(frame.payload[6..10].try_into().expect("4 bytes")),
+        total_pages: frame.header.arg,
+        memory_bytes: read_u64(&frame.payload[10..18]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_all() -> Vec<u8> {
+        let mut out = Vec::new();
+        put_hello(&mut out, 64, 64 * PAGE_SIZE);
+        put_page_raw(&mut out, 7, &[0xabu8; PAGE_SIZE as usize]);
+        put_page_zero(&mut out, 8);
+        put_zero_run(&mut out, 9, 5);
+        put_page_delta(&mut out, 14, &[1, 0, 2, 0, 0xee, 0xff]);
+        put_end_of_round(&mut out, 3);
+        let mut state = VcpuState {
+            pc: 0x1234,
+            ptbr: 0x8000,
+            ..VcpuState::default()
+        };
+        state.regs[5] = 42;
+        state.csrs[3] = 99;
+        put_vcpu_state(&mut out, 0, &state);
+        out
+    }
+
+    #[test]
+    fn frames_roundtrip_with_exact_accounting() {
+        let buf = roundtrip_all();
+        let expected_len = HELLO_WIRE_BYTES
+            + (FRAME_HEADER_BYTES + PAGE_SIZE)
+            + (FRAME_HEADER_BYTES + 1)
+            + (FRAME_HEADER_BYTES + 8)
+            + (FRAME_HEADER_BYTES + 6)
+            + END_OF_ROUND_WIRE_BYTES
+            + VCPU_STATE_WIRE_BYTES;
+        assert_eq!(buf.len() as u64, expected_len);
+
+        let mut r = FrameReader::new(&buf);
+        let hello = r.next_frame().unwrap().unwrap();
+        let h = decode_hello(&hello).unwrap();
+        assert_eq!(h.total_pages, 64);
+        assert_eq!(h.page_size as u64, PAGE_SIZE);
+        assert_eq!(h.version, WIRE_VERSION);
+
+        let raw = r.next_frame().unwrap().unwrap();
+        assert_eq!(raw.header.kind, FrameKind::Page);
+        assert_eq!(raw.header.mode, MODE_RAW);
+        assert_eq!(raw.header.arg, 7);
+        assert!(raw.payload.iter().all(|&b| b == 0xab));
+
+        let zero = r.next_frame().unwrap().unwrap();
+        assert_eq!(
+            (zero.header.kind, zero.header.mode),
+            (FrameKind::Page, MODE_ZERO)
+        );
+        let run = r.next_frame().unwrap().unwrap();
+        assert_eq!(run.header.kind, FrameKind::ZeroRun);
+        assert_eq!(run.header.arg, 9);
+        assert_eq!(read_u64(run.payload), 5);
+
+        let delta = r.next_frame().unwrap().unwrap();
+        assert_eq!(delta.header.mode, MODE_DELTA);
+        assert_eq!(delta.payload, &[1, 0, 2, 0, 0xee, 0xff]);
+
+        let eor = r.next_frame().unwrap().unwrap();
+        assert_eq!(eor.header.kind, FrameKind::EndOfRound);
+        assert_eq!(eor.header.arg, 3);
+
+        let vs = r.next_frame().unwrap().unwrap();
+        assert_eq!(vs.header.kind, FrameKind::VcpuState);
+        let state = decode_vcpu_state(vs.payload).unwrap();
+        assert_eq!(state.pc, 0x1234);
+        assert_eq!(state.regs[5], 42);
+        assert_eq!(state.csrs[3], 99);
+        assert_eq!(state.ptbr, 0x8000);
+        assert_eq!(state.mode, PrivMode::Supervisor);
+
+        assert!(r.next_frame().unwrap().is_none());
+        assert_eq!(r.offset(), buf.len() as u64);
+    }
+
+    #[test]
+    fn corruption_is_detected_before_delivery() {
+        let clean = roundtrip_all();
+        // Flip one byte in every position of the second frame (the raw
+        // page): header corruption and payload corruption must both fail.
+        let second_frame_start = HELLO_WIRE_BYTES as usize;
+        for at in [
+            second_frame_start,      // kind byte
+            second_frame_start + 1,  // mode byte
+            second_frame_start + 2,  // length
+            second_frame_start + 9,  // arg
+            second_frame_start + 20, // payload
+            clean.len() - 1,         // last byte of the final frame
+        ] {
+            let mut buf = clean.clone();
+            buf[at] ^= 0x40;
+            let mut r = FrameReader::new(&buf);
+            let mut result = Ok(());
+            loop {
+                match r.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            let err = result.expect_err("corruption must surface");
+            assert!(
+                matches!(err, Error::WireProtocol { .. }),
+                "byte {at}: wrong error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_bursts_fail_with_offsets() {
+        let clean = roundtrip_all();
+        // Cut mid-header and mid-payload of the second frame.
+        for cut in [
+            HELLO_WIRE_BYTES as usize + 4,
+            HELLO_WIRE_BYTES as usize + HEADER + 100,
+        ] {
+            let buf = &clean[..cut];
+            let mut r = FrameReader::new(buf);
+            r.next_frame().unwrap().unwrap(); // hello is intact
+            let err = r.next_frame().expect_err("truncation must surface");
+            match err {
+                Error::WireProtocol { offset, .. } => {
+                    assert_eq!(offset, HELLO_WIRE_BYTES)
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_version() {
+        let mut out = Vec::new();
+        put_hello(&mut out, 4, 4 * PAGE_SIZE);
+        // Not a Hello at all.
+        let mut page = Vec::new();
+        put_page_zero(&mut page, 0);
+        let mut r = FrameReader::new(&page);
+        let f = r.next_frame().unwrap().unwrap();
+        assert!(decode_hello(&f).is_err());
+
+        // Corrupt magic / version, re-sealing the checksum so only the
+        // semantic validation can catch it.
+        for (at, detail) in [(HEADER, "magic"), (HEADER + 4, "version")] {
+            let mut buf = out.clone();
+            buf[at] ^= 0xff;
+            let payload_len = u16::from_le_bytes([buf[2], buf[3]]);
+            let arg = read_u64(&buf[8..16]);
+            let checksum = frame_checksum(buf[0], buf[1], payload_len, arg, &buf[HEADER..]);
+            buf[4..8].copy_from_slice(&checksum.to_le_bytes());
+            let mut r = FrameReader::new(&buf);
+            let f = r.next_frame().unwrap().unwrap();
+            let err = decode_hello(&f).expect_err(detail);
+            assert!(
+                matches!(err, Error::WireProtocol { .. }),
+                "{detail}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vcpu_state_rejects_mismatched_register_shape() {
+        let mut out = Vec::new();
+        put_vcpu_state(&mut out, 0, &VcpuState::default());
+        let mut r = FrameReader::new(&out);
+        let f = r.next_frame().unwrap().unwrap();
+        let mut payload = f.payload.to_vec();
+        payload[17] = NUM_REGS as u8 + 1;
+        assert!(decode_vcpu_state(&payload).is_err());
+        assert!(decode_vcpu_state(&payload[..16]).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any sequence of page frames decodes back to exactly what was
+            /// encoded, and the encoded size is the documented accounting.
+            #[test]
+            fn page_frames_roundtrip(
+                pages in proptest::collection::vec(
+                    (0u64..1 << 20, proptest::collection::vec(proptest::num::u8::ANY, 0..256)),
+                    1..12
+                ),
+            ) {
+                let mut out = Vec::new();
+                let mut expected = 0u64;
+                for (page, bytes) in &pages {
+                    put_page_delta(&mut out, *page, bytes);
+                    expected += FRAME_HEADER_BYTES + bytes.len() as u64;
+                }
+                prop_assert_eq!(out.len() as u64, expected);
+                let mut r = FrameReader::new(&out);
+                for (page, bytes) in &pages {
+                    let f = r.next_frame().unwrap().unwrap();
+                    prop_assert_eq!(f.header.kind, FrameKind::Page);
+                    prop_assert_eq!(f.header.arg, *page);
+                    prop_assert_eq!(f.payload, &bytes[..]);
+                }
+                prop_assert!(r.next_frame().unwrap().is_none());
+            }
+
+            /// Flipping any single byte of a one-frame burst either fails
+            /// decoding or (for the checksum's own bytes) fails the
+            /// checksum comparison — no corruption passes silently.
+            #[test]
+            fn single_byte_corruption_never_passes(
+                at in 0usize..(HEADER + 64),
+                flip in 1u8..=255,
+            ) {
+                let mut out = Vec::new();
+                put_page_delta(&mut out, 3, &[7u8; 64]);
+                out[at] ^= flip;
+                let mut r = FrameReader::new(&out);
+                let outcome = r.next_frame();
+                prop_assert!(
+                    outcome.is_err(),
+                    "corrupting byte {at} passed: {outcome:?}"
+                );
+            }
+        }
+    }
+}

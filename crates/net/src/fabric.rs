@@ -1,0 +1,413 @@
+//! A modelled datacenter network fabric for migration and DR traffic.
+//!
+//! [`Link`](crate::Link) models one private point-to-point pipe; real
+//! migration traffic crosses a *shared* fabric: each host hangs off its own
+//! NIC, every NIC feeds one aggregate backbone, and big transfers are
+//! chunked into MTU-sized packets that each pay framing overhead. [`Fabric`]
+//! models exactly that, with deterministic integer-nanosecond timing so
+//! orchestrator runs replay bit-identically.
+//!
+//! # Model parameters and assumptions
+//!
+//! Following *On Heuristic Models, Assumptions, and Parameters*, every
+//! assumption is a named [`FabricParams`] field rather than an implicit
+//! constant:
+//!
+//! * **Per-host NIC capacity** (`nic_bytes_per_second`) — a host serializes
+//!   all of its migration/DR traffic through one NIC; two transfers
+//!   touching the same host queue behind each other.
+//! * **Shared backbone** (`backbone_bytes_per_second`) — all hosts share
+//!   one aggregate uplink; transfers between *disjoint* host pairs still
+//!   contend here. This is the deliberate worst-case single-spine
+//!   assumption: a real Clos fabric would give disjoint pairs independent
+//!   paths, so modelled contention is an upper bound.
+//! * **MTU chunking** (`mtu`, `chunk_overhead`) — a payload of `n` bytes
+//!   crosses the wire as `ceil(n / mtu)` chunks, each carrying
+//!   `chunk_overhead` bytes of framing (Ethernet + IP + TCP headers), so
+//!   small MTUs visibly tax big memory streams.
+//! * **Propagation latency** (`latency`) — one-way, paid once per
+//!   [`Fabric::transfer`] call (a transfer models one batched burst, not one
+//!   packet; intra-burst pipelining hides per-packet latency).
+//! * **Store-and-forward occupancy** — a transfer occupies the source NIC,
+//!   the backbone and the destination NIC for its whole serialization time
+//!   (no cut-through credit), which is what makes contention conservative
+//!   and the timing a simple max over `free_at` marks.
+//!
+//! All timing is computed in `u128` nanosecond arithmetic and stored as
+//! [`Nanoseconds`]; no floats are involved, so same-seed simulations replay
+//! `==`-identically on any host.
+
+use serde::{Deserialize, Serialize};
+
+use rvisor_types::{Error, Nanoseconds, Result};
+
+/// Default per-chunk framing overhead: Ethernet (14) + IPv4 (20) + TCP (32,
+/// with timestamps) + FCS (4) + preamble/IFG (8 + 12) ≈ 90 bytes per MTU.
+pub const DEFAULT_CHUNK_OVERHEAD: u64 = 90;
+
+/// Named, validated parameters of a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricParams {
+    /// Line rate of every host NIC, in bytes per second.
+    pub nic_bytes_per_second: u64,
+    /// Aggregate bandwidth of the shared backbone, in bytes per second.
+    pub backbone_bytes_per_second: u64,
+    /// One-way propagation latency between any two endpoints.
+    pub latency: Nanoseconds,
+    /// Maximum payload bytes per on-wire chunk (the MTU).
+    pub mtu: u64,
+    /// Framing overhead added to every chunk.
+    pub chunk_overhead: u64,
+}
+
+impl FabricParams {
+    /// A 10 Gbit/s-NIC datacenter with a 40 Gbit/s backbone, 50 µs latency
+    /// and jumbo frames.
+    pub fn datacenter() -> Self {
+        FabricParams {
+            nic_bytes_per_second: 1_250_000_000,
+            backbone_bytes_per_second: 5_000_000_000,
+            latency: Nanoseconds::from_micros(50),
+            mtu: 9000,
+            chunk_overhead: DEFAULT_CHUNK_OVERHEAD,
+        }
+    }
+
+    /// A gigabit office LAN: 1 Gbit/s NICs sharing a 1 Gbit/s uplink,
+    /// 200 µs latency, standard 1500-byte MTU.
+    pub fn office_lan() -> Self {
+        FabricParams {
+            nic_bytes_per_second: 125_000_000,
+            backbone_bytes_per_second: 125_000_000,
+            latency: Nanoseconds::from_micros(200),
+            mtu: 1500,
+            chunk_overhead: DEFAULT_CHUNK_OVERHEAD,
+        }
+    }
+
+    /// A 100 Mbit/s WAN with 5 ms latency (cross-site DR traffic).
+    pub fn wan() -> Self {
+        FabricParams {
+            nic_bytes_per_second: 12_500_000,
+            backbone_bytes_per_second: 12_500_000,
+            latency: Nanoseconds::from_millis(5),
+            mtu: 1500,
+            chunk_overhead: DEFAULT_CHUNK_OVERHEAD,
+        }
+    }
+
+    /// Validate the parameters: bandwidths and MTU must be non-zero, and the
+    /// MTU must exceed the per-chunk overhead (otherwise goodput is zero or
+    /// negative and transfer times diverge).
+    pub fn validate(&self) -> Result<()> {
+        if self.nic_bytes_per_second == 0 {
+            return Err(Error::Net("fabric NIC bandwidth must be non-zero".into()));
+        }
+        if self.backbone_bytes_per_second == 0 {
+            return Err(Error::Net(
+                "fabric backbone bandwidth must be non-zero".into(),
+            ));
+        }
+        if self.mtu == 0 {
+            return Err(Error::Net("fabric MTU must be non-zero".into()));
+        }
+        if self.chunk_overhead >= self.mtu {
+            return Err(Error::Net(format!(
+                "chunk overhead ({}) must be smaller than the MTU ({})",
+                self.chunk_overhead, self.mtu
+            )));
+        }
+        Ok(())
+    }
+
+    /// The bottleneck rate a single transfer serializes at: the slower of a
+    /// NIC and the backbone (both endpoints' NICs are identical).
+    pub fn bottleneck_bytes_per_second(&self) -> u64 {
+        self.nic_bytes_per_second
+            .min(self.backbone_bytes_per_second)
+    }
+
+    /// Bytes that actually cross the wire for a `payload`-byte transfer:
+    /// payload plus per-chunk framing for `ceil(payload / mtu)` chunks.
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        let chunks = payload.div_ceil(self.mtu.max(1));
+        payload.saturating_add(chunks.saturating_mul(self.chunk_overhead))
+    }
+
+    /// Time for `payload` bytes to cross an idle fabric (chunked
+    /// serialization at the bottleneck rate, plus one propagation latency).
+    pub fn transfer_time(&self, payload: u64) -> Nanoseconds {
+        self.latency
+            .saturating_add(self.serialization_time(payload))
+    }
+
+    /// Serialization component of [`Self::transfer_time`] (no propagation).
+    pub fn serialization_time(&self, payload: u64) -> Nanoseconds {
+        let rate = self.bottleneck_bytes_per_second().max(1);
+        let wire = self.wire_bytes(payload);
+        Nanoseconds(((wire as u128 * 1_000_000_000) / rate as u128) as u64)
+    }
+}
+
+/// One endpoint's NIC: a busy-until mark plus traffic counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct Nic {
+    free_at: Nanoseconds,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+/// A shared datacenter fabric connecting `n` endpoints.
+///
+/// Endpoints are dense indices `0..n` (the orchestrator maps host ids onto
+/// them; by convention the DR target rides along as one extra endpoint).
+/// All state is integer nanoseconds, so a run's transfer timeline is a pure
+/// function of the call sequence — deterministic replay for free.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    params: FabricParams,
+    nics: Vec<Nic>,
+    backbone_free_at: Nanoseconds,
+    bytes_carried: u64,
+    wire_bytes_carried: u64,
+    transfers: u64,
+}
+
+impl Fabric {
+    /// Create a fabric with `endpoints` idle NICs.
+    pub fn new(endpoints: usize, params: FabricParams) -> Result<Self> {
+        params.validate()?;
+        if endpoints < 2 {
+            return Err(Error::Net("a fabric needs at least two endpoints".into()));
+        }
+        Ok(Fabric {
+            params,
+            nics: vec![Nic::default(); endpoints],
+            backbone_free_at: Nanoseconds::ZERO,
+            bytes_carried: 0,
+            wire_bytes_carried: 0,
+            transfers: 0,
+        })
+    }
+
+    /// The fabric's parameters.
+    pub fn params(&self) -> FabricParams {
+        self.params
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Total payload bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total on-wire bytes carried (payload plus chunk framing).
+    pub fn wire_bytes_carried(&self) -> u64 {
+        self.wire_bytes_carried
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Payload bytes sent by endpoint `i`.
+    pub fn bytes_sent_by(&self, i: usize) -> u64 {
+        self.nics.get(i).map_or(0, |n| n.bytes_sent)
+    }
+
+    /// Payload bytes received by endpoint `i`.
+    pub fn bytes_received_by(&self, i: usize) -> u64 {
+        self.nics.get(i).map_or(0, |n| n.bytes_received)
+    }
+
+    fn check_pair(&self, from: usize, to: usize) -> Result<()> {
+        if from == to {
+            return Err(Error::Net(format!(
+                "fabric transfer from endpoint {from} to itself"
+            )));
+        }
+        if from >= self.nics.len() || to >= self.nics.len() {
+            return Err(Error::Net(format!(
+                "fabric endpoint out of range: {from} -> {to} with {} endpoints",
+                self.nics.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Earliest instant a transfer between `from` and `to` could start:
+    /// both NICs and the backbone must be free.
+    pub fn path_free_at(&self, from: usize, to: usize) -> Result<Nanoseconds> {
+        self.check_pair(from, to)?;
+        Ok(self.nics[from]
+            .free_at
+            .max(self.nics[to].free_at)
+            .max(self.backbone_free_at))
+    }
+
+    /// Move `payload` bytes from endpoint `from` to endpoint `to`, starting
+    /// no earlier than `now`; returns the simulated arrival time.
+    ///
+    /// The transfer occupies the source NIC, the backbone and the
+    /// destination NIC for its whole serialization window (store-and-forward
+    /// occupancy — see the module docs), then pays one propagation latency.
+    pub fn transfer(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: Nanoseconds,
+        payload: u64,
+    ) -> Result<Nanoseconds> {
+        self.check_pair(from, to)?;
+        let start = now.max(self.path_free_at(from, to)?);
+        let busy_until = start.saturating_add(self.params.serialization_time(payload));
+        self.nics[from].free_at = busy_until;
+        self.nics[to].free_at = busy_until;
+        self.backbone_free_at = busy_until;
+        self.nics[from].bytes_sent += payload;
+        self.nics[to].bytes_received += payload;
+        self.bytes_carried += payload;
+        self.wire_bytes_carried += self.params.wire_bytes(payload);
+        self.transfers += 1;
+        Ok(busy_until.saturating_add(self.params.latency))
+    }
+
+    /// Reset all busy-time marks and counters (between benchmark runs).
+    pub fn reset(&mut self) {
+        for nic in &mut self.nics {
+            *nic = Nic::default();
+        }
+        self.backbone_free_at = Nanoseconds::ZERO;
+        self.bytes_carried = 0;
+        self.wire_bytes_carried = 0;
+        self.transfers = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn flat_params(bps: u64, mtu: u64) -> FabricParams {
+        FabricParams {
+            nic_bytes_per_second: bps,
+            backbone_bytes_per_second: bps,
+            latency: Nanoseconds::ZERO,
+            mtu,
+            chunk_overhead: 100,
+        }
+    }
+
+    #[test]
+    fn params_validation_rejects_degenerate_values() {
+        assert!(FabricParams::datacenter().validate().is_ok());
+        assert!(FabricParams::office_lan().validate().is_ok());
+        assert!(FabricParams::wan().validate().is_ok());
+        let mut p = FabricParams::datacenter();
+        p.nic_bytes_per_second = 0;
+        assert!(p.validate().is_err());
+        let mut p = FabricParams::datacenter();
+        p.backbone_bytes_per_second = 0;
+        assert!(p.validate().is_err());
+        let mut p = FabricParams::datacenter();
+        p.mtu = 0;
+        assert!(p.validate().is_err());
+        let mut p = FabricParams::datacenter();
+        p.chunk_overhead = p.mtu;
+        assert!(p.validate().is_err());
+        assert!(Fabric::new(1, FabricParams::datacenter()).is_err());
+        assert!(Fabric::new(0, FabricParams::datacenter()).is_err());
+    }
+
+    #[test]
+    fn mtu_chunking_taxes_transfers() {
+        // 1 MB at 1 MB/s: exactly 1 s of payload plus chunk framing.
+        let p = flat_params(1_000_000, 1000);
+        // 1000 chunks x 100 overhead = 100_000 extra bytes = 0.1 s.
+        assert_eq!(p.wire_bytes(1_000_000), 1_100_000);
+        assert_eq!(p.transfer_time(1_000_000), Nanoseconds(1_100_000_000));
+        // Jumbo frames shrink the tax.
+        let jumbo = flat_params(1_000_000, 9000);
+        assert!(jumbo.transfer_time(1_000_000) < p.transfer_time(1_000_000));
+        // Zero payload still needs no chunks.
+        assert_eq!(p.wire_bytes(0), 0);
+    }
+
+    #[test]
+    fn shared_backbone_serializes_disjoint_pairs() {
+        let mut f = Fabric::new(4, flat_params(1_000_000, 1_000_000)).unwrap();
+        // 0->1 and 2->3 share no NIC, but do share the backbone.
+        let a = f.transfer(0, 1, Nanoseconds::ZERO, 500_000).unwrap();
+        let b = f.transfer(2, 3, Nanoseconds::ZERO, 500_000).unwrap();
+        assert!(b > a, "disjoint pairs must still contend on the backbone");
+        assert_eq!(f.transfers(), 2);
+        assert_eq!(f.bytes_carried(), 1_000_000);
+        assert!(f.wire_bytes_carried() > f.bytes_carried());
+        assert_eq!(f.bytes_sent_by(0), 500_000);
+        assert_eq!(f.bytes_received_by(3), 500_000);
+    }
+
+    #[test]
+    fn wider_backbone_still_serializes_nic_sharers() {
+        let mut params = flat_params(1_000_000, 1_000_000);
+        params.backbone_bytes_per_second = 100_000_000;
+        let mut f = Fabric::new(3, params).unwrap();
+        let a = f.transfer(0, 1, Nanoseconds::ZERO, 500_000).unwrap();
+        // Same source NIC: must queue even though the backbone is fast.
+        let b = f.transfer(0, 2, Nanoseconds::ZERO, 500_000).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn invalid_endpoints_are_rejected() {
+        let mut f = Fabric::new(2, flat_params(1_000_000, 1500)).unwrap();
+        assert!(f.transfer(0, 0, Nanoseconds::ZERO, 1).is_err());
+        assert!(f.transfer(0, 2, Nanoseconds::ZERO, 1).is_err());
+        assert!(f.path_free_at(5, 0).is_err());
+        f.transfer(0, 1, Nanoseconds::ZERO, 123).unwrap();
+        f.reset();
+        assert_eq!(f.bytes_carried(), 0);
+        assert_eq!(f.path_free_at(0, 1).unwrap(), Nanoseconds::ZERO);
+    }
+
+    proptest! {
+        /// Arrival times are monotone along any call sequence on one pair,
+        /// and replaying the same sequence reproduces identical times.
+        #[test]
+        fn transfers_are_monotonic_and_deterministic(
+            sizes in proptest::collection::vec(0u64..10_000_000, 1..16)
+        ) {
+            let run = || {
+                let mut f = Fabric::new(2, FabricParams::office_lan()).unwrap();
+                let mut times = Vec::new();
+                for &s in &sizes {
+                    times.push(f.transfer(0, 1, Nanoseconds::ZERO, s).unwrap());
+                }
+                times
+            };
+            let first = run();
+            for w in first.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+            prop_assert_eq!(&first, &run());
+        }
+
+        /// The fabric is never faster than a bare link of the bottleneck
+        /// bandwidth: chunk framing only adds time.
+        #[test]
+        fn fabric_never_beats_the_bare_link(bytes in 1u64..(1 << 28)) {
+            let p = FabricParams::office_lan();
+            let bare = crate::LinkModel {
+                bytes_per_second: p.bottleneck_bytes_per_second(),
+                latency: p.latency,
+            };
+            prop_assert!(p.transfer_time(bytes) >= bare.transfer_time(bytes));
+        }
+    }
+}

@@ -9,15 +9,33 @@
 //!   [`VirtualSwitch`] port and exchanges [`Frame`]s with its peers;
 //! * **live migration** (`rvisor-migrate`) pushes memory pages through a
 //!   [`Link`], whose bandwidth model determines round lengths and downtime —
-//!   exactly the quantity experiment E4 sweeps.
+//!   exactly the quantity experiment E4 sweeps, or through a shared
+//!   [`Fabric`] when whole fleets contend for the network (experiment E17).
+//!
+//! ## The fabric model
+//!
+//! [`Fabric`] upgrades the private point-to-point [`Link`] to a shared
+//! datacenter network: every endpoint owns a NIC of
+//! [`FabricParams::nic_bytes_per_second`], all NICs feed one backbone of
+//! [`FabricParams::backbone_bytes_per_second`], and payloads are chunked
+//! into [`FabricParams::mtu`]-sized packets each paying
+//! [`FabricParams::chunk_overhead`] bytes of framing. Timing is pure
+//! integer-nanosecond arithmetic — transfers between the same or disjoint
+//! host pairs queue deterministically on the busy-until marks of the NICs
+//! and the backbone — so orchestrator runs over a fabric replay
+//! `==`-identically. Every modelling assumption (single-spine worst-case
+//! contention, store-and-forward occupancy, once-per-burst latency) is
+//! documented on the [`fabric`] module with the parameter that controls it.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod fabric;
 pub mod frame;
 pub mod link;
 pub mod switch;
 
+pub use fabric::{Fabric, FabricParams, DEFAULT_CHUNK_OVERHEAD};
 pub use frame::{Frame, MacAddr, ETHERTYPE_IPV4, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
 pub use link::{Link, LinkModel};
 pub use switch::{SwitchPort, SwitchStats, VirtualSwitch};

@@ -19,10 +19,10 @@ use std::collections::BTreeMap;
 
 use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
 use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
-use rvisor_migrate::MigrationReport;
-use rvisor_net::Link;
+use rvisor_migrate::{FabricTransport, MigrationConfig, MigrationReport};
+use rvisor_net::Fabric;
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
-use rvisor_types::{Error, GuestAddress, HostId, Result, PAGE_SIZE};
+use rvisor_types::{Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::{Workload, WorkloadKind};
 
 use crate::params::OrchParams;
@@ -107,11 +107,15 @@ impl OrchHost {
     }
 }
 
-/// A datacenter: hosts sharing one migration/DR network link.
+/// A datacenter: hosts sharing one migration/DR network fabric.
+///
+/// Every host is one fabric endpoint; one extra endpoint (index
+/// `hosts.len()`) models the DR backup target, so backup streams and live
+/// migrations contend for the same NICs and backbone.
 #[derive(Debug)]
 pub struct Cluster {
     hosts: Vec<OrchHost>,
-    link: Link,
+    fabric: Fabric,
     params: OrchParams,
 }
 
@@ -122,7 +126,7 @@ impl Cluster {
         if host_specs.is_empty() {
             return Err(Error::Config("cluster needs at least one host".into()));
         }
-        let hosts = host_specs
+        let hosts: Vec<OrchHost> = host_specs
             .into_iter()
             .map(|spec| OrchHost {
                 vmm: Vmm::new(&format!("host-{}", spec.id.raw())),
@@ -131,9 +135,11 @@ impl Cluster {
                 vm_ids: BTreeMap::new(),
             })
             .collect();
+        // One endpoint per host, plus the DR backup target.
+        let fabric = Fabric::new(hosts.len() + 1, params.fabric)?;
         Ok(Cluster {
             hosts,
-            link: Link::new(params.network),
+            fabric,
             params,
         })
     }
@@ -143,9 +149,14 @@ impl Cluster {
         &self.hosts
     }
 
-    /// The shared migration/DR link.
-    pub fn link(&self) -> &Link {
-        &self.link
+    /// The shared migration/DR fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Fabric endpoint index of the DR backup target.
+    pub fn dr_endpoint(&self) -> usize {
+        self.hosts.len()
     }
 
     /// Number of hosts currently powered on.
@@ -274,19 +285,34 @@ impl Cluster {
         Ok(host)
     }
 
-    /// Snapshot the named VM into `store` (the DR site).
+    /// Snapshot the named VM into `store` (the DR site), streaming the
+    /// snapshot bytes across the fabric to the DR endpoint.
+    ///
+    /// Returns the snapshot id, its size, and the simulated instant the
+    /// stream has fully arrived at the DR target; the transfer occupies the
+    /// host's NIC and the backbone, so backup sweeps contend with live
+    /// migrations. Until the arrival instant the snapshot is still on the
+    /// wire — callers must not restore from it before then.
     pub fn backup(
         &mut self,
         vm: &str,
         label: &str,
         store: &mut SnapshotStore,
-    ) -> Result<SnapshotId> {
+        now: Nanoseconds,
+    ) -> Result<(SnapshotId, rvisor_types::ByteSize, Nanoseconds)> {
         let host = self
             .host_of(vm)
             .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
         let idx = self.index_of(host)?;
         let live = self.hosts[idx].live_vm_mut(vm)?;
-        live.snapshot(label, store)
+        let snap = live.snapshot(label, store)?;
+        let size = store
+            .get(snap)
+            .map(|s| s.approx_size())
+            .unwrap_or(rvisor_types::ByteSize::ZERO);
+        let dr = self.dr_endpoint();
+        let arrival = self.fabric.transfer(idx, dr, now, size.as_u64())?;
+        Ok((snap, size, arrival))
     }
 
     /// Power a host back on (consolidation undo, or DR capacity).
@@ -334,12 +360,16 @@ impl Cluster {
         Ok(lost)
     }
 
-    /// Live-migrate the named VM from its current host to `to`.
+    /// Live-migrate the named VM from its current host to `to`, starting
+    /// no earlier than `now` (the caller's simulated clock) — the stream's
+    /// fabric occupancy lands at the present, so it contends with every
+    /// other migration and backup issued around the same instant.
     pub fn migrate(
         &mut self,
         vm: &str,
         to: HostId,
         engine: MigrationOutcome,
+        now: Nanoseconds,
     ) -> Result<MigrationReport> {
         let from = self
             .host_of(vm)
@@ -365,8 +395,9 @@ impl Cluster {
             )));
         }
 
-        // Sync the link clock to "now" happens at the orchestrator level via
-        // its own accounting; engines serialize on the link's free_at.
+        // The migration streams across the shared fabric between the two
+        // hosts' endpoints; its busy-time marks are what make concurrent
+        // rebalance migrations and DR backups queue behind each other.
         let (src, dst) = if from_idx < to_idx {
             let (l, r) = self.hosts.split_at_mut(to_idx);
             (&mut l[from_idx], &mut r[0])
@@ -375,9 +406,14 @@ impl Cluster {
             (&mut r[0], &mut l[to_idx])
         };
         let vm_id = *src.vm_ids.get(vm).expect("live VM tracked");
-        let (new_id, report) = src
-            .vmm
-            .migrate_to(vm_id, &mut dst.vmm, &mut self.link, engine)?;
+        let mut transport = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)?;
+        let (new_id, report) = src.vmm.migrate_to_over(
+            vm_id,
+            &mut dst.vmm,
+            &mut transport,
+            engine,
+            MigrationConfig::default(),
+        )?;
         src.vm_ids.remove(vm);
         dst.vm_ids.insert(vm.to_string(), new_id);
         let spec = src.accounting.evict(vm).expect("accounting tracked");
@@ -464,7 +500,12 @@ mod tests {
         let mut c = Cluster::new(specs(2), small_params()).unwrap();
         c.deploy(HostId::new(0), web("mv")).unwrap();
         let report = c
-            .migrate("mv", HostId::new(1), MigrationOutcome::PreCopy)
+            .migrate(
+                "mv",
+                HostId::new(1),
+                MigrationOutcome::PreCopy,
+                Nanoseconds::ZERO,
+            )
             .unwrap();
         assert!(report.total_time > rvisor_types::Nanoseconds::ZERO);
         assert_eq!(c.host_of("mv"), Some(HostId::new(1)));
@@ -481,7 +522,12 @@ mod tests {
             .unwrap();
         assert_ne!(stamp, 0);
         assert!(c
-            .migrate("mv", HostId::new(1), MigrationOutcome::PreCopy)
+            .migrate(
+                "mv",
+                HostId::new(1),
+                MigrationOutcome::PreCopy,
+                Nanoseconds::ZERO,
+            )
             .is_err());
     }
 
@@ -490,7 +536,14 @@ mod tests {
         let mut c = Cluster::new(specs(2), small_params()).unwrap();
         c.deploy(HostId::new(0), web("dr")).unwrap();
         let mut store = SnapshotStore::new();
-        let snap = c.backup("dr", "hourly", &mut store).unwrap();
+        let (snap, size, arrival) = c
+            .backup("dr", "hourly", &mut store, Nanoseconds::ZERO)
+            .unwrap();
+        assert!(size > rvisor_types::ByteSize::ZERO);
+        assert!(
+            arrival > Nanoseconds::ZERO,
+            "the backup stream must take modelled network time"
+        );
         let stamp_before = {
             let vmm = c.hosts()[0].vmm();
             let id = vmm.find_vm("dr").unwrap();

@@ -39,9 +39,14 @@
 //! On every rebalance tick the orchestrator hands the cluster to its
 //! [`RebalancePolicy`], which returns a [`RebalancePlan`] — migrations plus
 //! power actions — that the orchestrator then executes through
-//! [`Vmm::migrate_to`](rvisor::Vmm::migrate_to) (engine per decision:
-//! pre-copy/post-copy for running guests, stop-and-copy otherwise) and the
-//! cluster power controls. Three policies ship: [`ThresholdRebalance`]
+//! [`Vmm::migrate_to_over`](rvisor::Vmm::migrate_to_over) (engine per
+//! decision: pre-copy/post-copy for running guests, stop-and-copy
+//! otherwise) and the cluster power controls. Migrations stream in the
+//! wire format across a shared [`Fabric`](rvisor_net::Fabric) — per-host
+//! NICs, one backbone, MTU chunking ([`OrchParams::fabric`]) — and DR
+//! backup sweeps cross the same fabric to a dedicated DR endpoint, so
+//! migration duration, downtime and backup lag all come from modelled
+//! bytes-on-wire contention rather than free copies. Three policies ship: [`ThresholdRebalance`]
 //! (hotspot relief), [`ConsolidateAndPowerDown`] (energy), and
 //! [`SpreadRebalance`] (balance). Every knob they read — thresholds,
 //! intervals, caps — is a named field of [`OrchParams`], per the "no

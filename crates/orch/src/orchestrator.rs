@@ -28,6 +28,45 @@ struct PendingRestore {
     failed_at: Nanoseconds,
 }
 
+/// DR backups of one VM: at most one restorable snapshot plus at most one
+/// still streaming to the DR target.
+///
+/// A backup only becomes restorable once its stream has fully *arrived* at
+/// the DR endpoint — a host failure while the stream is on the wire falls
+/// back to the previous (retained) backup, not the bytes in flight.
+#[derive(Debug, Clone, Copy, Default)]
+struct VmBackups {
+    /// The newest fully-arrived backup (what failures restore from).
+    ready: Option<SnapshotId>,
+    /// A backup still crossing the fabric, and its arrival instant.
+    inflight: Option<(SnapshotId, Nanoseconds)>,
+}
+
+impl VmBackups {
+    /// Promote the in-flight backup to `ready` if its stream has arrived by
+    /// `now`, deleting the snapshot it supersedes.
+    fn settle(&mut self, store: &mut SnapshotStore, now: Nanoseconds) {
+        if let Some((snap, arrival)) = self.inflight {
+            if arrival <= now {
+                if let Some(old) = self.ready.replace(snap) {
+                    let _ = store.delete(old);
+                }
+                self.inflight = None;
+            }
+        }
+    }
+
+    /// Delete every snapshot this VM still holds in the DR store.
+    fn drop_all(self, store: &mut SnapshotStore) {
+        if let Some(id) = self.ready {
+            let _ = store.delete(id);
+        }
+        if let Some((id, _)) = self.inflight {
+            let _ = store.delete(id);
+        }
+    }
+}
+
 /// The datacenter control loop.
 ///
 /// Owns the [`Cluster`], the [`EventQueue`], the DR [`SnapshotStore`] and the
@@ -42,8 +81,8 @@ pub struct Orchestrator {
     now: Nanoseconds,
     horizon: Nanoseconds,
     dr_store: SnapshotStore,
-    /// Latest DR backup per VM name.
-    backups: BTreeMap<String, SnapshotId>,
+    /// DR backups per VM name (newest arrived + newest in flight).
+    backups: BTreeMap<String, VmBackups>,
     pending_placement: Vec<PendingVm>,
     pending_restores: BTreeMap<String, PendingRestore>,
     /// Arrival instants of VMs placed or waiting (for placement latency).
@@ -275,12 +314,17 @@ impl Orchestrator {
         Ok(())
     }
 
+    /// Release every DR snapshot held for a departed VM.
+    fn drop_backups(&mut self, vm: &str) {
+        if let Some(b) = self.backups.remove(vm) {
+            b.drop_all(&mut self.dr_store);
+        }
+    }
+
     fn on_departure(&mut self, vm: &str) -> Result<()> {
         if self.cluster.host_of(vm).is_some() {
             self.cluster.destroy(vm)?;
-            if let Some(id) = self.backups.remove(vm) {
-                let _ = self.dr_store.delete(id);
-            }
+            self.drop_backups(vm);
             self.report.vms_departed += 1;
             self.drain_pending()?;
             return Ok(());
@@ -301,9 +345,7 @@ impl Orchestrator {
                 .report
                 .vm_time_lost
                 .saturating_add(self.now.saturating_sub(pr.failed_at));
-            if let Some(id) = self.backups.remove(vm) {
-                let _ = self.dr_store.delete(id);
-            }
+            self.drop_backups(vm);
             self.report.vms_departed += 1;
             return Ok(());
         }
@@ -355,8 +397,18 @@ impl Orchestrator {
             .now
             .saturating_add(self.params.failover_detection_delay);
         for spec in lost {
-            match self.backups.get(&spec.name) {
-                Some(&snapshot) => {
+            // Only a backup whose stream has fully arrived at the DR target
+            // by the failure instant is restorable; bytes still on the wire
+            // do not count (the retained previous backup does).
+            let restorable = match self.backups.get_mut(&spec.name) {
+                Some(b) => {
+                    b.settle(&mut self.dr_store, self.now);
+                    b.ready
+                }
+                None => None,
+            };
+            match restorable {
+                Some(snapshot) => {
                     let size = self
                         .dr_store
                         .get(snapshot)
@@ -382,7 +434,12 @@ impl Orchestrator {
                     self.restores_scheduled += 1;
                 }
                 None => {
-                    // Never backed up: gone for good.
+                    // Never backed up (or its only backup was still on the
+                    // wire): gone for good. Discard whatever snapshots the
+                    // name still holds so they cannot leak in the DR store —
+                    // or settle later and restore an unrelated future VM
+                    // that reuses the name.
+                    self.drop_backups(&spec.name);
                     self.report.vms_lost_permanently += 1;
                     self.report.vm_time_lost = self
                         .report
@@ -440,7 +497,7 @@ impl Orchestrator {
             }
             match self
                 .cluster
-                .migrate(&decision.vm, decision.to, decision.engine)
+                .migrate(&decision.vm, decision.to, decision.engine, self.now)
             {
                 Ok(r) => {
                     self.report.migrations_completed += 1;
@@ -481,24 +538,32 @@ impl Orchestrator {
         );
         let label = format!("backup@{}", self.now.as_nanos());
         for name in queue.drain(..) {
-            let snap = self.cluster.backup(&name, &label, &mut self.dr_store)?;
-            let size = self
-                .dr_store
-                .get(snap)
-                .map(|s| s.approx_size())
-                .unwrap_or(ByteSize::ZERO);
+            // The snapshot streams across the shared fabric to the DR
+            // endpoint (contending with any in-flight migrations), then is
+            // written to the backup target's storage.
+            let (snap, size, arrival) =
+                self.cluster
+                    .backup(&name, &label, &mut self.dr_store, self.now)?;
             self.report.backups_taken += 1;
             self.report.backup_bytes += size.as_u64();
+            let network_time = arrival.saturating_sub(self.now);
             self.report.backup_time_total = self
                 .report
                 .backup_time_total
+                .saturating_add(network_time)
                 .saturating_add(self.params.backup_target.write_time(size));
-            // Retain only the newest backup per VM (bounded DR storage).
-            if let Some(old) = self.backups.insert(name, snap) {
-                let _ = self.dr_store.delete(old);
+            // Bounded DR storage per VM: the newest arrived backup plus at
+            // most one in flight. A still-streaming predecessor is
+            // superseded (its stream is abandoned and its snapshot
+            // dropped); the new backup becomes restorable only once its own
+            // stream arrives.
+            let entry = self.backups.entry(name).or_default();
+            entry.settle(&mut self.dr_store, self.now);
+            if let Some((superseded, _)) = entry.inflight.replace((snap, arrival)) {
+                let _ = self.dr_store.delete(superseded);
             }
         }
-        // Hand the (now empty) backbone back for the next tick.
+        // Hand the (now empty) queue buffer back for reuse by the next tick.
         self.backup_queue = queue;
         Ok(())
     }
@@ -696,6 +761,82 @@ mod tests {
         // Simulated time never ran past the horizon, so the power integral
         // is bounded by hosts x duration.
         assert!(r.powered_host_time.0 <= 2 * duration.0);
+    }
+
+    #[test]
+    fn backup_still_on_the_wire_is_not_restorable() {
+        use rvisor_cluster::{ServerRole, VmSpec};
+        use rvisor_net::FabricParams;
+        // A crawling fabric: the ~256 KiB snapshot stream needs ~260 s to
+        // reach the DR target. The host fails 100 s after the backup tick,
+        // while the stream is still on the wire — the VM must be lost, not
+        // restored from bytes that never arrived.
+        let duration = Nanoseconds::from_secs(3600);
+        let config = ScenarioConfig {
+            duration,
+            ..ScenarioConfig::day(0, WorkloadShape::SteadyState, 2, 1)
+        };
+        let spec = VmSpec::typical("vm-0000", ServerRole::Web);
+        let scenario = Scenario {
+            config,
+            events: vec![
+                (
+                    Nanoseconds::from_secs(10),
+                    crate::OrchEvent::VmArrival { spec },
+                ),
+                (
+                    Nanoseconds::from_secs(700),
+                    crate::OrchEvent::HostFailure {
+                        host: HostId::new(0),
+                    },
+                ),
+            ],
+        };
+        let slow_wire = OrchParams {
+            backup_interval: Nanoseconds::from_secs(600),
+            fabric: FabricParams {
+                nic_bytes_per_second: 1000,
+                backbone_bytes_per_second: 1000,
+                ..FabricParams::wan()
+            },
+            ..fast_params()
+        };
+        let r = run_datacenter(2, slow_wire, Box::new(ThresholdRebalance), &scenario).unwrap();
+        assert_eq!(r.hosts_failed, 1);
+        assert_eq!(r.vms_lost_at_failure, 1);
+        assert_eq!(r.backups_taken, 1, "the 600 s tick streamed one backup");
+        assert_eq!(
+            r.vms_restored, 0,
+            "a backup still crossing the fabric must not be restorable"
+        );
+        assert_eq!(r.vms_lost_permanently, 1);
+
+        // Control: fail after the stream has arrived and the restore works.
+        let spec = VmSpec::typical("vm-0000", ServerRole::Web);
+        let late_failure = Scenario {
+            config: ScenarioConfig {
+                duration,
+                ..ScenarioConfig::day(0, WorkloadShape::SteadyState, 2, 1)
+            },
+            events: vec![
+                (
+                    Nanoseconds::from_secs(10),
+                    crate::OrchEvent::VmArrival { spec },
+                ),
+                (
+                    Nanoseconds::from_secs(1100),
+                    crate::OrchEvent::HostFailure {
+                        host: HostId::new(0),
+                    },
+                ),
+            ],
+        };
+        let r = run_datacenter(2, slow_wire, Box::new(ThresholdRebalance), &late_failure).unwrap();
+        assert_eq!(r.hosts_failed, 1);
+        assert_eq!(
+            r.vms_restored, 1,
+            "an arrived backup restores as before: {r}"
+        );
     }
 
     #[test]

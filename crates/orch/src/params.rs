@@ -7,7 +7,7 @@
 
 use rvisor::MigrationOutcome;
 use rvisor_cluster::PlacementStrategy;
-use rvisor_net::LinkModel;
+use rvisor_net::FabricParams;
 use rvisor_snapshot::BackupTarget;
 use rvisor_types::{ByteSize, Error, Nanoseconds, Result};
 
@@ -55,8 +55,11 @@ pub struct OrchParams {
     /// a 500-VM datacenter fits in the harness' memory. Explicitly named so
     /// nobody mistakes the simulation scale for the accounting scale.
     pub guest_memory: ByteSize,
-    /// The shared migration/DR network, applied to the cluster's link.
-    pub network: LinkModel,
+    /// The shared migration/DR network fabric: per-host NIC capacity, one
+    /// shared backbone, MTU chunking. Every rebalance migration and every
+    /// DR backup stream crosses (and contends on) this fabric, so migration
+    /// duration and downtime come from modelled bytes-on-wire.
+    pub fabric: FabricParams,
 }
 
 impl Default for OrchParams {
@@ -75,7 +78,7 @@ impl Default for OrchParams {
             backup_target: BackupTarget::default(),
             provision_latency: Nanoseconds::from_secs(45),
             guest_memory: ByteSize::kib(256),
-            network: LinkModel::ten_gigabit(),
+            fabric: FabricParams::datacenter(),
         }
     }
 }
@@ -113,6 +116,9 @@ impl OrchParams {
                  (the tenant workload layout must fit)"
             )));
         }
+        // The network fabric's own invariants (non-zero bandwidths, sane
+        // MTU) are validated where they are defined.
+        self.fabric.validate()?;
         Ok(())
     }
 }
@@ -152,5 +158,11 @@ mod tests {
         assert!(p.validate().is_err());
         p.backup_interval = Nanoseconds::from_secs(3600);
         p.validate().unwrap();
+        // Degenerate fabric parameters are rejected through OrchParams too.
+        p.fabric.mtu = 0;
+        assert!(p.validate().is_err());
+        p.fabric = FabricParams::datacenter();
+        p.fabric.nic_bytes_per_second = 0;
+        assert!(p.validate().is_err());
     }
 }

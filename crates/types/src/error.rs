@@ -92,6 +92,16 @@ pub enum Error {
     Snapshot(String),
     /// Live migration failed or was aborted.
     Migration(String),
+    /// The migration wire stream is malformed: bad magic or version,
+    /// truncated frame, payload past the stream end, or a per-frame
+    /// checksum mismatch. `offset` is the byte offset of the offending
+    /// frame within its burst.
+    WireProtocol {
+        /// What was wrong with the stream.
+        detail: String,
+        /// Byte offset of the offending frame within the received burst.
+        offset: u64,
+    },
     /// The scheduler configuration is invalid (zero weight, no pCPUs, ...).
     Scheduler(String),
     /// Not enough capacity on a host / in the cluster to place a VM.
@@ -140,6 +150,9 @@ impl fmt::Display for Error {
             }
             Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             Error::Migration(msg) => write!(f, "migration error: {msg}"),
+            Error::WireProtocol { detail, offset } => {
+                write!(f, "migration wire stream error at byte {offset}: {detail}")
+            }
             Error::Scheduler(msg) => write!(f, "scheduler error: {msg}"),
             Error::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),

@@ -8,7 +8,8 @@ use std::collections::BTreeMap;
 
 use rvisor_memory::{analyze_sharing, DedupAnalysis, GuestMemory, KsmConfig, KsmManager};
 use rvisor_migrate::{
-    DirtySource, MigrationConfig, MigrationReport, PostCopy, PreCopy, StopAndCopy,
+    DirtySource, LoopbackTransport, MigrationConfig, MigrationReport, PostCopy, PreCopy,
+    StopAndCopy, Transport,
 };
 use rvisor_net::{Link, VirtualSwitch};
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
@@ -316,11 +317,34 @@ impl Vmm {
 
     /// Migrate a VM with an explicit [`MigrationConfig`] (round budgets,
     /// dirty-set threshold, page compression).
+    ///
+    /// The migration is streamed in the versioned wire format over a
+    /// loopback transport timed by `link` — byte- and nanosecond-equivalent
+    /// to the direct in-memory engines, but exercising the full
+    /// encode/checksum/decode pipeline on every VM move.
     pub fn migrate_to_with_config(
         &mut self,
         id: VmId,
         destination: &mut Vmm,
         link: &mut Link,
+        outcome: MigrationOutcome,
+        config: MigrationConfig,
+    ) -> Result<(VmId, MigrationReport)> {
+        let mut transport = LoopbackTransport::new(link);
+        self.migrate_to_over(id, destination, &mut transport, outcome, config)
+    }
+
+    /// Migrate a VM as a wire-format stream over an arbitrary
+    /// [`Transport`] — a [`LoopbackTransport`] for same-switch moves, or a
+    /// [`FabricTransport`](rvisor_migrate::FabricTransport) so the
+    /// migration contends with every other stream on a shared
+    /// [`Fabric`](rvisor_net::Fabric) (what the orchestrator does for
+    /// rebalance traffic).
+    pub fn migrate_to_over(
+        &mut self,
+        id: VmId,
+        destination: &mut Vmm,
+        transport: &mut dyn Transport,
         outcome: MigrationOutcome,
         config: MigrationConfig,
     ) -> Result<(VmId, MigrationReport)> {
@@ -337,18 +361,18 @@ impl Vmm {
                         source_vm.pause()?;
                     }
                     let states = source_vm.save_vcpu_states();
-                    StopAndCopy::migrate(source_vm.memory(), &dest_memory, &states, link)?
+                    StopAndCopy::migrate_over(source_vm.memory(), &dest_memory, &states, transport)?
                 }
                 MigrationOutcome::PreCopy => {
                     let memory = source_vm.memory().clone();
                     let states_placeholder = source_vm.save_vcpu_states();
                     let mut dirtier = RunningVmDirtier::new(source_vm);
 
-                    PreCopy::migrate(
+                    PreCopy::migrate_over(
                         &memory,
                         &dest_memory,
                         &states_placeholder,
-                        link,
+                        transport,
                         &mut dirtier,
                         &config,
                     )?
@@ -358,7 +382,13 @@ impl Vmm {
                         source_vm.pause()?;
                     }
                     let states = source_vm.save_vcpu_states();
-                    PostCopy::migrate(source_vm.memory(), &dest_memory, &states, link, &config)?
+                    PostCopy::migrate_over(
+                        source_vm.memory(),
+                        &dest_memory,
+                        &states,
+                        transport,
+                        &config,
+                    )?
                 }
             }
         };
