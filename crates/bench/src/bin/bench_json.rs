@@ -24,6 +24,7 @@
 //! it back.
 
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -189,6 +190,56 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
             .unwrap()
         });
         record("precopy_stream_loopback_2mib", ns);
+    }
+
+    // -- pipelined pre-copy over loopback: encode and apply on separate
+    //    threads, byte-identical to the serial stream above --
+    {
+        let ns = measure(samples, || {
+            let (src, dst) = sparse_memories(PAGES);
+            let mut link = Link::new(LinkModel::ten_gigabit());
+            let mut transport = LoopbackTransport::new(&mut link);
+            let config = MigrationConfig {
+                streams: NonZeroUsize::new(2).unwrap(),
+                ..Default::default()
+            };
+            PreCopy::migrate_pipelined(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &config,
+            )
+            .unwrap()
+        });
+        record("precopy_stream_pipelined_2mib", ns);
+    }
+
+    // -- 4-stream pipelined pre-copy over loopback (experiment E18): the
+    //    page-index space sharded across 4 encode workers plus the sink
+    //    thread. The speedup over the serial number above scales with the
+    //    host's core count; on a single core it degrades to ~serial. --
+    {
+        let ns = measure(samples, || {
+            let (src, dst) = sparse_memories(PAGES);
+            let mut link = Link::new(LinkModel::ten_gigabit());
+            let mut transport = LoopbackTransport::new(&mut link);
+            let config = MigrationConfig {
+                streams: NonZeroUsize::new(4).unwrap(),
+                ..Default::default()
+            };
+            PreCopy::migrate_pipelined(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &config,
+            )
+            .unwrap()
+        });
+        record("precopy_stream_4way_2mib", ns);
     }
 
     // -- full streamed pre-copy over the fabric, dirtying guest --

@@ -41,16 +41,11 @@ pub type PageKey = (VmId, u64);
 /// simulation double-checks nothing (just like real KSM relies on a byte
 /// compare after the hash match; modelling the compare cost is not needed
 /// for the experiments, and the 64-bit space makes collisions irrelevant at
-/// the scales simulated here).
+/// the scales simulated here). Computed by the word-wise
+/// [`scan::fingerprint`](crate::scan::fingerprint) kernel, which is
+/// bit-identical to the byte-wise recurrence.
 pub fn fingerprint(contents: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in contents {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    crate::scan::fingerprint(contents)
 }
 
 /// Tuning knobs of the scanner.
@@ -244,7 +239,7 @@ impl KsmManager {
             let probe_zero = !self.config.merge_zero_pages;
             let (fp, skip_zero) = match self.vms.get(&vm) {
                 Some(mem) => mem.with_page(page, |b| {
-                    (fingerprint(b), probe_zero && b.iter().all(|&x| x == 0))
+                    (fingerprint(b), probe_zero && crate::scan::is_zero(b))
                 })?,
                 None => continue,
             };

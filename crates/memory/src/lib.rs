@@ -16,6 +16,10 @@
 //!   mechanism and the basis of the VDI density experiments.
 //! * **Typed accessors** — little-endian reads/writes of integers used by the
 //!   virtio queue implementation.
+//! * **Word-wise scan kernels** ([`scan`]) — zero-page detection and FNV-1a
+//!   fingerprinting over `u64` words, shared by the migration wire encoder,
+//!   KSM and zero-run coalescing (proptest-pinned equivalent to the
+//!   byte-wise loops they replaced).
 //!
 //! The design mirrors the `vm-memory` crate from the rust-vmm project but is
 //! self-contained and entirely safe Rust: regions are backed by
@@ -59,11 +63,13 @@ pub mod bitmap;
 pub mod ksm;
 pub mod memory;
 pub mod region;
+pub mod scan;
 
 pub use balloon::{Balloon, BalloonStats};
 pub use bitmap::{DirtyBitmap, DirtyIter};
 pub use ksm::{analyze_sharing, DedupAnalysis, KsmConfig, KsmManager, KsmStats};
 pub use memory::{GuestMemory, GuestMemoryBuilder};
 pub use region::MemoryRegion;
+pub use scan::{fingerprint, is_zero};
 
 pub use rvisor_types::{ByteSize, GuestAddress, GuestRegion, PAGE_SIZE};

@@ -81,8 +81,12 @@ impl WirePage {
 }
 
 /// Returns true when every byte of the page is zero.
+///
+/// Delegates to the word-wise [`rvisor_memory::scan::is_zero`] kernel shared
+/// with KSM's zero-page policy, so one scan implementation serves wire
+/// encode, `ZeroRun` coalescing and the overcommit scanners alike.
 pub fn is_zero_page(contents: &[u8]) -> bool {
-    contents.iter().all(|&b| b == 0)
+    rvisor_memory::scan::is_zero(contents)
 }
 
 /// XBZRLE-encode `new` against `old`.

@@ -6,6 +6,8 @@
 //! source while pre-copy rounds are in flight (that is what makes the
 //! convergence behaviour real rather than assumed).
 
+use std::num::NonZeroUsize;
+
 use rvisor_memory::GuestMemory;
 use rvisor_net::Link;
 use rvisor_types::{Error, Nanoseconds, Result, PAGE_SIZE};
@@ -42,7 +44,19 @@ pub struct MigrationConfig {
     /// cache smaller than the guest's write working set erases most of the
     /// technique's benefit (the ablation knob of E4e).
     pub xbzrle_cache_pages: usize,
+    /// How many parallel migration streams the pipelined engine
+    /// ([`crate::pipeline`]) shards the page-index space into (at most
+    /// [`MAX_MIGRATION_STREAMS`]). Stripe `s` owns a fixed contiguous range
+    /// of page indices, so a page always travels on the same stream and
+    /// sink-side applies can never race. The serial engines ignore the
+    /// knob; [`rvisor::Vmm::migrate_to_over`-style callers](crate::pipeline)
+    /// route `streams > 1` migrations through the pipelined engine.
+    pub streams: NonZeroUsize,
 }
+
+/// Upper bound on [`MigrationConfig::streams`]: beyond this, per-stream
+/// framing overhead and thread fan-out cost more than they could ever buy.
+pub const MAX_MIGRATION_STREAMS: usize = 64;
 
 impl Default for MigrationConfig {
     fn default() -> Self {
@@ -54,6 +68,7 @@ impl Default for MigrationConfig {
             // 256 MiB of cached page versions, mirroring QEMU's default-ish
             // cache sizing scaled to the simulated guests.
             xbzrle_cache_pages: 65_536,
+            streams: NonZeroUsize::MIN,
         }
     }
 }
@@ -66,7 +81,8 @@ impl MigrationConfig {
     ///   it is a fraction of the guest's pages;
     /// * `max_rounds` must be at least 1 (pre-copy needs its full first
     ///   round);
-    /// * `xbzrle_cache_pages` must be non-zero when XBZRLE is selected.
+    /// * `xbzrle_cache_pages` must be non-zero when XBZRLE is selected;
+    /// * `streams` must not exceed [`MAX_MIGRATION_STREAMS`].
     ///
     /// Network-side knobs (bandwidth, MTU) live in
     /// [`rvisor_net::FabricParams`] / [`rvisor_net::LinkModel`] and are
@@ -87,6 +103,12 @@ impl MigrationConfig {
             return Err(Error::Migration(
                 "xbzrle_cache_pages must be non-zero when XBZRLE is enabled".into(),
             ));
+        }
+        if self.streams.get() > MAX_MIGRATION_STREAMS {
+            return Err(Error::Migration(format!(
+                "streams must be at most {MAX_MIGRATION_STREAMS}, got {}",
+                self.streams
+            )));
         }
         Ok(())
     }

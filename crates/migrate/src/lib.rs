@@ -28,9 +28,9 @@
 //! techniques production migration stacks use to survive write-heavy guests
 //! on thin links.
 //!
-//! ## Two data planes, one protocol
+//! ## Three data planes, one protocol
 //!
-//! Each engine exists in two forms that are pinned equivalent by proptest:
+//! Each engine exists in three forms that are pinned equivalent by proptest:
 //!
 //! * **direct** (`migrate`, the [`engines`] module) — memory-to-memory copy
 //!   with modelled byte accounting over a [`Link`](rvisor_net::Link); the
@@ -43,6 +43,15 @@
 //!   [`FabricTransport`] and the same migration pays per-host NIC
 //!   serialization, shared-backbone contention and MTU chunk framing
 //!   (experiment E17).
+//! * **pipelined** (`migrate_pipelined`, the [`pipeline`] module) — the
+//!   same wire stream, produced and consumed concurrently: encode workers
+//!   shard the page-index space into fixed stripes
+//!   ([`MigrationConfig::streams`]) while a dedicated sink thread applies
+//!   segments as they arrive over a bounded channel of recycled buffers.
+//!   Byte-identical and report-`==` to the serial stream; the win is host
+//!   wall-clock overlap on multi-core hosts (experiment E18). See the
+//!   [`pipeline`] module docs for what the fair-share multi-stream network
+//!   model does and does not capture.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -50,6 +59,7 @@
 pub mod compress;
 pub mod dirty;
 pub mod engines;
+pub mod pipeline;
 pub mod report;
 pub mod stream;
 pub mod transport;
@@ -57,7 +67,7 @@ pub mod wire;
 
 pub use compress::{CompressionStats, PageCompression, PageCompressor, WirePage};
 pub use dirty::{ConstantRateDirtier, DirtySource, IdleDirtier};
-pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy};
+pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy, MAX_MIGRATION_STREAMS};
 pub use report::{MigrationKind, MigrationReport};
 pub use stream::{MigrationSink, MigrationSource};
 pub use transport::{FabricTransport, LoopbackTransport, Transport};

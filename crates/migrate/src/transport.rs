@@ -42,6 +42,27 @@ pub trait Transport {
     /// sink has applied it.
     fn deliver(&mut self, now: Nanoseconds) -> Result<(Nanoseconds, Vec<u8>)>;
 
+    /// Account and time a burst of `bytes` crossing the channel starting no
+    /// earlier than `now`, *without* routing the bytes through the internal
+    /// burst buffer. Busy-time marks and the [`Transport::bytes_sent`]
+    /// counter advance exactly as a [`Transport::deliver`] of the same size
+    /// would; the pipelined engine uses this because it hands the encoded
+    /// bytes to the sink thread directly and only needs the channel model.
+    fn transmit_bytes(&mut self, now: Nanoseconds, bytes: u64) -> Result<Nanoseconds>;
+
+    /// Like [`Transport::transmit_bytes`], but as parallel streams fairly
+    /// sharing the channel: `stripes[i]` is stream `i`'s payload bytes.
+    ///
+    /// On a point-to-point [`LoopbackTransport`] fair sharing of one pipe
+    /// completes the aggregate exactly when a single stream would, so this
+    /// is `transmit_bytes` of the sum — which is what keeps a multi-stream
+    /// loopback migration `==`-report-equal to the serial engine. On a
+    /// [`FabricTransport`] each stream pays its own MTU chunk framing
+    /// ([`Fabric::transfer_striped`]).
+    fn transmit_striped(&mut self, now: Nanoseconds, stripes: &[u64]) -> Result<Nanoseconds> {
+        self.transmit_bytes(now, stripes.iter().sum())
+    }
+
     /// Return a delivered burst buffer for reuse by the next round.
     fn recycle(&mut self, buf: Vec<u8>);
 
@@ -135,6 +156,11 @@ impl Transport for LoopbackTransport<'_> {
         Ok((done, self.buf.take()))
     }
 
+    fn transmit_bytes(&mut self, now: Nanoseconds, bytes: u64) -> Result<Nanoseconds> {
+        self.buf.bytes_sent += bytes;
+        Ok(self.link.transmit(now, bytes))
+    }
+
     fn recycle(&mut self, buf: Vec<u8>) {
         self.buf.recycle(buf);
     }
@@ -225,6 +251,18 @@ impl Transport for FabricTransport<'_> {
         Ok((done, self.buf.take()))
     }
 
+    fn transmit_bytes(&mut self, now: Nanoseconds, bytes: u64) -> Result<Nanoseconds> {
+        self.buf.bytes_sent += bytes;
+        self.fabric
+            .transfer(self.from, self.to, now.max(self.start_floor), bytes)
+    }
+
+    fn transmit_striped(&mut self, now: Nanoseconds, stripes: &[u64]) -> Result<Nanoseconds> {
+        self.buf.bytes_sent += stripes.iter().sum::<u64>();
+        self.fabric
+            .transfer_striped(self.from, self.to, now.max(self.start_floor), stripes)
+    }
+
     fn recycle(&mut self, buf: Vec<u8>) {
         self.buf.recycle(buf);
     }
@@ -287,6 +325,39 @@ mod tests {
         t.recycle(buf);
         assert_eq!(t.bytes_sent(), 4096);
         assert!(FabricTransport::new(&mut fabric, 1, 1).is_err());
+    }
+
+    #[test]
+    fn transmit_bytes_times_and_counts_like_deliver() {
+        // Loopback: transmit_bytes of n == deliver of an n-byte burst.
+        let mut ref_link = Link::new(LinkModel::gigabit());
+        let mut reference = LoopbackTransport::new(&mut ref_link);
+        reference.send(&[0u8; 1234]).unwrap();
+        let (ref_done, buf) = reference.deliver(Nanoseconds::ZERO).unwrap();
+        reference.recycle(buf);
+
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut t = LoopbackTransport::new(&mut link);
+        let done = t.transmit_bytes(Nanoseconds::ZERO, 1234).unwrap();
+        assert_eq!(done, ref_done);
+        assert_eq!(t.bytes_sent(), reference.bytes_sent());
+        // Striped on a point-to-point pipe is the aggregate.
+        let striped = t.transmit_striped(Nanoseconds::ZERO, &[1000, 234]).unwrap();
+        let serial = reference.transmit_bytes(Nanoseconds::ZERO, 1234).unwrap();
+        assert_eq!(striped, serial);
+        assert_eq!(t.bytes_sent(), reference.bytes_sent());
+
+        // Fabric: the floor applies and striping pays per-stream framing.
+        let mut fabric = Fabric::new(2, FabricParams::office_lan()).unwrap();
+        let floor = Nanoseconds::from_secs(1);
+        let mut ft = FabricTransport::starting_at(&mut fabric, 0, 1, floor).unwrap();
+        let one = ft.transmit_bytes(Nanoseconds::ZERO, 1_000_000).unwrap();
+        assert!(one > floor);
+        let striped = ft
+            .transmit_striped(Nanoseconds::ZERO, &[500_000, 500_000])
+            .unwrap();
+        assert!(striped > one, "the striped burst queues behind the first");
+        assert_eq!(ft.bytes_sent(), 2_000_000);
     }
 
     #[test]

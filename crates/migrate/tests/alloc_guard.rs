@@ -13,8 +13,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use std::num::NonZeroUsize;
+
 use rvisor_memory::GuestMemory;
-use rvisor_migrate::{ConstantRateDirtier, MigrationConfig, PreCopy};
+use rvisor_migrate::{ConstantRateDirtier, LoopbackTransport, MigrationConfig, PreCopy};
 use rvisor_net::{Link, LinkModel};
 use rvisor_types::{ByteSize, GuestAddress, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
@@ -164,5 +166,75 @@ fn steady_state_precopy_round_is_allocation_free() {
          (budget {BUDGET}); the per-page paths have regressed",
         report.pages_transferred,
         migration_allocations
+    );
+
+    // ---- Part 3: the pipelined multi-stream engine, bounded end to end. ----
+    //
+    // A pipelined migration is allowed its setup: thread spawns, channel
+    // construction, and warm-up growth of the per-stripe burst buffers and
+    // page lists (the cycling dirtier shifts load between stripes, so the
+    // buffer pool takes a few rounds to reach its high-water capacities).
+    // From then on the bounded channel of recycled buffers must actually
+    // recycle: comparing a 12-round against a 28-round migration of the
+    // same non-converging guest, the marginal cost of the 16 extra
+    // steady-state rounds (each harvesting and streaming ~thousands of
+    // pages through 4 stripes and the sink thread) must stay within a tiny
+    // fixed budget — nothing per page, nothing per round beyond channel
+    // noise.
+    let pipelined = |max_rounds: u32| -> u64 {
+        let src = GuestMemory::flat(ByteSize::pages_of(PAGES)).unwrap();
+        let dst = GuestMemory::flat(ByteSize::pages_of(PAGES)).unwrap();
+        for p in 0..PAGES {
+            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 13 + 5)
+                .unwrap();
+        }
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        // Dirtying at 90% of link bandwidth: the dirty set shrinks too
+        // slowly to converge, so the round count is exactly `max_rounds`.
+        let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+            LinkModel::gigabit().bytes_per_second,
+            0.9,
+            0,
+            PAGES,
+        );
+        let config = MigrationConfig {
+            max_rounds,
+            dirty_page_threshold: 32,
+            streams: NonZeroUsize::new(4).unwrap(),
+            ..Default::default()
+        };
+        let before = allocations();
+        let report = PreCopy::migrate_pipelined(
+            &src,
+            &dst,
+            &[VcpuState::default()],
+            &mut transport,
+            &mut dirtier,
+            &config,
+        )
+        .unwrap();
+        let spent = allocations() - before;
+        assert_eq!(report.rounds, max_rounds, "guest must not converge");
+        assert_eq!(src.checksum(), dst.checksum());
+        spent
+    };
+    let allocs_short = pipelined(12);
+    let allocs_long = pipelined(28);
+    let extra = allocs_long.saturating_sub(allocs_short);
+    const PER_ROUND_BUDGET: u64 = 4;
+    assert!(
+        extra <= 16 * PER_ROUND_BUDGET,
+        "16 extra steady-state pipelined rounds cost {extra} allocations \
+         (budget {}); the channel/buffer recycling has regressed",
+        16 * PER_ROUND_BUDGET
+    );
+    // The whole pipelined migration — threads, channels, pools, dozens of
+    // rounds over thousands of pages — stays within a fixed setup budget.
+    const PIPELINE_BUDGET: u64 = 1024;
+    assert!(
+        allocs_long <= PIPELINE_BUDGET,
+        "a 28-round pipelined migration performed {allocs_long} allocations \
+         (budget {PIPELINE_BUDGET})"
     );
 }

@@ -32,6 +32,18 @@
 //!   the backbone and the destination NIC for its whole serialization time
 //!   (no cut-through credit), which is what makes contention conservative
 //!   and the timing a simple max over `free_at` marks.
+//! * **Parallel chunk streams** ([`Fabric::transfer_striped`]) — a
+//!   multi-stream migration presents its per-stripe payloads together and
+//!   the streams *fairly share* the source NIC, the backbone and the
+//!   destination NIC. Because one bottleneck serializes every stream's
+//!   bytes, the striped burst completes exactly when a single stream
+//!   carrying the aggregate would — except that each stream pays its own
+//!   MTU chunk framing (`ceil(payload / mtu)` per stream), so parallelism
+//!   is never *faster* in simulated time on this single-spine model. What
+//!   parallel streams buy in the real system is host-CPU overlap (encode
+//!   and apply proceed concurrently), which is wall-clock, not
+//!   guest-visible simulated time; per-stream completion instants inside a
+//!   burst are deliberately not modelled.
 //!
 //! All timing is computed in `u128` nanosecond arithmetic and stored as
 //! [`Nanoseconds`]; no floats are involved, so same-seed simulations replay
@@ -143,8 +155,13 @@ impl FabricParams {
 
     /// Serialization component of [`Self::transfer_time`] (no propagation).
     pub fn serialization_time(&self, payload: u64) -> Nanoseconds {
+        self.serialization_time_wire(self.wire_bytes(payload))
+    }
+
+    /// Time for `wire` already-framed bytes to serialize at the bottleneck
+    /// rate (the striped-transfer path sums per-stream framing first).
+    pub fn serialization_time_wire(&self, wire: u64) -> Nanoseconds {
         let rate = self.bottleneck_bytes_per_second().max(1);
-        let wire = self.wire_bytes(payload);
         Nanoseconds(((wire as u128 * 1_000_000_000) / rate as u128) as u64)
     }
 }
@@ -277,6 +294,50 @@ impl Fabric {
         Ok(busy_until.saturating_add(self.params.latency))
     }
 
+    /// Move a striped burst of parallel chunk streams from `from` to `to`,
+    /// starting no earlier than `now`; `stripes[i]` is stream `i`'s payload
+    /// bytes. Returns the arrival time of the *whole* burst.
+    ///
+    /// The streams fairly share the path (see the module docs): the burst
+    /// occupies both NICs and the backbone until the *sum* of every
+    /// stream's wire bytes has serialized at the bottleneck rate, then pays
+    /// one propagation latency. Each stream is framed separately
+    /// (`ceil(payload / mtu)` chunks per stream), so splitting a burst
+    /// never makes it faster and usually makes it marginally slower — the
+    /// honest single-spine cost of multi-stream migration.
+    ///
+    /// `transfer_striped(&[b])` is exactly [`Fabric::transfer`] of `b`.
+    pub fn transfer_striped(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: Nanoseconds,
+        stripes: &[u64],
+    ) -> Result<Nanoseconds> {
+        self.check_pair(from, to)?;
+        let start = now.max(self.path_free_at(from, to)?);
+        let mut payload_total = 0u64;
+        let mut wire_total = 0u64;
+        let mut active_streams = 0u64;
+        for &payload in stripes {
+            payload_total = payload_total.saturating_add(payload);
+            wire_total = wire_total.saturating_add(self.params.wire_bytes(payload));
+            if payload > 0 {
+                active_streams += 1;
+            }
+        }
+        let busy_until = start.saturating_add(self.params.serialization_time_wire(wire_total));
+        self.nics[from].free_at = busy_until;
+        self.nics[to].free_at = busy_until;
+        self.backbone_free_at = busy_until;
+        self.nics[from].bytes_sent += payload_total;
+        self.nics[to].bytes_received += payload_total;
+        self.bytes_carried += payload_total;
+        self.wire_bytes_carried += wire_total;
+        self.transfers += active_streams.max(1);
+        Ok(busy_until.saturating_add(self.params.latency))
+    }
+
     /// Reset all busy-time marks and counters (between benchmark runs).
     pub fn reset(&mut self) {
         for nic in &mut self.nics {
@@ -374,6 +435,57 @@ mod tests {
         f.reset();
         assert_eq!(f.bytes_carried(), 0);
         assert_eq!(f.path_free_at(0, 1).unwrap(), Nanoseconds::ZERO);
+    }
+
+    #[test]
+    fn striped_transfer_matches_single_stream_for_one_stripe() {
+        let params = FabricParams::office_lan();
+        let mut a = Fabric::new(2, params).unwrap();
+        let mut b = Fabric::new(2, params).unwrap();
+        let single = a.transfer(0, 1, Nanoseconds::ZERO, 3_000_000).unwrap();
+        let striped = b
+            .transfer_striped(0, 1, Nanoseconds::ZERO, &[3_000_000])
+            .unwrap();
+        assert_eq!(single, striped);
+        assert_eq!(a.bytes_carried(), b.bytes_carried());
+        assert_eq!(a.wire_bytes_carried(), b.wire_bytes_carried());
+        assert_eq!(a.transfers(), b.transfers());
+    }
+
+    #[test]
+    fn striping_pays_per_stream_framing_and_never_beats_one_stream() {
+        let params = FabricParams::office_lan();
+        let mut one = Fabric::new(2, params).unwrap();
+        let mut four = Fabric::new(2, params).unwrap();
+        let total = 4_000_001u64; // deliberately not a multiple of 4 or MTU
+        let single = one
+            .transfer_striped(0, 1, Nanoseconds::ZERO, &[total])
+            .unwrap();
+        let split = [total / 4, total / 4, total / 4, total - 3 * (total / 4)];
+        let striped = four
+            .transfer_striped(0, 1, Nanoseconds::ZERO, &split)
+            .unwrap();
+        assert!(
+            striped >= single,
+            "fair-share striping must not beat the aggregate stream"
+        );
+        // Same payload, more framing on the wire.
+        assert_eq!(one.bytes_carried(), four.bytes_carried());
+        assert!(four.wire_bytes_carried() >= one.wire_bytes_carried());
+        assert_eq!(four.transfers(), 4);
+        // The striped burst leaves the same kind of busy marks: later
+        // traffic queues behind it.
+        let later = four.transfer(0, 1, Nanoseconds::ZERO, 1).unwrap();
+        assert!(later > striped.saturating_sub(params.latency));
+        // Empty stripes contribute nothing but the call still counts once.
+        let mut empty = Fabric::new(2, params).unwrap();
+        let done = empty
+            .transfer_striped(0, 1, Nanoseconds::ZERO, &[0, 0])
+            .unwrap();
+        assert_eq!(done, params.latency);
+        assert!(empty
+            .transfer_striped(0, 0, Nanoseconds::ZERO, &[1])
+            .is_err());
     }
 
     proptest! {

@@ -407,13 +407,13 @@ impl Cluster {
         };
         let vm_id = *src.vm_ids.get(vm).expect("live VM tracked");
         let mut transport = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)?;
-        let (new_id, report) = src.vmm.migrate_to_over(
-            vm_id,
-            &mut dst.vmm,
-            &mut transport,
-            engine,
-            MigrationConfig::default(),
-        )?;
+        let config = MigrationConfig {
+            streams: self.params.migration_streams,
+            ..Default::default()
+        };
+        let (new_id, report) =
+            src.vmm
+                .migrate_to_over(vm_id, &mut dst.vmm, &mut transport, engine, config)?;
         src.vm_ids.remove(vm);
         dst.vm_ids.insert(vm.to_string(), new_id);
         let spec = src.accounting.evict(vm).expect("accounting tracked");

@@ -625,6 +625,43 @@ mod tests {
     }
 
     #[test]
+    fn multi_stream_day_replays_identically() {
+        // A datacenter day whose rebalance migrations run through the
+        // pipelined 4-stream data plane must still be a pure function of
+        // the scenario: same seed, `==` report — thread scheduling inside
+        // the migration engine can never leak into the simulated clock.
+        let params = OrchParams {
+            migration_streams: std::num::NonZeroUsize::new(4).unwrap(),
+            ..fast_params()
+        };
+        let a = run_datacenter(
+            4,
+            params,
+            Box::new(ThresholdRebalance),
+            &small_scenario(9, 1),
+        )
+        .unwrap();
+        let b = run_datacenter(
+            4,
+            params,
+            Box::new(ThresholdRebalance),
+            &small_scenario(9, 1),
+        )
+        .unwrap();
+        assert_eq!(a, b, "multi-stream day must replay identically");
+        // The multi-stream day moves the same payload bytes as the serial
+        // one; only fabric timing may differ (per-stream MTU framing).
+        let serial = run_datacenter(
+            4,
+            fast_params(),
+            Box::new(ThresholdRebalance),
+            &small_scenario(9, 1),
+        )
+        .unwrap();
+        assert_eq!(a.migrations_completed, serial.migrations_completed);
+    }
+
+    #[test]
     fn same_seed_same_report_across_policies() {
         for policy in 0..3 {
             let mk = || -> Box<dyn crate::policy::RebalancePolicy> {

@@ -5,8 +5,11 @@
 //! [`OrchParams`] rather than a constant buried in the event loop. A run's
 //! report is only meaningful alongside the parameter set that produced it.
 
+use std::num::NonZeroUsize;
+
 use rvisor::MigrationOutcome;
 use rvisor_cluster::PlacementStrategy;
+use rvisor_migrate::MAX_MIGRATION_STREAMS;
 use rvisor_net::FabricParams;
 use rvisor_snapshot::BackupTarget;
 use rvisor_types::{ByteSize, Error, Nanoseconds, Result};
@@ -26,6 +29,16 @@ pub struct OrchParams {
     pub memory_overcommit: f64,
     /// Engine used for policy-driven rebalancing migrations of running VMs.
     pub migration_engine: MigrationOutcome,
+    /// Parallel streams per rebalance migration (at most
+    /// [`rvisor_migrate::MAX_MIGRATION_STREAMS`]). With more than one
+    /// stream, migrations run through the pipelined multi-stream data plane
+    /// and their fabric occupancy is modelled as fair-share chunk streams
+    /// ([`rvisor_net::Fabric::transfer_striped`]): same payload bytes and
+    /// destination memory as a serial stream, never *faster* in simulated
+    /// time on the single-spine fabric (each stream pays its own MTU
+    /// framing) — the parallelism pays off in host wall-clock, which the
+    /// orchestrator's simulated clock deliberately does not credit.
+    pub migration_streams: NonZeroUsize,
     /// Interval between rebalance-policy evaluations.
     pub rebalance_interval: Nanoseconds,
     /// A host above this CPU utilization (fraction of cores) is overloaded
@@ -68,6 +81,7 @@ impl Default for OrchParams {
             placement: PlacementStrategy::FirstFitDecreasing,
             memory_overcommit: 1.0,
             migration_engine: MigrationOutcome::PreCopy,
+            migration_streams: NonZeroUsize::MIN,
             rebalance_interval: Nanoseconds::from_secs(5 * 60),
             overload_cpu_threshold: 0.85,
             underload_cpu_threshold: 0.25,
@@ -116,6 +130,12 @@ impl OrchParams {
                  (the tenant workload layout must fit)"
             )));
         }
+        if self.migration_streams.get() > MAX_MIGRATION_STREAMS {
+            return Err(Error::Config(format!(
+                "migration_streams must be at most {MAX_MIGRATION_STREAMS}, got {}",
+                self.migration_streams
+            )));
+        }
         // The network fabric's own invariants (non-zero bandwidths, sane
         // MTU) are validated where they are defined.
         self.fabric.validate()?;
@@ -154,6 +174,9 @@ mod tests {
         p.guest_memory = ByteSize::kib(16);
         assert!(p.validate().is_err());
         p.guest_memory = ByteSize::kib(256);
+        p.migration_streams = NonZeroUsize::new(MAX_MIGRATION_STREAMS + 1).unwrap();
+        assert!(p.validate().is_err());
+        p.migration_streams = NonZeroUsize::new(4).unwrap();
         p.backup_interval = Nanoseconds::ZERO;
         assert!(p.validate().is_err());
         p.backup_interval = Nanoseconds::from_secs(3600);

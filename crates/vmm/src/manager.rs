@@ -340,6 +340,16 @@ impl Vmm {
     /// migration contends with every other stream on a shared
     /// [`Fabric`](rvisor_net::Fabric) (what the orchestrator does for
     /// rebalance traffic).
+    ///
+    /// With `config.streams > 1` the migration runs through the pipelined,
+    /// multi-stream data plane (`rvisor_migrate::pipeline`): encode workers
+    /// shard the page-index space into fixed stripes while a sink thread
+    /// applies segments concurrently. The wire bytes, the destination
+    /// memory image and the [`MigrationReport`] are identical to the serial
+    /// stream — parallelism buys host wall-clock, not different results —
+    /// with one documented exception: under XBZRLE with a working set
+    /// larger than the cache, the per-stripe caches can make the pipelined
+    /// run send *fewer* bytes than serial (see the `pipeline` module docs).
     pub fn migrate_to_over(
         &mut self,
         id: VmId,
@@ -351,6 +361,7 @@ impl Vmm {
         let source_vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
         // Build an identical, empty shell on the destination.
         let dest_id = destination.create_vm(source_vm.config().clone())?;
+        let pipelined = config.streams.get() > 1;
 
         let report = {
             let dest_vm = destination.vm(dest_id)?;
@@ -361,34 +372,70 @@ impl Vmm {
                         source_vm.pause()?;
                     }
                     let states = source_vm.save_vcpu_states();
-                    StopAndCopy::migrate_over(source_vm.memory(), &dest_memory, &states, transport)?
+                    if pipelined {
+                        StopAndCopy::migrate_pipelined(
+                            source_vm.memory(),
+                            &dest_memory,
+                            &states,
+                            transport,
+                            &config,
+                        )?
+                    } else {
+                        StopAndCopy::migrate_over(
+                            source_vm.memory(),
+                            &dest_memory,
+                            &states,
+                            transport,
+                        )?
+                    }
                 }
                 MigrationOutcome::PreCopy => {
                     let memory = source_vm.memory().clone();
                     let states_placeholder = source_vm.save_vcpu_states();
                     let mut dirtier = RunningVmDirtier::new(source_vm);
 
-                    PreCopy::migrate_over(
-                        &memory,
-                        &dest_memory,
-                        &states_placeholder,
-                        transport,
-                        &mut dirtier,
-                        &config,
-                    )?
+                    if pipelined {
+                        PreCopy::migrate_pipelined(
+                            &memory,
+                            &dest_memory,
+                            &states_placeholder,
+                            transport,
+                            &mut dirtier,
+                            &config,
+                        )?
+                    } else {
+                        PreCopy::migrate_over(
+                            &memory,
+                            &dest_memory,
+                            &states_placeholder,
+                            transport,
+                            &mut dirtier,
+                            &config,
+                        )?
+                    }
                 }
                 MigrationOutcome::PostCopy => {
                     if source_vm.lifecycle() == VmLifecycle::Running {
                         source_vm.pause()?;
                     }
                     let states = source_vm.save_vcpu_states();
-                    PostCopy::migrate_over(
-                        source_vm.memory(),
-                        &dest_memory,
-                        &states,
-                        transport,
-                        &config,
-                    )?
+                    if pipelined {
+                        PostCopy::migrate_pipelined(
+                            source_vm.memory(),
+                            &dest_memory,
+                            &states,
+                            transport,
+                            &config,
+                        )?
+                    } else {
+                        PostCopy::migrate_over(
+                            source_vm.memory(),
+                            &dest_memory,
+                            &states,
+                            transport,
+                            &config,
+                        )?
+                    }
                 }
             }
         };
@@ -657,6 +704,37 @@ mod tests {
         let compressed = run(PageCompression::ZeroPages);
         // A mostly-empty 4 MiB guest shrinks dramatically under zero-page detection.
         assert!(compressed.bytes_transferred < raw.bytes_transferred / 4);
+    }
+
+    #[test]
+    fn multi_stream_migration_matches_the_serial_stream() {
+        use std::num::NonZeroUsize;
+
+        for outcome in [
+            MigrationOutcome::StopAndCopy,
+            MigrationOutcome::PreCopy,
+            MigrationOutcome::PostCopy,
+        ] {
+            let run = |streams: usize| {
+                let (mut source, id) = loaded_vmm_with_marker();
+                let mut dest = Vmm::new("dest");
+                let mut link = Link::new(LinkModel::gigabit());
+                let config = MigrationConfig {
+                    streams: NonZeroUsize::new(streams).unwrap(),
+                    ..Default::default()
+                };
+                let mut transport = rvisor_migrate::LoopbackTransport::new(&mut link);
+                let (dest_id, report) = source
+                    .migrate_to_over(id, &mut dest, &mut transport, outcome, config)
+                    .unwrap();
+                let checksum = dest.vm(dest_id).unwrap().memory().checksum();
+                (report, checksum)
+            };
+            let (serial, serial_sum) = run(1);
+            let (parallel, parallel_sum) = run(4);
+            assert_eq!(parallel, serial, "{outcome:?}");
+            assert_eq!(parallel_sum, serial_sum, "{outcome:?}: memory diverged");
+        }
     }
 
     #[test]
