@@ -1,4 +1,4 @@
-//! The cluster: real per-host [`Vmm`] stacks plus capacity accounting.
+//! The cluster: per-host [`Vmm`] stacks plus indexed capacity accounting.
 //!
 //! Each [`OrchHost`] pairs two views of one physical machine:
 //!
@@ -14,18 +14,55 @@
 //! backing so a 500-VM datacenter stays tractable. All byte-counted results
 //! (migration traffic, backup sizes) are therefore in *simulation-scale*
 //! bytes.
+//!
+//! # Indexed state
+//!
+//! The cluster maintains ordered indexes over its hosts so fleet-level
+//! queries stop walking the whole host vector:
+//!
+//! * `by_util` — powered-on hosts ordered by `(cpu-utilization, id)`, the
+//!   backbone of `Spread` placement and of incremental policy evaluation;
+//! * `free_cpu` / `free_mem` — powered-on hosts ordered by free capacity,
+//!   giving an O(log n) "could this VM fit *anywhere*?" quick reject;
+//! * `empty_powered` / `parked` — powered-on-and-empty and powered-off
+//!   hosts in host-vector order (`OnePerHost` placement, DR power-up);
+//! * `vm_to_host` / `by_id` — O(log n) VM-name and host-id lookups.
+//!
+//! Per-host committed-capacity figures are cached incrementally and are
+//! *bit-identical* to recomputing the accounting folds: appending a spec
+//! extends the left-fold CPU sum by exactly one term (so `+=` is exact),
+//! while evictions and demand changes recompute the fold outright (float
+//! addition is not associative). Every utilization a policy observes is
+//! therefore exactly the number the un-indexed implementation produced.
+//!
+//! Utilizations and free capacities are keyed in the ordered sets by their
+//! IEEE-754 bit patterns — valid because both are non-negative and never
+//! NaN, where bit order coincides with numeric order.
+//!
+//! # The fidelity dial
+//!
+//! Under [`VmFidelity::OnDemand`] a deployed VM starts as a `VmModel` —
+//! integer-only accounting, no guest pages — and is *materialized* into a
+//! full [`Vmm`] stack only when a migration or restore touches its memory.
+//! This is sound because canonical tenant state is deterministic (see
+//! `provision_canonical`) and tenant guests only execute during migration
+//! rounds: a VM materialized at time T holds exactly the state a
+//! full-fidelity twin deployed at arrival would still hold at T. Backups of
+//! still-modeled VMs are represented by [`BackupHandle::Canonical`] and cost
+//! the same modelled bytes/time as a real snapshot stream, because full
+//! snapshot size is content-independent (every page is captured).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
 use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
 use rvisor_migrate::{FabricTransport, MigrationConfig, MigrationReport};
 use rvisor_net::Fabric;
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
-use rvisor_types::{Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
+use rvisor_types::{ByteSize, Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::{Workload, WorkloadKind};
 
-use crate::params::OrchParams;
+use crate::params::{OrchParams, VmFidelity};
 
 /// Guest code entry point for the synthetic tenant workload.
 const TENANT_ENTRY: u64 = 0x1000;
@@ -36,6 +73,78 @@ const MARKER_BASE: u64 = 0xa000;
 /// Idle wakeups budgeted per tenant guest; enough simulated "uptime" to
 /// survive a day of migration rounds without the guest halting.
 const TENANT_WAKEUPS: u64 = 1_000_000;
+
+/// Conservative absolute slack for the floating-point free-CPU quick
+/// reject. Committed-CPU sums carry at most ~1e-12 of absolute error at
+/// datacenter magnitudes, so a reject margin of 1e-9 can never turn away a
+/// VM the exact `fits` check would have accepted; ambiguous cases fall
+/// through to the exact per-host check.
+const FIT_SLACK: f64 = 1e-9;
+
+/// Order-preserving integer key for a non-NaN `f64` (the usual IEEE-754
+/// total-order trick: flip all bits of negatives, set the sign bit of
+/// non-negatives). Cluster utilizations are never negative, but policy
+/// shadows can carry tiny negative residues from incremental subtraction,
+/// and both must sort in one key space.
+pub(crate) fn util_key(value: f64) -> u64 {
+    debug_assert!(!value.is_nan());
+    // Collapse -0.0 (the empty `f64` sum identity) onto +0.0: IEEE
+    // comparison calls them equal, so the key space must too or index
+    // extremes would order empty hosts differently from a `partial_cmp`
+    // scan.
+    let value = if value == 0.0 { 0.0 } else { value };
+    let bits = value.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`util_key`].
+pub(crate) fn key_util(key: u64) -> f64 {
+    let bits = if key >> 63 == 1 {
+        key & !(1 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(bits)
+}
+
+/// FNV-1a hash of a VM name: the per-VM identity stamp written into guest
+/// memory at deploy/materialization time.
+fn identity_stamp(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Load the canonical tenant state into a freshly created VM: the idle
+/// workload at the fixed layout plus four FNV-stamped identity pages.
+///
+/// This is the *only* way guest content enters the cluster, which is what
+/// makes on-demand materialization sound: the state is a pure function of
+/// the VM's name and the configured guest memory, so a VM materialized late
+/// is bit-identical to one provisioned at arrival (tenant guests only
+/// execute during migration rounds, never while parked on a host).
+fn provision_canonical(vm: &mut Vm, name: &str) -> Result<()> {
+    let workload = Workload::with_layout(
+        WorkloadKind::Idle {
+            wakeups: TENANT_WAKEUPS,
+        },
+        TENANT_ENTRY,
+        TENANT_DATA_BASE,
+    )?;
+    vm.load_workload(&workload)?;
+    // Stamp a per-VM identity so backups and migrations carry real,
+    // distinguishable guest state (and dirty a few pages doing so).
+    let stamp = identity_stamp(name);
+    for k in 0..4u64 {
+        vm.memory()
+            .write_u64(GuestAddress(MARKER_BASE + k * PAGE_SIZE), stamp ^ k)?;
+    }
+    Ok(())
+}
 
 /// Power/health state of one host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +157,42 @@ pub enum HostPower {
     Failed,
 }
 
+/// Integer-only statistical stand-in for a not-yet-materialized VM
+/// (the cheap end of the fidelity dial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VmModel {
+    /// Mirror of the accounting CPU demand, in millicores.
+    cpu_demand_millicores: u64,
+    /// Pages the canonical deploy state has dirtied (workload image plus
+    /// identity markers); the dirty rate stays zero until materialization
+    /// because parked tenant guests never execute.
+    dirty_pages: u64,
+}
+
+impl VmModel {
+    fn for_spec(spec: &VmSpec) -> Self {
+        VmModel {
+            cpu_demand_millicores: (spec.cpu_demand_cores.max(0.0) * 1000.0) as u64,
+            // The idle workload image dirties its code page; the identity
+            // stamp dirties four marker pages.
+            dirty_pages: 5,
+        }
+    }
+}
+
+/// What a DR backup points at: a real snapshot in the DR store, or the
+/// canonical deploy state a still-modeled VM is known to be in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupHandle {
+    /// A full snapshot captured from a live guest into the DR store.
+    Stored(SnapshotId),
+    /// The VM was still a statistical model when backed up: its state is
+    /// the canonical deploy image, reconstructed bit-for-bit on restore.
+    /// Same modelled size and wire time as a stored snapshot (full snapshot
+    /// size is content-independent).
+    Canonical,
+}
+
 /// One physical machine: accounting view plus the live VMM.
 #[derive(Debug)]
 pub struct OrchHost {
@@ -55,6 +200,17 @@ pub struct OrchHost {
     vmm: Vmm,
     power: HostPower,
     vm_ids: BTreeMap<String, rvisor_types::VmId>,
+    /// Statistical models for not-yet-materialized VMs (OnDemand fidelity).
+    models: BTreeMap<String, VmModel>,
+    /// Incremental mirror of `accounting.cpu_committed()`, bit-identical to
+    /// the fold at all times (see the module docs).
+    cpu_committed: f64,
+    /// Incremental mirror of `accounting.memory_committed()` (exact: u64).
+    mem_committed: u64,
+    /// Cached `spec.cores as f64`.
+    cores: f64,
+    /// Cached `accounting.memory_capacity()` (pure function of the spec).
+    mem_capacity: u64,
 }
 
 impl OrchHost {
@@ -80,13 +236,14 @@ impl OrchHost {
 
     /// CPU utilization as a fraction of physical cores.
     pub fn cpu_utilization(&self) -> f64 {
-        self.accounting.cpu_utilization()
+        // Bit-identical to `accounting.cpu_utilization()`: the cached sum
+        // is maintained to equal the fold exactly.
+        self.cpu_committed / self.cores
     }
 
     /// Memory committed as a fraction of installed RAM.
     pub fn memory_utilization(&self) -> f64 {
-        self.accounting.memory_committed().as_u64() as f64
-            / self.accounting.spec.memory.as_u64().max(1) as f64
+        self.mem_committed as f64 / self.accounting.spec.memory.as_u64().max(1) as f64
     }
 
     /// Names of the VMs placed here, in placement order.
@@ -96,6 +253,34 @@ impl OrchHost {
             .iter()
             .map(|s| s.name.clone())
             .collect()
+    }
+
+    /// Whether the named VM is still a statistical model on this host.
+    pub(crate) fn is_model(&self, vm: &str) -> bool {
+        self.models.contains_key(vm)
+    }
+
+    pub(crate) fn cpu_committed_cached(&self) -> f64 {
+        self.cpu_committed
+    }
+
+    pub(crate) fn mem_committed_cached(&self) -> u64 {
+        self.mem_committed
+    }
+
+    pub(crate) fn mem_capacity_cached(&self) -> u64 {
+        self.mem_capacity
+    }
+
+    pub(crate) fn cores_f64(&self) -> f64 {
+        self.cores
+    }
+
+    /// Exact equivalent of `accounting.fits(spec)` on the cached sums.
+    fn fits_cached(&self, spec: &VmSpec) -> bool {
+        let mem_ok = self.mem_committed + spec.memory.as_u64() <= self.mem_capacity;
+        let cpu_ok = self.cpu_committed + spec.cpu_demand_cores <= self.cores;
+        mem_ok && cpu_ok
     }
 
     fn live_vm_mut(&mut self, name: &str) -> Result<&mut Vm> {
@@ -117,6 +302,28 @@ pub struct Cluster {
     hosts: Vec<OrchHost>,
     fabric: Fabric,
     params: OrchParams,
+    /// Host id → position in `hosts`.
+    by_id: BTreeMap<HostId, usize>,
+    /// Powered-on hosts ordered by `(utilization bits, id)`.
+    by_util: BTreeSet<(u64, HostId)>,
+    /// Powered-on hosts ordered by `(free CPU bits, position)`.
+    free_cpu: BTreeSet<(u64, usize)>,
+    /// Powered-on hosts ordered by `(free memory bytes, position)`.
+    free_mem: BTreeSet<(u64, usize)>,
+    /// Positions of powered-on hosts with zero VMs, in host-vector order.
+    empty_powered: BTreeSet<usize>,
+    /// Positions of powered-off (not failed) hosts, in host-vector order.
+    parked: BTreeSet<usize>,
+    /// VM name → position of the host it lives on.
+    vm_to_host: BTreeMap<String, usize>,
+    /// VMs placed across all hosts.
+    total_vms: usize,
+    /// Hosts currently powered on.
+    n_powered: usize,
+    /// Lazily computed size of a canonical-state full snapshot (what a
+    /// model VM's backup costs on the wire). Content-independent, so one
+    /// probe against a scratch guest serves the whole run.
+    canonical_backup_size: Option<ByteSize>,
 }
 
 impl Cluster {
@@ -128,23 +335,55 @@ impl Cluster {
         }
         let hosts: Vec<OrchHost> = host_specs
             .into_iter()
-            .map(|spec| OrchHost {
-                vmm: Vmm::new(&format!("host-{}", spec.id.raw())),
-                accounting: Host::with_overcommit(spec, params.memory_overcommit),
-                power: HostPower::On,
-                vm_ids: BTreeMap::new(),
+            .map(|spec| {
+                let accounting = Host::with_overcommit(spec, params.memory_overcommit);
+                // The empty f64 sum is -0.0; seed the cache from the fold
+                // so the two stay bit-identical.
+                let cpu_committed = accounting.cpu_committed();
+                OrchHost {
+                    vmm: Vmm::new(&format!("host-{}", accounting.spec.id.raw())),
+                    cores: accounting.spec.cores as f64,
+                    mem_capacity: accounting.memory_capacity().as_u64(),
+                    accounting,
+                    power: HostPower::On,
+                    vm_ids: BTreeMap::new(),
+                    models: BTreeMap::new(),
+                    cpu_committed,
+                    mem_committed: 0,
+                }
             })
             .collect();
+        let mut by_id = BTreeMap::new();
+        for (pos, h) in hosts.iter().enumerate() {
+            if by_id.insert(h.id(), pos).is_some() {
+                return Err(Error::Config(format!("duplicate host id {}", h.id())));
+            }
+        }
         // One endpoint per host, plus the DR backup target.
         let fabric = Fabric::new(hosts.len() + 1, params.fabric)?;
-        Ok(Cluster {
+        let n_powered = hosts.len();
+        let mut cluster = Cluster {
             hosts,
             fabric,
             params,
-        })
+            by_id,
+            by_util: BTreeSet::new(),
+            free_cpu: BTreeSet::new(),
+            free_mem: BTreeSet::new(),
+            empty_powered: BTreeSet::new(),
+            parked: BTreeSet::new(),
+            vm_to_host: BTreeMap::new(),
+            total_vms: 0,
+            n_powered,
+            canonical_backup_size: None,
+        };
+        for pos in 0..cluster.hosts.len() {
+            cluster.index(pos);
+        }
+        Ok(cluster)
     }
 
-    /// All hosts, in id order.
+    /// All hosts, in construction order.
     pub fn hosts(&self) -> &[OrchHost] {
         &self.hosts
     }
@@ -161,166 +400,363 @@ impl Cluster {
 
     /// Number of hosts currently powered on.
     pub fn powered_on(&self) -> usize {
-        self.hosts
-            .iter()
-            .filter(|h| h.power == HostPower::On)
-            .count()
+        self.n_powered
     }
 
-    /// Total VMs placed across powered hosts.
+    /// Total VMs placed across hosts.
     pub fn total_vms(&self) -> usize {
-        self.hosts.iter().map(|h| h.accounting.vm_count()).sum()
+        self.total_vms
     }
 
-    fn index_of(&self, host: HostId) -> Result<usize> {
-        self.hosts
-            .iter()
-            .position(|h| h.id() == host)
+    /// VMs currently represented by statistical models rather than live
+    /// guests (always zero under [`VmFidelity::Full`]).
+    pub fn modeled_vms(&self) -> usize {
+        self.hosts.iter().map(|h| h.models.len()).sum()
+    }
+
+    /// Whether the named VM is backed by a live guest (as opposed to a
+    /// statistical model awaiting materialization).
+    pub fn is_materialized(&self, vm: &str) -> bool {
+        self.vm_to_host
+            .get(vm)
+            .is_some_and(|&pos| self.hosts[pos].vm_ids.contains_key(vm))
+    }
+
+    fn position(&self, host: HostId) -> Result<usize> {
+        self.by_id
+            .get(&host)
+            .copied()
             .ok_or(Error::UnknownHost(host))
+    }
+
+    /// Position of `host` in the host vector, if it exists.
+    pub(crate) fn position_of(&self, host: HostId) -> Option<usize> {
+        self.by_id.get(&host).copied()
+    }
+
+    /// The host at `position` (must be in range).
+    pub(crate) fn host_at(&self, position: usize) -> &OrchHost {
+        &self.hosts[position]
+    }
+
+    /// Powered-on hosts ordered by `(utilization bits, id)`.
+    pub(crate) fn util_index(&self) -> &BTreeSet<(u64, HostId)> {
+        &self.by_util
+    }
+
+    /// The first powered-off host in host-vector order (DR power-up).
+    pub(crate) fn first_parked(&self) -> Option<HostId> {
+        self.parked.iter().next().map(|&pos| self.hosts[pos].id())
     }
 
     /// Which host (if any) currently runs the named VM.
     pub fn host_of(&self, vm: &str) -> Option<HostId> {
-        self.hosts
-            .iter()
-            .find(|h| h.vm_ids.contains_key(vm))
-            .map(|h| h.id())
+        self.vm_to_host.get(vm).map(|&pos| self.hosts[pos].id())
+    }
+
+    /// Remove `pos` from every index it currently appears in. Call before
+    /// mutating the host's power, placement or committed figures; pair with
+    /// [`Self::index`] after the mutation.
+    fn deindex(&mut self, pos: usize) {
+        let h = &self.hosts[pos];
+        match h.power {
+            HostPower::On => {
+                self.by_util
+                    .remove(&(util_key(h.cpu_utilization()), h.id()));
+                self.free_cpu
+                    .remove(&(util_key((h.cores - h.cpu_committed).max(0.0)), pos));
+                self.free_mem
+                    .remove(&(h.mem_capacity.saturating_sub(h.mem_committed), pos));
+                if h.accounting.vm_count() == 0 {
+                    self.empty_powered.remove(&pos);
+                }
+            }
+            HostPower::Off => {
+                self.parked.remove(&pos);
+            }
+            HostPower::Failed => {}
+        }
+    }
+
+    /// Re-insert `pos` into the indexes from its current state.
+    fn index(&mut self, pos: usize) {
+        let h = &self.hosts[pos];
+        debug_assert_eq!(
+            h.cpu_committed.to_bits(),
+            h.accounting.cpu_committed().to_bits(),
+            "cached CPU sum must stay bit-identical to the accounting fold"
+        );
+        debug_assert_eq!(h.mem_committed, h.accounting.memory_committed().as_u64());
+        match h.power {
+            HostPower::On => {
+                self.by_util.insert((util_key(h.cpu_utilization()), h.id()));
+                self.free_cpu
+                    .insert((util_key((h.cores - h.cpu_committed).max(0.0)), pos));
+                self.free_mem
+                    .insert((h.mem_capacity.saturating_sub(h.mem_committed), pos));
+                if h.accounting.vm_count() == 0 {
+                    self.empty_powered.insert(pos);
+                }
+            }
+            HostPower::Off => {
+                self.parked.insert(pos);
+            }
+            HostPower::Failed => {}
+        }
+    }
+
+    /// Place `spec` on the host at `pos`, maintaining caches and indexes.
+    fn place_spec(&mut self, pos: usize, spec: VmSpec) -> Result<()> {
+        self.deindex(pos);
+        let h = &mut self.hosts[pos];
+        let demand = spec.cpu_demand_cores;
+        let mem = spec.memory.as_u64();
+        let res = h.accounting.place(spec);
+        if res.is_ok() {
+            // Appending to `placed` extends the left-fold sum by exactly
+            // one term, so incremental addition stays bit-identical.
+            h.cpu_committed += demand;
+            h.mem_committed += mem;
+        }
+        self.index(pos);
+        res
+    }
+
+    /// Evict the named spec from the host at `pos`, maintaining caches.
+    fn evict_spec(&mut self, pos: usize, name: &str) -> Option<VmSpec> {
+        self.deindex(pos);
+        let h = &mut self.hosts[pos];
+        let spec = h.accounting.evict(name);
+        if spec.is_some() {
+            // Removal from the middle of `placed` reorders the fold, so
+            // recompute rather than subtract (float addition is not
+            // associative).
+            h.cpu_committed = h.accounting.cpu_committed();
+            h.mem_committed = h.accounting.memory_committed().as_u64();
+        }
+        self.index(pos);
+        spec
     }
 
     /// Pick a powered-on host for `spec` under `strategy`.
     ///
-    /// * `FirstFitDecreasing` — first host (id order) with room: packs.
+    /// * `FirstFitDecreasing` — first host (host-vector order) with room:
+    ///   packs.
     /// * `Spread` — the least CPU-utilized host with room: balances.
     /// * `OnePerHost` — the first *empty* host: the no-consolidation
     ///   baseline.
+    ///
+    /// All three answer exactly what a full scan of the host vector would,
+    /// but start with an O(log n) free-capacity quick reject, and `Spread`
+    /// and `OnePerHost` walk their dedicated indexes so they touch only
+    /// candidate hosts. `FirstFitDecreasing` is inherently a first-in-order
+    /// scan, but each probe is O(1) on the cached sums.
     pub fn choose_host(&self, strategy: PlacementStrategy, spec: &VmSpec) -> Option<HostId> {
-        let candidates = self
-            .hosts
-            .iter()
-            .filter(|h| h.power == HostPower::On && h.accounting.fits(spec));
+        // Quick reject: if even the host with the most free CPU (or memory)
+        // cannot fit this spec, nothing can. The CPU check is conservative
+        // (FIT_SLACK); ambiguity falls through to the exact per-host check.
+        let &(max_free_cpu_key, _) = self.free_cpu.iter().next_back()?;
+        if spec.cpu_demand_cores > key_util(max_free_cpu_key) + FIT_SLACK {
+            return None;
+        }
+        let &(max_free_mem, _) = self.free_mem.iter().next_back()?;
+        if spec.memory.as_u64() > max_free_mem {
+            return None;
+        }
         match strategy {
-            PlacementStrategy::FirstFitDecreasing => candidates.map(|h| h.id()).next(),
-            PlacementStrategy::OnePerHost => candidates
-                .filter(|h| h.accounting.vm_count() == 0)
-                .map(|h| h.id())
-                .next(),
-            PlacementStrategy::Spread => candidates
-                .min_by(|a, b| {
-                    a.cpu_utilization()
-                        .partial_cmp(&b.cpu_utilization())
-                        .expect("utilization is never NaN")
-                        .then(a.id().cmp(&b.id()))
-                })
+            PlacementStrategy::FirstFitDecreasing => self
+                .hosts
+                .iter()
+                .find(|h| h.power == HostPower::On && h.fits_cached(spec))
+                .map(|h| h.id()),
+            PlacementStrategy::OnePerHost => self
+                .empty_powered
+                .iter()
+                .map(|&pos| &self.hosts[pos])
+                .find(|h| h.fits_cached(spec))
+                .map(|h| h.id()),
+            PlacementStrategy::Spread => self
+                .by_util
+                .iter()
+                .map(|&(_, id)| &self.hosts[self.by_id[&id]])
+                .find(|h| h.fits_cached(spec))
                 .map(|h| h.id()),
         }
     }
 
-    /// Deploy a new live VM for `spec` on `host`.
+    /// Deploy a new VM for `spec` on `host` — a live guest under
+    /// [`VmFidelity::Full`], a statistical model under
+    /// [`VmFidelity::OnDemand`].
     pub fn deploy(&mut self, host: HostId, spec: VmSpec) -> Result<()> {
-        let guest_memory = self.params.guest_memory;
-        let idx = self.index_of(host)?;
-        let h = &mut self.hosts[idx];
-        if h.power != HostPower::On {
+        let idx = self.position(host)?;
+        if self.hosts[idx].power != HostPower::On {
             return Err(Error::Config(format!("{host} is not powered on")));
         }
-        h.accounting.place(spec.clone())?;
-        let config = VmConfig::new(&spec.name).with_memory(guest_memory);
-        let id = match h.vmm.create_vm(config) {
-            Ok(id) => id,
-            Err(e) => {
-                h.accounting.evict(&spec.name);
-                return Err(e);
-            }
-        };
-        h.vm_ids.insert(spec.name.clone(), id);
-        let vm = h.vmm.vm_mut(id)?;
-        let workload = Workload::with_layout(
-            WorkloadKind::Idle {
-                wakeups: TENANT_WAKEUPS,
-            },
-            TENANT_ENTRY,
-            TENANT_DATA_BASE,
-        )?;
-        vm.load_workload(&workload)?;
-        // Stamp a per-VM identity so backups and migrations carry real,
-        // distinguishable guest state (and dirty a few pages doing so).
-        let stamp = spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
-            (acc ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-        });
-        for k in 0..4u64 {
-            vm.memory()
-                .write_u64(GuestAddress(MARKER_BASE + k * PAGE_SIZE), stamp ^ k)?;
+        if self.vm_to_host.contains_key(&spec.name) {
+            return Err(Error::Config(format!(
+                "a VM named {} already exists in the cluster",
+                spec.name
+            )));
         }
+        let name = spec.name.clone();
+        let model = VmModel::for_spec(&spec);
+        self.place_spec(idx, spec)?;
+        match self.params.fidelity {
+            VmFidelity::Full => {
+                if let Err(e) = self.materialize_at(idx, &name) {
+                    self.evict_spec(idx, &name);
+                    return Err(e);
+                }
+            }
+            VmFidelity::OnDemand => {
+                self.hosts[idx].models.insert(name.clone(), model);
+            }
+        }
+        self.vm_to_host.insert(name, idx);
+        self.total_vms += 1;
         Ok(())
+    }
+
+    /// Turn the model at (`idx`, `name`) into a live canonical-state guest.
+    /// Idempotent for already-materialized VMs.
+    fn materialize_at(&mut self, idx: usize, name: &str) -> Result<()> {
+        let h = &mut self.hosts[idx];
+        if h.vm_ids.contains_key(name) {
+            return Ok(());
+        }
+        let config = VmConfig::new(name).with_memory(self.params.guest_memory);
+        let id = h
+            .vmm
+            .create_vm_with(config, |vm| provision_canonical(vm, name))?;
+        h.vm_ids.insert(name.to_string(), id);
+        h.models.remove(name);
+        Ok(())
+    }
+
+    /// Materialize the named VM into a live guest if it is still a model.
+    /// Idempotent; a materialized VM never reverts to a model.
+    pub fn materialize(&mut self, vm: &str) -> Result<HostId> {
+        let idx = *self
+            .vm_to_host
+            .get(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        self.materialize_at(idx, vm)?;
+        Ok(self.hosts[idx].id())
     }
 
     /// Destroy the named VM; returns the host it lived on and its spec.
     pub fn destroy(&mut self, vm: &str) -> Result<(HostId, VmSpec)> {
-        let host = self
-            .host_of(vm)
+        let idx = *self
+            .vm_to_host
+            .get(vm)
             .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
-        let idx = self.index_of(host)?;
         let h = &mut self.hosts[idx];
-        let id = h.vm_ids.remove(vm).expect("host_of found it");
-        h.vmm.destroy_vm(id)?;
-        let spec = h
-            .accounting
-            .evict(vm)
+        if let Some(id) = h.vm_ids.remove(vm) {
+            h.vmm.destroy_vm(id)?;
+        } else {
+            h.models.remove(vm);
+        }
+        let spec = self
+            .evict_spec(idx, vm)
             .ok_or_else(|| Error::Config(format!("accounting lost track of {vm}")))?;
-        Ok((host, spec))
+        self.vm_to_host.remove(vm);
+        self.total_vms -= 1;
+        Ok((self.hosts[idx].id(), spec))
     }
 
     /// Update the accounting CPU demand of the named VM (a load change).
     pub fn set_cpu_demand(&mut self, vm: &str, demand_cores: f64) -> Result<HostId> {
-        let host = self
-            .host_of(vm)
+        let idx = *self
+            .vm_to_host
+            .get(vm)
             .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
-        let idx = self.index_of(host)?;
-        let placed = &mut self.hosts[idx].accounting.placed;
-        let entry = placed
+        self.deindex(idx);
+        let h = &mut self.hosts[idx];
+        let entry = h
+            .accounting
+            .placed
             .iter_mut()
             .find(|s| s.name == vm)
-            .expect("host_of found it");
+            .expect("vm_to_host is kept consistent with accounting");
         entry.cpu_demand_cores = demand_cores.max(0.0);
-        Ok(host)
+        // In-place mutation reorders nothing, but the fold must be
+        // recomputed: replacing a term changes every partial sum after it.
+        h.cpu_committed = h.accounting.cpu_committed();
+        if let Some(m) = h.models.get_mut(vm) {
+            m.cpu_demand_millicores = (demand_cores.max(0.0) * 1000.0) as u64;
+        }
+        self.index(idx);
+        Ok(self.hosts[idx].id())
     }
 
-    /// Snapshot the named VM into `store` (the DR site), streaming the
-    /// snapshot bytes across the fabric to the DR endpoint.
+    /// Size of a canonical-state full snapshot. Full snapshots capture
+    /// every page regardless of content, so this is a pure function of the
+    /// configured guest memory — probed once against a scratch guest.
+    fn canonical_backup_size(&mut self) -> Result<ByteSize> {
+        if let Some(size) = self.canonical_backup_size {
+            return Ok(size);
+        }
+        let mut store = SnapshotStore::new();
+        let config = VmConfig::new("canonical-size-probe").with_memory(self.params.guest_memory);
+        let mut probe = Vm::new(config)?;
+        provision_canonical(&mut probe, "canonical-size-probe")?;
+        let id = probe.snapshot("canonical-size-probe", &mut store)?;
+        let size = store
+            .get(id)
+            .map(|s| s.approx_size())
+            .unwrap_or(ByteSize::ZERO);
+        self.canonical_backup_size = Some(size);
+        Ok(size)
+    }
+
+    /// Back up the named VM to the DR site, streaming the snapshot bytes
+    /// across the fabric to the DR endpoint.
     ///
-    /// Returns the snapshot id, its size, and the simulated instant the
-    /// stream has fully arrived at the DR target; the transfer occupies the
-    /// host's NIC and the backbone, so backup sweeps contend with live
-    /// migrations. Until the arrival instant the snapshot is still on the
-    /// wire — callers must not restore from it before then.
+    /// A live guest is snapshotted into `store`; a still-modeled VM yields
+    /// [`BackupHandle::Canonical`] with identical modelled size (and thus
+    /// identical wire time) without touching guest memory at all.
+    ///
+    /// Returns the handle, its size, and the simulated instant the stream
+    /// has fully arrived at the DR target; the transfer occupies the host's
+    /// NIC and the backbone, so backup sweeps contend with live migrations.
+    /// Until the arrival instant the backup is still on the wire — callers
+    /// must not restore from it before then.
     pub fn backup(
         &mut self,
         vm: &str,
         label: &str,
         store: &mut SnapshotStore,
         now: Nanoseconds,
-    ) -> Result<(SnapshotId, rvisor_types::ByteSize, Nanoseconds)> {
-        let host = self
-            .host_of(vm)
+    ) -> Result<(BackupHandle, ByteSize, Nanoseconds)> {
+        let idx = *self
+            .vm_to_host
+            .get(vm)
             .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
-        let idx = self.index_of(host)?;
-        let live = self.hosts[idx].live_vm_mut(vm)?;
-        let snap = live.snapshot(label, store)?;
-        let size = store
-            .get(snap)
-            .map(|s| s.approx_size())
-            .unwrap_or(rvisor_types::ByteSize::ZERO);
+        let (handle, size) = if self.hosts[idx].vm_ids.contains_key(vm) {
+            let live = self.hosts[idx].live_vm_mut(vm)?;
+            let snap = live.snapshot(label, store)?;
+            let size = store
+                .get(snap)
+                .map(|s| s.approx_size())
+                .unwrap_or(ByteSize::ZERO);
+            (BackupHandle::Stored(snap), size)
+        } else {
+            (BackupHandle::Canonical, self.canonical_backup_size()?)
+        };
         let dr = self.dr_endpoint();
         let arrival = self.fabric.transfer(idx, dr, now, size.as_u64())?;
-        Ok((snap, size, arrival))
+        Ok((handle, size, arrival))
     }
 
     /// Power a host back on (consolidation undo, or DR capacity).
     pub fn power_on(&mut self, host: HostId) -> Result<()> {
-        let idx = self.index_of(host)?;
+        let idx = self.position(host)?;
         match self.hosts[idx].power {
             HostPower::Off => {
+                self.deindex(idx);
                 self.hosts[idx].power = HostPower::On;
+                self.n_powered += 1;
+                self.index(idx);
                 Ok(())
             }
             HostPower::On => Ok(()),
@@ -331,8 +767,8 @@ impl Cluster {
     /// Power an *empty* host off (idempotent for already-parked hosts;
     /// failed hosts are not power-manageable, matching [`Self::power_on`]).
     pub fn power_off(&mut self, host: HostId) -> Result<()> {
-        let idx = self.index_of(host)?;
-        let h = &mut self.hosts[idx];
+        let idx = self.position(host)?;
+        let h = &self.hosts[idx];
         if h.power == HostPower::Failed {
             return Err(Error::Config(format!(
                 "{host} has failed; cannot power off"
@@ -344,19 +780,37 @@ impl Cluster {
                 h.accounting.vm_count()
             )));
         }
-        h.power = HostPower::Off;
+        if h.power == HostPower::On {
+            self.deindex(idx);
+            self.hosts[idx].power = HostPower::Off;
+            self.n_powered -= 1;
+            self.index(idx);
+        }
         Ok(())
     }
 
     /// Fail a host abruptly. Every VM on it is lost; returns their specs.
     pub fn fail_host(&mut self, host: HostId) -> Result<Vec<VmSpec>> {
-        let idx = self.index_of(host)?;
+        let idx = self.position(host)?;
+        self.deindex(idx);
         let h = &mut self.hosts[idx];
+        let was_on = h.power == HostPower::On;
         let lost = std::mem::take(&mut h.accounting.placed);
         h.vm_ids.clear();
+        h.models.clear();
+        h.cpu_committed = h.accounting.cpu_committed();
+        h.mem_committed = 0;
         // Drop the whole VMM: guest memory, switch, local snapshots — gone.
         h.vmm = Vmm::new(&format!("host-{}-dead", host.raw()));
         h.power = HostPower::Failed;
+        for spec in &lost {
+            self.vm_to_host.remove(&spec.name);
+        }
+        self.total_vms -= lost.len();
+        if was_on {
+            self.n_powered -= 1;
+        }
+        self.index(idx);
         Ok(lost)
     }
 
@@ -364,6 +818,9 @@ impl Cluster {
     /// no earlier than `now` (the caller's simulated clock) — the stream's
     /// fabric occupancy lands at the present, so it contends with every
     /// other migration and backup issued around the same instant.
+    ///
+    /// Migration touches guest memory, so a still-modeled VM is
+    /// materialized first (and stays materialized ever after).
     pub fn migrate(
         &mut self,
         vm: &str,
@@ -371,14 +828,15 @@ impl Cluster {
         engine: MigrationOutcome,
         now: Nanoseconds,
     ) -> Result<MigrationReport> {
-        let from = self
-            .host_of(vm)
+        let from_idx = *self
+            .vm_to_host
+            .get(vm)
             .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        let from = self.hosts[from_idx].id();
         if from == to {
             return Err(Error::Config(format!("{vm} is already on {to}")));
         }
-        let from_idx = self.index_of(from)?;
-        let to_idx = self.index_of(to)?;
+        let to_idx = self.position(to)?;
         if self.hosts[to_idx].power != HostPower::On {
             return Err(Error::Config(format!("{to} is not powered on")));
         }
@@ -388,13 +846,17 @@ impl Cluster {
             .iter()
             .find(|s| s.name == vm)
             .cloned()
-            .expect("host_of found it");
-        if !self.hosts[to_idx].accounting.fits(&spec) {
+            .expect("vm_to_host is kept consistent with accounting");
+        if !self.hosts[to_idx].fits_cached(&spec) {
             return Err(Error::CapacityExceeded(format!(
                 "{vm} does not fit on {to}"
             )));
         }
+        // The migration is about to stream this VM's memory: materialize.
+        self.materialize_at(from_idx, vm)?;
 
+        self.deindex(from_idx);
+        self.deindex(to_idx);
         // The migration streams across the shared fabric between the two
         // hosts' endpoints; its busy-time marks are what make concurrent
         // rebalance migrations and DR backups queue behind each other.
@@ -405,51 +867,167 @@ impl Cluster {
             let (l, r) = self.hosts.split_at_mut(from_idx);
             (&mut r[0], &mut l[to_idx])
         };
-        let vm_id = *src.vm_ids.get(vm).expect("live VM tracked");
-        let mut transport = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)?;
-        let config = MigrationConfig {
-            streams: self.params.migration_streams,
-            ..Default::default()
+        let vm_id = *src.vm_ids.get(vm).expect("materialized above");
+        let migrated = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)
+            .and_then(|mut transport| {
+                let config = MigrationConfig {
+                    streams: self.params.migration_streams,
+                    ..Default::default()
+                };
+                src.vmm
+                    .migrate_to_over(vm_id, &mut dst.vmm, &mut transport, engine, config)
+            });
+        let (new_id, report) = match migrated {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.index(from_idx);
+                self.index(to_idx);
+                return Err(e);
+            }
         };
-        let (new_id, report) =
-            src.vmm
-                .migrate_to_over(vm_id, &mut dst.vmm, &mut transport, engine, config)?;
+        let src = &mut self.hosts[from_idx];
         src.vm_ids.remove(vm);
-        dst.vm_ids.insert(vm.to_string(), new_id);
         let spec = src.accounting.evict(vm).expect("accounting tracked");
-        dst.accounting.place(spec).expect("fits() checked above");
+        src.cpu_committed = src.accounting.cpu_committed();
+        src.mem_committed = src.accounting.memory_committed().as_u64();
+        let dst = &mut self.hosts[to_idx];
+        dst.vm_ids.insert(vm.to_string(), new_id);
+        let demand = spec.cpu_demand_cores;
+        let mem = spec.memory.as_u64();
+        dst.accounting.place(spec).expect("fits checked above");
+        dst.cpu_committed += demand;
+        dst.mem_committed += mem;
+        self.index(from_idx);
+        self.index(to_idx);
+        self.vm_to_host.insert(vm.to_string(), to_idx);
         Ok(report)
     }
 
-    /// Recreate the named VM on `to` from a DR snapshot and resume it.
+    /// Recreate the named VM on `to` from a DR backup and resume it.
+    ///
+    /// A [`BackupHandle::Stored`] restores from the real snapshot in
+    /// `store`; a [`BackupHandle::Canonical`] reconstructs the canonical
+    /// snapshot the model backup stood for and restores through the exact
+    /// same path, so both produce identical guest state.
     pub fn restore(
         &mut self,
         spec: &VmSpec,
-        snapshot: SnapshotId,
+        backup: BackupHandle,
         store: &SnapshotStore,
         to: HostId,
     ) -> Result<()> {
         let guest_memory = self.params.guest_memory;
-        let idx = self.index_of(to)?;
-        let h = &mut self.hosts[idx];
-        if h.power != HostPower::On {
+        let idx = self.position(to)?;
+        if self.hosts[idx].power != HostPower::On {
             return Err(Error::Config(format!("{to} is not powered on")));
         }
-        h.accounting.place(spec.clone())?;
-        let config = VmConfig::new(&spec.name).with_memory(guest_memory);
-        let id = match h.vmm.create_vm(config) {
-            Ok(id) => id,
-            Err(e) => {
-                h.accounting.evict(&spec.name);
-                return Err(e);
+        if self.vm_to_host.contains_key(&spec.name) {
+            return Err(Error::Config(format!(
+                "a VM named {} already exists in the cluster",
+                spec.name
+            )));
+        }
+        self.place_spec(idx, spec.clone())?;
+        let restored = (|| {
+            let config = VmConfig::new(&spec.name).with_memory(guest_memory);
+            let restore_into = |vm: &mut Vm, snap: SnapshotId, store: &SnapshotStore| {
+                vm.restore_snapshot(snap, store)?;
+                vm.resume()?;
+                debug_assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+                Ok(())
+            };
+            match backup {
+                BackupHandle::Stored(snap) => self.hosts[idx]
+                    .vmm
+                    .create_vm_with(config, |vm| restore_into(vm, snap, store)),
+                BackupHandle::Canonical => {
+                    // Rebuild the canonical snapshot this backup stood for.
+                    let mut scratch_store = SnapshotStore::new();
+                    let scratch_config = VmConfig::new(&spec.name).with_memory(guest_memory);
+                    let mut scratch = Vm::new(scratch_config)?;
+                    provision_canonical(&mut scratch, &spec.name)?;
+                    let snap = scratch.snapshot("canonical", &mut scratch_store)?;
+                    self.hosts[idx]
+                        .vmm
+                        .create_vm_with(config, |vm| restore_into(vm, snap, &scratch_store))
+                }
             }
-        };
-        h.vm_ids.insert(spec.name.clone(), id);
-        let vm = h.vmm.vm_mut(id)?;
-        vm.restore_snapshot(snapshot, store)?;
-        vm.resume()?;
-        debug_assert_eq!(vm.lifecycle(), VmLifecycle::Running);
-        Ok(())
+        })();
+        match restored {
+            Ok(id) => {
+                self.hosts[idx].vm_ids.insert(spec.name.clone(), id);
+                self.vm_to_host.insert(spec.name.clone(), idx);
+                self.total_vms += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.evict_spec(idx, &spec.name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Exhaustively verify every index and cached sum against a from-scratch
+    /// recomputation (test support).
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        let mut total = 0;
+        let mut on = 0;
+        for (pos, h) in self.hosts.iter().enumerate() {
+            assert_eq!(
+                h.cpu_committed.to_bits(),
+                h.accounting.cpu_committed().to_bits(),
+                "{}: cached CPU sum drifted",
+                h.id()
+            );
+            assert_eq!(h.mem_committed, h.accounting.memory_committed().as_u64());
+            assert_eq!(h.mem_capacity, h.accounting.memory_capacity().as_u64());
+            assert_eq!(
+                h.vm_ids.len() + h.models.len(),
+                h.accounting.vm_count(),
+                "{}: every placed VM must be live or modeled",
+                h.id()
+            );
+            total += h.accounting.vm_count();
+            match h.power {
+                HostPower::On => {
+                    on += 1;
+                    assert!(self
+                        .by_util
+                        .contains(&(util_key(h.cpu_utilization()), h.id())));
+                    assert!(self
+                        .free_cpu
+                        .contains(&(util_key((h.cores - h.cpu_committed).max(0.0)), pos)));
+                    assert!(self
+                        .free_mem
+                        .contains(&(h.mem_capacity.saturating_sub(h.mem_committed), pos)));
+                    assert_eq!(
+                        self.empty_powered.contains(&pos),
+                        h.accounting.vm_count() == 0
+                    );
+                    assert!(!self.parked.contains(&pos));
+                }
+                HostPower::Off => {
+                    assert!(self.parked.contains(&pos));
+                    assert!(!self.by_util.iter().any(|&(_, id)| id == h.id()));
+                    assert_eq!(h.accounting.vm_count(), 0);
+                }
+                HostPower::Failed => {
+                    assert!(!self.parked.contains(&pos));
+                    assert!(!self.by_util.iter().any(|&(_, id)| id == h.id()));
+                    assert_eq!(h.accounting.vm_count(), 0);
+                }
+            }
+            for name in h.vm_ids.keys().chain(h.models.keys()) {
+                assert_eq!(self.vm_to_host.get(name), Some(&pos));
+            }
+        }
+        assert_eq!(self.total_vms, total);
+        assert_eq!(self.n_powered, on);
+        assert_eq!(self.by_util.len(), on);
+        assert_eq!(self.free_cpu.len(), on);
+        assert_eq!(self.free_mem.len(), on);
+        assert_eq!(self.vm_to_host.len(), total);
     }
 }
 
@@ -462,6 +1040,13 @@ mod tests {
         OrchParams {
             guest_memory: rvisor_types::ByteSize::kib(256),
             ..Default::default()
+        }
+    }
+
+    fn on_demand_params() -> OrchParams {
+        OrchParams {
+            fidelity: VmFidelity::OnDemand,
+            ..small_params()
         }
     }
 
@@ -487,12 +1072,14 @@ mod tests {
         let vmm = c.hosts()[0].vmm();
         let id = vmm.find_vm("a").unwrap();
         assert_eq!(vmm.lifecycle_of(id).unwrap(), VmLifecycle::Running);
+        c.check_invariants();
 
         let (host, spec) = c.destroy("a").unwrap();
         assert_eq!(host, h);
         assert_eq!(spec.name, "a");
         assert_eq!(c.total_vms(), 0);
         assert!(c.destroy("a").is_err());
+        c.check_invariants();
     }
 
     #[test]
@@ -511,6 +1098,7 @@ mod tests {
         assert_eq!(c.host_of("mv"), Some(HostId::new(1)));
         assert_eq!(c.hosts()[0].accounting().vm_count(), 0);
         assert_eq!(c.hosts()[1].accounting().vm_count(), 1);
+        c.check_invariants();
         // The guest's identity markers survived the move.
         let vmm = c.hosts()[1].vmm();
         let id = vmm.find_vm("mv").unwrap();
@@ -536,9 +1124,10 @@ mod tests {
         let mut c = Cluster::new(specs(2), small_params()).unwrap();
         c.deploy(HostId::new(0), web("dr")).unwrap();
         let mut store = SnapshotStore::new();
-        let (snap, size, arrival) = c
+        let (handle, size, arrival) = c
             .backup("dr", "hourly", &mut store, Nanoseconds::ZERO)
             .unwrap();
+        assert!(matches!(handle, BackupHandle::Stored(_)));
         assert!(size > rvisor_types::ByteSize::ZERO);
         assert!(
             arrival > Nanoseconds::ZERO,
@@ -559,8 +1148,9 @@ mod tests {
         assert_eq!(c.host_of("dr"), None);
         assert_eq!(c.hosts()[0].power(), HostPower::Failed);
         assert!(c.power_on(HostId::new(0)).is_err());
+        c.check_invariants();
 
-        c.restore(&lost[0], snap, &store, HostId::new(1)).unwrap();
+        c.restore(&lost[0], handle, &store, HostId::new(1)).unwrap();
         assert_eq!(c.host_of("dr"), Some(HostId::new(1)));
         let vmm = c.hosts()[1].vmm();
         let id = vmm.find_vm("dr").unwrap();
@@ -570,6 +1160,7 @@ mod tests {
             vm.memory().read_u64(GuestAddress(MARKER_BASE)).unwrap(),
             stamp_before
         );
+        c.check_invariants();
     }
 
     #[test]
@@ -579,6 +1170,7 @@ mod tests {
         assert!(c.power_off(HostId::new(0)).is_err()); // not empty
         c.power_off(HostId::new(1)).unwrap();
         assert_eq!(c.powered_on(), 1);
+        c.check_invariants();
         // An off host never receives placements.
         assert_eq!(
             c.choose_host(PlacementStrategy::Spread, &web("q")),
@@ -595,6 +1187,7 @@ mod tests {
             c.choose_host(PlacementStrategy::OnePerHost, &web("q")),
             Some(HostId::new(1))
         );
+        c.check_invariants();
     }
 
     #[test]
@@ -605,5 +1198,164 @@ mod tests {
         c.set_cpu_demand("l", 8.0).unwrap();
         assert!(c.hosts()[0].cpu_utilization() > before);
         assert!(c.set_cpu_demand("ghost", 1.0).is_err());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn fidelity_dial_defers_materialization() {
+        let mut c = Cluster::new(specs(2), on_demand_params()).unwrap();
+        c.deploy(HostId::new(0), web("m")).unwrap();
+        assert!(!c.is_materialized("m"));
+        assert_eq!(c.modeled_vms(), 1);
+        assert_eq!(c.hosts()[0].vmm().vm_count(), 0, "no live guest yet");
+        assert_eq!(c.total_vms(), 1);
+        c.check_invariants();
+
+        // Migration touches guest memory: the VM materializes on the way.
+        c.migrate(
+            "m",
+            HostId::new(1),
+            MigrationOutcome::PreCopy,
+            Nanoseconds::ZERO,
+        )
+        .unwrap();
+        assert!(c.is_materialized("m"));
+        assert_eq!(c.modeled_vms(), 0);
+        c.check_invariants();
+        // Explicit materialization is idempotent.
+        assert_eq!(c.materialize("m").unwrap(), HostId::new(1));
+        // The materialized guest carries the canonical identity stamp.
+        let vmm = c.hosts()[1].vmm();
+        let id = vmm.find_vm("m").unwrap();
+        assert_eq!(
+            vmm.vm(id)
+                .unwrap()
+                .memory()
+                .read_u64(GuestAddress(MARKER_BASE))
+                .unwrap(),
+            identity_stamp("m")
+        );
+    }
+
+    #[test]
+    fn model_backup_costs_match_full_backups() {
+        let mut full = Cluster::new(specs(1), small_params()).unwrap();
+        let mut dialed = Cluster::new(specs(1), on_demand_params()).unwrap();
+        full.deploy(HostId::new(0), web("b")).unwrap();
+        dialed.deploy(HostId::new(0), web("b")).unwrap();
+        let mut full_store = SnapshotStore::new();
+        let mut dialed_store = SnapshotStore::new();
+        let (fh, fsize, farrival) = full
+            .backup("b", "hourly", &mut full_store, Nanoseconds::ZERO)
+            .unwrap();
+        let (dh, dsize, darrival) = dialed
+            .backup("b", "hourly", &mut dialed_store, Nanoseconds::ZERO)
+            .unwrap();
+        assert!(matches!(fh, BackupHandle::Stored(_)));
+        assert_eq!(dh, BackupHandle::Canonical);
+        assert_eq!(
+            fsize, dsize,
+            "a model backup must cost exactly what the full snapshot costs"
+        );
+        assert_eq!(farrival, darrival, "identical bytes, identical wire time");
+        assert_eq!(dialed_store.len(), 0, "model backups never touch the store");
+    }
+
+    /// The materialization boundary: a VM that is migrated (materializing
+    /// it), backed up, failed and restored immediately afterwards behaves
+    /// identically to one that was always full-fidelity.
+    #[test]
+    fn materialization_boundary_matches_always_full() {
+        let day = |params: OrchParams| {
+            let mut c = Cluster::new(specs(2), params).unwrap();
+            c.deploy(HostId::new(0), web("edge")).unwrap();
+            let report = c
+                .migrate(
+                    "edge",
+                    HostId::new(1),
+                    MigrationOutcome::PreCopy,
+                    Nanoseconds::ZERO,
+                )
+                .unwrap();
+            let mut store = SnapshotStore::new();
+            let (handle, size, arrival) = c
+                .backup("edge", "post-migration", &mut store, report.total_time)
+                .unwrap();
+            let lost = c.fail_host(HostId::new(1)).unwrap();
+            c.restore(&lost[0], handle, &store, HostId::new(0)).unwrap();
+            c.check_invariants();
+            let vmm = c.hosts()[0].vmm();
+            let id = vmm.find_vm("edge").unwrap();
+            let vm = vmm.vm(id).unwrap();
+            (
+                report,
+                size,
+                arrival,
+                vm.memory().checksum(),
+                vm.lifecycle(),
+            )
+        };
+        let full = day(small_params());
+        let dialed = day(on_demand_params());
+        assert_eq!(
+            full, dialed,
+            "migration report, backup cost and restored guest state must be \
+             identical across the fidelity dial"
+        );
+    }
+
+    #[test]
+    fn indexes_survive_a_mutation_gauntlet() {
+        for params in [small_params(), on_demand_params()] {
+            let mut c = Cluster::new(specs(4), params).unwrap();
+            for i in 0..8 {
+                let spec = web(&format!("vm-{i}")).with_cpu_demand(0.5 + i as f64 * 0.3);
+                let h = c
+                    .choose_host(PlacementStrategy::Spread, &spec)
+                    .expect("capacity available");
+                c.deploy(h, spec).unwrap();
+                c.check_invariants();
+            }
+            c.set_cpu_demand("vm-3", 6.5).unwrap();
+            c.check_invariants();
+            c.destroy("vm-0").unwrap();
+            c.check_invariants();
+            let from = c.host_of("vm-5").unwrap();
+            let to = c
+                .hosts()
+                .iter()
+                .map(|h| h.id())
+                .find(|&id| id != from)
+                .unwrap();
+            c.migrate("vm-5", to, MigrationOutcome::StopAndCopy, Nanoseconds::ZERO)
+                .unwrap();
+            c.check_invariants();
+            c.fail_host(HostId::new(3)).unwrap();
+            c.check_invariants();
+            // Indexed answers match a brute-force scan.
+            let probe = web("probe").with_cpu_demand(1.25);
+            let brute = c
+                .hosts()
+                .iter()
+                .filter(|h| h.power() == HostPower::On && h.accounting().fits(&probe))
+                .min_by(|a, b| {
+                    a.cpu_utilization()
+                        .partial_cmp(&b.cpu_utilization())
+                        .unwrap()
+                        .then(a.id().cmp(&b.id()))
+                })
+                .map(|h| h.id());
+            assert_eq!(c.choose_host(PlacementStrategy::Spread, &probe), brute);
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_and_names_rejected() {
+        let mut dup = specs(2);
+        dup[1].id = HostId::new(0);
+        assert!(Cluster::new(dup, small_params()).is_err());
+        let mut c = Cluster::new(specs(2), small_params()).unwrap();
+        c.deploy(HostId::new(0), web("x")).unwrap();
+        assert!(c.deploy(HostId::new(1), web("x")).is_err());
     }
 }

@@ -60,6 +60,50 @@
 //! migrations move and checksums protect *that* memory, so byte counts in
 //! the report are simulation-scale.
 //!
+//! ### The fidelity dial
+//!
+//! At warehouse scale (10k hosts, 100k+ VMs per simulated day) even a
+//! 64 KiB guest per VM is gigabytes of RAM that the simulation almost never
+//! reads. [`OrchParams::fidelity`] dials how much of the stack each VM
+//! carries:
+//!
+//! * [`VmFidelity::Full`] — every VM is a live guest under its host's
+//!   [`Vmm`](rvisor::Vmm) from the moment it is placed, exactly as before.
+//! * [`VmFidelity::OnDemand`] — a placed VM starts as a *statistical
+//!   model*: its [`VmSpec`](rvisor_cluster::VmSpec) participates fully in
+//!   capacity accounting, policy decisions and DR bookkeeping, but no guest
+//!   memory, vCPUs or devices exist yet.
+//!
+//! The dial is invisible to every observable output. That rests on two
+//! model assumptions the rest of the crate is built to preserve:
+//!
+//! 1. **Guests only execute during migration rounds.** A simulated tenant's
+//!    workload never runs between events, so a model VM and an idle full VM
+//!    are behaviourally identical until something touches guest state.
+//! 2. **Deploy-time guest state is a pure function of the VM's name and
+//!    params.** Materialization rebuilds byte-identical canonical guest
+//!    pages (layout plus a deterministic per-name identity stamp), so a VM
+//!    materialized at hour 19 equals one that was full all day.
+//!
+//! *Materialization triggers*: a migration touching the VM (the engine
+//! needs real pages to move), and a DR restore onto a host (restores
+//! produce live guests). Backups of model VMs do **not** materialize — a
+//! canonical full-capture backup has a content-independent size, so the
+//! orchestrator records identical bytes/wire-time and keeps a
+//! [`BackupHandle::Canonical`] it can rehydrate into a real snapshot if a
+//! restore ever needs it. Proptests pin a force-materialized day `==` a
+//! dialed day, report for report.
+//!
+//! ### Indexed cluster state and the calendar queue
+//!
+//! The same scale target drives two data-structure choices. [`Cluster`]
+//! maintains utilization-ordered host indexes so rebalance ticks and
+//! placement scans touch candidate hosts instead of all 10k (policy
+//! equivalence with the linear-scan originals is pinned by tests), and
+//! [`EventQueue`] is a calendar queue with O(1) expected push/pop that
+//! preserves `(Nanoseconds, seq)` FIFO ordering exactly — proptest-pinned
+//! against the retained [`MinHeapQueue`] reference implementation.
+//!
 //! ```
 //! use rvisor_orch::{
 //!     run_datacenter, OrchParams, Scenario, ScenarioConfig, ThresholdRebalance, WorkloadShape,
@@ -90,10 +134,10 @@ pub mod policy;
 pub mod report;
 pub mod scenario;
 
-pub use cluster::{Cluster, HostPower, OrchHost};
-pub use event::{EventQueue, OrchEvent, Scheduled};
+pub use cluster::{BackupHandle, Cluster, HostPower, OrchHost};
+pub use event::{EventQueue, MinHeapQueue, OrchEvent, Scheduled};
 pub use orchestrator::{run_datacenter, Orchestrator};
-pub use params::{OrchParams, MIN_GUEST_MEMORY};
+pub use params::{OrchParams, VmFidelity, MIN_GUEST_MEMORY};
 pub use policy::{
     ConsolidateAndPowerDown, MigrationDecision, RebalancePlan, RebalancePolicy, SpreadRebalance,
     ThresholdRebalance,

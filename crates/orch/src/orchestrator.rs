@@ -3,10 +3,10 @@
 use std::collections::BTreeMap;
 
 use rvisor_cluster::{HostSpec, VmSpec};
-use rvisor_snapshot::{SnapshotId, SnapshotStore};
+use rvisor_snapshot::SnapshotStore;
 use rvisor_types::{ByteSize, Error, HostId, Nanoseconds, Result};
 
-use crate::cluster::{Cluster, HostPower};
+use crate::cluster::{BackupHandle, Cluster, HostPower};
 use crate::event::{EventQueue, OrchEvent};
 use crate::params::OrchParams;
 use crate::policy::RebalancePolicy;
@@ -24,7 +24,7 @@ struct PendingVm {
 #[derive(Debug, Clone)]
 struct PendingRestore {
     spec: VmSpec,
-    snapshot: SnapshotId,
+    backup: BackupHandle,
     failed_at: Nanoseconds,
 }
 
@@ -36,20 +36,29 @@ struct PendingRestore {
 /// back to the previous (retained) backup, not the bytes in flight.
 #[derive(Debug, Clone, Copy, Default)]
 struct VmBackups {
-    /// The newest fully-arrived backup (what failures restore from).
-    ready: Option<SnapshotId>,
-    /// A backup still crossing the fabric, and its arrival instant.
-    inflight: Option<(SnapshotId, Nanoseconds)>,
+    /// The newest fully-arrived backup and its size (what failures restore
+    /// from; the size sets the DR read time without touching the store).
+    ready: Option<(BackupHandle, ByteSize)>,
+    /// A backup still crossing the fabric, its size and arrival instant.
+    inflight: Option<(BackupHandle, ByteSize, Nanoseconds)>,
+}
+
+/// Delete the snapshot behind a handle, if it owns one (canonical model
+/// backups occupy no store space).
+fn discard(handle: BackupHandle, store: &mut SnapshotStore) {
+    if let BackupHandle::Stored(id) = handle {
+        let _ = store.delete(id);
+    }
 }
 
 impl VmBackups {
     /// Promote the in-flight backup to `ready` if its stream has arrived by
     /// `now`, deleting the snapshot it supersedes.
     fn settle(&mut self, store: &mut SnapshotStore, now: Nanoseconds) {
-        if let Some((snap, arrival)) = self.inflight {
+        if let Some((handle, size, arrival)) = self.inflight {
             if arrival <= now {
-                if let Some(old) = self.ready.replace(snap) {
-                    let _ = store.delete(old);
+                if let Some((old, _)) = self.ready.replace((handle, size)) {
+                    discard(old, store);
                 }
                 self.inflight = None;
             }
@@ -58,11 +67,11 @@ impl VmBackups {
 
     /// Delete every snapshot this VM still holds in the DR store.
     fn drop_all(self, store: &mut SnapshotStore) {
-        if let Some(id) = self.ready {
-            let _ = store.delete(id);
+        if let Some((handle, _)) = self.ready {
+            discard(handle, store);
         }
-        if let Some((id, _)) = self.inflight {
-            let _ = store.delete(id);
+        if let Some((handle, _, _)) = self.inflight {
+            discard(handle, store);
         }
     }
 }
@@ -242,7 +251,7 @@ impl Orchestrator {
     }
 
     fn note_power_change(&mut self, host: HostId) {
-        if let Some(i) = self.cluster.hosts().iter().position(|h| h.id() == host) {
+        if let Some(i) = self.cluster.position_of(host) {
             self.accrue_power(i, true);
         }
         let powered = self.cluster.powered_on() as u64;
@@ -260,12 +269,7 @@ impl Orchestrator {
             return Some(h);
         }
         // Placement pressure overrides consolidation: wake a parked host.
-        let parked = self
-            .cluster
-            .hosts()
-            .iter()
-            .find(|h| h.power() == HostPower::Off)
-            .map(|h| h.id())?;
+        let parked = self.cluster.first_parked()?;
         self.cluster.power_on(parked).ok()?;
         self.report.power_on_actions += 1;
         self.note_power_change(parked);
@@ -408,12 +412,7 @@ impl Orchestrator {
                 None => None,
             };
             match restorable {
-                Some(snapshot) => {
-                    let size = self
-                        .dr_store
-                        .get(snapshot)
-                        .map(|s| s.approx_size())
-                        .unwrap_or(ByteSize::ZERO);
+                Some((backup, size)) => {
                     done_at = done_at
                         .saturating_add(self.params.backup_target.restore_setup)
                         .saturating_add(self.params.backup_target.read_time(size));
@@ -421,7 +420,7 @@ impl Orchestrator {
                         spec.name.clone(),
                         PendingRestore {
                             spec: spec.clone(),
-                            snapshot,
+                            backup,
                             failed_at: self.now,
                         },
                     );
@@ -467,7 +466,7 @@ impl Orchestrator {
             return Ok(());
         };
         self.cluster
-            .restore(&pr.spec, pr.snapshot, &self.dr_store, host)?;
+            .restore(&pr.spec, pr.backup, &self.dr_store, host)?;
         self.report.vms_restored += 1;
         self.report.vm_time_lost = self
             .report
@@ -559,8 +558,8 @@ impl Orchestrator {
             // stream arrives.
             let entry = self.backups.entry(name).or_default();
             entry.settle(&mut self.dr_store, self.now);
-            if let Some((superseded, _)) = entry.inflight.replace((snap, arrival)) {
-                let _ = self.dr_store.delete(superseded);
+            if let Some((superseded, _, _)) = entry.inflight.replace((snap, size, arrival)) {
+                discard(superseded, &mut self.dr_store);
             }
         }
         // Hand the (now empty) queue buffer back for reuse by the next tick.
@@ -891,6 +890,66 @@ mod tests {
         orch.cluster.power_off(HostId::new(1)).unwrap();
         orch.cluster.power_off(HostId::new(1)).unwrap();
         orch.cluster.power_on(HostId::new(1)).unwrap();
+    }
+
+    /// The indexed policies drive whole days to the exact reports the
+    /// original full-walk implementations produced — the decision-for-
+    /// decision equivalence holds under real event-loop dynamics (failures,
+    /// deferred placements, power churn), not just on static snapshots.
+    #[test]
+    fn indexed_policies_match_reference_over_whole_days() {
+        use crate::policy::reference;
+        let s = small_scenario(11, 2);
+        let pairs: [(
+            Box<dyn crate::policy::RebalancePolicy>,
+            Box<dyn crate::policy::RebalancePolicy>,
+        ); 3] = [
+            (
+                Box::new(ThresholdRebalance),
+                Box::new(reference::ThresholdRebalance),
+            ),
+            (
+                Box::new(ConsolidateAndPowerDown),
+                Box::new(reference::ConsolidateAndPowerDown),
+            ),
+            (
+                Box::new(SpreadRebalance),
+                Box::new(reference::SpreadRebalance),
+            ),
+        ];
+        for (indexed, oracle) in pairs {
+            let name = indexed.name();
+            let a = run_datacenter(4, fast_params(), indexed, &s).unwrap();
+            let b = run_datacenter(4, fast_params(), oracle, &s).unwrap();
+            assert_eq!(a, b, "{name} day diverged from the reference policy");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The fidelity dial is invisible in every report field: a day where
+        /// every VM carries a live guest from deploy (`Full`, i.e. force-
+        /// materialized) reports `==` to the dialed day where VMs start as
+        /// statistical models and materialize on first touch.
+        #[test]
+        fn property_force_materialized_day_equals_dialed_day(
+            seed in 0u64..500,
+            failures in 0usize..3,
+        ) {
+            let s = small_scenario(seed, failures);
+            let full = OrchParams {
+                fidelity: crate::params::VmFidelity::Full,
+                ..fast_params()
+            };
+            let dialed = OrchParams {
+                fidelity: crate::params::VmFidelity::OnDemand,
+                ..fast_params()
+            };
+            let a = run_datacenter(4, full, Box::new(ThresholdRebalance), &s).unwrap();
+            let b = run_datacenter(4, dialed, Box::new(ThresholdRebalance), &s).unwrap();
+            prop_assert_eq!(a, b);
+        }
     }
 
     #[test]

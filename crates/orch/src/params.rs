@@ -19,6 +19,30 @@ use rvisor_types::{ByteSize, Error, Nanoseconds, Result};
 /// to ~52 KiB) must fit with headroom.
 pub const MIN_GUEST_MEMORY: ByteSize = ByteSize::kib(64);
 
+/// How much of each VM is actually simulated: the **fidelity dial**.
+///
+/// The model behind [`OnDemand`](VmFidelity::OnDemand) and its validity
+/// conditions are documented in the crate-level docs ("The fidelity dial").
+/// The short version: a VM the orchestrator has never migrated or restored
+/// is still in its *canonical deploy state* (tenant guests only execute
+/// during migration rounds), so it can be represented by an integer-only
+/// statistical stand-in and *materialized* into a full `Vmm` stack — with
+/// deterministically seeded guest pages — the moment an event actually
+/// touches its memory. Every observable number (backup bytes, migration
+/// traffic, report fields) is identical under both settings; a proptest
+/// pins `Full == OnDemand` day reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmFidelity {
+    /// Every VM is backed by a live [`rvisor::Vmm`] guest from the moment it
+    /// is deployed (the pre-dial behaviour; the reference semantics).
+    #[default]
+    Full,
+    /// VMs start as cheap integer-accounting models and are materialized
+    /// into full guests only when a migration or DR restore touches them.
+    /// Required for warehouse-scale days (10k hosts / 100k+ VMs).
+    OnDemand,
+}
+
 /// Every tunable of an orchestrator run, with production-flavoured defaults.
 #[derive(Debug, Clone, Copy)]
 pub struct OrchParams {
@@ -63,6 +87,11 @@ pub struct OrchParams {
     /// Fixed latency charged for provisioning a VM once capacity is found
     /// (template clone + boot).
     pub provision_latency: Nanoseconds,
+    /// The fidelity dial: whether every VM carries a live guest from deploy
+    /// ([`VmFidelity::Full`]) or starts as a statistical model materialized
+    /// on first touch ([`VmFidelity::OnDemand`]). Reports are `==` under
+    /// both settings; only memory/CPU cost differs.
+    pub fidelity: VmFidelity,
     /// Actual guest RAM given to each simulated VM. Capacity *accounting*
     /// uses the VmSpec's configured memory; the live guest is scaled down so
     /// a 500-VM datacenter fits in the harness' memory. Explicitly named so
@@ -91,6 +120,7 @@ impl Default for OrchParams {
             failover_detection_delay: Nanoseconds::from_secs(30),
             backup_target: BackupTarget::default(),
             provision_latency: Nanoseconds::from_secs(45),
+            fidelity: VmFidelity::Full,
             guest_memory: ByteSize::kib(256),
             fabric: FabricParams::datacenter(),
         }

@@ -6,6 +6,13 @@
 //! fault injector uses, so the same [`ScenarioConfig`] always produces the
 //! byte-identical event list — the determinism anchor for replayable runs.
 //!
+//! Per-VM draws come from an *order-independent substream*: VM `i`'s
+//! generator is derived purely from `(seed, i)` by a SplitMix-style mix, and
+//! host failures use their own substream. Growing a scenario — more VMs,
+//! more hosts, added failures — therefore never reshuffles the behavior of
+//! the VMs both sizes share, which keeps small repros faithful to the big
+//! days they are cut from.
+//!
 //! Three named workload shapes cover the interesting datacenter days:
 //!
 //! * [`WorkloadShape::SteadyState`] — arrivals uniform over the day; the
@@ -54,6 +61,23 @@ impl Lcg {
         debug_assert!(bound > 0);
         self.next_u64() % bound
     }
+}
+
+/// Stream tag for per-VM substreams.
+const STREAM_VM: u64 = 0x564d;
+/// Stream tag for the host-failure substream.
+const STREAM_FAILURES: u64 = 0x4641_494c;
+
+/// An independent generator for `(seed, tag, index)`, via a SplitMix64-style
+/// finalizer. Each VM (and the failure injector) draws from its own
+/// substream, a pure function of its index — not of how many other VMs or
+/// hosts the config asks for or the order anything is iterated in.
+fn substream(seed: u64, tag: u64, index: u64) -> Lcg {
+    let mut z = seed ^ tag.rotate_left(32) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Lcg::new(z)
 }
 
 /// The shape of a day's arrival traffic.
@@ -165,11 +189,12 @@ impl Scenario {
     /// Generate the scenario for `config` deterministically.
     pub fn generate(config: ScenarioConfig) -> Result<Scenario> {
         config.validate()?;
-        let mut rng = Lcg::new(config.seed);
         let dur = config.duration.as_nanos();
         let mut events: Vec<(Nanoseconds, OrchEvent)> = Vec::new();
 
         for i in 0..config.vm_arrivals {
+            // Every draw about this VM comes from its own substream.
+            let mut rng = substream(config.seed, STREAM_VM, i as u64);
             let at = Nanoseconds(arrival_time(&mut rng, config, dur));
             let role = ServerRole::ALL[rng.next_below(ServerRole::ALL.len() as u64) as usize];
             let name = format!("vm-{i:04}");
@@ -214,7 +239,9 @@ impl Scenario {
         }
 
         // Host failures: uniform over the middle 80% of the day, distinct
-        // hosts (a host only fails once).
+        // hosts (a host only fails once). Separate substream, so the VM
+        // census never shifts which hosts die or when.
+        let mut rng = substream(config.seed, STREAM_FAILURES, 0);
         let mut failed: Vec<u64> = Vec::new();
         for _ in 0..config.host_failures.min(config.hosts) {
             let mut host = rng.next_below(config.hosts as u64);
@@ -373,6 +400,38 @@ mod tests {
             .count() as f64
             / diurnal.len() as f64;
         assert!(mid > 0.6, "diurnal peaks mid-day: {mid}");
+    }
+
+    /// The order-independence guarantee: a VM's events are a pure function
+    /// of `(seed, vm index)`, so growing the scenario — 4→64 hosts, 50→200
+    /// VMs, added failures — leaves every shared VM's behavior untouched.
+    #[test]
+    fn vm_draws_are_independent_of_scenario_size() {
+        fn belongs_to(e: &OrchEvent, vm: &str) -> bool {
+            match e {
+                OrchEvent::VmArrival { spec } => spec.name == vm,
+                OrchEvent::VmDeparture { vm: v } => v == vm,
+                OrchEvent::LoadChange { vm: v, .. } => v == vm,
+                _ => false,
+            }
+        }
+        let small =
+            Scenario::generate(ScenarioConfig::day(5, WorkloadShape::SteadyState, 4, 50)).unwrap();
+        let big = Scenario::generate(
+            ScenarioConfig::day(5, WorkloadShape::SteadyState, 64, 200).with_host_failures(3),
+        )
+        .unwrap();
+        for i in 0..50 {
+            let name = format!("vm-{i:04}");
+            let pick = |s: &Scenario| -> Vec<(Nanoseconds, OrchEvent)> {
+                s.events
+                    .iter()
+                    .filter(|(_, e)| belongs_to(e, &name))
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(pick(&small), pick(&big), "{name} reshuffled");
+        }
     }
 
     #[test]

@@ -165,6 +165,29 @@ impl Vmm {
         Ok(id)
     }
 
+    /// Create a VM from `config` and run `init` on it (workload loading,
+    /// guest-state seeding) as one provisioning step.
+    ///
+    /// If `init` fails the half-created VM is destroyed before the error is
+    /// returned, so a failed provisioning never leaks a VM into the manager.
+    /// This is the materialization hook fleet-level layers use to turn a
+    /// statistical VM model into a live guest with deterministic content.
+    pub fn create_vm_with(
+        &mut self,
+        config: VmConfig,
+        init: impl FnOnce(&mut Vm) -> Result<()>,
+    ) -> Result<VmId> {
+        let id = self.create_vm(config)?;
+        let vm = self.vms.get_mut(&id).expect("just created");
+        match init(vm) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                let _ = self.destroy_vm(id);
+                Err(e)
+            }
+        }
+    }
+
     /// Ids of all VMs on this host.
     pub fn vm_ids(&self) -> Vec<VmId> {
         self.vms.keys().copied().collect()
@@ -499,6 +522,35 @@ mod tests {
         assert_eq!(vmm.vm_count(), 1);
         assert!(format!("{vmm:?}").contains("host-a"));
         assert_eq!(vmm.name(), "host-a");
+    }
+
+    #[test]
+    fn create_vm_with_runs_init_and_rolls_back_on_failure() {
+        let mut vmm = Vmm::new("host");
+        let ok = vmm
+            .create_vm_with(config("seeded"), |vm| {
+                vm.memory().write_u64(GuestAddress(0x3000), 0xabad1dea)
+            })
+            .unwrap();
+        assert_eq!(
+            vmm.vm(ok)
+                .unwrap()
+                .memory()
+                .read_u64(GuestAddress(0x3000))
+                .unwrap(),
+            0xabad1dea
+        );
+        let before = vmm.vm_count();
+        let err = vmm.create_vm_with(config("doomed"), |_| {
+            Err(Error::Config("provisioning failed".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(
+            vmm.vm_count(),
+            before,
+            "a failed init must not leak a VM into the manager"
+        );
+        assert_eq!(vmm.find_vm("doomed"), None);
     }
 
     #[test]
