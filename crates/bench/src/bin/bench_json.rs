@@ -37,6 +37,7 @@ use rvisor_migrate::{
     MigrationSink, MigrationSource, PreCopy, Transport,
 };
 use rvisor_net::{Fabric, FabricParams, Link, LinkModel};
+use rvisor_obs::{ArgValue, Args as TraceArgs, Trace, TraceSink};
 use rvisor_orch::{
     Cluster, EventQueue, OrchEvent, OrchParams, RebalancePolicy, ThresholdRebalance, VmFidelity,
 };
@@ -197,6 +198,32 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
         record("precopy_stream_loopback_2mib", ns);
     }
 
+    // -- pre-copy through the traced entry point with tracing *off*: the
+    //    no-op plane must cost nothing vs. precopy_stream_loopback_2mib
+    //    (main gates the overhead after both medians are in). Measured
+    //    immediately after the untraced block above so the two medians see
+    //    the same process state — allocator thresholds and cache warmth
+    //    drift over a bench run, and the gate must compare the plane, not
+    //    the process phase. --
+    {
+        let ns = measure(samples, || {
+            let (src, dst) = sparse_memories(PAGES);
+            let mut link = Link::new(LinkModel::ten_gigabit());
+            let mut transport = LoopbackTransport::new(&mut link);
+            PreCopy::migrate_over_traced(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut IdleDirtier,
+                &MigrationConfig::default(),
+                &Trace::off(),
+            )
+            .unwrap()
+        });
+        record("precopy_traced_vs_untraced_2mib", ns);
+    }
+
     // -- pipelined pre-copy over loopback: encode and apply on separate
     //    threads, byte-identical to the serial stream above --
     {
@@ -245,6 +272,48 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
             .unwrap()
         });
         record("precopy_stream_4way_2mib", ns);
+    }
+
+    // -- observability plane: one span emitted through an attached sink --
+    {
+        /// A sink that discards everything: measures the dispatch-and-borrow
+        /// emit path itself, not recorder memory growth.
+        struct NullSink;
+        impl TraceSink for NullSink {
+            fn span(
+                &mut self,
+                _: &'static str,
+                _: &'static str,
+                _: Nanoseconds,
+                _: Nanoseconds,
+                _: &TraceArgs<'_>,
+            ) {
+            }
+            fn instant(
+                &mut self,
+                _: &'static str,
+                _: &'static str,
+                _: Nanoseconds,
+                _: &TraceArgs<'_>,
+            ) {
+            }
+            fn counter(&mut self, _: &'static str, _: &'static str, _: Nanoseconds, _: u64) {}
+            fn add(&mut self, _: &'static str, _: u64) {}
+            fn observe(&mut self, _: &'static str, _: u64) {}
+        }
+        let trace = Trace::to(std::rc::Rc::new(std::cell::RefCell::new(NullSink)));
+        let mut i = 0u64;
+        let ns = measure(samples, || {
+            i = i.wrapping_add(1);
+            trace.span(
+                "bench",
+                "span",
+                Nanoseconds(i),
+                Nanoseconds(i + 1),
+                &[("bytes", ArgValue::U64(i)), ("vm", ArgValue::Str("probe"))],
+            );
+        });
+        record("trace_span_emit", ns);
     }
 
     // -- full streamed pre-copy over the fabric, dirtying guest --
@@ -386,8 +455,53 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
     results
 }
 
+/// Host metadata embedded in the JSON so a trend reader can tell numbers
+/// from different machines or toolchains apart. Every value is a JSON
+/// *string*: the line-oriented [`parse_json`] only keeps `"key": f64`
+/// lines, so metadata can never be mistaken for a bench result.
+fn host_metadata() -> Vec<(&'static str, String)> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    let toolchain = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    let os = std::env::consts::OS.to_string();
+    let arch = std::env::consts::ARCH.to_string();
+    vec![
+        ("cpus", cpus),
+        ("toolchain", toolchain),
+        ("os", os),
+        ("arch", arch),
+    ]
+}
+
 fn to_json(results: &BTreeMap<String, f64>) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"benches\": {\n");
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"host\": {\n");
+    let host = host_metadata();
+    let host_last = host.len().saturating_sub(1);
+    for (i, (key, value)) in host.iter().enumerate() {
+        // Metadata strings come from the environment; keep the output JSON
+        // well-formed whatever they contain.
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if (c as u32) < 0x20 => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    \"{key}\": \"{escaped}\"{}\n",
+            if i == host_last { "" } else { "," }
+        ));
+    }
+    out.push_str("  },\n  \"benches\": {\n");
     let last = results.len().saturating_sub(1);
     for (i, (name, ns)) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -480,6 +594,29 @@ fn main() -> ExitCode {
 
     let results = run_benches(args.samples);
     let json = to_json(&results);
+
+    // The no-op-plane gate: pre-copy entered through the traced API with
+    // tracing off must cost the same as the plain entry point, within the
+    // run's noise threshold. Both medians come from this very process, back
+    // to back, so the comparison does not need a baseline file.
+    if let (Some(&traced_off), Some(&untraced)) = (
+        results.get("precopy_traced_vs_untraced_2mib"),
+        results.get("precopy_stream_loopback_2mib"),
+    ) {
+        let overhead_pct = (traced_off / untraced - 1.0) * 100.0;
+        println!(
+            "\ntracing-off overhead: {overhead_pct:+.1}% \
+             (traced {traced_off:.1} ns vs untraced {untraced:.1} ns)"
+        );
+        if overhead_pct > args.threshold_pct {
+            println!(
+                "FAIL: the disabled trace plane added more than \
+                 {}% to the pre-copy hot path",
+                args.threshold_pct
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {

@@ -10,12 +10,13 @@ use std::num::NonZeroUsize;
 
 use rvisor_memory::GuestMemory;
 use rvisor_net::Link;
+use rvisor_obs::{ArgValue, Trace};
 use rvisor_types::{Error, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
 
-use crate::compress::{PageCompression, PageCompressor};
+use crate::compress::{CompressionStats, PageCompression, PageCompressor};
 use crate::dirty::DirtySource;
-use crate::report::{MigrationKind, MigrationReport};
+use crate::report::{MigrationKind, MigrationReport, RoundStat};
 use crate::wire;
 
 /// Bytes of metadata transferred per page: exactly one wire-format frame
@@ -114,6 +115,68 @@ impl MigrationConfig {
     }
 }
 
+/// Emit the per-migration summary span, histogram samples and counters all
+/// three data planes share. A no-op (no allocation, no formatting) when
+/// `trace` is off.
+pub(crate) fn emit_migration_span(
+    trace: &Trace,
+    report: &MigrationReport,
+    start: Nanoseconds,
+    end: Nanoseconds,
+    stats: Option<CompressionStats>,
+) {
+    if !trace.is_on() {
+        return;
+    }
+    let stats = stats.unwrap_or_default();
+    trace.span(
+        "migrate",
+        report.kind.name(),
+        start,
+        end,
+        &[
+            ("pages", ArgValue::U64(report.pages_transferred)),
+            ("bytes", ArgValue::U64(report.bytes_transferred)),
+            ("rounds", ArgValue::U64(u64::from(report.rounds))),
+            ("downtime_ns", ArgValue::U64(report.downtime.as_nanos())),
+            ("converged", ArgValue::U64(u64::from(report.converged))),
+            ("zero_pages", ArgValue::U64(stats.pages_zero)),
+            ("delta_pages", ArgValue::U64(stats.pages_delta)),
+            ("raw_pages", ArgValue::U64(stats.pages_raw)),
+        ],
+    );
+    trace.observe("migration.downtime_ns", report.downtime.as_nanos());
+    trace.observe("migration.duration_ns", report.total_time.as_nanos());
+    trace.add("migrations", 1);
+}
+
+/// Emit one pre-copy round's sub-span and histogram samples.
+pub(crate) fn emit_round_span(
+    trace: &Trace,
+    name: &'static str,
+    round: u32,
+    stat: RoundStat,
+    start: Nanoseconds,
+    end: Nanoseconds,
+) {
+    if !trace.is_on() {
+        return;
+    }
+    trace.span(
+        "migrate/round",
+        name,
+        start,
+        end,
+        &[
+            ("round", ArgValue::U64(u64::from(round))),
+            ("pages", ArgValue::U64(stat.pages)),
+            ("bytes", ArgValue::U64(stat.bytes)),
+        ],
+    );
+    trace.observe("migrate.round.pages", stat.pages);
+    trace.observe("migrate.round.bytes", stat.bytes);
+}
+
 pub(crate) fn check_same_size(source: &GuestMemory, dest: &GuestMemory) -> Result<()> {
     if source.total_size() != dest.total_size() {
         return Err(Error::Migration(format!(
@@ -209,6 +272,17 @@ impl StopAndCopy {
         vcpus: &[VcpuState],
         link: &mut Link,
     ) -> Result<MigrationReport> {
+        Self::migrate_traced(source, dest, vcpus, link, &Trace::off())
+    }
+
+    /// [`StopAndCopy::migrate`] with trace spans emitted into `trace`.
+    pub fn migrate_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        link: &mut Link,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         check_same_size(source, dest)?;
         let start = link.free_at();
         // Stream opener: version/geometry handshake (the guest is already
@@ -219,7 +293,13 @@ impl StopAndCopy {
         let state_bytes = VCPU_STATE_BYTES * vcpus.len().max(1) as u64;
         let done = link.transmit(after_pages, state_bytes);
         let elapsed = done.saturating_sub(start);
-        Ok(MigrationReport {
+        let round = RoundStat {
+            pages: all_pages.len() as u64,
+            bytes,
+            duration: after_pages.saturating_sub(after_hello),
+        };
+        emit_round_span(trace, "round", 1, round, after_hello, after_pages);
+        let report = MigrationReport {
             kind: MigrationKind::StopAndCopy,
             downtime: elapsed,
             total_time: elapsed,
@@ -230,7 +310,10 @@ impl StopAndCopy {
             converged: true,
             remote_faults: 0,
             avg_fault_latency: Nanoseconds::ZERO,
-        })
+            rounds_breakdown: vec![round],
+        };
+        emit_migration_span(trace, &report, start, done, None);
+        Ok(report)
     }
 }
 
@@ -247,6 +330,30 @@ impl PreCopy {
         link: &mut Link,
         dirty_source: &mut dyn DirtySource,
         config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        Self::migrate_traced(
+            source,
+            dest,
+            vcpus,
+            link,
+            dirty_source,
+            config,
+            &Trace::off(),
+        )
+    }
+
+    /// [`PreCopy::migrate`] with trace spans emitted into `trace`: one
+    /// sub-span per iterative round plus the stop phase, and the
+    /// per-migration summary span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        link: &mut Link,
+        dirty_source: &mut dyn DirtySource,
+        config: &MigrationConfig,
+        trace: &Trace,
     ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
@@ -272,6 +379,10 @@ impl PreCopy {
         // One harvest buffer is swapped with `to_send` each round; once both
         // have grown to the working set, steady-state rounds allocate nothing.
         let mut harvest: Vec<u64> = Vec::new();
+        // Sized for the worst case (max_rounds iterations + the stop phase)
+        // up front, so pushes inside the loop never reallocate and the
+        // steady-state round stays allocation-free (alloc-guard-pinned).
+        let mut breakdown: Vec<RoundStat> = Vec::with_capacity(config.max_rounds as usize + 1);
 
         loop {
             rounds += 1;
@@ -281,6 +392,13 @@ impl PreCopy {
             total_bytes += bytes;
             total_pages += to_send.len() as u64;
             let round_duration = done.saturating_sub(round_start);
+            let stat = RoundStat {
+                pages: to_send.len() as u64,
+                bytes,
+                duration: round_duration,
+            };
+            breakdown.push(stat);
+            emit_round_span(trace, "round", rounds, stat, round_start, done);
             // The guest ran (and dirtied memory) for the whole round.
             dirty_source.run_for(source, round_duration)?;
             now = done;
@@ -302,11 +420,25 @@ impl PreCopy {
             copy_pages_with(source, dest, &to_send, link, now, compressor.as_mut())?;
         total_bytes += residual_bytes;
         total_pages += to_send.len() as u64;
+        let stop_stat = RoundStat {
+            pages: to_send.len() as u64,
+            bytes: residual_bytes,
+            duration: after_residual.saturating_sub(pause_start),
+        };
+        breakdown.push(stop_stat);
+        emit_round_span(
+            trace,
+            "stop-phase",
+            rounds + 1,
+            stop_stat,
+            pause_start,
+            after_residual,
+        );
         let state_bytes = VCPU_STATE_BYTES * vcpus.len().max(1) as u64;
         let done = link.transmit(after_residual, state_bytes);
         total_bytes += state_bytes;
 
-        Ok(MigrationReport {
+        let report = MigrationReport {
             kind: MigrationKind::PreCopy,
             downtime: done.saturating_sub(pause_start),
             total_time: done.saturating_sub(start),
@@ -317,7 +449,10 @@ impl PreCopy {
             converged,
             remote_faults: 0,
             avg_fault_latency: Nanoseconds::ZERO,
-        })
+            rounds_breakdown: breakdown,
+        };
+        emit_migration_span(trace, &report, start, done, compressor.map(|c| c.stats()));
+        Ok(report)
     }
 }
 
@@ -336,6 +471,18 @@ impl PostCopy {
         vcpus: &[VcpuState],
         link: &mut Link,
         config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        Self::migrate_traced(source, dest, vcpus, link, config, &Trace::off())
+    }
+
+    /// [`PostCopy::migrate`] with trace spans emitted into `trace`.
+    pub fn migrate_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        link: &mut Link,
+        config: &MigrationConfig,
+        trace: &Trace,
     ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
@@ -362,7 +509,13 @@ impl PostCopy {
         let fault_penalty = Nanoseconds(link.model().latency.as_nanos() * fault_pages);
         let done = after_pages.saturating_add(fault_penalty);
 
-        Ok(MigrationReport {
+        let round = RoundStat {
+            pages: total_pages,
+            bytes,
+            duration: after_pages.saturating_sub(resumed_at),
+        };
+        emit_round_span(trace, "round", 1, round, resumed_at, after_pages);
+        let report = MigrationReport {
             kind: MigrationKind::PostCopy,
             downtime,
             total_time: done.saturating_sub(start),
@@ -373,7 +526,10 @@ impl PostCopy {
             converged: true,
             remote_faults: fault_pages,
             avg_fault_latency: per_fault_latency.saturating_add(link.model().latency),
-        })
+            rounds_breakdown: vec![round],
+        };
+        emit_migration_span(trace, &report, start, done, None);
+        Ok(report)
     }
 }
 
@@ -710,6 +866,7 @@ mod tests {
             source.clear_dirty();
             let all_pages: Vec<u64> = (0..source.total_pages()).collect();
             let mut to_send = all_pages;
+            let mut breakdown: Vec<RoundStat> = Vec::new();
 
             loop {
                 rounds += 1;
@@ -719,6 +876,11 @@ mod tests {
                 total_bytes += bytes;
                 total_pages += to_send.len() as u64;
                 let round_duration = done.saturating_sub(round_start);
+                breakdown.push(RoundStat {
+                    pages: to_send.len() as u64,
+                    bytes,
+                    duration: round_duration,
+                });
                 dirty_source.run_for(source, round_duration)?;
                 now = done;
 
@@ -740,6 +902,11 @@ mod tests {
                 copy_pages_with_seed(source, dest, &to_send, link, now, compressor.as_mut())?;
             total_bytes += residual_bytes;
             total_pages += to_send.len() as u64;
+            breakdown.push(RoundStat {
+                pages: to_send.len() as u64,
+                bytes: residual_bytes,
+                duration: after_residual.saturating_sub(pause_start),
+            });
             let state_bytes = VCPU_STATE_BYTES * vcpus.len().max(1) as u64;
             let done = link.transmit(after_residual, state_bytes);
             total_bytes += state_bytes;
@@ -755,6 +922,7 @@ mod tests {
                 converged,
                 remote_faults: 0,
                 avg_fault_latency: Nanoseconds::ZERO,
+                rounds_breakdown: breakdown,
             })
         }
     }

@@ -68,6 +68,6 @@ pub mod wire;
 pub use compress::{CompressionStats, PageCompression, PageCompressor, WirePage};
 pub use dirty::{ConstantRateDirtier, DirtySource, IdleDirtier};
 pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy, MAX_MIGRATION_STREAMS};
-pub use report::{MigrationKind, MigrationReport};
+pub use report::{MigrationKind, MigrationReport, RoundStat};
 pub use stream::{MigrationSink, MigrationSource};
 pub use transport::{FabricTransport, LoopbackTransport, Transport};

@@ -50,14 +50,15 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
 
 use rvisor_memory::GuestMemory;
+use rvisor_obs::{ArgValue, Trace};
 use rvisor_types::{Error, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
 
 use crate::compress::{PageCompression, PageCompressor, WirePage};
 use crate::dirty::DirtySource;
-use crate::engines::PER_PAGE_OVERHEAD;
 use crate::engines::{check_same_size, MigrationConfig, PostCopy, PreCopy, StopAndCopy};
-use crate::report::{MigrationKind, MigrationReport};
+use crate::engines::{emit_migration_span, emit_round_span, PER_PAGE_OVERHEAD};
+use crate::report::{MigrationKind, MigrationReport, RoundStat};
 use crate::stream::MigrationSink;
 use crate::transport::Transport;
 use crate::wire;
@@ -449,6 +450,30 @@ fn compression_of(config: &MigrationConfig) -> Option<(PageCompression, usize)> 
     }
 }
 
+/// One instant per active stream on the `migrate/stream` track, recording
+/// the payload split [`Pipeline::stripe_bytes`] fed to
+/// [`Transport::transmit_striped`] for the round just encoded.
+fn emit_stripe_instants(trace: &Trace, round: u32, at: Nanoseconds, stripes: &[u64]) {
+    if !trace.is_on() {
+        return;
+    }
+    for (stream, &bytes) in stripes.iter().enumerate() {
+        if bytes == 0 {
+            continue;
+        }
+        trace.instant(
+            "migrate/stream",
+            "stripe",
+            at,
+            &[
+                ("round", ArgValue::U64(u64::from(round))),
+                ("stream", ArgValue::U64(stream as u64)),
+                ("bytes", ArgValue::U64(bytes)),
+            ],
+        );
+    }
+}
+
 impl StopAndCopy {
     /// Run a stop-and-copy migration through the pipelined, multi-stream
     /// data plane. Byte-identical and report-`==` to
@@ -460,6 +485,19 @@ impl StopAndCopy {
         transport: &mut dyn Transport,
         config: &MigrationConfig,
     ) -> Result<MigrationReport> {
+        Self::migrate_pipelined_traced(source, dest, vcpus, transport, config, &Trace::off())
+    }
+
+    /// [`StopAndCopy::migrate_pipelined`] with trace spans emitted to
+    /// `trace`; with [`Trace::off`] the two are identical.
+    pub fn migrate_pipelined_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        config: &MigrationConfig,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
         let start = transport.free_at();
@@ -469,11 +507,19 @@ impl StopAndCopy {
             let after_hello = transport.transmit_bytes(start, hello)?;
             let all_pages: Vec<u64> = (0..source.total_pages()).collect();
             p.encode_round(&all_pages)?;
+            let round_bytes_before = transport.bytes_sent();
             let after_pages = transport.transmit_striped(after_hello, p.stripe_bytes())?;
+            let round = RoundStat {
+                pages: all_pages.len() as u64,
+                bytes: transport.bytes_sent() - round_bytes_before,
+                duration: after_pages.saturating_sub(after_hello),
+            };
+            emit_round_span(trace, "round", 1, round, after_hello, after_pages);
+            emit_stripe_instants(trace, 1, after_pages, p.stripe_bytes());
             let state = p.send_vcpu_states(vcpus)?;
             let done = transport.transmit_bytes(after_pages, state)?;
             let elapsed = done.saturating_sub(start);
-            Ok(MigrationReport {
+            let report = MigrationReport {
                 kind: MigrationKind::StopAndCopy,
                 downtime: elapsed,
                 total_time: elapsed,
@@ -484,7 +530,10 @@ impl StopAndCopy {
                 converged: true,
                 remote_faults: 0,
                 avg_fault_latency: Nanoseconds::ZERO,
-            })
+                rounds_breakdown: vec![round],
+            };
+            emit_migration_span(trace, &report, start, done, None);
+            Ok(report)
         })
     }
 }
@@ -503,6 +552,29 @@ impl PreCopy {
         dirty_source: &mut dyn DirtySource,
         config: &MigrationConfig,
     ) -> Result<MigrationReport> {
+        Self::migrate_pipelined_traced(
+            source,
+            dest,
+            vcpus,
+            transport,
+            dirty_source,
+            config,
+            &Trace::off(),
+        )
+    }
+
+    /// [`PreCopy::migrate_pipelined`] with trace spans emitted to `trace`;
+    /// with [`Trace::off`] the two are identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_pipelined_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        dirty_source: &mut dyn DirtySource,
+        config: &MigrationConfig,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
         let start = transport.free_at();
@@ -514,6 +586,7 @@ impl PreCopy {
             let mut total_pages = 0u64;
             let mut rounds = 0u32;
             let mut converged = false;
+            let mut breakdown: Vec<RoundStat> = Vec::with_capacity(config.max_rounds as usize + 1);
 
             source.clear_dirty();
             let mut to_send: Vec<u64> = (0..source.total_pages()).collect();
@@ -523,9 +596,18 @@ impl PreCopy {
                 rounds += 1;
                 let round_start = now;
                 p.encode_round(&to_send)?;
+                let round_bytes_before = transport.bytes_sent();
                 let done = transport.transmit_striped(now, p.stripe_bytes())?;
                 total_pages += to_send.len() as u64;
                 let round_duration = done.saturating_sub(round_start);
+                let stat = RoundStat {
+                    pages: to_send.len() as u64,
+                    bytes: transport.bytes_sent() - round_bytes_before,
+                    duration: round_duration,
+                };
+                breakdown.push(stat);
+                emit_round_span(trace, "round", rounds, stat, round_start, done);
+                emit_stripe_instants(trace, rounds, done, p.stripe_bytes());
                 dirty_source.run_for(source, round_duration)?;
                 now = done;
 
@@ -542,12 +624,28 @@ impl PreCopy {
 
             let pause_start = now;
             p.encode_round(&to_send)?;
+            let stop_bytes_before = transport.bytes_sent();
             let after_residual = transport.transmit_striped(now, p.stripe_bytes())?;
             total_pages += to_send.len() as u64;
+            let stop_stat = RoundStat {
+                pages: to_send.len() as u64,
+                bytes: transport.bytes_sent() - stop_bytes_before,
+                duration: after_residual.saturating_sub(pause_start),
+            };
+            breakdown.push(stop_stat);
+            emit_round_span(
+                trace,
+                "stop-phase",
+                rounds + 1,
+                stop_stat,
+                pause_start,
+                after_residual,
+            );
+            emit_stripe_instants(trace, rounds + 1, after_residual, p.stripe_bytes());
             let state = p.send_vcpu_states(vcpus)?;
             let done = transport.transmit_bytes(after_residual, state)?;
 
-            Ok(MigrationReport {
+            let report = MigrationReport {
                 kind: MigrationKind::PreCopy,
                 downtime: done.saturating_sub(pause_start),
                 total_time: done.saturating_sub(start),
@@ -558,7 +656,12 @@ impl PreCopy {
                 converged,
                 remote_faults: 0,
                 avg_fault_latency: Nanoseconds::ZERO,
-            })
+                rounds_breakdown: breakdown,
+            };
+            // Per-stripe workers own their compressors, so no aggregate
+            // compression stats are available on this path.
+            emit_migration_span(trace, &report, start, done, None);
+            Ok(report)
         })
     }
 }
@@ -573,6 +676,19 @@ impl PostCopy {
         vcpus: &[VcpuState],
         transport: &mut dyn Transport,
         config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        Self::migrate_pipelined_traced(source, dest, vcpus, transport, config, &Trace::off())
+    }
+
+    /// [`PostCopy::migrate_pipelined`] with trace spans emitted to `trace`;
+    /// with [`Trace::off`] the two are identical.
+    pub fn migrate_pipelined_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        config: &MigrationConfig,
+        trace: &Trace,
     ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
@@ -594,13 +710,21 @@ impl PostCopy {
 
             let all_pages: Vec<u64> = (0..total_pages).collect();
             p.encode_round(&all_pages)?;
+            let round_bytes_before = transport.bytes_sent();
             let after_pages = transport.transmit_striped(resumed_at, p.stripe_bytes())?;
+            let round = RoundStat {
+                pages: total_pages,
+                bytes: transport.bytes_sent() - round_bytes_before,
+                duration: after_pages.saturating_sub(resumed_at),
+            };
+            emit_round_span(trace, "round", 1, round, resumed_at, after_pages);
+            emit_stripe_instants(trace, 1, after_pages, p.stripe_bytes());
 
             let per_fault_latency = transport.transfer_time(PAGE_SIZE + PER_PAGE_OVERHEAD);
             let fault_penalty = Nanoseconds(transport.latency().as_nanos() * fault_pages);
             let done = after_pages.saturating_add(fault_penalty);
 
-            Ok(MigrationReport {
+            let report = MigrationReport {
                 kind: MigrationKind::PostCopy,
                 downtime,
                 total_time: done.saturating_sub(start),
@@ -611,7 +735,10 @@ impl PostCopy {
                 converged: true,
                 remote_faults: fault_pages,
                 avg_fault_latency: per_fault_latency.saturating_add(transport.latency()),
-            })
+                rounds_breakdown: vec![round],
+            };
+            emit_migration_span(trace, &report, start, done, None);
+            Ok(report)
         })
     }
 }

@@ -26,8 +26,21 @@ impl MigrationKind {
     }
 }
 
+/// One memory-copy round of a migration: the iterative pre-copy rounds, the
+/// final stop-phase copy, or the single bulk copy of the other engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStat {
+    /// Pages carried this round.
+    pub pages: u64,
+    /// Bytes put on the wire this round (payload after compression, plus
+    /// framing on the streamed paths).
+    pub bytes: u64,
+    /// Simulated time the round occupied the link.
+    pub duration: Nanoseconds,
+}
+
 /// The metrics of one migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MigrationReport {
     /// Engine used.
     pub kind: MigrationKind,
@@ -51,6 +64,12 @@ pub struct MigrationReport {
     pub remote_faults: u64,
     /// Post-copy only: average latency of a remote fault.
     pub avg_fault_latency: Nanoseconds,
+    /// Per-round breakdown: one entry per memory-copy round, in order.
+    /// Pre-copy appends a final entry for the paused stop-phase copy;
+    /// stop-and-copy and post-copy record their single bulk copy. The
+    /// serial, streamed and pipelined paths populate it identically
+    /// (proptest-pinned).
+    pub rounds_breakdown: Vec<RoundStat>,
 }
 
 impl MigrationReport {
@@ -105,6 +124,18 @@ mod tests {
             converged: true,
             remote_faults: 0,
             avg_fault_latency: Nanoseconds::ZERO,
+            rounds_breakdown: vec![
+                RoundStat {
+                    pages: 1 << 18,
+                    bytes: 1 << 30,
+                    duration: Nanoseconds::from_secs(1),
+                },
+                RoundStat {
+                    pages: 1 << 18,
+                    bytes: 1 << 30,
+                    duration: Nanoseconds::from_secs(1),
+                },
+            ],
         };
         assert!((r.transfer_amplification() - 2.0).abs() < 1e-9);
         assert!((r.effective_bandwidth_bytes_per_sec() - (1 << 30) as f64).abs() < 1.0);

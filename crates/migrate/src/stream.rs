@@ -19,14 +19,15 @@
 //! framing, which is where wire migration earns its keep (experiment E17).
 
 use rvisor_memory::GuestMemory;
+use rvisor_obs::Trace;
 use rvisor_types::{Error, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
 
 use crate::compress::{xbzrle_apply_in_place, PageCompression, PageCompressor, WirePage};
 use crate::dirty::DirtySource;
-use crate::engines::PER_PAGE_OVERHEAD;
 use crate::engines::{check_same_size, MigrationConfig, PostCopy, PreCopy, StopAndCopy};
-use crate::report::{MigrationKind, MigrationReport};
+use crate::engines::{emit_migration_span, emit_round_span, PER_PAGE_OVERHEAD};
+use crate::report::{MigrationKind, MigrationReport, RoundStat};
 use crate::transport::Transport;
 use crate::wire::{self, FrameKind, WireFrame, MODE_DELTA, MODE_RAW, MODE_ZERO};
 
@@ -358,6 +359,17 @@ impl StopAndCopy {
         vcpus: &[VcpuState],
         transport: &mut dyn Transport,
     ) -> Result<MigrationReport> {
+        Self::migrate_over_traced(source, dest, vcpus, transport, &Trace::off())
+    }
+
+    /// [`StopAndCopy::migrate_over`] with trace spans emitted into `trace`.
+    pub fn migrate_over_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         check_same_size(source, dest)?;
         let start = transport.free_at();
         let bytes_before = transport.bytes_sent();
@@ -368,14 +380,21 @@ impl StopAndCopy {
         let after_hello = deliver_and_apply(transport, &mut sink, start)?;
 
         let all_pages: Vec<u64> = (0..source.total_pages()).collect();
+        let round_bytes_before = transport.bytes_sent();
         src.encode_round(&all_pages, transport)?;
         let after_pages = deliver_and_apply(transport, &mut sink, after_hello)?;
+        let round = RoundStat {
+            pages: all_pages.len() as u64,
+            bytes: transport.bytes_sent() - round_bytes_before,
+            duration: after_pages.saturating_sub(after_hello),
+        };
+        emit_round_span(trace, "round", 1, round, after_hello, after_pages);
 
         src.send_vcpu_states(vcpus, transport)?;
         let done = deliver_and_apply(transport, &mut sink, after_pages)?;
 
         let elapsed = done.saturating_sub(start);
-        Ok(MigrationReport {
+        let report = MigrationReport {
             kind: MigrationKind::StopAndCopy,
             downtime: elapsed,
             total_time: elapsed,
@@ -386,7 +405,10 @@ impl StopAndCopy {
             converged: true,
             remote_faults: 0,
             avg_fault_latency: Nanoseconds::ZERO,
-        })
+            rounds_breakdown: vec![round],
+        };
+        emit_migration_span(trace, &report, start, done, None);
+        Ok(report)
     }
 }
 
@@ -406,6 +428,28 @@ impl PreCopy {
         dirty_source: &mut dyn DirtySource,
         config: &MigrationConfig,
     ) -> Result<MigrationReport> {
+        Self::migrate_over_traced(
+            source,
+            dest,
+            vcpus,
+            transport,
+            dirty_source,
+            config,
+            &Trace::off(),
+        )
+    }
+
+    /// [`PreCopy::migrate_over`] with trace spans emitted into `trace`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_over_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        dirty_source: &mut dyn DirtySource,
+        config: &MigrationConfig,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
         let start = transport.free_at();
@@ -423,14 +467,24 @@ impl PreCopy {
         source.clear_dirty();
         let mut to_send: Vec<u64> = (0..source.total_pages()).collect();
         let mut harvest: Vec<u64> = Vec::new();
+        // Sized up front so steady-state rounds never reallocate it.
+        let mut breakdown: Vec<RoundStat> = Vec::with_capacity(config.max_rounds as usize + 1);
 
         loop {
             rounds += 1;
             let round_start = now;
+            let round_bytes_before = transport.bytes_sent();
             src.encode_round(&to_send, transport)?;
             let done = deliver_and_apply(transport, &mut sink, now)?;
             total_pages += to_send.len() as u64;
             let round_duration = done.saturating_sub(round_start);
+            let stat = RoundStat {
+                pages: to_send.len() as u64,
+                bytes: transport.bytes_sent() - round_bytes_before,
+                duration: round_duration,
+            };
+            breakdown.push(stat);
+            emit_round_span(trace, "round", rounds, stat, round_start, done);
             dirty_source.run_for(source, round_duration)?;
             now = done;
 
@@ -446,13 +500,28 @@ impl PreCopy {
         }
 
         let pause_start = now;
+        let stop_bytes_before = transport.bytes_sent();
         src.encode_round(&to_send, transport)?;
         let after_residual = deliver_and_apply(transport, &mut sink, now)?;
         total_pages += to_send.len() as u64;
+        let stop_stat = RoundStat {
+            pages: to_send.len() as u64,
+            bytes: transport.bytes_sent() - stop_bytes_before,
+            duration: after_residual.saturating_sub(pause_start),
+        };
+        breakdown.push(stop_stat);
+        emit_round_span(
+            trace,
+            "stop-phase",
+            rounds + 1,
+            stop_stat,
+            pause_start,
+            after_residual,
+        );
         src.send_vcpu_states(vcpus, transport)?;
         let done = deliver_and_apply(transport, &mut sink, after_residual)?;
 
-        Ok(MigrationReport {
+        let report = MigrationReport {
             kind: MigrationKind::PreCopy,
             downtime: done.saturating_sub(pause_start),
             total_time: done.saturating_sub(start),
@@ -463,7 +532,10 @@ impl PreCopy {
             converged,
             remote_faults: 0,
             avg_fault_latency: Nanoseconds::ZERO,
-        })
+            rounds_breakdown: breakdown,
+        };
+        emit_migration_span(trace, &report, start, done, src.compression_stats());
+        Ok(report)
     }
 }
 
@@ -478,6 +550,18 @@ impl PostCopy {
         vcpus: &[VcpuState],
         transport: &mut dyn Transport,
         config: &MigrationConfig,
+    ) -> Result<MigrationReport> {
+        Self::migrate_over_traced(source, dest, vcpus, transport, config, &Trace::off())
+    }
+
+    /// [`PostCopy::migrate_over`] with trace spans emitted into `trace`.
+    pub fn migrate_over_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        config: &MigrationConfig,
+        trace: &Trace,
     ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
@@ -499,14 +583,21 @@ impl PostCopy {
         let fault_pages = fault_pages.min(total_pages);
 
         let all_pages: Vec<u64> = (0..total_pages).collect();
+        let round_bytes_before = transport.bytes_sent();
         src.encode_round(&all_pages, transport)?;
         let after_pages = deliver_and_apply(transport, &mut sink, resumed_at)?;
+        let round = RoundStat {
+            pages: total_pages,
+            bytes: transport.bytes_sent() - round_bytes_before,
+            duration: after_pages.saturating_sub(resumed_at),
+        };
+        emit_round_span(trace, "round", 1, round, resumed_at, after_pages);
 
         let per_fault_latency = transport.transfer_time(PAGE_SIZE + PER_PAGE_OVERHEAD);
         let fault_penalty = Nanoseconds(transport.latency().as_nanos() * fault_pages);
         let done = after_pages.saturating_add(fault_penalty);
 
-        Ok(MigrationReport {
+        let report = MigrationReport {
             kind: MigrationKind::PostCopy,
             downtime,
             total_time: done.saturating_sub(start),
@@ -517,7 +608,10 @@ impl PostCopy {
             converged: true,
             remote_faults: fault_pages,
             avg_fault_latency: per_fault_latency.saturating_add(transport.latency()),
-        })
+            rounds_breakdown: vec![round],
+        };
+        emit_migration_span(trace, &report, start, done, None);
+        Ok(report)
     }
 }
 

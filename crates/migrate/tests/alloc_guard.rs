@@ -18,6 +18,7 @@ use std::num::NonZeroUsize;
 use rvisor_memory::GuestMemory;
 use rvisor_migrate::{ConstantRateDirtier, LoopbackTransport, MigrationConfig, PreCopy};
 use rvisor_net::{Link, LinkModel};
+use rvisor_obs::Trace;
 use rvisor_types::{ByteSize, GuestAddress, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
 
@@ -236,5 +237,67 @@ fn steady_state_precopy_round_is_allocation_free() {
         allocs_long <= PIPELINE_BUDGET,
         "a 28-round pipelined migration performed {allocs_long} allocations \
          (budget {PIPELINE_BUDGET})"
+    );
+
+    // ---- Part 4: tracing off costs nothing on the hot path. ----
+    //
+    // The observability plane promises that a disabled `Trace` is free: the
+    // instrumented engine entry points bail out on `is_on()` before
+    // formatting a single argument. Pin the allocation half of that promise
+    // through the *traced* serial entry point with `Trace::off()`: compare a
+    // 12-round against a 28-round migration of the same non-converging
+    // guest. The 16 extra steady-state rounds — each of which would emit a
+    // round span if tracing were on — must perform **exactly zero** heap
+    // allocations. Setup costs (the round-breakdown vector is sized by
+    // `max_rounds`, buffers grow to their high-water marks in early rounds)
+    // are identical in both runs and cancel out.
+    let traced_off = |max_rounds: u32| -> u64 {
+        let src = GuestMemory::flat(ByteSize::pages_of(PAGES)).unwrap();
+        let dst = GuestMemory::flat(ByteSize::pages_of(PAGES)).unwrap();
+        for p in 0..PAGES {
+            src.write_u64(GuestAddress(p * PAGE_SIZE), p * 17 + 9)
+                .unwrap();
+        }
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+            LinkModel::gigabit().bytes_per_second,
+            0.9,
+            0,
+            PAGES,
+        );
+        let config = MigrationConfig {
+            max_rounds,
+            dirty_page_threshold: 32,
+            ..Default::default()
+        };
+        let trace = Trace::off();
+        let before = allocations();
+        let report = PreCopy::migrate_over_traced(
+            &src,
+            &dst,
+            &[VcpuState::default()],
+            &mut transport,
+            &mut dirtier,
+            &config,
+            &trace,
+        )
+        .unwrap();
+        let spent = allocations() - before;
+        assert_eq!(report.rounds, max_rounds, "guest must not converge");
+        assert_eq!(src.checksum(), dst.checksum());
+        spent
+    };
+    let off_short = traced_off(12);
+    let off_long = traced_off(28);
+    // `with_capacity(max_rounds + 1)` makes the breakdown allocation the
+    // same *count* in both runs; everything else is recycled. Any nonzero
+    // difference means the disabled-trace path touched the heap per round.
+    let off_extra = off_long.saturating_sub(off_short);
+    assert_eq!(
+        off_extra, 0,
+        "16 extra steady-state rounds through the traced entry point with \
+         tracing off cost {off_extra} allocations; a disabled Trace must be \
+         free on the hot path"
     );
 }

@@ -51,6 +51,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use rvisor_obs::{ArgValue, Trace};
 use rvisor_types::{Error, Nanoseconds, Result};
 
 /// Default per-chunk framing overhead: Ethernet (14) + IPv4 (20) + TCP (32,
@@ -188,6 +189,7 @@ pub struct Fabric {
     bytes_carried: u64,
     wire_bytes_carried: u64,
     transfers: u64,
+    trace: Trace,
 }
 
 impl Fabric {
@@ -204,7 +206,71 @@ impl Fabric {
             bytes_carried: 0,
             wire_bytes_carried: 0,
             transfers: 0,
+            trace: Trace::off(),
         })
+    }
+
+    /// Attach a trace: every subsequent transfer emits a span on the
+    /// `fabric` track splitting queueing delay (NIC/backbone busy-wait)
+    /// from serialization time, plus occupancy counter samples.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The attached trace (off by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_transfer_span(
+        &self,
+        name: &'static str,
+        from: usize,
+        to: usize,
+        now: Nanoseconds,
+        start: Nanoseconds,
+        busy_until: Nanoseconds,
+        arrival: Nanoseconds,
+        payload: u64,
+        wire: u64,
+        streams: u64,
+    ) {
+        if !self.trace.is_on() {
+            return;
+        }
+        let queue_wait = start.saturating_sub(now);
+        let serialization = busy_until.saturating_sub(start);
+        self.trace.span(
+            "fabric",
+            name,
+            now,
+            arrival,
+            &[
+                ("from", ArgValue::U64(from as u64)),
+                ("to", ArgValue::U64(to as u64)),
+                ("payload", ArgValue::U64(payload)),
+                ("wire", ArgValue::U64(wire)),
+                ("streams", ArgValue::U64(streams)),
+                ("queue_wait_ns", ArgValue::U64(queue_wait.as_nanos())),
+                ("serialization_ns", ArgValue::U64(serialization.as_nanos())),
+            ],
+        );
+        self.trace
+            .observe("fabric.queue_wait_ns", queue_wait.as_nanos());
+        self.trace
+            .observe("fabric.serialization_ns", serialization.as_nanos());
+        self.trace.add("fabric.transfers", 1);
+        self.trace.add("fabric.payload_bytes", payload);
+        self.trace.add("fabric.wire_bytes", wire);
+        self.trace
+            .counter("fabric", "bytes_carried", arrival, self.bytes_carried);
+        self.trace.counter(
+            "fabric",
+            "wire_bytes_carried",
+            arrival,
+            self.wire_bytes_carried,
+        );
     }
 
     /// The fabric's parameters.
@@ -283,15 +349,20 @@ impl Fabric {
         self.check_pair(from, to)?;
         let start = now.max(self.path_free_at(from, to)?);
         let busy_until = start.saturating_add(self.params.serialization_time(payload));
+        let wire = self.params.wire_bytes(payload);
         self.nics[from].free_at = busy_until;
         self.nics[to].free_at = busy_until;
         self.backbone_free_at = busy_until;
         self.nics[from].bytes_sent += payload;
         self.nics[to].bytes_received += payload;
         self.bytes_carried += payload;
-        self.wire_bytes_carried += self.params.wire_bytes(payload);
+        self.wire_bytes_carried += wire;
         self.transfers += 1;
-        Ok(busy_until.saturating_add(self.params.latency))
+        let arrival = busy_until.saturating_add(self.params.latency);
+        self.emit_transfer_span(
+            "transfer", from, to, now, start, busy_until, arrival, payload, wire, 1,
+        );
+        Ok(arrival)
     }
 
     /// Move a striped burst of parallel chunk streams from `from` to `to`,
@@ -335,7 +406,20 @@ impl Fabric {
         self.bytes_carried += payload_total;
         self.wire_bytes_carried += wire_total;
         self.transfers += active_streams.max(1);
-        Ok(busy_until.saturating_add(self.params.latency))
+        let arrival = busy_until.saturating_add(self.params.latency);
+        self.emit_transfer_span(
+            "transfer-striped",
+            from,
+            to,
+            now,
+            start,
+            busy_until,
+            arrival,
+            payload_total,
+            wire_total,
+            active_streams.max(1),
+        );
+        Ok(arrival)
     }
 
     /// Reset all busy-time marks and counters (between benchmark runs).

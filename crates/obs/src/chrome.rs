@@ -1,0 +1,387 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes a [`Recorder`](crate::Recorder)'s events into the [Trace Event
+//! Format] consumed by Perfetto and `chrome://tracing`: complete (`"X"`)
+//! events for spans, instant (`"i"`) events, counter (`"C"`) events, and
+//! `thread_name` metadata so each track renders as a named row. The writer
+//! is hand-rolled — string formatting only, no serializer dependency — and
+//! fully deterministic: timestamps are integer-derived fixed-point
+//! microseconds (`ns / 1000` with a 3-digit fraction), tracks get thread IDs
+//! in first-seen order, and arguments keep emission order.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use rvisor_types::Nanoseconds;
+
+use crate::trace::{EventKind, OwnedArg, TraceEvent};
+
+/// Format simulated nanoseconds as the microsecond timestamp Chrome expects,
+/// with exactly three fractional digits (nanosecond precision, no floats).
+fn micros(ns: Nanoseconds) -> String {
+    let n = ns.as_nanos();
+    format!("{}.{:03}", n / 1_000, n % 1_000)
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, OwnedArg)]) {
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, key);
+        out.push_str("\":");
+        match value {
+            OwnedArg::U64(n) => out.push_str(&n.to_string()),
+            OwnedArg::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render `events` as a complete Chrome trace-event JSON document.
+///
+/// Tracks are mapped to thread IDs in order of first appearance and named
+/// via `thread_name` metadata events, so two runs that emit the same event
+/// sequence produce byte-identical documents.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut tracks: Vec<&'static str> = Vec::new();
+    for e in events {
+        if !tracks.contains(&e.track) {
+            tracks.push(e.track);
+        }
+    }
+    let tid = |track: &'static str| tracks.iter().position(|&t| t == track).unwrap_or(0);
+
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+
+    for (i, track) in tracks.iter().enumerate() {
+        sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        ));
+        escape_into(&mut out, track);
+        out.push_str("\"}}");
+    }
+
+    for e in events {
+        sep(&mut out, &mut first);
+        let t = tid(e.track);
+        match &e.kind {
+            EventKind::Span { start, end } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{t},\"ts\":{},\"dur\":{},\"name\":\"",
+                    micros(*start),
+                    micros(end.saturating_sub(*start)),
+                ));
+                escape_into(&mut out, e.name);
+                out.push('"');
+                push_args(&mut out, &e.args);
+                out.push('}');
+            }
+            EventKind::Instant { at } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{t},\"ts\":{},\"name\":\"",
+                    micros(*at),
+                ));
+                escape_into(&mut out, e.name);
+                out.push('"');
+                push_args(&mut out, &e.args);
+                out.push('}');
+            }
+            EventKind::Counter { at, value } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":{t},\"ts\":{},\"name\":\"",
+                    micros(*at),
+                ));
+                escape_into(&mut out, e.name);
+                out.push_str(&format!("\",\"args\":{{\"value\":{value}}}}}"));
+            }
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A dependency-free JSON validity check (full grammar: objects, arrays,
+/// strings with escapes, numbers, literals). Returns `true` iff `s` is one
+/// complete JSON value. Used by tests and the E20 example to assert the
+/// exported trace actually parses.
+pub fn validate_json(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    if !p.value() {
+        return false;
+    }
+    p.skip_ws();
+    p.i == b.len()
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> bool {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        if !self.eat(b'{') {
+            return false;
+        }
+        self.skip_ws();
+        if self.eat(b'}') {
+            return true;
+        }
+        loop {
+            self.skip_ws();
+            if !self.string() {
+                return false;
+            }
+            self.skip_ws();
+            if !self.eat(b':') {
+                return false;
+            }
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b'}');
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        if !self.eat(b'[') {
+            return false;
+        }
+        self.skip_ws();
+        if self.eat(b']') {
+            return true;
+        }
+        loop {
+            if !self.value() {
+                return false;
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.eat(b']');
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return true;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return false,
+                                }
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+                0x00..=0x1f => return false,
+                _ => self.i += 1,
+            }
+        }
+        false
+    }
+
+    fn digits(&mut self) -> bool {
+        let start = self.i;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        self.i > start
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        if self.eat(b'0') {
+            // No leading zeros.
+        } else if !self.digits() {
+            return false;
+        }
+        if self.eat(b'.') && !self.digits() {
+            return false;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.digits() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ArgValue, Trace};
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            "\"a\\nb\\u00e9\"",
+            "{\"a\":[1,2,{\"b\":true}],\"c\":null}",
+            " [ 0.5 , \"x\" ] ",
+        ] {
+            assert!(validate_json(good), "should accept: {good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "\"bad\\x\"",
+            "[] []",
+            "nul",
+        ] {
+            assert!(!validate_json(bad), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn export_is_valid_deterministic_json() {
+        let (t, rec) = Trace::recording();
+        t.span(
+            "migrate",
+            "pre-copy",
+            Nanoseconds(1_500),
+            Nanoseconds(2_000_500),
+            &[
+                ("vm", ArgValue::Str("vm \"quoted\"\n")),
+                ("pages", ArgValue::U64(64)),
+            ],
+        );
+        t.instant("orch", "placement", Nanoseconds(7), &[]);
+        t.counter("fabric", "bytes", Nanoseconds(1_000_000), 4096);
+
+        let json = chrome_trace_json(rec.borrow().events());
+        assert!(validate_json(&json), "export must be valid JSON:\n{json}");
+        // Stable across re-export.
+        assert_eq!(json, chrome_trace_json(rec.borrow().events()));
+        // Timestamps are fixed-point microseconds.
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":1999.000"));
+        assert!(json.contains("\"ts\":0.007"));
+        // Tracks become named threads in first-seen order.
+        assert!(json.contains("\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"migrate\"}"));
+        assert!(json.contains("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"orch\"}"));
+        // The quoted VM name survived escaping.
+        assert!(json.contains("vm \\\"quoted\\\"\\n"));
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_valid_trace() {
+        let (_t, rec) = Trace::recording();
+        let json = chrome_trace_json(rec.borrow().events());
+        assert!(validate_json(&json));
+    }
+}

@@ -58,6 +58,7 @@ use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
 use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
 use rvisor_migrate::{FabricTransport, MigrationConfig, MigrationReport};
 use rvisor_net::Fabric;
+use rvisor_obs::{ArgValue, Trace};
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
 use rvisor_types::{ByteSize, Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::{Workload, WorkloadKind};
@@ -324,6 +325,8 @@ pub struct Cluster {
     /// model VM's backup costs on the wire). Content-independent, so one
     /// probe against a scratch guest serves the whole run.
     canonical_backup_size: Option<ByteSize>,
+    /// Observability plane: off by default, attached via [`Self::set_trace`].
+    trace: Trace,
 }
 
 impl Cluster {
@@ -376,6 +379,7 @@ impl Cluster {
             total_vms: 0,
             n_powered,
             canonical_backup_size: None,
+            trace: Trace::off(),
         };
         for pos in 0..cluster.hosts.len() {
             cluster.index(pos);
@@ -391,6 +395,19 @@ impl Cluster {
     /// The shared migration/DR fabric.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Attach a trace to the cluster and its fabric: migrations, backups
+    /// and fabric transfers emit spans keyed by simulated time. With
+    /// [`Trace::off`] (the default) every emit compiles down to a branch.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.fabric.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
+    /// The attached trace (off by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Fabric endpoint index of the DR backup target.
@@ -745,6 +762,24 @@ impl Cluster {
         };
         let dr = self.dr_endpoint();
         let arrival = self.fabric.transfer(idx, dr, now, size.as_u64())?;
+        if self.trace.is_on() {
+            let lag = arrival.saturating_sub(now);
+            self.trace.span(
+                "dr",
+                "backup",
+                now,
+                arrival,
+                &[
+                    ("vm", ArgValue::Str(vm)),
+                    ("host", ArgValue::U64(idx as u64)),
+                    ("bytes", ArgValue::U64(size.as_u64())),
+                    ("lag_ns", ArgValue::U64(lag.as_nanos())),
+                ],
+            );
+            self.trace.observe("backup.lag_ns", lag.as_nanos());
+            self.trace.observe("backup.bytes", size.as_u64());
+            self.trace.add("backups", 1);
+        }
         Ok((handle, size, arrival))
     }
 
@@ -854,6 +889,9 @@ impl Cluster {
         }
         // The migration is about to stream this VM's memory: materialize.
         self.materialize_at(from_idx, vm)?;
+        // Where the stream will actually start once the fabric path frees
+        // up — the span below reports the queueing ahead of the transfer.
+        let queued_start = self.fabric.path_free_at(from_idx, to_idx)?.max(now);
 
         self.deindex(from_idx);
         self.deindex(to_idx);
@@ -868,14 +906,21 @@ impl Cluster {
             (&mut r[0], &mut l[to_idx])
         };
         let vm_id = *src.vm_ids.get(vm).expect("materialized above");
+        let trace = self.trace.clone();
         let migrated = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)
             .and_then(|mut transport| {
                 let config = MigrationConfig {
                     streams: self.params.migration_streams,
                     ..Default::default()
                 };
-                src.vmm
-                    .migrate_to_over(vm_id, &mut dst.vmm, &mut transport, engine, config)
+                src.vmm.migrate_to_over_traced(
+                    vm_id,
+                    &mut dst.vmm,
+                    &mut transport,
+                    engine,
+                    config,
+                    &trace,
+                )
             });
         let (new_id, report) = match migrated {
             Ok(ok) => ok,
@@ -900,6 +945,30 @@ impl Cluster {
         self.index(from_idx);
         self.index(to_idx);
         self.vm_to_host.insert(vm.to_string(), to_idx);
+        if self.trace.is_on() {
+            let end = queued_start.saturating_add(report.total_time);
+            self.trace.span(
+                "cluster",
+                "migrate",
+                now,
+                end,
+                &[
+                    ("vm", ArgValue::Str(vm)),
+                    ("from", ArgValue::U64(u64::from(from.raw()))),
+                    ("to", ArgValue::U64(u64::from(to.raw()))),
+                    ("engine", ArgValue::Str(report.kind.name())),
+                    ("rounds", ArgValue::U64(u64::from(report.rounds))),
+                    ("bytes", ArgValue::U64(report.bytes_transferred)),
+                    ("downtime_ns", ArgValue::U64(report.downtime.as_nanos())),
+                    (
+                        "queue_wait_ns",
+                        ArgValue::U64(queued_start.saturating_sub(now).as_nanos()),
+                    ),
+                ],
+            );
+            self.trace
+                .observe("migration.bytes_on_wire", report.bytes_transferred);
+        }
         Ok(report)
     }
 

@@ -136,11 +136,11 @@ pub mod scenario;
 
 pub use cluster::{BackupHandle, Cluster, HostPower, OrchHost};
 pub use event::{EventQueue, MinHeapQueue, OrchEvent, Scheduled};
-pub use orchestrator::{run_datacenter, Orchestrator};
+pub use orchestrator::{run_datacenter, run_datacenter_traced, Orchestrator};
 pub use params::{OrchParams, VmFidelity, MIN_GUEST_MEMORY};
 pub use policy::{
-    ConsolidateAndPowerDown, MigrationDecision, RebalancePlan, RebalancePolicy, SpreadRebalance,
-    ThresholdRebalance,
+    ConsolidateAndPowerDown, DecisionReason, MigrationDecision, RebalancePlan, RebalancePolicy,
+    SpreadRebalance, ThresholdRebalance,
 };
 pub use report::OrchReport;
 pub use scenario::{Lcg, Scenario, ScenarioConfig, WorkloadShape};

@@ -68,6 +68,38 @@ impl RebalancePlan {
     }
 }
 
+/// Why a policy (or the orchestrator itself) decided to move a VM.
+///
+/// Typed reason codes attached to every policy-decision trace instant, so a
+/// trace answers "why this VM, why this host" without reverse-engineering the
+/// policy from utilization numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// Source host was over the overload CPU threshold; hotspot relief.
+    Overload,
+    /// Source host was under the underload threshold; evacuate and power off.
+    Consolidation,
+    /// Hottest-to-coldest utilization gap exceeded the spread tolerance.
+    SpreadGap,
+    /// A host failed and the VM is being restored from its DR backup.
+    FailureRecovery,
+    /// The policy did not report a more specific cause.
+    Unspecified,
+}
+
+impl DecisionReason {
+    /// Stable label used in trace event arguments.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionReason::Overload => "overload",
+            DecisionReason::Consolidation => "consolidation",
+            DecisionReason::SpreadGap => "spread-gap",
+            DecisionReason::FailureRecovery => "failure-recovery",
+            DecisionReason::Unspecified => "unspecified",
+        }
+    }
+}
+
 /// A rebalancing strategy consulted on every rebalance tick.
 pub trait RebalancePolicy {
     /// Short name for reports.
@@ -76,6 +108,13 @@ pub trait RebalancePolicy {
     /// Produce a plan for the current cluster state. Must not assume the
     /// orchestrator executes every entry (capacity may shift under it).
     fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan;
+
+    /// Why this policy migrates VMs — attached to every decision the
+    /// orchestrator traces. Policies with one motive override this once;
+    /// the default keeps third-party policies source-compatible.
+    fn reason(&self) -> DecisionReason {
+        DecisionReason::Unspecified
+    }
 }
 
 /// Engine for moving `vm` off `from`: live pre/post-copy for running guests,
@@ -459,6 +498,10 @@ impl RebalancePolicy for ThresholdRebalance {
         "threshold"
     }
 
+    fn reason(&self) -> DecisionReason {
+        DecisionReason::Overload
+    }
+
     fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {
         let mut plan = RebalancePlan::default();
         // Quiet tick: nothing over the bar — decided from the index max.
@@ -512,6 +555,10 @@ pub struct ConsolidateAndPowerDown;
 impl RebalancePolicy for ConsolidateAndPowerDown {
     fn name(&self) -> &'static str {
         "consolidate-power-down"
+    }
+
+    fn reason(&self) -> DecisionReason {
+        DecisionReason::Consolidation
     }
 
     fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {
@@ -591,6 +638,10 @@ pub struct SpreadRebalance;
 impl RebalancePolicy for SpreadRebalance {
     fn name(&self) -> &'static str {
         "spread"
+    }
+
+    fn reason(&self) -> DecisionReason {
+        DecisionReason::SpreadGap
     }
 
     fn plan(&self, cluster: &Cluster, params: &OrchParams) -> RebalancePlan {

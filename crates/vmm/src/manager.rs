@@ -12,6 +12,7 @@ use rvisor_migrate::{
     StopAndCopy, Transport,
 };
 use rvisor_net::{Link, VirtualSwitch};
+use rvisor_obs::Trace;
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
 use rvisor_types::{ByteSize, Error, Nanoseconds, Result, VmId};
 
@@ -381,6 +382,20 @@ impl Vmm {
         outcome: MigrationOutcome,
         config: MigrationConfig,
     ) -> Result<(VmId, MigrationReport)> {
+        self.migrate_to_over_traced(id, destination, transport, outcome, config, &Trace::off())
+    }
+
+    /// [`Vmm::migrate_to_over`] with per-migration and per-round trace
+    /// spans emitted to `trace`; with [`Trace::off`] the two are identical.
+    pub fn migrate_to_over_traced(
+        &mut self,
+        id: VmId,
+        destination: &mut Vmm,
+        transport: &mut dyn Transport,
+        outcome: MigrationOutcome,
+        config: MigrationConfig,
+        trace: &Trace,
+    ) -> Result<(VmId, MigrationReport)> {
         let source_vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
         // Build an identical, empty shell on the destination.
         let dest_id = destination.create_vm(source_vm.config().clone())?;
@@ -396,19 +411,21 @@ impl Vmm {
                     }
                     let states = source_vm.save_vcpu_states();
                     if pipelined {
-                        StopAndCopy::migrate_pipelined(
+                        StopAndCopy::migrate_pipelined_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
                             &config,
+                            trace,
                         )?
                     } else {
-                        StopAndCopy::migrate_over(
+                        StopAndCopy::migrate_over_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
+                            trace,
                         )?
                     }
                 }
@@ -418,22 +435,24 @@ impl Vmm {
                     let mut dirtier = RunningVmDirtier::new(source_vm);
 
                     if pipelined {
-                        PreCopy::migrate_pipelined(
+                        PreCopy::migrate_pipelined_traced(
                             &memory,
                             &dest_memory,
                             &states_placeholder,
                             transport,
                             &mut dirtier,
                             &config,
+                            trace,
                         )?
                     } else {
-                        PreCopy::migrate_over(
+                        PreCopy::migrate_over_traced(
                             &memory,
                             &dest_memory,
                             &states_placeholder,
                             transport,
                             &mut dirtier,
                             &config,
+                            trace,
                         )?
                     }
                 }
@@ -443,20 +462,22 @@ impl Vmm {
                     }
                     let states = source_vm.save_vcpu_states();
                     if pipelined {
-                        PostCopy::migrate_pipelined(
+                        PostCopy::migrate_pipelined_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
                             &config,
+                            trace,
                         )?
                     } else {
-                        PostCopy::migrate_over(
+                        PostCopy::migrate_over_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
                             &config,
+                            trace,
                         )?
                     }
                 }

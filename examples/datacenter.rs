@@ -10,6 +10,7 @@
 //! cargo run --release --example datacenter
 //! ```
 
+use virtlab::obs::{Align, TextTable};
 use virtlab::orch::{
     run_datacenter, ConsolidateAndPowerDown, OrchParams, RebalancePolicy, Scenario, ScenarioConfig,
     SpreadRebalance, ThresholdRebalance, WorkloadShape,
@@ -59,10 +60,14 @@ fn main() {
 
     // Policy comparison on the same day.
     println!("-- policy comparison --\n");
-    println!(
-        "{:<22} {:>8} {:>10} {:>12} {:>9} {:>10}",
-        "policy", "migrated", "downtime", "VM-time-lost", "restored", "avg-hosts"
-    );
+    let mut table = TextTable::new(&[
+        ("policy", Align::Left),
+        ("migrated", Align::Right),
+        ("downtime", Align::Right),
+        ("VM-time-lost", Align::Right),
+        ("restored", Align::Right),
+        ("avg-hosts", Align::Right),
+    ]);
     let policies: [(&str, Box<dyn RebalancePolicy>); 3] = [
         ("threshold", Box::new(ThresholdRebalance)),
         ("consolidate+powerdown", Box::new(ConsolidateAndPowerDown)),
@@ -70,24 +75,26 @@ fn main() {
     ];
     for (name, policy) in policies {
         let r = run_datacenter(HOSTS, params, policy, &scenario).expect("run completes");
-        println!(
-            "{:<22} {:>8} {:>10} {:>12} {:>9} {:>10.1}",
-            name,
-            r.migrations_completed,
+        table.row([
+            name.to_string(),
+            r.migrations_completed.to_string(),
             format!("{}", r.migration_downtime_total),
             format!("{}", r.vm_time_lost),
-            r.vms_restored,
-            r.avg_hosts_powered(),
-        );
+            r.vms_restored.to_string(),
+            format!("{:.1}", r.avg_hosts_powered()),
+        ]);
     }
+    table.print();
 
     // A quick sensitivity probe: tighter backups shrink the restore point
     // but cost DR bandwidth.
     println!("\n-- backup cadence sensitivity (threshold policy) --\n");
-    println!(
-        "{:<16} {:>9} {:>14} {:>12}",
-        "backup every", "backups", "DR bytes", "VM-time-lost"
-    );
+    let mut table = TextTable::new(&[
+        ("backup every", Align::Left),
+        ("backups", Align::Right),
+        ("DR bytes", Align::Right),
+        ("VM-time-lost", Align::Right),
+    ]);
     for minutes in [30u64, 60, 120] {
         let p = OrchParams {
             backup_interval: Nanoseconds::from_secs(minutes * 60),
@@ -95,12 +102,12 @@ fn main() {
         };
         let r = run_datacenter(HOSTS, p, Box::new(ThresholdRebalance), &scenario)
             .expect("run completes");
-        println!(
-            "{:<16} {:>9} {:>14} {:>12}",
+        table.row([
             format!("{minutes} min"),
-            r.backups_taken,
-            r.backup_bytes,
-            format!("{}", r.vm_time_lost)
-        );
+            r.backups_taken.to_string(),
+            r.backup_bytes.to_string(),
+            format!("{}", r.vm_time_lost),
+        ]);
     }
+    table.print();
 }

@@ -25,6 +25,7 @@ use virtlab::migrate::{
     MigrationReport, PostCopy, PreCopy, StopAndCopy,
 };
 use virtlab::net::{Fabric, FabricParams, Link, LinkModel};
+use virtlab::obs::{Align, TextTable};
 use virtlab::orch::{run_datacenter, OrchParams, Scenario, ScenarioConfig, WorkloadShape};
 use virtlab::types::PAGE_SIZE;
 use virtlab::vcpu::VcpuState;
@@ -148,10 +149,13 @@ fn main() {
     // The fair-share multi-stream fabric model: same payload, per-stream
     // MTU framing, monotonically non-decreasing simulated time.
     println!("-- multi-stream fabric sweep (1 Gbit/s LAN, 30% dirty rate) --\n");
-    println!(
-        "{:<8} {:>14} {:>12} {:>12} {:>12}",
-        "streams", "total", "downtime", "bytes", "wire bytes"
-    );
+    let mut table = TextTable::new(&[
+        ("streams", Align::Left),
+        ("total", Align::Right),
+        ("downtime", Align::Right),
+        ("bytes", Align::Right),
+        ("wire bytes", Align::Right),
+    ]);
     let mut last_total = Nanoseconds::ZERO;
     let mut payload = None;
     for n in [1usize, 2, 4, 8] {
@@ -167,15 +171,15 @@ fn main() {
             Some(b) => assert_eq!(report.bytes_transferred, b, "payload must not change"),
         }
         last_total = report.total_time;
-        println!(
-            "{:<8} {:>14} {:>12} {:>12} {:>12}",
-            n,
+        table.row([
+            n.to_string(),
             format!("{}", report.total_time),
             format!("{}", report.downtime),
-            report.bytes_transferred,
-            wire_bytes,
-        );
+            report.bytes_transferred.to_string(),
+            wire_bytes.to_string(),
+        ]);
     }
+    table.print();
     println!(
         "\nsame payload at every stream count; simulated time pays per-stream framing \u{2714}"
     );

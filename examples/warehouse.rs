@@ -21,6 +21,7 @@ use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use virtlab::cluster::PlacementStrategy;
+use virtlab::obs::{Align, TextTable};
 use virtlab::orch::{
     run_datacenter, OrchParams, Scenario, ScenarioConfig, SpreadRebalance, VmFidelity,
     WorkloadShape, MIN_GUEST_MEMORY,
@@ -96,10 +97,15 @@ fn main() {
     // wall-clock overlap, never simulated time — so each host count's
     // stream rows must be identical, and the sweep asserts exactly that.
     println!("-- E19: streams × host-count scale sweep (6 h quarter-days) --\n");
-    println!(
-        "{:>7} {:>8} {:>9} {:>12} {:>10} {:>12} {:>12}",
-        "hosts", "streams", "migrated", "mig-time", "downtime", "mig-bytes", "events"
-    );
+    let mut table = TextTable::new(&[
+        ("hosts", Align::Right),
+        ("streams", Align::Right),
+        ("migrated", Align::Right),
+        ("mig-time", Align::Right),
+        ("downtime", Align::Right),
+        ("mig-bytes", Align::Right),
+        ("events", Align::Right),
+    ]);
     for hosts in [1_000usize, 4_000, 10_000] {
         let quarter = scenario(hosts, hosts * 10, Nanoseconds::from_secs(6 * 3600));
         let mut single_stream = None;
@@ -111,16 +117,15 @@ fn main() {
                 &quarter,
             )
             .expect("sweep run completes");
-            println!(
-                "{:>7} {:>8} {:>9} {:>12} {:>10} {:>12} {:>12}",
-                hosts,
-                streams,
-                r.migrations_completed,
+            table.row([
+                hosts.to_string(),
+                streams.to_string(),
+                r.migrations_completed.to_string(),
                 format!("{}", r.migration_time_total),
                 format!("{}", r.migration_downtime_total),
-                r.migration_bytes,
-                r.events_processed,
-            );
+                r.migration_bytes.to_string(),
+                r.events_processed.to_string(),
+            ]);
             match single_stream.take() {
                 None => single_stream = Some(r),
                 Some(base) => assert_eq!(
@@ -130,6 +135,7 @@ fn main() {
             }
         }
     }
+    table.print();
     println!("\nstream-invariance check: 1-stream ≡ 4-stream at every host count ✔");
 
     // Timing is real wall-clock and therefore stderr-only: stdout must

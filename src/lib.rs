@@ -13,6 +13,9 @@
 //! * [`orch`] — the discrete-event datacenter orchestrator that drives all
 //!   of the above under one clock: arrivals, rebalancing migrations,
 //!   backups, host failures and DR restores (experiment E15).
+//! * [`obs`] — the deterministic tracing and metrics plane: simulated-time
+//!   spans and integer histograms from every layer, exported as a text
+//!   table or Chrome trace-event JSON (experiment E20).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `EXPERIMENTS.md` for the mapping from the evaluation's tables and figures
@@ -27,6 +30,7 @@ pub use rvisor_devices as devices;
 pub use rvisor_memory as memory;
 pub use rvisor_migrate as migrate;
 pub use rvisor_net as net;
+pub use rvisor_obs as obs;
 pub use rvisor_orch as orch;
 pub use rvisor_sched as sched;
 pub use rvisor_snapshot as snapshot;
