@@ -36,10 +36,11 @@ use rvisor_migrate::{
     ConstantRateDirtier, FabricTransport, IdleDirtier, LoopbackTransport, MigrationConfig,
     MigrationSink, MigrationSource, PreCopy, Transport,
 };
-use rvisor_net::{Fabric, FabricParams, Link, LinkModel};
+use rvisor_net::{ClosFabric, ClosParams, Fabric, FabricParams, Link, LinkModel};
 use rvisor_obs::{ArgValue, Args as TraceArgs, Trace, TraceSink};
 use rvisor_orch::{
-    Cluster, EventQueue, OrchEvent, OrchParams, RebalancePolicy, ThresholdRebalance, VmFidelity,
+    run_datacenter, Cluster, EventQueue, FabricTopology, OrchEvent, OrchParams, RebalancePolicy,
+    Scenario, ScenarioConfig, SpreadRebalance, ThresholdRebalance, VmFidelity, WorkloadShape,
 };
 use rvisor_types::{ByteSize, GuestAddress, HostId, Nanoseconds, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
@@ -355,6 +356,22 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
         record("fabric_transfer_1mib", ns);
     }
 
+    // -- Clos fabric timing model: one cross-rack burst striped over the
+    //    spine tier (ECMP hash + per-spine occupancy bookkeeping) --
+    {
+        let mut fabric = ClosFabric::new(16, ClosParams::datacenter(4, 4)).unwrap();
+        let stripes = [256 * 1024u64; 4];
+        let mut i = 0usize;
+        let ns = measure(samples, || {
+            i = (i + 1) % 4;
+            // Host i in rack 0 to host 15 - i in rack 3: always cross-rack.
+            fabric
+                .transfer_striped(i, 15 - i, Nanoseconds::ZERO, &stripes)
+                .unwrap()
+        });
+        record("clos_transfer_striped_cross_rack", ns);
+    }
+
     // -- XBZRLE delta encode of a lightly-touched page --
     {
         let old = vec![0xa5u8; PAGE_SIZE as usize];
@@ -427,6 +444,37 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
             cluster.choose_host(PlacementStrategy::Spread, &spec)
         });
         record("orch_placement_scan_10k_hosts", ns);
+    }
+
+    // -- topology-aware day: a 32-rack Clos datacenter runs the E21
+    //    flash-crowd day end to end (placement, striped migrations over the
+    //    spine tier, DR sweeps), one full deterministic replay per iter --
+    {
+        let scenario = Scenario::generate(ScenarioConfig {
+            duration: Nanoseconds::from_secs(2 * 3600),
+            ..ScenarioConfig::day(0xE21, WorkloadShape::FlashCrowd, 32, 256)
+        })
+        .unwrap();
+        let params = OrchParams {
+            placement: PlacementStrategy::Spread,
+            migration_streams: NonZeroUsize::new(4).unwrap(),
+            spread_utilization_gap: 0.05,
+            max_migrations_per_tick: 16,
+            rebalance_interval: Nanoseconds::from_secs(600),
+            backup_interval: Nanoseconds::from_secs(600),
+            topology: FabricTopology::Clos {
+                racks: 32,
+                spines: 4,
+                leaf_uplink_bytes_per_second: 2_500_000_000,
+                spine_bytes_per_second: 1_250_000_000,
+                cross_rack_latency: Nanoseconds::from_micros(50),
+            },
+            ..Default::default()
+        };
+        let ns = measure(samples, || {
+            run_datacenter(32, params, Box::new(SpreadRebalance), &scenario).unwrap()
+        });
+        record("orch_day_clos_32rack", ns);
     }
 
     // -- calendar event queue: 1M pushes at scattered times, then a full

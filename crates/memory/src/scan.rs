@@ -7,13 +7,16 @@
 //! 64-bit datapath idle; the kernels here read guest pages as little-endian
 //! `u64` words instead:
 //!
-//! * [`is_zero`] ORs four words at a time and early-exits on the first
-//!   non-zero block — a touched page is rejected within its first cache
-//!   lines, an untouched page is confirmed at close to memory bandwidth.
+//! * [`is_zero`] folds a full 64-byte cache line per iteration as two
+//!   independent 32-byte OR lanes (the lanes carry no dependency between
+//!   them, so the loads dual-issue) and early-exits on the first non-zero
+//!   line — a touched page is rejected within its first cache lines, an
+//!   untouched page is confirmed at close to memory bandwidth.
 //! * [`fingerprint`] keeps the exact FNV-1a byte recurrence (so every stored
 //!   fingerprint, KSM merge decision and test vector stays valid) but feeds
-//!   it from one 8-byte load per iteration instead of eight bounds-checked
-//!   byte loads.
+//!   it from two 8-byte loads per iteration instead of sixteen
+//!   bounds-checked byte loads: the multiply chain stays serial by
+//!   definition, the memory traffic does not.
 //!
 //! Both kernels accept arbitrary slices: the tail that does not fill a word
 //! is handled byte-wise, and equivalence with the byte-wise reference
@@ -25,45 +28,75 @@ pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a 64-bit prime.
 pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// OR together one 32-byte lane (four `u64` words).
+#[inline(always)]
+fn or_lane(lane: &[u8]) -> u64 {
+    let a = u64::from_le_bytes(lane[0..8].try_into().expect("8-byte chunk"));
+    let b = u64::from_le_bytes(lane[8..16].try_into().expect("8-byte chunk"));
+    let c = u64::from_le_bytes(lane[16..24].try_into().expect("8-byte chunk"));
+    let d = u64::from_le_bytes(lane[24..32].try_into().expect("8-byte chunk"));
+    a | b | c | d
+}
+
 /// Returns true when every byte of the slice is zero (word-wise scan).
 ///
-/// Equivalent to `bytes.iter().all(|&b| b == 0)`; four `u64` words are ORed
-/// per iteration so a zero page is confirmed in ~1/32nd of the byte-wise
-/// comparisons, and the first dirty block short-circuits the scan.
+/// Equivalent to `bytes.iter().all(|&b| b == 0)`; each iteration folds a
+/// full 64-byte cache line as two independent 32-byte OR lanes — the lanes
+/// share no data dependency, so their eight loads pipeline — and the first
+/// dirty line short-circuits the scan.
 #[must_use]
 pub fn is_zero(bytes: &[u8]) -> bool {
-    let mut blocks = bytes.chunks_exact(32);
-    for block in blocks.by_ref() {
-        let a = u64::from_le_bytes(block[0..8].try_into().expect("8-byte chunk"));
-        let b = u64::from_le_bytes(block[8..16].try_into().expect("8-byte chunk"));
-        let c = u64::from_le_bytes(block[16..24].try_into().expect("8-byte chunk"));
-        let d = u64::from_le_bytes(block[24..32].try_into().expect("8-byte chunk"));
-        if a | b | c | d != 0 {
+    let mut lines = bytes.chunks_exact(64);
+    for line in lines.by_ref() {
+        if or_lane(&line[0..32]) | or_lane(&line[32..64]) != 0 {
             return false;
         }
     }
-    blocks.remainder().iter().all(|&b| b == 0)
+    let rest = lines.remainder();
+    let mut words = rest.chunks_exact(8);
+    for word in words.by_ref() {
+        if u64::from_le_bytes(word.try_into().expect("8-byte chunk")) != 0 {
+            return false;
+        }
+    }
+    words.remainder().iter().all(|&b| b == 0)
 }
 
-/// FNV-1a hash of the slice, fed one `u64` word at a time.
+/// Fold one little-endian `u64` word into the FNV-1a state, byte by byte —
+/// the exact serial recurrence, fed from shifts instead of byte loads.
+#[inline(always)]
+fn fnv_word(mut h: u64, w: u64) -> u64 {
+    h = (h ^ (w & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 8) & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 16) & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 24) & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 32) & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 40) & 0xff)).wrapping_mul(FNV_PRIME);
+    h = (h ^ ((w >> 48) & 0xff)).wrapping_mul(FNV_PRIME);
+    (h ^ (w >> 56)).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a hash of the slice, fed two `u64` words at a time.
 ///
 /// Produces bit-identical results to the byte-wise FNV-1a loop (the byte
-/// recurrence is unrolled over each word's lanes), so fingerprints computed
-/// before and after this kernel landed compare equal.
+/// recurrence is unrolled over each word's lanes in order), so fingerprints
+/// computed before and after this kernel landed compare equal. The hash
+/// chain is inherently serial; loading 16 bytes per iteration lets the next
+/// pair of loads overlap the current multiply chain.
 #[must_use]
 pub fn fingerprint(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
-    let mut words = bytes.chunks_exact(8);
+    let mut pairs = bytes.chunks_exact(16);
+    for pair in pairs.by_ref() {
+        let lo = u64::from_le_bytes(pair[0..8].try_into().expect("8-byte chunk"));
+        let hi = u64::from_le_bytes(pair[8..16].try_into().expect("8-byte chunk"));
+        h = fnv_word(fnv_word(h, lo), hi);
+    }
+    let rest = pairs.remainder();
+    let mut words = rest.chunks_exact(8);
     for word in words.by_ref() {
         let w = u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
-        h = (h ^ (w & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 8) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 16) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 24) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 32) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 40) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ ((w >> 48) & 0xff)).wrapping_mul(FNV_PRIME);
-        h = (h ^ (w >> 56)).wrapping_mul(FNV_PRIME);
+        h = fnv_word(h, w);
     }
     for &b in words.remainder() {
         h = (h ^ b as u64).wrapping_mul(FNV_PRIME);

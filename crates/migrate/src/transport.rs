@@ -19,7 +19,7 @@
 //! Burst buffers are recycled ([`Transport::recycle`]) so steady-state
 //! rounds allocate nothing new.
 
-use rvisor_net::{Fabric, Link};
+use rvisor_net::{Fabric, FabricModel, Link};
 use rvisor_types::{Nanoseconds, Result};
 
 /// A simulated byte-stream channel between a migration source and sink.
@@ -178,14 +178,18 @@ impl Transport for LoopbackTransport<'_> {
     }
 }
 
-/// Delivery across a shared [`Fabric`], between two endpoint indices.
+/// Delivery across a shared fabric, between two endpoint indices.
 ///
-/// Borrows the fabric mutably: the busy-time marks the migration leaves on
-/// its NICs and the backbone are visible to every later transfer, which is
-/// how rebalance storms and DR backup traffic contend with each other.
+/// Generic over [`FabricModel`], defaulting to the single-spine [`Fabric`]:
+/// the same transport carries a migration over a two-tier
+/// `ClosFabric` (or the topology-erasing `AnyFabric`) without any caller
+/// changes. Borrows the fabric mutably: the busy-time marks the migration
+/// leaves on its NICs, leaves and spines are visible to every later
+/// transfer, which is how rebalance storms and DR backup traffic contend
+/// with each other.
 #[derive(Debug)]
-pub struct FabricTransport<'f> {
-    fabric: &'f mut Fabric,
+pub struct FabricTransport<'f, F: FabricModel = Fabric> {
+    fabric: &'f mut F,
     from: usize,
     to: usize,
     /// Earliest simulated instant any burst of this stream may start.
@@ -197,17 +201,17 @@ pub struct FabricTransport<'f> {
     buf: BurstBuffer,
 }
 
-impl<'f> FabricTransport<'f> {
+impl<'f, F: FabricModel> FabricTransport<'f, F> {
     /// Create a transport carrying one migration from endpoint `from` to
     /// endpoint `to` of `fabric`.
-    pub fn new(fabric: &'f mut Fabric, from: usize, to: usize) -> Result<Self> {
+    pub fn new(fabric: &'f mut F, from: usize, to: usize) -> Result<Self> {
         Self::starting_at(fabric, from, to, Nanoseconds::ZERO)
     }
 
     /// Like [`FabricTransport::new`], but no burst starts before `floor`
     /// (the caller's current simulated time).
     pub fn starting_at(
-        fabric: &'f mut Fabric,
+        fabric: &'f mut F,
         from: usize,
         to: usize,
         floor: Nanoseconds,
@@ -223,7 +227,7 @@ impl<'f> FabricTransport<'f> {
     }
 }
 
-impl Transport for FabricTransport<'_> {
+impl<F: FabricModel> Transport for FabricTransport<'_, F> {
     fn free_at(&self) -> Nanoseconds {
         self.fabric
             .path_free_at(self.from, self.to)
@@ -268,11 +272,11 @@ impl Transport for FabricTransport<'_> {
     }
 
     fn latency(&self) -> Nanoseconds {
-        self.fabric.params().latency
+        self.fabric.latency(self.from, self.to)
     }
 
     fn transfer_time(&self, bytes: u64) -> Nanoseconds {
-        self.fabric.params().transfer_time(bytes)
+        self.fabric.transfer_time(self.from, self.to, bytes)
     }
 
     fn bytes_sent(&self) -> u64 {

@@ -18,9 +18,12 @@
 //!   touching the same host queue behind each other.
 //! * **Shared backbone** (`backbone_bytes_per_second`) — all hosts share
 //!   one aggregate uplink; transfers between *disjoint* host pairs still
-//!   contend here. This is the deliberate worst-case single-spine
-//!   assumption: a real Clos fabric would give disjoint pairs independent
-//!   paths, so modelled contention is an upper bound.
+//!   contend here. This is the worst-case single-spine assumption, kept as
+//!   the conservative upper bound on contention: the two-tier
+//!   [`ClosFabric`](crate::ClosFabric) models the leaf/spine topology real
+//!   datacenters use, where disjoint rack pairs ride independent spine
+//!   paths, and reproduces this model `==`-exactly in its 1-rack/1-spine
+//!   degenerate configuration (proptest-pinned).
 //! * **MTU chunking** (`mtu`, `chunk_overhead`) — a payload of `n` bytes
 //!   crosses the wire as `ceil(n / mtu)` chunks, each carrying
 //!   `chunk_overhead` bytes of framing (Ethernet + IP + TCP headers), so
@@ -39,11 +42,15 @@
 //!   bytes, the striped burst completes exactly when a single stream
 //!   carrying the aggregate would — except that each stream pays its own
 //!   MTU chunk framing (`ceil(payload / mtu)` per stream), so parallelism
-//!   is never *faster* in simulated time on this single-spine model. What
-//!   parallel streams buy in the real system is host-CPU overlap (encode
-//!   and apply proceed concurrently), which is wall-clock, not
-//!   guest-visible simulated time; per-stream completion instants inside a
-//!   burst are deliberately not modelled.
+//!   is never *faster* in simulated time **on this single-spine model** —
+//!   a property of the topology, not of striping itself. On a multi-spine
+//!   [`ClosFabric`](crate::ClosFabric), ECMP-spread streams cross
+//!   independent spine paths and a cross-rack striped burst genuinely
+//!   completes earlier (regression-pinned in `clos.rs`). What parallel
+//!   streams buy *here* is host-CPU overlap (encode and apply proceed
+//!   concurrently), which is wall-clock, not guest-visible simulated time;
+//!   per-stream completion instants inside a burst are deliberately not
+//!   modelled.
 //!
 //! All timing is computed in `u128` nanosecond arithmetic and stored as
 //! [`Nanoseconds`]; no floats are involved, so same-seed simulations replay
@@ -298,6 +305,12 @@ impl Fabric {
         self.transfers
     }
 
+    /// Busy-until mark of the shared backbone (the single spine of the
+    /// degenerate topology — see [`FabricModel`](crate::FabricModel)).
+    pub fn backbone_free_at(&self) -> Nanoseconds {
+        self.backbone_free_at
+    }
+
     /// Payload bytes sent by endpoint `i`.
     pub fn bytes_sent_by(&self, i: usize) -> u64 {
         self.nics.get(i).map_or(0, |n| n.bytes_sent)
@@ -373,9 +386,13 @@ impl Fabric {
     /// occupies both NICs and the backbone until the *sum* of every
     /// stream's wire bytes has serialized at the bottleneck rate, then pays
     /// one propagation latency. Each stream is framed separately
-    /// (`ceil(payload / mtu)` chunks per stream), so splitting a burst
-    /// never makes it faster and usually makes it marginally slower — the
-    /// honest single-spine cost of multi-stream migration.
+    /// (`ceil(payload / mtu)` chunks per stream), so **on this single-spine
+    /// model** splitting a burst never makes it faster and usually makes it
+    /// marginally slower — the honest cost of multi-stream migration when
+    /// every stream shares one backbone. On the multi-spine
+    /// [`ClosFabric`](crate::ClosFabric) the same call *is* faster
+    /// cross-rack, because ECMP hashing spreads the streams over
+    /// independent spine paths.
     ///
     /// `transfer_striped(&[b])` is exactly [`Fabric::transfer`] of `b`.
     pub fn transfer_striped(

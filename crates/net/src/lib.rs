@@ -26,15 +26,30 @@
 //! `==`-identically. Every modelling assumption (single-spine worst-case
 //! contention, store-and-forward occupancy, once-per-burst latency) is
 //! documented on the [`fabric`] module with the parameter that controls it.
+//!
+//! ## The Clos model
+//!
+//! [`ClosFabric`] generalizes the single-spine fabric to the two-tier
+//! leaf/spine topology real datacenters run: racks of hosts behind leaf
+//! switches of [`ClosParams::leaf_uplink_bytes_per_second`], connected by
+//! [`ClosParams::spines`] independent spine paths. Striped transfers hash
+//! their streams ECMP-style across the live spines, so cross-rack
+//! multi-stream migration genuinely completes earlier in simulated time,
+//! while rack-local traffic skips the spine tier entirely. Both topologies
+//! sit behind the [`FabricModel`] trait ([`AnyFabric`] erases the choice),
+//! and a 1-rack/1-spine [`ClosFabric`] is proptest-pinned `==`-equal to the
+//! original [`Fabric`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod clos;
 pub mod fabric;
 pub mod frame;
 pub mod link;
 pub mod switch;
 
+pub use clos::{AnyFabric, ClosFabric, ClosParams, FabricModel};
 pub use fabric::{Fabric, FabricParams, DEFAULT_CHUNK_OVERHEAD};
 pub use frame::{Frame, MacAddr, ETHERTYPE_IPV4, MAX_FRAME_SIZE, MIN_FRAME_SIZE};
 pub use link::{Link, LinkModel};

@@ -57,7 +57,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
 use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
 use rvisor_migrate::{FabricTransport, MigrationConfig, MigrationReport};
-use rvisor_net::Fabric;
+use rvisor_net::{AnyFabric, ClosFabric, ClosParams, Fabric};
 use rvisor_obs::{ArgValue, Trace};
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
 use rvisor_types::{ByteSize, Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
@@ -301,8 +301,15 @@ impl OrchHost {
 #[derive(Debug)]
 pub struct Cluster {
     hosts: Vec<OrchHost>,
-    fabric: Fabric,
+    fabric: AnyFabric,
     params: OrchParams,
+    /// Racks the *hosts* are spread over (1 for the single-spine topology;
+    /// excludes the DR endpoint's own rack).
+    n_host_racks: usize,
+    /// VMs currently placed per host rack (empty for the single-spine
+    /// topology). Maintained inside [`Self::deindex`]/[`Self::index`], so
+    /// it tracks every placement, eviction, migration and host failure.
+    rack_vms: Vec<usize>,
     /// Host id → position in `hosts`.
     by_id: BTreeMap<HostId, usize>,
     /// Powered-on hosts ordered by `(utilization bits, id)`.
@@ -363,12 +370,57 @@ impl Cluster {
             }
         }
         // One endpoint per host, plus the DR backup target.
-        let fabric = Fabric::new(hosts.len() + 1, params.fabric)?;
+        let (fabric, n_host_racks) = match params.topology {
+            crate::FabricTopology::SingleSpine => (
+                AnyFabric::Single(Fabric::new(hosts.len() + 1, params.fabric)?),
+                1,
+            ),
+            crate::FabricTopology::Clos {
+                racks,
+                spines,
+                leaf_uplink_bytes_per_second,
+                spine_bytes_per_second,
+                cross_rack_latency,
+            } => {
+                // Hosts fill `racks` racks contiguously; the DR endpoint
+                // gets its own extra rack so backup streams always cross
+                // the spine tier (and never skew a host rack's leaf
+                // occupancy) regardless of how evenly `racks` divides the
+                // host count.
+                let hosts_per_rack = hosts.len().div_ceil(racks).max(1);
+                let clos_params = ClosParams {
+                    racks: racks + 1,
+                    hosts_per_rack,
+                    nic_bytes_per_second: params.fabric.nic_bytes_per_second,
+                    leaf_uplink_bytes_per_second,
+                    spines,
+                    spine_bytes_per_second,
+                    rack_latency: params.fabric.latency,
+                    cross_latency: cross_rack_latency,
+                    mtu: params.fabric.mtu,
+                    chunk_overhead: params.fabric.chunk_overhead,
+                };
+                let mut racks_of: Vec<usize> =
+                    (0..hosts.len()).map(|pos| pos / hosts_per_rack).collect();
+                racks_of.push(racks); // the DR endpoint's own rack
+                (
+                    AnyFabric::Clos(ClosFabric::with_rack_assignment(clos_params, racks_of)?),
+                    racks,
+                )
+            }
+        };
+        let rack_vms = if n_host_racks > 1 {
+            vec![0; n_host_racks]
+        } else {
+            Vec::new()
+        };
         let n_powered = hosts.len();
         let mut cluster = Cluster {
             hosts,
             fabric,
             params,
+            n_host_racks,
+            rack_vms,
             by_id,
             by_util: BTreeSet::new(),
             free_cpu: BTreeSet::new(),
@@ -392,9 +444,52 @@ impl Cluster {
         &self.hosts
     }
 
-    /// The shared migration/DR fabric.
-    pub fn fabric(&self) -> &Fabric {
+    /// The shared migration/DR fabric (single-spine or Clos).
+    pub fn fabric(&self) -> &AnyFabric {
         &self.fabric
+    }
+
+    /// Racks the hosts are spread over (1 for the single-spine topology;
+    /// the DR endpoint's own rack is not counted).
+    pub fn racks(&self) -> usize {
+        self.n_host_racks
+    }
+
+    /// The rack of the host at `pos` in the host vector.
+    pub(crate) fn rack_of_pos(&self, pos: usize) -> usize {
+        self.fabric.rack_of(pos)
+    }
+
+    /// The rack `host` lives in, if it exists.
+    pub fn rack_of_id(&self, host: HostId) -> Option<usize> {
+        self.position_of(host).map(|pos| self.fabric.rack_of(pos))
+    }
+
+    /// VMs currently placed in `rack` (0 for the single-spine topology,
+    /// which tracks no per-rack occupancy).
+    pub fn rack_vm_count(&self, rack: usize) -> usize {
+        self.rack_vms.get(rack).copied().unwrap_or(0)
+    }
+
+    /// Whether a migration between two hosts would cross the spine tier.
+    pub fn is_cross_rack(&self, a: HostId, b: HostId) -> bool {
+        match (self.position_of(a), self.position_of(b)) {
+            (Some(pa), Some(pb)) => self.fabric.rack_of(pa) != self.fabric.rack_of(pb),
+            _ => false,
+        }
+    }
+
+    /// Remove a spine from the fabric; see
+    /// [`rvisor_net::ClosFabric::fail_spine`]. The single-spine topology
+    /// always refuses (it would partition).
+    pub fn fail_spine(&mut self, spine: usize) -> Result<()> {
+        self.fabric.fail_spine(spine)
+    }
+
+    /// The earliest busy-until mark over all live spines — the rebalance
+    /// policies' hot-spine occupancy query.
+    pub fn min_live_spine_free_at(&self) -> Nanoseconds {
+        self.fabric.min_live_spine_free_at()
     }
 
     /// Attach a trace to the cluster and its fabric: migrations, backups
@@ -476,6 +571,9 @@ impl Cluster {
     /// [`Self::index`] after the mutation.
     fn deindex(&mut self, pos: usize) {
         let h = &self.hosts[pos];
+        if !self.rack_vms.is_empty() {
+            self.rack_vms[self.fabric.rack_of(pos)] -= h.accounting.vm_count();
+        }
         match h.power {
             HostPower::On => {
                 self.by_util
@@ -498,6 +596,9 @@ impl Cluster {
     /// Re-insert `pos` into the indexes from its current state.
     fn index(&mut self, pos: usize) {
         let h = &self.hosts[pos];
+        if !self.rack_vms.is_empty() {
+            self.rack_vms[self.fabric.rack_of(pos)] += h.accounting.vm_count();
+        }
         debug_assert_eq!(
             h.cpu_committed.to_bits(),
             h.accounting.cpu_committed().to_bits(),
@@ -592,6 +693,9 @@ impl Cluster {
                 .map(|&pos| &self.hosts[pos])
                 .find(|h| h.fits_cached(spec))
                 .map(|h| h.id()),
+            PlacementStrategy::Spread if self.n_host_racks > 1 => {
+                self.choose_spread_rack_aware(spec)
+            }
             PlacementStrategy::Spread => self
                 .by_util
                 .iter()
@@ -599,6 +703,40 @@ impl Cluster {
                 .find(|h| h.fits_cached(spec))
                 .map(|h| h.id()),
         }
+    }
+
+    /// `Spread` placement on a multi-rack topology: the least CPU-utilized
+    /// fitting host, with ties in utilization broken by rack occupancy
+    /// (emptiest rack first), then id — so equally-cold hosts fill rack by
+    /// rack instead of clustering wherever ids sort first. On one rack this
+    /// reduces to the plain `Spread` walk (the id tie-break is the set
+    /// order), which is why the single-rack path above stays byte-identical.
+    fn choose_spread_rack_aware(&self, spec: &VmSpec) -> Option<HostId> {
+        let mut candidates = self.by_util.iter().peekable();
+        while let Some(&(key, id)) = candidates.next() {
+            let h = &self.hosts[self.by_id[&id]];
+            if !h.fits_cached(spec) {
+                continue;
+            }
+            // First fitting host found; scan the rest of this utilization
+            // key's run for a fitting host in an emptier rack.
+            let mut best = (self.rack_vm_count(self.rack_of_pos(self.by_id[&id])), id);
+            while let Some(&&(k2, id2)) = candidates.peek() {
+                if k2 != key {
+                    break;
+                }
+                candidates.next();
+                let h2 = &self.hosts[self.by_id[&id2]];
+                if h2.fits_cached(spec) {
+                    let cand = (self.rack_vm_count(self.rack_of_pos(self.by_id[&id2])), id2);
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+            return Some(best.1);
+        }
+        None
     }
 
     /// Deploy a new VM for `spec` on `host` — a live guest under

@@ -66,6 +66,14 @@ pub enum OrchEvent {
         /// The failing host.
         host: HostId,
     },
+    /// A spine switch fails, removing its capacity from the fabric. The
+    /// datacenter degrades — cross-rack transfers re-spread over the
+    /// surviving spines — but never partitions (failing the last live
+    /// spine is refused and counted as a dropped event).
+    SpineFailure {
+        /// Index of the failing spine.
+        spine: usize,
+    },
     /// Periodic rebalance: the policy inspects utilization and may migrate.
     RebalanceTick,
     /// Periodic backup: every placed VM is snapshotted to the DR store.
@@ -87,6 +95,7 @@ impl OrchEvent {
             OrchEvent::VmDeparture { .. } => "vm-departure",
             OrchEvent::LoadChange { .. } => "load-change",
             OrchEvent::HostFailure { .. } => "host-failure",
+            OrchEvent::SpineFailure { .. } => "spine-failure",
             OrchEvent::RebalanceTick => "rebalance-tick",
             OrchEvent::BackupTick => "backup-tick",
             OrchEvent::RestoreComplete { .. } => "restore-complete",

@@ -137,7 +137,7 @@ pub mod scenario;
 pub use cluster::{BackupHandle, Cluster, HostPower, OrchHost};
 pub use event::{EventQueue, MinHeapQueue, OrchEvent, Scheduled};
 pub use orchestrator::{run_datacenter, run_datacenter_traced, Orchestrator};
-pub use params::{OrchParams, VmFidelity, MIN_GUEST_MEMORY};
+pub use params::{FabricTopology, OrchParams, VmFidelity, MIN_GUEST_MEMORY};
 pub use policy::{
     ConsolidateAndPowerDown, DecisionReason, MigrationDecision, RebalancePlan, RebalancePolicy,
     SpreadRebalance, ThresholdRebalance,

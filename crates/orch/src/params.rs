@@ -43,6 +43,71 @@ pub enum VmFidelity {
     OnDemand,
 }
 
+/// The network topology a cluster's fabric is built with.
+///
+/// [`SingleSpine`](FabricTopology::SingleSpine) is the PR 4 worst case —
+/// one shared backbone, every pair contends — and stays the default so
+/// existing runs replay unchanged. [`Clos`](FabricTopology::Clos) builds a
+/// two-tier [`rvisor_net::ClosFabric`]: hosts are assigned to `racks`
+/// contiguously, the DR endpoint gets its own extra rack (backup traffic
+/// crosses the spine tier instead of a global backbone), and striped
+/// migrations spread ECMP-style over the spines. NIC rate, MTU, chunk
+/// overhead and the rack-local latency come from [`OrchParams::fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricTopology {
+    /// One shared backbone (the degenerate 1-rack/1-spine case).
+    #[default]
+    SingleSpine,
+    /// A two-tier leaf/spine Clos fabric.
+    Clos {
+        /// Number of racks hosts are spread over (the DR endpoint adds one
+        /// more rack of its own).
+        racks: usize,
+        /// Number of independent spine switches.
+        spines: usize,
+        /// Capacity of each rack's leaf switch, bytes per second.
+        leaf_uplink_bytes_per_second: u64,
+        /// Capacity of one spine path, bytes per second.
+        spine_bytes_per_second: u64,
+        /// One-way latency for cross-rack transfers (rack-local transfers
+        /// pay [`OrchParams::fabric`]'s latency).
+        cross_rack_latency: Nanoseconds,
+    },
+}
+
+impl FabricTopology {
+    /// Validate topology sanity (non-zero counts and bandwidths).
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            FabricTopology::SingleSpine => Ok(()),
+            FabricTopology::Clos {
+                racks,
+                spines,
+                leaf_uplink_bytes_per_second,
+                spine_bytes_per_second,
+                ..
+            } => {
+                if racks == 0 {
+                    return Err(Error::Config(
+                        "Clos topology needs at least one rack".into(),
+                    ));
+                }
+                if spines == 0 {
+                    return Err(Error::Config(
+                        "Clos topology needs at least one spine".into(),
+                    ));
+                }
+                if leaf_uplink_bytes_per_second == 0 || spine_bytes_per_second == 0 {
+                    return Err(Error::Config(
+                        "Clos leaf and spine bandwidths must be non-zero".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Every tunable of an orchestrator run, with production-flavoured defaults.
 #[derive(Debug, Clone, Copy)]
 pub struct OrchParams {
@@ -58,10 +123,13 @@ pub struct OrchParams {
     /// stream, migrations run through the pipelined multi-stream data plane
     /// and their fabric occupancy is modelled as fair-share chunk streams
     /// ([`rvisor_net::Fabric::transfer_striped`]): same payload bytes and
-    /// destination memory as a serial stream, never *faster* in simulated
-    /// time on the single-spine fabric (each stream pays its own MTU
-    /// framing) — the parallelism pays off in host wall-clock, which the
-    /// orchestrator's simulated clock deliberately does not credit.
+    /// destination memory as a serial stream. On the default
+    /// [`FabricTopology::SingleSpine`] fabric this is never *faster* in
+    /// simulated time (each stream pays its own MTU framing; the win is
+    /// host wall-clock overlap, which the simulated clock deliberately
+    /// does not credit) — on a multi-spine [`FabricTopology::Clos`] fabric
+    /// the streams ECMP-spread over independent spine paths and cross-rack
+    /// migrations genuinely complete earlier.
     pub migration_streams: NonZeroUsize,
     /// Interval between rebalance-policy evaluations.
     pub rebalance_interval: Nanoseconds,
@@ -102,6 +170,15 @@ pub struct OrchParams {
     /// DR backup stream crosses (and contends on) this fabric, so migration
     /// duration and downtime come from modelled bytes-on-wire.
     pub fabric: FabricParams,
+    /// The fabric's topology: the default single shared backbone, or a
+    /// two-tier Clos with rack-aware placement and ECMP-striped cross-rack
+    /// migration.
+    pub topology: FabricTopology,
+    /// If set, a rebalance tick defers a *cross-rack* migration when every
+    /// live spine is still busy further than this far past the current
+    /// instant (a hot-spine occupancy query on the fabric); the move is
+    /// retried at the next tick. `None` (the default) never defers.
+    pub hot_spine_defer: Option<Nanoseconds>,
 }
 
 impl Default for OrchParams {
@@ -123,6 +200,8 @@ impl Default for OrchParams {
             fidelity: VmFidelity::Full,
             guest_memory: ByteSize::kib(256),
             fabric: FabricParams::datacenter(),
+            topology: FabricTopology::SingleSpine,
+            hot_spine_defer: None,
         }
     }
 }
@@ -169,6 +248,7 @@ impl OrchParams {
         // The network fabric's own invariants (non-zero bandwidths, sane
         // MTU) are validated where they are defined.
         self.fabric.validate()?;
+        self.topology.validate()?;
         Ok(())
     }
 }
@@ -217,5 +297,55 @@ mod tests {
         p.fabric = FabricParams::datacenter();
         p.fabric.nic_bytes_per_second = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn topology_validation() {
+        assert!(FabricTopology::SingleSpine.validate().is_ok());
+        let good = FabricTopology::Clos {
+            racks: 4,
+            spines: 2,
+            leaf_uplink_bytes_per_second: 1,
+            spine_bytes_per_second: 1,
+            cross_rack_latency: Nanoseconds::from_micros(50),
+        };
+        assert!(good.validate().is_ok());
+        for bad in [
+            FabricTopology::Clos {
+                racks: 0,
+                spines: 2,
+                leaf_uplink_bytes_per_second: 1,
+                spine_bytes_per_second: 1,
+                cross_rack_latency: Nanoseconds::ZERO,
+            },
+            FabricTopology::Clos {
+                racks: 4,
+                spines: 0,
+                leaf_uplink_bytes_per_second: 1,
+                spine_bytes_per_second: 1,
+                cross_rack_latency: Nanoseconds::ZERO,
+            },
+            FabricTopology::Clos {
+                racks: 4,
+                spines: 2,
+                leaf_uplink_bytes_per_second: 0,
+                spine_bytes_per_second: 1,
+                cross_rack_latency: Nanoseconds::ZERO,
+            },
+            FabricTopology::Clos {
+                racks: 4,
+                spines: 2,
+                leaf_uplink_bytes_per_second: 1,
+                spine_bytes_per_second: 0,
+                cross_rack_latency: Nanoseconds::ZERO,
+            },
+        ] {
+            assert!(bad.validate().is_err());
+            let p = OrchParams {
+                topology: bad,
+                ..Default::default()
+            };
+            assert!(p.validate().is_err());
+        }
     }
 }

@@ -367,21 +367,74 @@ impl<'c> View<'c> {
         self.powered_ascending().next().map(|(_, id)| id)
     }
 
+    /// The rack a host lives in (0 on single-rack topologies).
+    fn rack(&self, id: HostId) -> usize {
+        self.cluster.rack_of_id(id).unwrap_or(0)
+    }
+
+    /// [`Self::coldest`], preferring a host in `hot`'s rack among the
+    /// equally-coldest candidates so the spread policy's move stays
+    /// rack-local (and off the spine tier) when it can. Reduces exactly to
+    /// [`Self::coldest`] on a single-rack topology.
+    fn coldest_preferring_rack(&self, hot: HostId) -> Option<HostId> {
+        if self.cluster.racks() <= 1 {
+            return self.coldest();
+        }
+        let hot_rack = self.rack(hot);
+        let mut it = self.powered_ascending();
+        let (low, first) = it.next()?;
+        if self.rack(first) == hot_rack {
+            return Some(first);
+        }
+        for (k, id) in it {
+            if k != low {
+                break;
+            }
+            if self.rack(id) == hot_rack {
+                return Some(id);
+            }
+        }
+        Some(first)
+    }
+
     /// Coolest powered host `!= src` that fits the VM and stays strictly
     /// under `bar` — the threshold policy's
     /// `min_by((util).partial_cmp.then(id))` over its filter, found by an
-    /// ascending scan that stops at the bar.
+    /// ascending scan that stops at the bar. On a multi-rack topology the
+    /// tie between equally-cool fitting hosts breaks toward `src`'s rack,
+    /// keeping hotspot-relief migrations off the spine tier; on one rack
+    /// the first fitting host wins outright (bit-identical to the
+    /// reference walk).
     fn threshold_dest(&self, src: HostId, demand: f64, mem: u64, bar: f64) -> Option<HostId> {
-        for (k, id) in self.powered_ascending() {
+        let src_rack = (self.cluster.racks() > 1).then(|| self.rack(src));
+        let mut it = self.powered_ascending();
+        while let Some((k, id)) = it.next() {
             if key_util(k) >= bar {
                 return None;
             }
             if id == src {
                 continue;
             }
-            if self.fits(id, demand, mem) {
+            if !self.fits(id, demand, mem) {
+                continue;
+            }
+            let Some(rack) = src_rack else {
+                return Some(id);
+            };
+            if self.rack(id) == rack {
                 return Some(id);
             }
+            // Scan the rest of this utilization-key run for a fitting
+            // same-rack host; fall back to the first fit.
+            for (k2, id2) in it {
+                if k2 != k {
+                    break;
+                }
+                if id2 != src && self.rack(id2) == rack && self.fits(id2, demand, mem) {
+                    return Some(id2);
+                }
+            }
+            return Some(id);
         }
         None
     }
@@ -400,12 +453,28 @@ impl<'c> View<'c> {
         trial: &BTreeMap<HostId, (f64, u64)>,
     ) -> Option<HostId> {
         let mut best: Option<(f64, HostId)> = None;
+        // On a multi-rack topology, equal-utilization ties prefer a host in
+        // the evacuated host's rack (rack-local consolidation stays off the
+        // spine tier) before falling back to the id order; on one rack the
+        // original `id < bid` tie-break is untouched.
+        let src_rack = (self.cluster.racks() > 1).then(|| self.rack(src));
         let consider = |util: f64, id: HostId, best: &mut Option<(f64, HostId)>| {
             let better = match *best {
                 None => true,
                 Some((bu, bid)) => match util.partial_cmp(&bu).expect("utilization is never NaN") {
                     std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => id < bid,
+                    std::cmp::Ordering::Equal => match src_rack {
+                        Some(rack) => {
+                            let id_local = self.rack(id) == rack;
+                            let bid_local = self.rack(bid) == rack;
+                            if id_local != bid_local {
+                                id_local
+                            } else {
+                                id < bid
+                            }
+                        }
+                        None => id < bid,
+                    },
                     std::cmp::Ordering::Less => false,
                 },
             };
@@ -668,7 +737,7 @@ impl RebalancePolicy for SpreadRebalance {
                 break;
             }
             let hot = view.hottest().expect("powered >= 2");
-            let cold = view.coldest().expect("powered >= 2");
+            let cold = view.coldest_preferring_rack(hot).expect("powered >= 2");
             let gap = view.util(hot) - view.util(cold);
             if gap <= params.spread_utilization_gap {
                 break;

@@ -45,8 +45,15 @@ pub struct OrchReport {
     pub migrations_skipped: u64,
     /// Summed guest downtime across completed migrations.
     pub migration_downtime_total: Nanoseconds,
-    /// Summed total migration time.
+    /// Summed total migration time (measured from the instant the fabric
+    /// path frees up — the pure transfer cost).
     pub migration_time_total: Nanoseconds,
+    /// Summed time completed migrations spent queued for the fabric before
+    /// their first byte could serialize (decision instant to path-free).
+    /// On a single-spine fabric every migration in a rebalance burst waits
+    /// behind the shared backbone; a multi-spine Clos fabric spreads the
+    /// burst over independent paths and shrinks this number.
+    pub migration_fabric_wait_total: Nanoseconds,
     /// Bytes moved by migrations (simulation scale).
     pub migration_bytes: u64,
 
@@ -59,6 +66,9 @@ pub struct OrchReport {
 
     /// Host failure events honoured.
     pub hosts_failed: u64,
+    /// Spine failure events honoured (the fabric degraded; attempts to fail
+    /// the last live spine are refused and counted as dropped events).
+    pub spines_failed: u64,
     /// VMs that were on a host the instant it failed.
     pub vms_lost_at_failure: u64,
     /// Of those, VMs brought back from a DR backup.
@@ -136,12 +146,13 @@ impl fmt::Display for OrchReport {
         )?;
         writeln!(
             f,
-            "  migration   {}/{} done ({} skipped), downtime total {} avg {}, {} bytes",
+            "  migration   {}/{} done ({} skipped), downtime total {} avg {}, fabric wait {}, {} bytes",
             self.migrations_completed,
             self.migrations_planned,
             self.migrations_skipped,
             self.migration_downtime_total,
             self.migration_downtime_avg(),
+            self.migration_fabric_wait_total,
             self.migration_bytes
         )?;
         writeln!(
@@ -151,8 +162,9 @@ impl fmt::Display for OrchReport {
         )?;
         writeln!(
             f,
-            "  failures    {} hosts failed, {} VMs hit: {} restored, {} lost, {} VM-time lost",
+            "  failures    {} hosts + {} spines failed, {} VMs hit: {} restored, {} lost, {} VM-time lost",
             self.hosts_failed,
+            self.spines_failed,
             self.vms_lost_at_failure,
             self.vms_restored,
             self.vms_lost_permanently,

@@ -67,6 +67,8 @@ impl Lcg {
 const STREAM_VM: u64 = 0x564d;
 /// Stream tag for the host-failure substream.
 const STREAM_FAILURES: u64 = 0x4641_494c;
+/// Stream tag for the spine-failure substream.
+const STREAM_SPINES: u64 = 0x5350_494e;
 
 /// An independent generator for `(seed, tag, index)`, via a SplitMix64-style
 /// finalizer. Each VM (and the failure injector) draws from its own
@@ -133,6 +135,12 @@ pub struct ScenarioConfig {
     /// Fraction of arrivals concentrated in the flash-crowd burst window
     /// (ignored by the other shapes).
     pub burst_fraction: f64,
+    /// Spine failures injected (uniformly over the middle 80% of the day).
+    /// The fabric degrades but never partitions, so at most `spines - 1`
+    /// distinct spines fail.
+    pub spine_failures: usize,
+    /// Number of spines failures may target (the fabric's spine count).
+    pub spines: usize,
 }
 
 impl ScenarioConfig {
@@ -148,12 +156,23 @@ impl ScenarioConfig {
             host_failures: 0,
             hosts,
             burst_fraction: 0.7,
+            spine_failures: 0,
+            spines: 1,
         }
     }
 
     /// Add `n` host failures (builder style).
     pub fn with_host_failures(mut self, n: usize) -> Self {
         self.host_failures = n;
+        self
+    }
+
+    /// Add `n` spine failures against a fabric with `spines` spines
+    /// (builder style). At most `spines - 1` can fail — the fabric degrades
+    /// but never partitions.
+    pub fn with_spine_failures(mut self, n: usize, spines: usize) -> Self {
+        self.spine_failures = n;
+        self.spines = spines;
         self
     }
 
@@ -170,6 +189,11 @@ impl ScenarioConfig {
         {
             return Err(Error::Config(
                 "departure_fraction and burst_fraction must be within [0, 1]".into(),
+            ));
+        }
+        if self.spine_failures > 0 && self.spine_failures >= self.spines {
+            return Err(Error::Config(
+                "spine_failures must leave at least one live spine (degrade, not partition)".into(),
             ));
         }
         Ok(())
@@ -254,6 +278,26 @@ impl Scenario {
                 Nanoseconds(at),
                 OrchEvent::HostFailure {
                     host: rvisor_types::HostId::new(host as u32),
+                },
+            ));
+        }
+
+        // Spine failures: same recipe as host failures — distinct spines,
+        // middle 80% of the day, own substream. validate() already capped
+        // them below the spine count, so at least one spine survives.
+        let mut rng = substream(config.seed, STREAM_SPINES, 0);
+        let mut failed_spines: Vec<u64> = Vec::new();
+        for _ in 0..config.spine_failures {
+            let mut spine = rng.next_below(config.spines as u64);
+            while failed_spines.contains(&spine) {
+                spine = rng.next_below(config.spines as u64);
+            }
+            failed_spines.push(spine);
+            let at = dur / 10 + rng.next_below(dur * 8 / 10);
+            events.push((
+                Nanoseconds(at),
+                OrchEvent::SpineFailure {
+                    spine: spine as usize,
                 },
             ));
         }
@@ -432,6 +476,40 @@ mod tests {
             };
             assert_eq!(pick(&small), pick(&big), "{name} reshuffled");
         }
+    }
+
+    #[test]
+    fn spine_failures_are_distinct_and_leave_a_live_spine() {
+        let cfg =
+            ScenarioConfig::day(9, WorkloadShape::SteadyState, 8, 50).with_spine_failures(3, 4);
+        let s = Scenario::generate(cfg).unwrap();
+        let spines: Vec<usize> = s
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                OrchEvent::SpineFailure { spine } => Some(*spine),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spines.len(), 3);
+        let mut dedup = spines.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), spines.len(), "spines fail at most once");
+        assert!(spines.iter().all(|&sp| sp < 4));
+        // Failing every spine would partition the fabric; rejected up front.
+        assert!(Scenario::generate(cfg.with_spine_failures(4, 4)).is_err());
+        // Spine failures ride their own substream: the VM census is untouched.
+        let plain =
+            Scenario::generate(ScenarioConfig::day(9, WorkloadShape::SteadyState, 8, 50)).unwrap();
+        let vm_events = |s: &Scenario| -> Vec<(Nanoseconds, OrchEvent)> {
+            s.events
+                .iter()
+                .filter(|(_, e)| !matches!(e, OrchEvent::SpineFailure { .. }))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(vm_events(&s), vm_events(&plain));
     }
 
     #[test]
