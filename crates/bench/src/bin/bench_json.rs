@@ -34,13 +34,14 @@ use rvisor_memory::GuestMemory;
 use rvisor_migrate::compress::xbzrle_encode;
 use rvisor_migrate::{
     ConstantRateDirtier, FabricTransport, IdleDirtier, LoopbackTransport, MigrationConfig,
-    MigrationSink, MigrationSource, PreCopy, Transport,
+    MigrationSink, MigrationSource, PostCopy, PreCopy, Transport,
 };
 use rvisor_net::{ClosFabric, ClosParams, Fabric, FabricParams, Link, LinkModel};
 use rvisor_obs::{ArgValue, Args as TraceArgs, Trace, TraceSink};
 use rvisor_orch::{
-    run_datacenter, Cluster, EventQueue, FabricTopology, OrchEvent, OrchParams, RebalancePolicy,
-    Scenario, ScenarioConfig, SpreadRebalance, ThresholdRebalance, VmFidelity, WorkloadShape,
+    run_datacenter, Cluster, EngineChoice, EventQueue, FabricTopology, OrchEvent, OrchParams,
+    RebalancePolicy, Scenario, ScenarioConfig, SpreadRebalance, ThresholdRebalance, VmFidelity,
+    WorkloadShape,
 };
 use rvisor_types::{ByteSize, GuestAddress, HostId, Nanoseconds, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
@@ -475,6 +476,57 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
             run_datacenter(32, params, Box::new(SpreadRebalance), &scenario).unwrap()
         });
         record("orch_day_clos_32rack", ns);
+    }
+
+    // -- post-copy with the out-of-order demand-fault lane: faulted pages
+    //    ride a dedicated stream that overtakes the background sweep --
+    {
+        let (src, dst) = sparse_memories(PAGES);
+        let mut link = Link::new(LinkModel::gigabit());
+        let ns = measure(samples, || {
+            let mut transport = LoopbackTransport::new(&mut link);
+            PostCopy::migrate_fault_lane_over(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &MigrationConfig::default(),
+            )
+            .unwrap()
+        });
+        record("postcopy_fault_lane_2mib", ns);
+    }
+
+    // -- adaptive day: the E22 mixed 32-rack Clos day with every rebalance
+    //    migration planned per-VM by the MigrationPlanner (observed dirty
+    //    rate, guest size, fabric occupancy), one full replay per iter --
+    {
+        let scenario = Scenario::generate(ScenarioConfig {
+            duration: Nanoseconds::from_secs(2 * 3600),
+            ..ScenarioConfig::day(0xE22, WorkloadShape::Mixed, 32, 256)
+        })
+        .unwrap();
+        let params = OrchParams {
+            placement: PlacementStrategy::Spread,
+            engine: Some(EngineChoice::Auto),
+            spread_utilization_gap: 0.05,
+            max_migrations_per_tick: 16,
+            hot_tenant_modulus: std::num::NonZeroU64::new(4),
+            rebalance_interval: Nanoseconds::from_secs(600),
+            backup_interval: Nanoseconds::from_secs(600),
+            topology: FabricTopology::Clos {
+                racks: 32,
+                spines: 4,
+                leaf_uplink_bytes_per_second: 2_500_000_000,
+                spine_bytes_per_second: 1_250_000_000,
+                cross_rack_latency: Nanoseconds::from_micros(50),
+            },
+            ..Default::default()
+        };
+        let ns = measure(samples, || {
+            run_datacenter(32, params, Box::new(SpreadRebalance), &scenario).unwrap()
+        });
+        record("orch_day_adaptive_32rack", ns);
     }
 
     // -- calendar event queue: 1M pushes at scattered times, then a full

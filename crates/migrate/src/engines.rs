@@ -533,6 +533,45 @@ impl PostCopy {
     }
 }
 
+/// Mean demand-fault *service* latency under the sweep-ordered reference
+/// discipline, for `faults` demand faults each costing `per_fault` transfer
+/// time over a path with one-way propagation delay `latency`.
+///
+/// The sweep-ordered engines ([`PostCopy::migrate_traced`] and its streamed
+/// and pipelined equivalents) charge their demand faults as one serialized
+/// propagation delay each, appended after the background sweep
+/// (`fault_penalty = latency × faults`); their reports' `avg_fault_latency`
+/// records only the *per-fault transfer cost* (`per_fault + latency`) and
+/// deliberately excludes that queueing. Under the serialized discipline the
+/// k-th fault waits behind k propagation delays, so the mean service
+/// latency over `faults ≥ 1` faults is
+///
+/// ```text
+/// per_fault + latency × (faults + 1) / 2
+/// ```
+///
+/// which is what this helper returns (`ZERO` for zero faults). A
+/// fault-lane run
+/// ([`PostCopy::migrate_fault_lane_over`](crate::PostCopy::migrate_fault_lane_over))
+/// services every fault from a dedicated stream with no queueing, so its
+/// reported `avg_fault_latency` (`per_fault + latency`) *is* its mean
+/// service latency — strictly below the sweep's whenever two or more pages
+/// fault.
+pub fn sweep_mean_fault_latency(
+    per_fault: Nanoseconds,
+    latency: Nanoseconds,
+    faults: u64,
+) -> Nanoseconds {
+    if faults == 0 {
+        return Nanoseconds::ZERO;
+    }
+    let queueing = latency
+        .as_nanos()
+        .saturating_mul(faults + 1)
+        .saturating_div(2);
+    per_fault.saturating_add(Nanoseconds(queueing))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,6 +1035,31 @@ mod tests {
                 prop_assert_eq!(dst_b.checksum(), dst_a.checksum());
             }
         }
+    }
+
+    #[test]
+    fn sweep_mean_fault_latency_accounts_for_the_serialized_queue() {
+        let per_fault = Nanoseconds(1_000);
+        let latency = Nanoseconds(100);
+        assert_eq!(
+            sweep_mean_fault_latency(per_fault, latency, 0),
+            Nanoseconds::ZERO
+        );
+        // One fault pays exactly one propagation delay — the same number
+        // the reports' `avg_fault_latency` field records.
+        assert_eq!(
+            sweep_mean_fault_latency(per_fault, latency, 1),
+            Nanoseconds(1_100)
+        );
+        // The k-th fault queues k delays: mean = latency * (n + 1) / 2.
+        assert_eq!(
+            sweep_mean_fault_latency(per_fault, latency, 3),
+            Nanoseconds(1_200)
+        );
+        assert!(
+            sweep_mean_fault_latency(per_fault, latency, 51)
+                > sweep_mean_fault_latency(per_fault, latency, 5)
+        );
     }
 
     #[test]

@@ -52,6 +52,23 @@
 //!   wall-clock overlap on multi-core hosts (experiment E18). See the
 //!   [`pipeline`] module docs for what the fair-share multi-stream network
 //!   model does and does not capture.
+//!
+//! ## Which plan do I want?
+//!
+//! [`MigrationConfig`] carries run-level knobs; a [`MigrationPlan`] is the
+//! per-migration decision object that one migration actually executes
+//! (`config.plan(engine)` lowers one into the other). Rules of thumb:
+//!
+//! | Guest | Plan |
+//! |-------|------|
+//! | Tiny (fits one stop-the-world copy in the downtime budget) | [`PlanEngine::StopAndCopy`], 1 stream, no compression |
+//! | Large, mostly idle, fabric idle | [`PlanEngine::PreCopy`], several streams |
+//! | Large, write-heavy, thin link | [`PlanEngine::PreCopy`], [`PageCompression::Xbzrle`], dedicated compressors |
+//! | Dirty-hot (pre-copy would never converge) | [`PlanEngine::PostCopy`] + [`FaultService::FaultLane`] |
+//! | Don't know / measuring | [`PlanEngine::PreCopy`] defaults — it observes the dirty rate for next time |
+//!
+//! The `rvisor-orch` `MigrationPlanner` automates exactly this table from
+//! observed dirty rate, guest size and fabric occupancy.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -60,6 +77,7 @@ pub mod compress;
 pub mod dirty;
 pub mod engines;
 pub mod pipeline;
+pub mod plan;
 pub mod report;
 pub mod stream;
 pub mod transport;
@@ -67,7 +85,13 @@ pub mod wire;
 
 pub use compress::{CompressionStats, PageCompression, PageCompressor, WirePage};
 pub use dirty::{ConstantRateDirtier, DirtySource, IdleDirtier};
-pub use engines::{MigrationConfig, PostCopy, PreCopy, StopAndCopy, MAX_MIGRATION_STREAMS};
+pub use engines::{
+    sweep_mean_fault_latency, MigrationConfig, PostCopy, PreCopy, StopAndCopy,
+    MAX_MIGRATION_STREAMS,
+};
+pub use plan::{
+    FaultService, MigrationConfigBuilder, MigrationPlan, MigrationPlanBuilder, PlanEngine,
+};
 pub use report::{MigrationKind, MigrationReport, RoundStat};
 pub use stream::{MigrationSink, MigrationSource};
 pub use transport::{FabricTransport, LoopbackTransport, Transport};

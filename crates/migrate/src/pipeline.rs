@@ -45,6 +45,7 @@
 //! eviction — the common case, and every configuration the equivalence
 //! proptests run — the two are bit-identical.
 
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
@@ -58,14 +59,17 @@ use crate::compress::{PageCompression, PageCompressor, WirePage};
 use crate::dirty::DirtySource;
 use crate::engines::{check_same_size, MigrationConfig, PostCopy, PreCopy, StopAndCopy};
 use crate::engines::{emit_migration_span, emit_round_span, PER_PAGE_OVERHEAD};
+use crate::plan::MigrationPlan;
 use crate::report::{MigrationKind, MigrationReport, RoundStat};
 use crate::stream::MigrationSink;
 use crate::transport::Transport;
 use crate::wire;
 
-/// One round's work order for a stripe worker: the stripe's slice of the
-/// round's page list and a recycled buffer to encode into.
+/// One round's work order for an encode/compression worker: which stripe it
+/// is, the stripe's slice of the round's page list and a recycled buffer to
+/// encode into.
 struct RoundTask {
+    stripe: usize,
     pages: Vec<u64>,
     body: Vec<u8>,
 }
@@ -115,7 +119,11 @@ fn encode_stripe(
     mut compressor: Option<&mut PageCompressor>,
     task: RoundTask,
 ) -> Result<StripeEncoding> {
-    let RoundTask { pages, mut body } = task;
+    let RoundTask {
+        stripe: _,
+        pages,
+        mut body,
+    } = task;
     body.clear();
     let first_page = pages.first().copied();
     let mut leading: Option<Run> = None;
@@ -295,6 +303,7 @@ impl Pipeline<'_> {
                 let body = self.grab_body_buf();
                 self.task_txs[s]
                     .send(RoundTask {
+                        stripe: s,
                         pages: task_pages,
                         body,
                     })
@@ -373,14 +382,29 @@ impl Pipeline<'_> {
 /// then tear everything down — propagating a sink-side error in preference
 /// to the coordinator's (a broken sink surfaces as a channel failure on the
 /// coordinator, and the sink's own error says why).
+///
+/// The encode stage and the compression stage scale independently: raw
+/// rounds get one encode worker per stripe (`streams`), compressed rounds
+/// run on a separate pool of `compressors` compression workers. Stripe `s`
+/// is statically owned by worker `s % workers` and each worker keeps one
+/// persistent [`PageCompressor`] *per stripe it owns*, so every stripe sees
+/// the same sequence of compress calls — and produces byte-identical frames
+/// — for any worker count (pinned by test). The knob trades host wall-clock
+/// only.
 fn with_pipeline<R>(
     source: &GuestMemory,
     dest: &GuestMemory,
     compression: Option<(PageCompression, usize)>,
     streams: NonZeroUsize,
+    compressors: NonZeroUsize,
     f: impl FnOnce(&mut Pipeline<'_>) -> Result<R>,
 ) -> Result<R> {
     let streams = streams.get();
+    // More workers than stripes cannot help: stripes are the unit of work.
+    let workers = match compression {
+        None => streams,
+        Some(_) => compressors.get().min(streams),
+    };
     let total_pages = source.total_pages();
     let stripe_len = total_pages.div_ceil(streams as u64).max(1);
     thread::scope(|scope| {
@@ -396,24 +420,47 @@ fn with_pipeline<R>(
             }
             Ok(())
         });
-        let mut task_txs = Vec::with_capacity(streams);
+        // Per-stripe result channels: the coordinator still gathers in
+        // stripe order, whatever worker encoded the stripe.
+        let mut result_txs = Vec::with_capacity(streams);
         let mut result_rxs = Vec::with_capacity(streams);
         for _ in 0..streams {
-            let (task_tx, task_rx) = sync_channel::<RoundTask>(1);
             let (result_tx, result_rx) = sync_channel::<Result<StripeEncoding>>(1);
-            let mut compressor = compression
-                .map(|(mode, cache_pages)| PageCompressor::with_cache_capacity(mode, cache_pages));
+            result_txs.push(result_tx);
+            result_rxs.push(result_rx);
+        }
+        // Each result channel carries at most one encoding per round and is
+        // fully drained before the next round's scatter, so a worker's
+        // result sends never block and the task channels below can never
+        // deadlock against them.
+        let mut worker_txs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            // A worker may be handed every stripe it owns before it drains
+            // any of them; size the task channel for a full round.
+            let (task_tx, task_rx) = sync_channel::<RoundTask>(streams.div_ceil(workers));
+            let results: Vec<SyncSender<Result<StripeEncoding>>> = result_txs.clone();
             scope.spawn(move || {
+                let mut per_stripe: BTreeMap<usize, PageCompressor> = BTreeMap::new();
                 while let Ok(task) = task_rx.recv() {
-                    let encoded = encode_stripe(source, compressor.as_mut(), task);
-                    if result_tx.send(encoded).is_err() {
+                    let stripe = task.stripe;
+                    let compressor = compression.map(|(mode, cache_pages)| {
+                        per_stripe.entry(stripe).or_insert_with(|| {
+                            PageCompressor::with_cache_capacity(mode, cache_pages)
+                        })
+                    });
+                    let encoded = encode_stripe(source, compressor, task);
+                    if results[stripe].send(encoded).is_err() {
                         break;
                     }
                 }
             });
-            task_txs.push(task_tx);
-            result_rxs.push(result_rx);
+            worker_txs.push(task_tx);
         }
+        drop(result_txs);
+        let task_txs: Vec<SyncSender<RoundTask>> = (0..streams)
+            .map(|s| worker_txs[s % workers].clone())
+            .collect();
+        drop(worker_txs);
         let mut pipeline = Pipeline {
             total_pages,
             memory_bytes: source.total_size().as_u64(),
@@ -502,7 +549,7 @@ impl StopAndCopy {
         check_same_size(source, dest)?;
         let start = transport.free_at();
         let bytes_before = transport.bytes_sent();
-        with_pipeline(source, dest, None, config.streams, |p| {
+        with_pipeline(source, dest, None, config.streams, config.streams, |p| {
             let hello = p.send_hello()?;
             let after_hello = transport.transmit_bytes(start, hello)?;
             let all_pages: Vec<u64> = (0..source.total_pages()).collect();
@@ -575,94 +622,154 @@ impl PreCopy {
         config: &MigrationConfig,
         trace: &Trace,
     ) -> Result<MigrationReport> {
+        Self::pipelined_with_compressors(
+            source,
+            dest,
+            vcpus,
+            transport,
+            dirty_source,
+            config,
+            config.streams,
+            trace,
+        )
+    }
+
+    /// [`PreCopy::migrate_pipelined_traced`] shaped by a per-migration
+    /// [`MigrationPlan`]: stream count, compression mode and the decoupled
+    /// compression-stage worker count
+    /// ([`MigrationPlan::compressor_workers`]) all come from the plan. The
+    /// wire bytes, the destination memory and the report are identical for
+    /// any compressor-worker count (pinned by test); the knob trades host
+    /// wall-clock only.
+    pub fn migrate_pipelined_planned_traced(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        dirty_source: &mut dyn DirtySource,
+        plan: &MigrationPlan,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
+        plan.validate()?;
+        Self::pipelined_with_compressors(
+            source,
+            dest,
+            vcpus,
+            transport,
+            dirty_source,
+            &plan.config(),
+            plan.compressor_workers(),
+            trace,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pipelined_with_compressors(
+        source: &GuestMemory,
+        dest: &GuestMemory,
+        vcpus: &[VcpuState],
+        transport: &mut dyn Transport,
+        dirty_source: &mut dyn DirtySource,
+        config: &MigrationConfig,
+        compressors: NonZeroUsize,
+        trace: &Trace,
+    ) -> Result<MigrationReport> {
         config.validate()?;
         check_same_size(source, dest)?;
         let start = transport.free_at();
         let bytes_before = transport.bytes_sent();
-        with_pipeline(source, dest, compression_of(config), config.streams, |p| {
-            let hello = p.send_hello()?;
-            let mut now = transport.transmit_bytes(start, hello)?;
+        with_pipeline(
+            source,
+            dest,
+            compression_of(config),
+            config.streams,
+            compressors,
+            |p| {
+                let hello = p.send_hello()?;
+                let mut now = transport.transmit_bytes(start, hello)?;
 
-            let mut total_pages = 0u64;
-            let mut rounds = 0u32;
-            let mut converged = false;
-            let mut breakdown: Vec<RoundStat> = Vec::with_capacity(config.max_rounds as usize + 1);
+                let mut total_pages = 0u64;
+                let mut rounds = 0u32;
+                let mut converged = false;
+                let mut breakdown: Vec<RoundStat> =
+                    Vec::with_capacity(config.max_rounds as usize + 1);
 
-            source.clear_dirty();
-            let mut to_send: Vec<u64> = (0..source.total_pages()).collect();
-            let mut harvest: Vec<u64> = Vec::new();
+                source.clear_dirty();
+                let mut to_send: Vec<u64> = (0..source.total_pages()).collect();
+                let mut harvest: Vec<u64> = Vec::new();
 
-            loop {
-                rounds += 1;
-                let round_start = now;
+                loop {
+                    rounds += 1;
+                    let round_start = now;
+                    p.encode_round(&to_send)?;
+                    let round_bytes_before = transport.bytes_sent();
+                    let done = transport.transmit_striped(now, p.stripe_bytes())?;
+                    total_pages += to_send.len() as u64;
+                    let round_duration = done.saturating_sub(round_start);
+                    let stat = RoundStat {
+                        pages: to_send.len() as u64,
+                        bytes: transport.bytes_sent() - round_bytes_before,
+                        duration: round_duration,
+                    };
+                    breakdown.push(stat);
+                    emit_round_span(trace, "round", rounds, stat, round_start, done);
+                    emit_stripe_instants(trace, rounds, done, p.stripe_bytes());
+                    dirty_source.run_for(source, round_duration)?;
+                    now = done;
+
+                    source.drain_dirty_into(&mut harvest);
+                    std::mem::swap(&mut to_send, &mut harvest);
+                    if to_send.len() as u64 <= config.dirty_page_threshold {
+                        converged = true;
+                        break;
+                    }
+                    if rounds >= config.max_rounds {
+                        break;
+                    }
+                }
+
+                let pause_start = now;
                 p.encode_round(&to_send)?;
-                let round_bytes_before = transport.bytes_sent();
-                let done = transport.transmit_striped(now, p.stripe_bytes())?;
+                let stop_bytes_before = transport.bytes_sent();
+                let after_residual = transport.transmit_striped(now, p.stripe_bytes())?;
                 total_pages += to_send.len() as u64;
-                let round_duration = done.saturating_sub(round_start);
-                let stat = RoundStat {
+                let stop_stat = RoundStat {
                     pages: to_send.len() as u64,
-                    bytes: transport.bytes_sent() - round_bytes_before,
-                    duration: round_duration,
+                    bytes: transport.bytes_sent() - stop_bytes_before,
+                    duration: after_residual.saturating_sub(pause_start),
                 };
-                breakdown.push(stat);
-                emit_round_span(trace, "round", rounds, stat, round_start, done);
-                emit_stripe_instants(trace, rounds, done, p.stripe_bytes());
-                dirty_source.run_for(source, round_duration)?;
-                now = done;
+                breakdown.push(stop_stat);
+                emit_round_span(
+                    trace,
+                    "stop-phase",
+                    rounds + 1,
+                    stop_stat,
+                    pause_start,
+                    after_residual,
+                );
+                emit_stripe_instants(trace, rounds + 1, after_residual, p.stripe_bytes());
+                let state = p.send_vcpu_states(vcpus)?;
+                let done = transport.transmit_bytes(after_residual, state)?;
 
-                source.drain_dirty_into(&mut harvest);
-                std::mem::swap(&mut to_send, &mut harvest);
-                if to_send.len() as u64 <= config.dirty_page_threshold {
-                    converged = true;
-                    break;
-                }
-                if rounds >= config.max_rounds {
-                    break;
-                }
-            }
-
-            let pause_start = now;
-            p.encode_round(&to_send)?;
-            let stop_bytes_before = transport.bytes_sent();
-            let after_residual = transport.transmit_striped(now, p.stripe_bytes())?;
-            total_pages += to_send.len() as u64;
-            let stop_stat = RoundStat {
-                pages: to_send.len() as u64,
-                bytes: transport.bytes_sent() - stop_bytes_before,
-                duration: after_residual.saturating_sub(pause_start),
-            };
-            breakdown.push(stop_stat);
-            emit_round_span(
-                trace,
-                "stop-phase",
-                rounds + 1,
-                stop_stat,
-                pause_start,
-                after_residual,
-            );
-            emit_stripe_instants(trace, rounds + 1, after_residual, p.stripe_bytes());
-            let state = p.send_vcpu_states(vcpus)?;
-            let done = transport.transmit_bytes(after_residual, state)?;
-
-            let report = MigrationReport {
-                kind: MigrationKind::PreCopy,
-                downtime: done.saturating_sub(pause_start),
-                total_time: done.saturating_sub(start),
-                rounds,
-                bytes_transferred: transport.bytes_sent() - bytes_before,
-                pages_transferred: total_pages,
-                memory_size: source.total_size(),
-                converged,
-                remote_faults: 0,
-                avg_fault_latency: Nanoseconds::ZERO,
-                rounds_breakdown: breakdown,
-            };
-            // Per-stripe workers own their compressors, so no aggregate
-            // compression stats are available on this path.
-            emit_migration_span(trace, &report, start, done, None);
-            Ok(report)
-        })
+                let report = MigrationReport {
+                    kind: MigrationKind::PreCopy,
+                    downtime: done.saturating_sub(pause_start),
+                    total_time: done.saturating_sub(start),
+                    rounds,
+                    bytes_transferred: transport.bytes_sent() - bytes_before,
+                    pages_transferred: total_pages,
+                    memory_size: source.total_size(),
+                    converged,
+                    remote_faults: 0,
+                    avg_fault_latency: Nanoseconds::ZERO,
+                    rounds_breakdown: breakdown,
+                };
+                // Per-stripe workers own their compressors, so no aggregate
+                // compression stats are available on this path.
+                emit_migration_span(trace, &report, start, done, None);
+                Ok(report)
+            },
+        )
     }
 }
 
@@ -694,7 +801,7 @@ impl PostCopy {
         check_same_size(source, dest)?;
         let start = transport.free_at();
         let bytes_before = transport.bytes_sent();
-        with_pipeline(source, dest, None, config.streams, |p| {
+        with_pipeline(source, dest, None, config.streams, config.streams, |p| {
             let hello = p.send_hello()?;
             let after_hello = transport.transmit_bytes(start, hello)?;
 
@@ -954,6 +1061,81 @@ mod tests {
             &MigrationConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn compressor_worker_count_never_changes_the_bytes() {
+        use crate::plan::{MigrationPlan, PlanEngine};
+
+        // The compression stage is decoupled from the stripe workers; any
+        // compressor-worker count must produce the identical report and
+        // destination memory (per-stripe compressor state is preserved no
+        // matter which worker owns the stripe).
+        let pages = 256u64;
+        for compression in [PageCompression::ZeroPages, PageCompression::Xbzrle] {
+            let run = |compressors: Option<usize>| {
+                let (src, dst) = memories(pages);
+                let mut link = Link::new(LinkModel::gigabit());
+                let mut transport = LoopbackTransport::new(&mut link);
+                let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                    LinkModel::gigabit().bytes_per_second,
+                    0.4,
+                    0,
+                    pages,
+                );
+                let mut builder = MigrationPlan::builder(PlanEngine::PreCopy)
+                    .streams(streams(6))
+                    .compression(compression);
+                if let Some(c) = compressors {
+                    builder = builder.compressors(streams(c));
+                }
+                let plan = builder.build().unwrap();
+                let report = PreCopy::migrate_pipelined_planned_traced(
+                    &src,
+                    &dst,
+                    &[VcpuState::default()],
+                    &mut transport,
+                    &mut dirtier,
+                    &plan,
+                    &Trace::off(),
+                )
+                .unwrap();
+                (report, region_bytes(&dst))
+            };
+            let (base, base_mem) = run(None);
+            for c in [1usize, 2, 3, 8] {
+                let (report, mem) = run(Some(c));
+                assert_eq!(report, base, "{compression:?} with {c} compressors");
+                assert_eq!(mem, base_mem, "{compression:?} with {c} compressors");
+            }
+            // The plan-routed entry with default compressors matches the
+            // config-routed entry exactly.
+            let (src, dst) = memories(pages);
+            let mut link = Link::new(LinkModel::gigabit());
+            let mut transport = LoopbackTransport::new(&mut link);
+            let mut dirtier = ConstantRateDirtier::from_bandwidth_fraction(
+                LinkModel::gigabit().bytes_per_second,
+                0.4,
+                0,
+                pages,
+            );
+            let config = MigrationConfig {
+                streams: streams(6),
+                compression,
+                ..Default::default()
+            };
+            let direct = PreCopy::migrate_pipelined(
+                &src,
+                &dst,
+                &[VcpuState::default()],
+                &mut transport,
+                &mut dirtier,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(direct, base, "{compression:?}: plan routing diverged");
+            assert_eq!(region_bytes(&dst), base_mem);
+        }
     }
 
     mod properties {

@@ -91,6 +91,12 @@ pub trait FabricModel {
     /// Busy-until mark of spine `spine`, or `None` if it is failed or out
     /// of range.
     fn spine_free_at(&self, spine: usize) -> Option<Nanoseconds>;
+    /// Earliest instant the fabric's least-loaded live core path is free:
+    /// the single-spine backbone mark, or a Clos fabric's least-busy live
+    /// spine. This is the coarse occupancy signal the adaptive migration
+    /// planner consumes — `free_at().saturating_sub(now)` is the core
+    /// backlog a new migration would queue behind.
+    fn free_at(&self) -> Nanoseconds;
     /// Remove spine `spine` from service. Fails if the spine is out of
     /// range, already failed, or the last live spine (the fabric degrades,
     /// it never partitions).
@@ -142,6 +148,9 @@ impl FabricModel for Fabric {
     }
     fn spine_free_at(&self, spine: usize) -> Option<Nanoseconds> {
         (spine == 0).then(|| self.backbone_free_at())
+    }
+    fn free_at(&self) -> Nanoseconds {
+        self.backbone_free_at()
     }
     fn fail_spine(&mut self, _spine: usize) -> Result<()> {
         Err(Error::Net(
@@ -902,6 +911,9 @@ impl FabricModel for ClosFabric {
     fn spine_free_at(&self, spine: usize) -> Option<Nanoseconds> {
         ClosFabric::spine_free_at(self, spine)
     }
+    fn free_at(&self) -> Nanoseconds {
+        ClosFabric::min_live_spine_free_at(self)
+    }
     fn fail_spine(&mut self, spine: usize) -> Result<()> {
         ClosFabric::fail_spine(self, spine)
     }
@@ -992,6 +1004,12 @@ impl AnyFabric {
     /// The earliest busy-until mark over all live spines.
     pub fn min_live_spine_free_at(&self) -> Nanoseconds {
         any_delegate!(self, f => f.backbone_free_at(), c => c.min_live_spine_free_at())
+    }
+
+    /// Earliest instant the least-loaded live core path is free; see
+    /// [`FabricModel::free_at`].
+    pub fn free_at(&self) -> Nanoseconds {
+        self.min_live_spine_free_at()
     }
 
     /// Remove a spine from service; see [`ClosFabric::fail_spine`]. The
@@ -1090,6 +1108,9 @@ impl FabricModel for AnyFabric {
     }
     fn spine_free_at(&self, spine: usize) -> Option<Nanoseconds> {
         AnyFabric::spine_free_at(self, spine)
+    }
+    fn free_at(&self) -> Nanoseconds {
+        AnyFabric::free_at(self)
     }
     fn fail_spine(&mut self, spine: usize) -> Result<()> {
         AnyFabric::fail_spine(self, spine)

@@ -28,6 +28,7 @@
 //! | `rvisor-orch` cluster | `cluster` | one span per executed migration (vm, hosts, engine, downtime) |
 //! | `rvisor-orch` orchestrator | `orch` | one instant per event-loop event (arrival, departure, failure, ticks) |
 //! | `rvisor-orch` orchestrator | `orch/policy` | one instant per policy decision with its typed reason code |
+//! | `rvisor-orch` orchestrator | `orch/planner` | one instant per adaptive plan decision (vm, engine, fault service, streams, observed dirty rate, guest bytes, fabric backlog, reason) + a `planner.decisions` counter |
 //! | `rvisor-orch` orchestrator | `dr` | one span per backup stream (submit → arrival) and per restore |
 //!
 //! Histograms fed along the way: migration downtime & duration, per-round

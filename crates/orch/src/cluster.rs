@@ -53,10 +53,13 @@
 //! snapshot size is content-independent (every page is captured).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::num::NonZeroU64;
 
 use rvisor::{MigrationOutcome, Vm, VmConfig, VmLifecycle, Vmm};
 use rvisor_cluster::{Host, HostSpec, PlacementStrategy, VmSpec};
-use rvisor_migrate::{FabricTransport, MigrationConfig, MigrationReport};
+use rvisor_migrate::{
+    FabricTransport, MigrationConfig, MigrationPlan, MigrationReport, PlanEngine,
+};
 use rvisor_net::{AnyFabric, ClosFabric, ClosParams, Fabric};
 use rvisor_obs::{ArgValue, Trace};
 use rvisor_snapshot::{SnapshotId, SnapshotStore};
@@ -74,7 +77,6 @@ const MARKER_BASE: u64 = 0xa000;
 /// Idle wakeups budgeted per tenant guest; enough simulated "uptime" to
 /// survive a day of migration rounds without the guest halting.
 const TENANT_WAKEUPS: u64 = 1_000_000;
-
 /// Conservative absolute slack for the floating-point free-CPU quick
 /// reject. Committed-CPU sums carry at most ~1e-12 of absolute error at
 /// datacenter magnitudes, so a reject margin of 1e-9 can never turn away a
@@ -128,14 +130,29 @@ fn identity_stamp(name: &str) -> u64 {
 /// the VM's name and the configured guest memory, so a VM materialized late
 /// is bit-identical to one provisioned at arrival (tenant guests only
 /// execute during migration rounds, never while parked on a host).
-fn provision_canonical(vm: &mut Vm, name: &str) -> Result<()> {
-    let workload = Workload::with_layout(
+///
+/// With `hot_modulus` set ([`OrchParams::hot_tenant_modulus`]), one tenant
+/// in that many (chosen by the same FNV identity hash, so the population
+/// mix is a pure function of the names) runs a write-heavy loop instead of
+/// the idle loop: during migration rounds it re-dirties the two data pages
+/// between [`TENANT_DATA_BASE`] and [`MARKER_BASE`], which is what gives
+/// the VMM's running-VM dirtier a nonzero rate to observe and the adaptive
+/// planner a dirty-hot class to route to the post-copy fault lane. Both
+/// workload images fit one code page, so the canonical deploy state still
+/// dirties exactly five pages either way.
+fn provision_canonical(vm: &mut Vm, name: &str, hot_modulus: Option<NonZeroU64>) -> Result<()> {
+    let hot = hot_modulus.is_some_and(|m| identity_stamp(name).is_multiple_of(m.get()));
+    let kind = if hot {
+        WorkloadKind::MemoryDirty {
+            pages: (MARKER_BASE - TENANT_DATA_BASE) / PAGE_SIZE,
+            passes: TENANT_WAKEUPS,
+        }
+    } else {
         WorkloadKind::Idle {
             wakeups: TENANT_WAKEUPS,
-        },
-        TENANT_ENTRY,
-        TENANT_DATA_BASE,
-    )?;
+        }
+    };
+    let workload = Workload::with_layout(kind, TENANT_ENTRY, TENANT_DATA_BASE)?;
     vm.load_workload(&workload)?;
     // Stamp a per-VM identity so backups and migrations carry real,
     // distinguishable guest state (and dirty a few pages doing so).
@@ -775,6 +792,7 @@ impl Cluster {
     /// Turn the model at (`idx`, `name`) into a live canonical-state guest.
     /// Idempotent for already-materialized VMs.
     fn materialize_at(&mut self, idx: usize, name: &str) -> Result<()> {
+        let hot_modulus = self.params.hot_tenant_modulus;
         let h = &mut self.hosts[idx];
         if h.vm_ids.contains_key(name) {
             return Ok(());
@@ -782,7 +800,7 @@ impl Cluster {
         let config = VmConfig::new(name).with_memory(self.params.guest_memory);
         let id = h
             .vmm
-            .create_vm_with(config, |vm| provision_canonical(vm, name))?;
+            .create_vm_with(config, |vm| provision_canonical(vm, name, hot_modulus))?;
         h.vm_ids.insert(name.to_string(), id);
         h.models.remove(name);
         Ok(())
@@ -854,7 +872,11 @@ impl Cluster {
         let mut store = SnapshotStore::new();
         let config = VmConfig::new("canonical-size-probe").with_memory(self.params.guest_memory);
         let mut probe = Vm::new(config)?;
-        provision_canonical(&mut probe, "canonical-size-probe")?;
+        provision_canonical(
+            &mut probe,
+            "canonical-size-probe",
+            self.params.hot_tenant_modulus,
+        )?;
         let id = probe.snapshot("canonical-size-probe", &mut store)?;
         let size = store
             .get(id)
@@ -994,11 +1016,61 @@ impl Cluster {
     ///
     /// Migration touches guest memory, so a still-modeled VM is
     /// materialized first (and stays materialized ever after).
+    ///
+    /// The run-level `(engine, migration_streams, migration_compression)`
+    /// knobs are lowered into a [`MigrationPlan`] and executed by
+    /// [`Cluster::migrate_planned`] — identical results, one code path.
     pub fn migrate(
         &mut self,
         vm: &str,
         to: HostId,
         engine: MigrationOutcome,
+        now: Nanoseconds,
+    ) -> Result<MigrationReport> {
+        let engine = match engine {
+            MigrationOutcome::StopAndCopy => PlanEngine::StopAndCopy,
+            MigrationOutcome::PreCopy => PlanEngine::PreCopy,
+            MigrationOutcome::PostCopy => PlanEngine::PostCopy,
+        };
+        let plan = MigrationConfig {
+            streams: self.params.migration_streams,
+            compression: self.params.migration_compression,
+            ..Default::default()
+        }
+        .plan(engine);
+        self.migrate_planned(vm, to, &plan, now)
+    }
+
+    /// The dirty rate (bytes/second) last observed for the named VM during
+    /// a pre-copy migration, if any. Still-modeled VMs have never been
+    /// migrated, so they report `None` (the planner treats that as cold).
+    pub fn observed_dirty_rate(&self, vm: &str) -> Option<u64> {
+        let idx = *self.vm_to_host.get(vm)?;
+        let host = &self.hosts[idx];
+        let id = *host.vm_ids.get(vm)?;
+        host.vmm.observed_dirty_rate(id)
+    }
+
+    /// The named VM's spec (accounting-scale) memory — the guest-size
+    /// input to the adaptive migration planner.
+    pub fn spec_memory_of(&self, vm: &str) -> Option<ByteSize> {
+        let idx = *self.vm_to_host.get(vm)?;
+        self.hosts[idx]
+            .accounting
+            .placed
+            .iter()
+            .find(|s| s.name == vm)
+            .map(|s| s.memory)
+    }
+
+    /// Live-migrate the named VM under an explicit per-migration
+    /// [`MigrationPlan`] — what the adaptive planner drives when
+    /// [`EngineChoice::Auto`](crate::EngineChoice::Auto) is selected.
+    pub fn migrate_planned(
+        &mut self,
+        vm: &str,
+        to: HostId,
+        plan: &MigrationPlan,
         now: Nanoseconds,
     ) -> Result<MigrationReport> {
         let from_idx = *self
@@ -1047,18 +1119,8 @@ impl Cluster {
         let trace = self.trace.clone();
         let migrated = FabricTransport::starting_at(&mut self.fabric, from_idx, to_idx, now)
             .and_then(|mut transport| {
-                let config = MigrationConfig {
-                    streams: self.params.migration_streams,
-                    ..Default::default()
-                };
-                src.vmm.migrate_to_over_traced(
-                    vm_id,
-                    &mut dst.vmm,
-                    &mut transport,
-                    engine,
-                    config,
-                    &trace,
-                )
+                src.vmm
+                    .migrate_to_planned_traced(vm_id, &mut dst.vmm, &mut transport, plan, &trace)
             });
         let (new_id, report) = match migrated {
             Ok(ok) => ok,
@@ -1135,6 +1197,7 @@ impl Cluster {
             )));
         }
         self.place_spec(idx, spec.clone())?;
+        let hot_modulus = self.params.hot_tenant_modulus;
         let restored = (|| {
             let config = VmConfig::new(&spec.name).with_memory(guest_memory);
             let restore_into = |vm: &mut Vm, snap: SnapshotId, store: &SnapshotStore| {
@@ -1152,7 +1215,7 @@ impl Cluster {
                     let mut scratch_store = SnapshotStore::new();
                     let scratch_config = VmConfig::new(&spec.name).with_memory(guest_memory);
                     let mut scratch = Vm::new(scratch_config)?;
-                    provision_canonical(&mut scratch, &spec.name)?;
+                    provision_canonical(&mut scratch, &spec.name, hot_modulus)?;
                     let snap = scratch.snapshot("canonical", &mut scratch_store)?;
                     self.hosts[idx]
                         .vmm

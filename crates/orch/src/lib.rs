@@ -130,6 +130,7 @@ pub mod cluster;
 pub mod event;
 pub mod orchestrator;
 pub mod params;
+pub mod planner;
 pub mod policy;
 pub mod report;
 pub mod scenario;
@@ -137,7 +138,8 @@ pub mod scenario;
 pub use cluster::{BackupHandle, Cluster, HostPower, OrchHost};
 pub use event::{EventQueue, MinHeapQueue, OrchEvent, Scheduled};
 pub use orchestrator::{run_datacenter, run_datacenter_traced, Orchestrator};
-pub use params::{FabricTopology, OrchParams, VmFidelity, MIN_GUEST_MEMORY};
+pub use params::{EngineChoice, FabricTopology, OrchParams, VmFidelity, MIN_GUEST_MEMORY};
+pub use planner::{MigrationPlanner, PlanChoice};
 pub use policy::{
     ConsolidateAndPowerDown, DecisionReason, MigrationDecision, RebalancePlan, RebalancePolicy,
     SpreadRebalance, ThresholdRebalance,

@@ -2,25 +2,28 @@
 
 use std::collections::BTreeMap;
 
-use rvisor::MigrationOutcome;
 use rvisor_cluster::{HostSpec, VmSpec};
+use rvisor_migrate::{FaultService, MigrationConfig, MigrationPlan, PlanEngine};
 use rvisor_obs::{ArgValue, Trace};
 use rvisor_snapshot::SnapshotStore;
 use rvisor_types::{ByteSize, Error, HostId, Nanoseconds, Result};
 
 use crate::cluster::{BackupHandle, Cluster, HostPower};
 use crate::event::{EventQueue, OrchEvent};
-use crate::params::OrchParams;
+use crate::params::{EngineChoice, OrchParams};
+use crate::planner::MigrationPlanner;
 use crate::policy::{DecisionReason, RebalancePolicy};
 use crate::report::OrchReport;
 use crate::scenario::Scenario;
 
-/// Stable engine label for trace arguments (matches `MigrationKind::name`).
-fn engine_label(engine: MigrationOutcome) -> &'static str {
+/// Stable engine label for trace arguments (matches `MigrationKind::name`,
+/// plus `auto` for planner-deferred decisions).
+fn engine_label(engine: EngineChoice) -> &'static str {
     match engine {
-        MigrationOutcome::StopAndCopy => "stop-and-copy",
-        MigrationOutcome::PreCopy => "pre-copy",
-        MigrationOutcome::PostCopy => "post-copy",
+        EngineChoice::StopAndCopy => "stop-and-copy",
+        EngineChoice::PreCopy => "pre-copy",
+        EngineChoice::PostCopy => "post-copy",
+        EngineChoice::Auto => "auto",
     }
 }
 
@@ -116,6 +119,9 @@ pub struct Orchestrator {
     backup_queue: Vec<String>,
     /// Observability plane: off by default, costing one branch per hook.
     trace: Trace,
+    /// Thresholds for resolving [`EngineChoice::Auto`] decisions into a
+    /// per-migration plan.
+    planner: MigrationPlanner,
 }
 
 impl Orchestrator {
@@ -144,7 +150,15 @@ impl Orchestrator {
             restores_scheduled: 0,
             backup_queue: Vec::new(),
             trace: Trace::off(),
+            planner: MigrationPlanner::default(),
         })
+    }
+
+    /// Replace the adaptive planner's thresholds (consulted only for
+    /// [`EngineChoice::Auto`] decisions). Deterministic: the planner is
+    /// pure, so a same-seed run with the same thresholds replays `==`.
+    pub fn set_planner(&mut self, planner: MigrationPlanner) {
+        self.planner = planner;
     }
 
     /// The cluster (inspection; the run consumes events, not this view).
@@ -607,6 +621,62 @@ impl Orchestrator {
         Ok(())
     }
 
+    /// Resolve a policy's engine selector into the [`MigrationPlan`] one
+    /// migration will execute. Static choices lower the run-level knobs;
+    /// [`EngineChoice::Auto`] consults the adaptive planner with the VM's
+    /// observed dirty rate, spec size and the current fabric backlog, and
+    /// emits the decision as a typed `orch/planner` instant.
+    fn resolve_plan(&mut self, choice: EngineChoice, vm: &str) -> MigrationPlan {
+        let engine = match choice {
+            EngineChoice::StopAndCopy => PlanEngine::StopAndCopy,
+            EngineChoice::PreCopy => PlanEngine::PreCopy,
+            EngineChoice::PostCopy => PlanEngine::PostCopy,
+            EngineChoice::Auto => {
+                let dirty_rate = self.cluster.observed_dirty_rate(vm).unwrap_or(0);
+                let guest = self.cluster.spec_memory_of(vm).unwrap_or(ByteSize::new(0));
+                let backlog = self.cluster.fabric().free_at().saturating_sub(self.now);
+                let chosen = self.planner.plan(dirty_rate, guest, backlog);
+                self.report.planner_decisions += 1;
+                match chosen.plan.engine {
+                    PlanEngine::StopAndCopy => self.report.planner_stop_and_copy += 1,
+                    PlanEngine::PreCopy => self.report.planner_pre_copy += 1,
+                    PlanEngine::PostCopy => self.report.planner_post_copy += 1,
+                }
+                if chosen.plan.fault_service == FaultService::FaultLane {
+                    self.report.planner_fault_lane += 1;
+                }
+                if self.trace.is_on() {
+                    self.trace.instant(
+                        "orch/planner",
+                        "plan",
+                        self.now,
+                        &[
+                            ("vm", ArgValue::Str(vm)),
+                            ("engine", ArgValue::Str(chosen.plan.engine.name())),
+                            (
+                                "fault_service",
+                                ArgValue::Str(chosen.plan.fault_service.name()),
+                            ),
+                            ("streams", ArgValue::U64(chosen.plan.streams.get() as u64)),
+                            ("dirty_rate", ArgValue::U64(dirty_rate)),
+                            ("guest_bytes", ArgValue::U64(guest.as_u64())),
+                            ("backlog_ns", ArgValue::U64(backlog.as_nanos())),
+                            ("reason", ArgValue::Str(chosen.reason)),
+                        ],
+                    );
+                    self.trace.add("planner.decisions", 1);
+                }
+                return chosen.plan;
+            }
+        };
+        MigrationConfig {
+            streams: self.params.migration_streams,
+            compression: self.params.migration_compression,
+            ..Default::default()
+        }
+        .plan(engine)
+    }
+
     fn on_rebalance_tick(&mut self) -> Result<()> {
         let plan = self.policy.plan(&self.cluster, &self.params);
         let reason = self.policy.reason();
@@ -702,9 +772,10 @@ impl Orchestrator {
                     .unwrap_or(Nanoseconds::ZERO),
                 _ => Nanoseconds::ZERO,
             };
+            let exec_plan = self.resolve_plan(decision.engine, &decision.vm);
             match self
                 .cluster
-                .migrate(&decision.vm, decision.to, decision.engine, self.now)
+                .migrate_planned(&decision.vm, decision.to, &exec_plan, self.now)
             {
                 Ok(r) => {
                     self.report.migrations_completed += 1;
@@ -721,6 +792,10 @@ impl Orchestrator {
                         .migration_time_total
                         .saturating_add(r.total_time);
                     self.report.migration_bytes += r.bytes_transferred;
+                    // The adaptive control plane's acceptance metric: both
+                    // a long pause and a long transfer make it worse.
+                    self.report.downtime_duration_integral +=
+                        r.downtime.as_nanos() as u128 * r.total_time.as_nanos() as u128;
                 }
                 Err(_) => self.report.migrations_skipped += 1,
             }
@@ -995,6 +1070,45 @@ mod tests {
             // And the whole run replays byte-identically.
             let again = run_datacenter(4, fast_params(), Box::new(ThresholdRebalance), &s).unwrap();
             prop_assert_eq!(r, again);
+        }
+
+        /// A planner-driven day ([`EngineChoice::Auto`]) is as deterministic
+        /// as a static one: the planner is a pure function of observables
+        /// that are themselves pure functions of the scenario, so the same
+        /// seed replays to an `==`-equal report — including the planner
+        /// decision counters.
+        #[test]
+        fn property_adaptive_planner_day_replays_identically(
+            seed in 0u64..1_000,
+            failures in 0usize..3,
+        ) {
+            let s = small_scenario(seed, failures);
+            let params = OrchParams {
+                engine: Some(EngineChoice::Auto),
+                hot_tenant_modulus: std::num::NonZeroU64::new(4),
+                ..fast_params()
+            };
+            let run = || {
+                let specs = (0..4)
+                    .map(|i| HostSpec::modern_server(HostId::new(i as u32)))
+                    .collect();
+                let mut orch =
+                    Orchestrator::new(specs, params, Box::new(ThresholdRebalance)).unwrap();
+                // Thresholds that make every ladder rung reachable at the
+                // simulation scale (any observed dirtying counts as hot).
+                orch.set_planner(MigrationPlanner {
+                    hot_dirty_rate: 1,
+                    big_guest_min: rvisor_types::ByteSize::new(1),
+                    idle_backlog_max: Nanoseconds::from_millis(1),
+                    ..MigrationPlanner::default()
+                });
+                orch.run(&s).unwrap()
+            };
+            let r = run();
+            if r.migrations_completed > 0 {
+                prop_assert!(r.planner_decisions > 0);
+            }
+            prop_assert_eq!(run(), r);
         }
     }
 
@@ -1303,6 +1417,119 @@ mod tests {
         // Both days are pure functions of the scenario.
         assert_eq!(run(base), flat_day);
         assert_eq!(run(clos), clos_day);
+    }
+
+    /// The adaptive-control-plane acceptance day (E22): one mixed 32-rack
+    /// Clos day, run under every static (engine × streams × compression)
+    /// setting and once under the adaptive planner
+    /// ([`EngineChoice::Auto`]), all on the same scenario seed. The
+    /// adaptive day must come in strictly below every static day on the
+    /// downtime × duration integral: it matches the best static choice for
+    /// cold guests (wide striped pre-copy with XBZRLE) and upgrades guests
+    /// it has *observed* dirtying pages to post-copy over the demand-fault
+    /// lane, which no static setting can express.
+    #[test]
+    fn adaptive_day_beats_every_static_setting() {
+        use rvisor_cluster::PlacementStrategy;
+        use rvisor_migrate::PageCompression;
+        let cfg = ScenarioConfig {
+            duration: Nanoseconds::from_secs(4 * 3600),
+            ..ScenarioConfig::day(22, WorkloadShape::Mixed, 32, 256)
+        };
+        let s = Scenario::generate(cfg).unwrap();
+        let base = OrchParams {
+            placement: PlacementStrategy::Spread,
+            topology: clos_32rack(),
+            spread_utilization_gap: 0.01,
+            max_migrations_per_tick: 64,
+            backup_interval: Nanoseconds::from_secs(600),
+            rebalance_interval: Nanoseconds::from_secs(300),
+            // One in four tenants runs the write-heavy canonical workload,
+            // so re-migrated guests carry real observed dirty rates for the
+            // planner's dirty-hot rung to react to.
+            hot_tenant_modulus: std::num::NonZeroU64::new(4),
+            ..fast_params()
+        };
+        let run_static = |engine: EngineChoice, streams: usize, compression: PageCompression| {
+            let p = OrchParams {
+                engine: Some(engine),
+                migration_streams: std::num::NonZeroUsize::new(streams).unwrap(),
+                migration_compression: compression,
+                ..base
+            };
+            run_datacenter(32, p, Box::new(SpreadRebalance), &s).unwrap()
+        };
+        // The planner the adaptive day runs: cold guests get exactly the
+        // strongest static treatment (4-stream XBZRLE pre-copy), observed
+        // dirty-hot guests get the fault lane. Thresholds are tuned to the
+        // simulation scale (every live guest carries `guest_memory` bytes,
+        // so the spec-size rungs are pinned open/closed).
+        let run_adaptive = || {
+            let p = OrchParams {
+                engine: Some(EngineChoice::Auto),
+                ..base
+            };
+            let specs = (0..32)
+                .map(|i| HostSpec::modern_server(HostId::new(i as u32)))
+                .collect();
+            let mut orch = Orchestrator::new(specs, p, Box::new(SpreadRebalance)).unwrap();
+            orch.set_planner(MigrationPlanner {
+                tiny_guest_max: rvisor_types::ByteSize::new(0),
+                hot_dirty_rate: 1,
+                big_guest_min: rvisor_types::ByteSize::new(1),
+                idle_backlog_max: Nanoseconds(u64::MAX),
+                wide_streams: std::num::NonZeroUsize::new(4).unwrap(),
+                compression: PageCompression::Xbzrle,
+            });
+            orch.run(&s).unwrap()
+        };
+        let adaptive = run_adaptive();
+        assert!(
+            adaptive.migrations_completed > 0,
+            "the day must actually migrate: {adaptive}"
+        );
+        // The strict win comes from upgrades no static setting can express:
+        // guests the planner has *observed* dirtying pages go post-copy over
+        // the demand-fault lane on their next migration.
+        assert!(
+            adaptive.planner_fault_lane > 0,
+            "observed dirty-hot guests must ride the fault lane: {adaptive}"
+        );
+        // Every executed migration consulted the planner (skipped decisions
+        // may consult it without completing).
+        assert!(adaptive.planner_decisions >= adaptive.migrations_completed);
+        for engine in [
+            EngineChoice::StopAndCopy,
+            EngineChoice::PreCopy,
+            EngineChoice::PostCopy,
+        ] {
+            for streams in [1usize, 4] {
+                // Compression is a pre-copy knob: stop-and-copy and
+                // post-copy move raw pages, so their XBZRLE days are
+                // bit-identical to their raw days and add nothing to the
+                // grid.
+                let compressions: &[PageCompression] = if engine == EngineChoice::PreCopy {
+                    &[PageCompression::None, PageCompression::Xbzrle]
+                } else {
+                    &[PageCompression::None]
+                };
+                for &compression in compressions {
+                    let r = run_static(engine, streams, compression);
+                    // Identical policy inputs: every setting migrates the
+                    // same VMs, so the integral compares like for like.
+                    assert_eq!(r.migrations_completed, adaptive.migrations_completed);
+                    assert!(
+                        adaptive.downtime_duration_integral < r.downtime_duration_integral,
+                        "adaptive day must beat static {engine:?} x{streams} {compression:?}: \
+                         {} vs {}",
+                        adaptive.downtime_duration_integral,
+                        r.downtime_duration_integral
+                    );
+                }
+            }
+        }
+        // The adaptive day is still a pure function of the scenario.
+        assert_eq!(run_adaptive(), adaptive);
     }
 
     #[test]

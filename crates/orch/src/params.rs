@@ -5,11 +5,11 @@
 //! [`OrchParams`] rather than a constant buried in the event loop. A run's
 //! report is only meaningful alongside the parameter set that produced it.
 
-use std::num::NonZeroUsize;
+use std::num::{NonZeroU64, NonZeroUsize};
 
 use rvisor::MigrationOutcome;
 use rvisor_cluster::PlacementStrategy;
-use rvisor_migrate::MAX_MIGRATION_STREAMS;
+use rvisor_migrate::{PageCompression, MAX_MIGRATION_STREAMS};
 use rvisor_net::FabricParams;
 use rvisor_snapshot::BackupTarget;
 use rvisor_types::{ByteSize, Error, Nanoseconds, Result};
@@ -41,6 +41,52 @@ pub enum VmFidelity {
     /// into full guests only when a migration or DR restore touches them.
     /// Required for warehouse-scale days (10k hosts / 100k+ VMs).
     OnDemand,
+}
+
+/// Which migration engine rebalance migrations should use — the dedicated
+/// *selector* enum for [`OrchParams::engine`].
+///
+/// Earlier revisions reused the report enum [`MigrationOutcome`] as the
+/// selector; that conflated "what happened" with "what was asked for" and
+/// left nowhere to express [`Auto`](EngineChoice::Auto). The lowering
+/// `From<EngineChoice> for MigrationOutcome` maps each explicit choice to
+/// its outcome (`Auto` lowers to the pre-copy default when no planner is
+/// consulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Pause, copy, resume (cold migration).
+    StopAndCopy,
+    /// Iterative pre-copy (the default live migration).
+    #[default]
+    PreCopy,
+    /// Post-copy with demand paging.
+    PostCopy,
+    /// Let the orchestrator's `MigrationPlanner` pick the engine (and the
+    /// whole [`rvisor_migrate::MigrationPlan`]) per migration from observed
+    /// dirty rate, guest size and fabric occupancy.
+    Auto,
+}
+
+impl From<EngineChoice> for MigrationOutcome {
+    fn from(choice: EngineChoice) -> Self {
+        match choice {
+            EngineChoice::StopAndCopy => MigrationOutcome::StopAndCopy,
+            // Auto without a planner in the loop falls back to the live
+            // migration default.
+            EngineChoice::PreCopy | EngineChoice::Auto => MigrationOutcome::PreCopy,
+            EngineChoice::PostCopy => MigrationOutcome::PostCopy,
+        }
+    }
+}
+
+impl From<MigrationOutcome> for EngineChoice {
+    fn from(outcome: MigrationOutcome) -> Self {
+        match outcome {
+            MigrationOutcome::StopAndCopy => EngineChoice::StopAndCopy,
+            MigrationOutcome::PreCopy => EngineChoice::PreCopy,
+            MigrationOutcome::PostCopy => EngineChoice::PostCopy,
+        }
+    }
 }
 
 /// The network topology a cluster's fabric is built with.
@@ -117,7 +163,25 @@ pub struct OrchParams {
     /// accounting (1.0 = none; >1.0 relies on ballooning/KSM headroom).
     pub memory_overcommit: f64,
     /// Engine used for policy-driven rebalancing migrations of running VMs.
+    ///
+    /// Deprecated alias of [`OrchParams::engine`]: it still works (when
+    /// `engine` is `None` the run derives its choice from this field), but
+    /// it cannot express [`EngineChoice::Auto`]. New call sites should set
+    /// `engine: Some(...)` instead.
+    #[deprecated(
+        note = "set `engine: Some(EngineChoice)` instead; this alias cannot express Auto"
+    )]
     pub migration_engine: MigrationOutcome,
+    /// Engine selector for rebalance migrations, including
+    /// [`EngineChoice::Auto`] for the adaptive per-migration planner.
+    /// `None` falls back to the deprecated
+    /// [`OrchParams::migration_engine`] alias so existing call sites keep
+    /// their behaviour; [`OrchParams::effective_engine`] resolves the pair.
+    pub engine: Option<EngineChoice>,
+    /// Page compression applied to rebalance migrations when the engine
+    /// choice is static (a planner decides compression per migration under
+    /// [`EngineChoice::Auto`]).
+    pub migration_compression: PageCompression,
     /// Parallel streams per rebalance migration (at most
     /// [`rvisor_migrate::MAX_MIGRATION_STREAMS`]). With more than one
     /// stream, migrations run through the pipelined multi-stream data plane
@@ -179,14 +243,28 @@ pub struct OrchParams {
     /// instant (a hot-spine occupancy query on the fabric); the move is
     /// retried at the next tick. `None` (the default) never defers.
     pub hot_spine_defer: Option<Nanoseconds>,
+    /// If set, one tenant in this many (chosen by the FNV identity hash of
+    /// the VM name, so the population mix is a pure function of the names)
+    /// is provisioned with a write-heavy guest workload instead of the idle
+    /// loop: during migration rounds it re-dirties its data pages, giving
+    /// the VMM's running-VM dirtier a nonzero rate to observe and the
+    /// adaptive [`EngineChoice::Auto`] planner a dirty-hot class to route
+    /// to the post-copy fault lane (the E22 day uses `4`). `None` (the
+    /// default) provisions every tenant idle, which keeps multi-round
+    /// re-dirtying out of migrations — the E19 stream-count invariance on
+    /// the single-spine fabric relies on that.
+    pub hot_tenant_modulus: Option<NonZeroU64>,
 }
 
 impl Default for OrchParams {
+    #[allow(deprecated)]
     fn default() -> Self {
         OrchParams {
             placement: PlacementStrategy::FirstFitDecreasing,
             memory_overcommit: 1.0,
             migration_engine: MigrationOutcome::PreCopy,
+            engine: None,
+            migration_compression: PageCompression::None,
             migration_streams: NonZeroUsize::MIN,
             rebalance_interval: Nanoseconds::from_secs(5 * 60),
             overload_cpu_threshold: 0.85,
@@ -202,11 +280,21 @@ impl Default for OrchParams {
             fabric: FabricParams::datacenter(),
             topology: FabricTopology::SingleSpine,
             hot_spine_defer: None,
+            hot_tenant_modulus: None,
         }
     }
 }
 
 impl OrchParams {
+    /// The engine selector in effect: [`OrchParams::engine`] when set,
+    /// otherwise the choice derived from the deprecated
+    /// [`OrchParams::migration_engine`] alias.
+    pub fn effective_engine(&self) -> EngineChoice {
+        #[allow(deprecated)]
+        self.engine
+            .unwrap_or_else(|| EngineChoice::from(self.migration_engine))
+    }
+
     /// Validate parameter sanity (thresholds ordered, intervals non-zero).
     pub fn validate(&self) -> Result<()> {
         if self.rebalance_interval == Nanoseconds::ZERO {
@@ -297,6 +385,34 @@ mod tests {
         p.fabric = FabricParams::datacenter();
         p.fabric.nic_bytes_per_second = 0;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn engine_choice_lowers_and_aliases() {
+        for (choice, outcome) in [
+            (EngineChoice::StopAndCopy, MigrationOutcome::StopAndCopy),
+            (EngineChoice::PreCopy, MigrationOutcome::PreCopy),
+            (EngineChoice::PostCopy, MigrationOutcome::PostCopy),
+            (EngineChoice::Auto, MigrationOutcome::PreCopy),
+        ] {
+            assert_eq!(MigrationOutcome::from(choice), outcome);
+        }
+        // The deprecated alias still drives the run when `engine` is unset.
+        #[allow(deprecated)]
+        let legacy = OrchParams {
+            migration_engine: MigrationOutcome::PostCopy,
+            ..Default::default()
+        };
+        assert_eq!(legacy.effective_engine(), EngineChoice::PostCopy);
+        let new = OrchParams {
+            engine: Some(EngineChoice::Auto),
+            ..Default::default()
+        };
+        assert_eq!(new.effective_engine(), EngineChoice::Auto);
+        assert_eq!(
+            OrchParams::default().effective_engine(),
+            EngineChoice::PreCopy
+        );
     }
 
     #[test]

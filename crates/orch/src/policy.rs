@@ -33,11 +33,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rvisor::MigrationOutcome;
 use rvisor_types::HostId;
 
 use crate::cluster::{key_util, util_key, Cluster, HostPower, OrchHost};
-use crate::params::OrchParams;
+use crate::params::{EngineChoice, OrchParams};
 
 /// One planned migration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +45,10 @@ pub struct MigrationDecision {
     pub vm: String,
     /// Destination host.
     pub to: HostId,
-    /// Engine to use (policies pick stop-and-copy for non-running guests).
-    pub engine: MigrationOutcome,
+    /// Engine selector (policies pick stop-and-copy for non-running
+    /// guests; [`EngineChoice::Auto`] defers to the adaptive planner at
+    /// execution time).
+    pub engine: EngineChoice,
 }
 
 /// Everything a policy wants done this tick.
@@ -126,13 +127,13 @@ pub trait RebalancePolicy {
 /// orchestrator has never touched is exactly as "running" as its
 /// materialized twin. Treating it otherwise would let the fidelity dial
 /// change policy decisions.
-fn engine_for(cluster: &Cluster, from: HostId, vm: &str, params: &OrchParams) -> MigrationOutcome {
+fn engine_for(cluster: &Cluster, from: HostId, vm: &str, params: &OrchParams) -> EngineChoice {
     let Some(pos) = cluster.position_of(from) else {
-        return MigrationOutcome::StopAndCopy;
+        return EngineChoice::StopAndCopy;
     };
     let host = cluster.host_at(pos);
     if host.is_model(vm) {
-        return params.migration_engine;
+        return params.effective_engine();
     }
     let running = host
         .vmm()
@@ -141,9 +142,9 @@ fn engine_for(cluster: &Cluster, from: HostId, vm: &str, params: &OrchParams) ->
         .map(|lc| lc == rvisor::VmLifecycle::Running)
         .unwrap_or(false);
     if running {
-        params.migration_engine
+        params.effective_engine()
     } else {
-        MigrationOutcome::StopAndCopy
+        EngineChoice::StopAndCopy
     }
 }
 

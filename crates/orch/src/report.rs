@@ -56,6 +56,23 @@ pub struct OrchReport {
     pub migration_fabric_wait_total: Nanoseconds,
     /// Bytes moved by migrations (simulation scale).
     pub migration_bytes: u64,
+    /// Σ downtime × total time (ns²) over completed migrations: the
+    /// adaptive control plane's acceptance metric. Penalizes both a long
+    /// pause and a long transfer; `u128` because a day of ms-scale
+    /// migrations overflows 64 bits of ns².
+    pub downtime_duration_integral: u128,
+
+    /// Migrations whose plan came from the adaptive planner
+    /// ([`EngineChoice::Auto`](crate::EngineChoice::Auto)).
+    pub planner_decisions: u64,
+    /// Planner decisions that picked stop-and-copy (tiny guests).
+    pub planner_stop_and_copy: u64,
+    /// Planner decisions that picked pre-copy (cold or default guests).
+    pub planner_pre_copy: u64,
+    /// Planner decisions that picked post-copy (dirty-hot guests).
+    pub planner_post_copy: u64,
+    /// Of the post-copy decisions, those routed over the demand-fault lane.
+    pub planner_fault_lane: u64,
 
     /// Backups taken.
     pub backups_taken: u64,
@@ -155,6 +172,22 @@ impl fmt::Display for OrchReport {
             self.migration_fabric_wait_total,
             self.migration_bytes
         )?;
+        writeln!(
+            f,
+            "  integral    downtime x duration {} ns^2",
+            self.downtime_duration_integral
+        )?;
+        if self.planner_decisions > 0 {
+            writeln!(
+                f,
+                "  planner     {} decisions: {} stop-and-copy, {} pre-copy, {} post-copy ({} fault-lane)",
+                self.planner_decisions,
+                self.planner_stop_and_copy,
+                self.planner_pre_copy,
+                self.planner_post_copy,
+                self.planner_fault_lane
+            )?;
+        }
         writeln!(
             f,
             "  backup/DR   {} backups ({} bytes, {} write time)",

@@ -92,6 +92,12 @@ pub enum WorkloadShape {
     /// `burst_fraction` of arrivals land inside a window starting at 40% of
     /// the duration and spanning 5% of it; the rest are uniform.
     FlashCrowd,
+    /// A blend: each VM independently draws its arrival from steady-state
+    /// (50%), diurnal-wave (30%) or flash-crowd (20%) behaviour. The mix
+    /// a real datacenter day actually looks like — and the E22 day the
+    /// adaptive migration planner is judged on, precisely because no
+    /// single static setting fits all three populations.
+    Mixed,
 }
 
 impl WorkloadShape {
@@ -101,14 +107,16 @@ impl WorkloadShape {
             WorkloadShape::SteadyState => "steady-state",
             WorkloadShape::DiurnalWave => "diurnal-wave",
             WorkloadShape::FlashCrowd => "flash-crowd",
+            WorkloadShape::Mixed => "mixed",
         }
     }
 
     /// All shapes, for sweeps.
-    pub const ALL: [WorkloadShape; 3] = [
+    pub const ALL: [WorkloadShape; 4] = [
         WorkloadShape::SteadyState,
         WorkloadShape::DiurnalWave,
         WorkloadShape::FlashCrowd,
+        WorkloadShape::Mixed,
     ];
 }
 
@@ -351,6 +359,21 @@ fn arrival_time(rng: &mut Lcg, config: ScenarioConfig, dur: u64) -> u64 {
             } else {
                 rng.next_below(dur)
             }
+        }
+        WorkloadShape::Mixed => {
+            // One draw assigns this VM a sub-population; the arrival then
+            // follows that population's shape. Because the draw comes from
+            // the VM's own substream, the blend is order-independent like
+            // everything else in generation.
+            let blend = rng.next_unit();
+            let shape = if blend < 0.5 {
+                WorkloadShape::SteadyState
+            } else if blend < 0.8 {
+                WorkloadShape::DiurnalWave
+            } else {
+                WorkloadShape::FlashCrowd
+            };
+            arrival_time(rng, ScenarioConfig { shape, ..config }, dur)
         }
     }
 }

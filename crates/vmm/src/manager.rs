@@ -8,8 +8,8 @@ use std::collections::BTreeMap;
 
 use rvisor_memory::{analyze_sharing, DedupAnalysis, GuestMemory, KsmConfig, KsmManager};
 use rvisor_migrate::{
-    DirtySource, LoopbackTransport, MigrationConfig, MigrationReport, PostCopy, PreCopy,
-    StopAndCopy, Transport,
+    DirtySource, FaultService, LoopbackTransport, MigrationConfig, MigrationPlan, MigrationReport,
+    PlanEngine, PostCopy, PreCopy, StopAndCopy, Transport,
 };
 use rvisor_net::{Link, VirtualSwitch};
 use rvisor_obs::Trace;
@@ -112,6 +112,11 @@ pub struct Vmm {
     /// Scratch id list reused by [`Self::run_all_once`] so the per-slice
     /// scheduling loop stops allocating once it has seen the VM population.
     slice_ids: Vec<VmId>,
+    /// Dirty rates measured by [`RunningVmDirtier`] during past pre-copy
+    /// migrations, keyed by the VM's id *on this host*. Carried forward
+    /// across migrations (under the destination's new id) so fleet-level
+    /// planners can classify a guest as dirty-hot before re-migrating it.
+    observed_dirty_rates: BTreeMap<VmId, u64>,
 }
 
 impl std::fmt::Debug for Vmm {
@@ -134,7 +139,16 @@ impl Vmm {
             switch: VirtualSwitch::new(),
             snapshots: SnapshotStore::new(),
             slice_ids: Vec::new(),
+            observed_dirty_rates: BTreeMap::new(),
         }
+    }
+
+    /// The dirty rate (bytes/second) last observed for `id` during a
+    /// pre-copy migration, if it has ever been measured. The observation
+    /// travels with the VM: after a migration the destination host reports
+    /// it under the VM's new id.
+    pub fn observed_dirty_rate(&self, id: VmId) -> Option<u64> {
+        self.observed_dirty_rates.get(&id).copied()
     }
 
     /// The host's name.
@@ -261,6 +275,7 @@ impl Vmm {
         match self.vms.remove(&id) {
             Some(mut vm) => {
                 vm.destroy();
+                self.observed_dirty_rates.remove(&id);
                 Ok(())
             }
             None => Err(Error::UnknownVm(id)),
@@ -387,6 +402,11 @@ impl Vmm {
 
     /// [`Vmm::migrate_to_over`] with per-migration and per-round trace
     /// spans emitted to `trace`; with [`Trace::off`] the two are identical.
+    ///
+    /// The `(outcome, config)` pair is lowered into a [`MigrationPlan`]
+    /// and executed by [`Vmm::migrate_to_planned_traced`]; the results are
+    /// identical because the lowering preserves every knob and defaults
+    /// the fault-service policy to the sweep-ordered reference.
     pub fn migrate_to_over_traced(
         &mut self,
         id: VmId,
@@ -396,16 +416,44 @@ impl Vmm {
         config: MigrationConfig,
         trace: &Trace,
     ) -> Result<(VmId, MigrationReport)> {
+        let engine = match outcome {
+            MigrationOutcome::StopAndCopy => PlanEngine::StopAndCopy,
+            MigrationOutcome::PreCopy => PlanEngine::PreCopy,
+            MigrationOutcome::PostCopy => PlanEngine::PostCopy,
+        };
+        self.migrate_to_planned_traced(id, destination, transport, &config.plan(engine), trace)
+    }
+
+    /// Migrate a VM under an explicit per-migration [`MigrationPlan`] —
+    /// the entry point the orchestrator's adaptive planner drives.
+    ///
+    /// Beyond [`Vmm::migrate_to_over_traced`] this honours the plan-only
+    /// knobs: [`FaultService::FaultLane`] routes post-copy demand faults
+    /// over a dedicated serial lane that overtakes the background sweep
+    /// (the lane *is* the second stream, so `streams` is ignored there),
+    /// and `compressors` sizes the decoupled compression stage of the
+    /// pipelined pre-copy data plane independently of `streams`.
+    pub fn migrate_to_planned_traced(
+        &mut self,
+        id: VmId,
+        destination: &mut Vmm,
+        transport: &mut dyn Transport,
+        plan: &MigrationPlan,
+        trace: &Trace,
+    ) -> Result<(VmId, MigrationReport)> {
+        let config = plan.config();
         let source_vm = self.vms.get_mut(&id).ok_or(Error::UnknownVm(id))?;
         // Build an identical, empty shell on the destination.
         let dest_id = destination.create_vm(source_vm.config().clone())?;
         let pipelined = config.streams.get() > 1;
+        // The dirty rate this migration observes, if the engine measures one.
+        let mut observed_rate: Option<u64> = None;
 
         let report = {
             let dest_vm = destination.vm(dest_id)?;
             let dest_memory = dest_vm.memory().clone();
-            match outcome {
-                MigrationOutcome::StopAndCopy => {
+            match plan.engine {
+                PlanEngine::StopAndCopy => {
                     if source_vm.lifecycle() == VmLifecycle::Running {
                         source_vm.pause()?;
                     }
@@ -429,19 +477,19 @@ impl Vmm {
                         )?
                     }
                 }
-                MigrationOutcome::PreCopy => {
+                PlanEngine::PreCopy => {
                     let memory = source_vm.memory().clone();
                     let states_placeholder = source_vm.save_vcpu_states();
                     let mut dirtier = RunningVmDirtier::new(source_vm);
 
-                    if pipelined {
-                        PreCopy::migrate_pipelined_traced(
+                    let report = if pipelined {
+                        PreCopy::migrate_pipelined_planned_traced(
                             &memory,
                             &dest_memory,
                             &states_placeholder,
                             transport,
                             &mut dirtier,
-                            &config,
+                            plan,
                             trace,
                         )?
                     } else {
@@ -454,31 +502,43 @@ impl Vmm {
                             &config,
                             trace,
                         )?
+                    };
+                    let rate = dirtier.dirty_rate_bytes_per_sec();
+                    if rate > 0 {
+                        observed_rate = Some(rate);
                     }
+                    report
                 }
-                MigrationOutcome::PostCopy => {
+                PlanEngine::PostCopy => {
                     if source_vm.lifecycle() == VmLifecycle::Running {
                         source_vm.pause()?;
                     }
                     let states = source_vm.save_vcpu_states();
-                    if pipelined {
-                        PostCopy::migrate_pipelined_traced(
+                    match plan.fault_service {
+                        FaultService::FaultLane => PostCopy::migrate_fault_lane_over_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
                             &config,
                             trace,
-                        )?
-                    } else {
-                        PostCopy::migrate_over_traced(
+                        )?,
+                        FaultService::Sweep if pipelined => PostCopy::migrate_pipelined_traced(
                             source_vm.memory(),
                             &dest_memory,
                             &states,
                             transport,
                             &config,
                             trace,
-                        )?
+                        )?,
+                        FaultService::Sweep => PostCopy::migrate_over_traced(
+                            source_vm.memory(),
+                            &dest_memory,
+                            &states,
+                            transport,
+                            &config,
+                            trace,
+                        )?,
                     }
                 }
             }
@@ -502,6 +562,14 @@ impl Vmm {
             dest_vm.mark_halted()?;
         } else {
             dest_vm.mark_running()?;
+        }
+
+        // The observation travels with the VM: a fresh measurement from this
+        // migration wins, otherwise whatever an earlier migration recorded
+        // rides along under the VM's new id on the destination.
+        let carried = self.observed_dirty_rates.remove(&id);
+        if let Some(rate) = observed_rate.or(carried) {
+            destination.observed_dirty_rates.insert(dest_id, rate);
         }
 
         self.destroy_vm(id)?;
@@ -808,6 +876,52 @@ mod tests {
             assert_eq!(parallel, serial, "{outcome:?}");
             assert_eq!(parallel_sum, serial_sum, "{outcome:?}: memory diverged");
         }
+    }
+
+    #[test]
+    fn planned_migration_observes_and_carries_the_dirty_rate() {
+        let mut source = Vmm::new("source");
+        let id = source.create_vm(config("hot")).unwrap();
+        {
+            let vm = source.vm_mut(id).unwrap();
+            let w = Workload::new(WorkloadKind::MemoryDirty {
+                pages: 64,
+                passes: 5_000,
+            })
+            .unwrap();
+            vm.load_workload(&w).unwrap();
+        }
+        assert_eq!(source.observed_dirty_rate(id), None);
+
+        // A pre-copy migration measures the guest's dirty rate and records
+        // it on the destination under the VM's new id.
+        let mut hop1 = Vmm::new("hop1");
+        let mut link = Link::new(LinkModel::gigabit());
+        let (id1, _) = source
+            .migrate_to(id, &mut hop1, &mut link, MigrationOutcome::PreCopy)
+            .unwrap();
+        let rate = hop1
+            .observed_dirty_rate(id1)
+            .expect("pre-copy must observe a dirty-hot guest");
+        assert!(rate > 0);
+
+        // A fault-lane post-copy plan executes (fault lane + background
+        // sweep = 2 rounds) and carries the earlier observation forward
+        // even though post-copy measures nothing itself.
+        let mut hop2 = Vmm::new("hop2");
+        let mut link = Link::new(LinkModel::gigabit());
+        let mut transport = LoopbackTransport::new(&mut link);
+        let plan = MigrationPlan::builder(PlanEngine::PostCopy)
+            .fault_service(FaultService::FaultLane)
+            .build()
+            .unwrap();
+        let (id2, report) = hop1
+            .migrate_to_planned_traced(id1, &mut hop2, &mut transport, &plan, &Trace::off())
+            .unwrap();
+        assert_eq!(report.rounds, 2, "fault lane + background sweep");
+        assert!(report.remote_faults > 0);
+        assert_eq!(hop2.observed_dirty_rate(id2), Some(rate));
+        assert_eq!(hop1.observed_dirty_rate(id1), None);
     }
 
     #[test]
