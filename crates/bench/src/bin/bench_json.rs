@@ -43,7 +43,8 @@ use rvisor_orch::{
     RebalancePolicy, Scenario, ScenarioConfig, SpreadRebalance, ThresholdRebalance, VmFidelity,
     WorkloadShape,
 };
-use rvisor_types::{ByteSize, GuestAddress, HostId, Nanoseconds, PAGE_SIZE};
+use rvisor_snapshot::{CasStore, VmSnapshot};
+use rvisor_types::{ByteSize, GuestAddress, HostId, Nanoseconds, VmId, PAGE_SIZE};
 use rvisor_vcpu::VcpuState;
 
 /// Samples per bench; the median is reported.
@@ -527,6 +528,62 @@ fn run_benches(samples: usize) -> BTreeMap<String, f64> {
             run_datacenter(32, params, Box::new(SpreadRebalance), &scenario).unwrap()
         });
         record("orch_day_adaptive_32rack", ns);
+    }
+
+    // -- content-addressed chunk probe: ingest a 512-page snapshot into a
+    //    pre-warmed CasStore that already holds every page, so each iter is
+    //    512 fingerprint probes + full-page collision compares (the dedup
+    //    steady-state hot path: nothing novel, everything interned) --
+    {
+        let (src, _) = sparse_memories(PAGES);
+        let snap = VmSnapshot::capture_full(
+            VmId::new(0),
+            "probe",
+            Nanoseconds::ZERO,
+            &src,
+            vec![VcpuState::default()],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let mut cas = CasStore::new();
+        cas.ingest(&snap, None).unwrap();
+        let ns = measure(samples, || cas.ingest(&snap, None).unwrap());
+        record("cas_chunk_probe", ns);
+    }
+
+    // -- dedup day: the E23 mixed 32-rack Clos day with hourly sweeps
+    //    negotiating against the content-addressed DR store (chunk probes,
+    //    ChunkRef/ChunkData wire accounting, manifest-chain GC on VM churn),
+    //    one full deterministic replay per iter --
+    {
+        let scenario = Scenario::generate(
+            ScenarioConfig {
+                duration: Nanoseconds::from_secs(2 * 3600),
+                ..ScenarioConfig::day(0xE23, WorkloadShape::Mixed, 32, 256)
+            }
+            .with_host_failures(2),
+        )
+        .unwrap();
+        let params = OrchParams {
+            placement: PlacementStrategy::Spread,
+            dedup_backups: true,
+            spread_utilization_gap: 0.05,
+            max_migrations_per_tick: 16,
+            rebalance_interval: Nanoseconds::from_secs(600),
+            backup_interval: Nanoseconds::from_secs(600),
+            topology: FabricTopology::Clos {
+                racks: 32,
+                spines: 4,
+                leaf_uplink_bytes_per_second: 2_500_000_000,
+                spine_bytes_per_second: 1_250_000_000,
+                cross_rack_latency: Nanoseconds::from_micros(50),
+            },
+            ..Default::default()
+        };
+        let ns = measure(samples, || {
+            run_datacenter(32, params, Box::new(ThresholdRebalance), &scenario).unwrap()
+        });
+        record("orch_day_dedup_32rack", ns);
     }
 
     // -- calendar event queue: 1M pushes at scattered times, then a full

@@ -310,6 +310,16 @@ impl<'m> MigrationSink<'m> {
                 self.rounds_completed += 1;
                 Ok(())
             }
+            // The content-addressed chunk frames belong to the deduplicated
+            // *backup* stream; a live-migration sink has no chunk store to
+            // resolve references against.
+            FrameKind::ChunkRef | FrameKind::ChunkData => Err(Self::wire_fault(
+                offset,
+                format!(
+                    "{:?} frames are not valid in a migration stream",
+                    frame.header.kind
+                ),
+            )),
         }
     }
 

@@ -49,10 +49,16 @@ use crate::compress::WirePage;
 /// Stream magic: `"RVM1"`.
 pub const WIRE_MAGIC: u32 = 0x3152_564D;
 /// Current wire-format version. Bump on any incompatible layout change;
-/// the sink rejects streams whose Hello announces a different version.
+/// the sink rejects streams whose Hello announces a version outside
+/// [`WIRE_VERSION_MIN`]`..=WIRE_VERSION`.
 /// Version 2 switched the frame checksum from byte-wise FNV-1a-32 to the
-/// folded word-wise FNV-1a-64 described in the module docs.
-pub const WIRE_VERSION: u16 = 2;
+/// folded word-wise FNV-1a-64 described in the module docs. Version 3 added
+/// the content-addressed backup frames ([`FrameKind::ChunkRef`] /
+/// [`FrameKind::ChunkData`]); every version-2 frame is unchanged, so v2
+/// streams stay decodable.
+pub const WIRE_VERSION: u16 = 3;
+/// Oldest wire-format version this build still decodes.
+pub const WIRE_VERSION_MIN: u16 = 2;
 /// Fixed size of every frame header.
 pub const FRAME_HEADER_BYTES: u64 = 16;
 /// On-wire size of the Hello frame (header + magic/version/page-size/guest-size).
@@ -71,6 +77,29 @@ pub fn vcpu_state_wire_bytes(n_vcpus: usize) -> u64 {
     VCPU_STATE_WIRE_BYTES * n_vcpus.max(1) as u64
 }
 
+/// Serialized size of a chunk id (fingerprint `u64` + ordinal `u32`).
+pub const CHUNK_ID_BYTES: u64 = 12;
+/// On-wire size of a [`FrameKind::ChunkRef`] frame (header + chunk id).
+pub const CHUNK_REF_WIRE_BYTES: u64 = FRAME_HEADER_BYTES + CHUNK_ID_BYTES;
+/// On-wire size of a [`FrameKind::ChunkData`] frame carrying one full page
+/// (header + chunk id + page bytes).
+pub const CHUNK_DATA_WIRE_BYTES: u64 = FRAME_HEADER_BYTES + CHUNK_ID_BYTES + PAGE_SIZE;
+
+/// Total on-wire bytes of one deduplicated backup stream: the Hello
+/// handshake, one [`FrameKind::ChunkData`] per novel page, one
+/// [`FrameKind::ChunkRef`] per page the DR endpoint already stores, the
+/// vCPU state, and the closing end-of-round marker. The orchestrator
+/// charges the fabric with exactly this figure; the
+/// `dedup_backup_stream_matches_accounting` test pins it to an actually
+/// encoded stream.
+pub fn dedup_backup_wire_bytes(novel_pages: u64, deduped_pages: u64, n_vcpus: usize) -> u64 {
+    HELLO_WIRE_BYTES
+        + novel_pages * CHUNK_DATA_WIRE_BYTES
+        + deduped_pages * CHUNK_REF_WIRE_BYTES
+        + vcpu_state_wire_bytes(n_vcpus)
+        + END_OF_ROUND_WIRE_BYTES
+}
+
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -87,6 +116,12 @@ pub enum FrameKind {
     /// End of a pre-copy round (`arg` = round number); the source flushes
     /// the transport here.
     EndOfRound = 5,
+    /// Deduplicated-backup reference to a chunk the DR endpoint already
+    /// stores (`arg` = page index, payload = chunk id). Wire v3.
+    ChunkRef = 6,
+    /// Deduplicated-backup chunk the DR endpoint does not yet store
+    /// (`arg` = page index, payload = chunk id + page bytes). Wire v3.
+    ChunkData = 7,
 }
 
 impl FrameKind {
@@ -97,6 +132,8 @@ impl FrameKind {
             3 => Some(FrameKind::ZeroRun),
             4 => Some(FrameKind::VcpuState),
             5 => Some(FrameKind::EndOfRound),
+            6 => Some(FrameKind::ChunkRef),
+            7 => Some(FrameKind::ChunkData),
             _ => None,
         }
     }
@@ -237,6 +274,58 @@ pub fn put_zero_run(out: &mut Vec<u8>, first_page: u64, count: u64) {
 /// Append an end-of-round marker.
 pub fn put_end_of_round(out: &mut Vec<u8>, round: u32) {
     put_frame(out, FrameKind::EndOfRound, 0, round as u64, &[]);
+}
+
+fn chunk_id_payload(fingerprint: u64, ordinal: u32) -> [u8; CHUNK_ID_BYTES as usize] {
+    let mut p = [0u8; CHUNK_ID_BYTES as usize];
+    p[0..8].copy_from_slice(&fingerprint.to_le_bytes());
+    p[8..12].copy_from_slice(&ordinal.to_le_bytes());
+    p
+}
+
+/// Append a chunk *reference* for `page`: the DR endpoint already stores
+/// these bytes, only the 12-byte chunk id crosses the wire.
+pub fn put_chunk_ref(out: &mut Vec<u8>, page: u64, fingerprint: u64, ordinal: u32) {
+    put_frame(
+        out,
+        FrameKind::ChunkRef,
+        MODE_RAW,
+        page,
+        &chunk_id_payload(fingerprint, ordinal),
+    );
+}
+
+/// Append a novel chunk for `page`: chunk id followed by the page bytes.
+pub fn put_chunk_data(out: &mut Vec<u8>, page: u64, fingerprint: u64, ordinal: u32, bytes: &[u8]) {
+    let mut payload = Vec::with_capacity(CHUNK_ID_BYTES as usize + bytes.len());
+    payload.extend_from_slice(&chunk_id_payload(fingerprint, ordinal));
+    payload.extend_from_slice(bytes);
+    put_frame(out, FrameKind::ChunkData, MODE_RAW, page, &payload);
+}
+
+/// Decode the chunk id of a [`FrameKind::ChunkRef`] or
+/// [`FrameKind::ChunkData`] payload, returning `(fingerprint, ordinal)`.
+pub fn decode_chunk_id(payload: &[u8]) -> Result<(u64, u32)> {
+    if payload.len() < CHUNK_ID_BYTES as usize {
+        return Err(Error::WireProtocol {
+            detail: format!(
+                "chunk id payload is {} bytes, need {CHUNK_ID_BYTES}",
+                payload.len()
+            ),
+            offset: 0,
+        });
+    }
+    Ok((
+        read_u64(&payload[0..8]),
+        u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")),
+    ))
+}
+
+/// Decode a [`FrameKind::ChunkData`] payload into its chunk id and page
+/// bytes.
+pub fn decode_chunk_data(payload: &[u8]) -> Result<((u64, u32), &[u8])> {
+    let id = decode_chunk_id(payload)?;
+    Ok((id, &payload[CHUNK_ID_BYTES as usize..]))
 }
 
 /// Append one vCPU's state, zero-padded to the fixed modelled size.
@@ -414,9 +503,9 @@ pub fn decode_hello(frame: &WireFrame<'_>) -> Result<Hello> {
         )));
     }
     let version = u16::from_le_bytes([frame.payload[4], frame.payload[5]]);
-    if version != WIRE_VERSION {
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
         return Err(err(format!(
-            "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+            "unsupported wire version {version} (this build speaks {WIRE_VERSION_MIN}..={WIRE_VERSION})"
         )));
     }
     Ok(Hello {
@@ -590,6 +679,84 @@ mod tests {
                 matches!(err, Error::WireProtocol { .. }),
                 "{detail}: {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn dedup_backup_stream_matches_accounting() {
+        // Encode a full dedup backup stream — 2 novel chunks, 3 references —
+        // and pin the accounting function to the actual encoded length.
+        let novel = [
+            (4u64, 0x1111u64, 0u32, vec![0xaau8; PAGE_SIZE as usize]),
+            (9, 0x2222, 1, vec![0xbbu8; PAGE_SIZE as usize]),
+        ];
+        let refs = [(0u64, 0x3333u64, 0u32), (1, 0x3333, 0), (2, 0x4444, 2)];
+        let mut out = Vec::new();
+        put_hello(&mut out, 64, 64 * PAGE_SIZE);
+        for (page, fp, ord, bytes) in &novel {
+            put_chunk_data(&mut out, *page, *fp, *ord, bytes);
+        }
+        for (page, fp, ord) in &refs {
+            put_chunk_ref(&mut out, *page, *fp, *ord);
+        }
+        put_vcpu_state(&mut out, 0, &VcpuState::default());
+        put_end_of_round(&mut out, 0);
+        assert_eq!(out.len() as u64, dedup_backup_wire_bytes(2, 3, 1));
+
+        let mut r = FrameReader::new(&out);
+        let hello = r.next_frame().unwrap().unwrap();
+        assert_eq!(decode_hello(&hello).unwrap().version, WIRE_VERSION);
+        for (page, fp, ord, bytes) in &novel {
+            let f = r.next_frame().unwrap().unwrap();
+            assert_eq!(f.header.kind, FrameKind::ChunkData);
+            assert_eq!(f.header.arg, *page);
+            let (id, data) = decode_chunk_data(f.payload).unwrap();
+            assert_eq!(id, (*fp, *ord));
+            assert_eq!(data, &bytes[..]);
+        }
+        for (page, fp, ord) in &refs {
+            let f = r.next_frame().unwrap().unwrap();
+            assert_eq!(f.header.kind, FrameKind::ChunkRef);
+            assert_eq!(f.header.arg, *page);
+            assert_eq!(decode_chunk_id(f.payload).unwrap(), (*fp, *ord));
+        }
+        r.next_frame().unwrap().unwrap(); // vCPU state
+        let eor = r.next_frame().unwrap().unwrap();
+        assert_eq!(eor.header.kind, FrameKind::EndOfRound);
+        assert!(r.next_frame().unwrap().is_none());
+
+        // A truncated chunk id is a typed error, not a panic.
+        assert!(decode_chunk_id(&[0u8; 4]).is_err());
+        assert!(decode_chunk_data(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn hello_accepts_the_decodable_version_range() {
+        let mut out = Vec::new();
+        put_hello(&mut out, 4, 4 * PAGE_SIZE);
+        // Patch the announced version and re-seal the checksum, so only the
+        // semantic version check decides.
+        let with_version = |version: u16| {
+            let mut buf = out.clone();
+            buf[HEADER + 4..HEADER + 6].copy_from_slice(&version.to_le_bytes());
+            let payload_len = u16::from_le_bytes([buf[2], buf[3]]);
+            let arg = read_u64(&buf[8..16]);
+            let checksum = frame_checksum(buf[0], buf[1], payload_len, arg, &buf[HEADER..]);
+            buf[4..8].copy_from_slice(&checksum.to_le_bytes());
+            buf
+        };
+        for version in [WIRE_VERSION_MIN, WIRE_VERSION] {
+            let buf = with_version(version);
+            let mut r = FrameReader::new(&buf);
+            let f = r.next_frame().unwrap().unwrap();
+            let h = decode_hello(&f).expect("in-range version must decode");
+            assert_eq!(h.version, version);
+        }
+        for version in [1, WIRE_VERSION + 1] {
+            let buf = with_version(version);
+            let mut r = FrameReader::new(&buf);
+            let f = r.next_frame().unwrap().unwrap();
+            assert!(decode_hello(&f).is_err(), "version {version} must reject");
         }
     }
 

@@ -62,7 +62,7 @@ use rvisor_migrate::{
 };
 use rvisor_net::{AnyFabric, ClosFabric, ClosParams, Fabric};
 use rvisor_obs::{ArgValue, Trace};
-use rvisor_snapshot::{SnapshotId, SnapshotStore};
+use rvisor_snapshot::{CasStore, IngestStats, ManifestId, SnapshotId, SnapshotStore};
 use rvisor_types::{ByteSize, Error, GuestAddress, HostId, Nanoseconds, Result, PAGE_SIZE};
 use rvisor_vcpu::{Workload, WorkloadKind};
 
@@ -209,6 +209,26 @@ pub enum BackupHandle {
     /// Same modelled size and wire time as a stored snapshot (full snapshot
     /// size is content-independent).
     Canonical,
+    /// A backup epoch in the content-addressed DR store
+    /// ([`OrchParams::dedup_backups`](crate::OrchParams::dedup_backups)):
+    /// restore applies the manifest chain rooted at this epoch.
+    Manifested(ManifestId),
+}
+
+/// Result of one deduplicated backup: the recorded epoch, its dedup
+/// accounting, the bytes that actually crossed the fabric, and the instant
+/// the stream fully arrived at the DR endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct DedupBackup {
+    /// The manifest recorded in the content-addressed store.
+    pub manifest: ManifestId,
+    /// Novel vs deduplicated chunk counts and bytes for this epoch.
+    pub stats: IngestStats,
+    /// On-wire bytes charged to the fabric
+    /// ([`rvisor_migrate::wire::dedup_backup_wire_bytes`]).
+    pub wire_bytes: u64,
+    /// When the stream has fully arrived; the epoch is restorable after.
+    pub arrival: Nanoseconds,
 }
 
 /// One physical machine: accounting view plus the live VMM.
@@ -943,6 +963,93 @@ impl Cluster {
         Ok((handle, size, arrival))
     }
 
+    /// Back up the named VM to the DR site through the content-addressed
+    /// store ([`OrchParams::dedup_backups`](crate::OrchParams::dedup_backups)).
+    ///
+    /// The captured epoch (full when `parent` is `None`, incremental
+    /// otherwise) is ingested into `cas`; only the *novel* chunks cross the
+    /// fabric as `ChunkData` frames, every deduplicated page ships as a
+    /// small `ChunkRef`, and the fabric is charged exactly
+    /// [`rvisor_migrate::wire::dedup_backup_wire_bytes`]. A still-modeled VM
+    /// participates through a scratch guest in the canonical deploy state,
+    /// so fidelity pins hold: the epoch recorded for a model VM is
+    /// byte-identical to the one a materialized twin would record.
+    ///
+    /// Until the returned arrival instant the epoch is still on the wire —
+    /// callers must not restore from it before then.
+    pub fn backup_dedup(
+        &mut self,
+        vm: &str,
+        label: &str,
+        cas: &mut CasStore,
+        parent: Option<ManifestId>,
+        now: Nanoseconds,
+    ) -> Result<DedupBackup> {
+        let idx = *self
+            .vm_to_host
+            .get(vm)
+            .ok_or_else(|| Error::Config(format!("no VM named {vm} in the cluster")))?;
+        let parent_snap = match parent {
+            None => None,
+            Some(p) => Some(
+                cas.get(p)
+                    .ok_or_else(|| Error::Config(format!("{p} missing from the DR store")))?
+                    .snapshot_id,
+            ),
+        };
+        let snapshot = if self.hosts[idx].vm_ids.contains_key(vm) {
+            let live = self.hosts[idx].live_vm_mut(vm)?;
+            live.capture_for_backup(label, parent_snap)?
+        } else {
+            // Model VM: rebuild the canonical deploy state it is known to
+            // be in. Parked guests never execute, so an incremental epoch
+            // on a model VM drains an *empty* dirty set — exactly what a
+            // materialized twin parked since its last epoch would produce.
+            let config = VmConfig::new(vm).with_memory(self.params.guest_memory);
+            let mut scratch = Vm::new(config)?;
+            provision_canonical(&mut scratch, vm, self.params.hot_tenant_modulus)?;
+            if parent_snap.is_some() {
+                scratch.memory().clear_dirty();
+            }
+            scratch.capture_for_backup(label, parent_snap)?
+        };
+        let n_vcpus = snapshot.vcpus.len();
+        let (manifest, stats) = cas.ingest(&snapshot, parent)?;
+        let wire_bytes = rvisor_migrate::wire::dedup_backup_wire_bytes(
+            stats.chunks_novel,
+            stats.chunks_deduped,
+            n_vcpus,
+        );
+        let dr = self.dr_endpoint();
+        let arrival = self.fabric.transfer(idx, dr, now, wire_bytes)?;
+        if self.trace.is_on() {
+            let lag = arrival.saturating_sub(now);
+            self.trace.span(
+                "dr",
+                "backup",
+                now,
+                arrival,
+                &[
+                    ("vm", ArgValue::Str(vm)),
+                    ("host", ArgValue::U64(idx as u64)),
+                    ("bytes", ArgValue::U64(wire_bytes)),
+                    ("chunks_novel", ArgValue::U64(stats.chunks_novel)),
+                    ("chunks_deduped", ArgValue::U64(stats.chunks_deduped)),
+                    ("lag_ns", ArgValue::U64(lag.as_nanos())),
+                ],
+            );
+            self.trace.observe("backup.lag_ns", lag.as_nanos());
+            self.trace.observe("backup.bytes", wire_bytes);
+            self.trace.add("backups", 1);
+        }
+        Ok(DedupBackup {
+            manifest,
+            stats,
+            wire_bytes,
+            arrival,
+        })
+    }
+
     /// Power a host back on (consolidation undo, or DR capacity).
     pub fn power_on(&mut self, host: HostId) -> Result<()> {
         let idx = self.position(host)?;
@@ -1221,8 +1328,55 @@ impl Cluster {
                         .vmm
                         .create_vm_with(config, |vm| restore_into(vm, snap, &scratch_store))
                 }
+                BackupHandle::Manifested(m) => Err(Error::Config(format!(
+                    "{m} lives in the content-addressed store; use restore_manifested"
+                ))),
             }
         })();
+        match restored {
+            Ok(id) => {
+                self.hosts[idx].vm_ids.insert(spec.name.clone(), id);
+                self.vm_to_host.insert(spec.name.clone(), idx);
+                self.total_vms += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.evict_spec(idx, &spec.name);
+                Err(e)
+            }
+        }
+    }
+
+    /// Recreate the named VM on `to` from a deduplicated DR epoch and
+    /// resume it: the manifest chain rooted at `manifest` is applied to a
+    /// fresh guest, byte-identical to restoring the same captures through
+    /// [`Self::restore`].
+    pub fn restore_manifested(
+        &mut self,
+        spec: &VmSpec,
+        manifest: ManifestId,
+        cas: &CasStore,
+        to: HostId,
+    ) -> Result<()> {
+        let guest_memory = self.params.guest_memory;
+        let idx = self.position(to)?;
+        if self.hosts[idx].power != HostPower::On {
+            return Err(Error::Config(format!("{to} is not powered on")));
+        }
+        if self.vm_to_host.contains_key(&spec.name) {
+            return Err(Error::Config(format!(
+                "a VM named {} already exists in the cluster",
+                spec.name
+            )));
+        }
+        self.place_spec(idx, spec.clone())?;
+        let config = VmConfig::new(&spec.name).with_memory(guest_memory);
+        let restored = self.hosts[idx].vmm.create_vm_with(config, |vm| {
+            vm.restore_from_cas(manifest, cas)?;
+            vm.resume()?;
+            debug_assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+            Ok(())
+        });
         match restored {
             Ok(id) => {
                 self.hosts[idx].vm_ids.insert(spec.name.clone(), id);
@@ -1617,6 +1771,139 @@ mod tests {
                 .map(|h| h.id());
             assert_eq!(c.choose_host(PlacementStrategy::Spread, &probe), brute);
         }
+    }
+
+    #[test]
+    fn dedup_backup_ships_fewer_bytes_and_restores_byte_identical() {
+        // Twin clusters with twin histories: one backs up through the plain
+        // full-snapshot path, one through the content-addressed store.
+        let mut plain = Cluster::new(specs(2), small_params()).unwrap();
+        let mut dedup = Cluster::new(specs(2), small_params()).unwrap();
+        plain.deploy(HostId::new(0), web("dr")).unwrap();
+        dedup.deploy(HostId::new(0), web("dr")).unwrap();
+
+        let mut cas = CasStore::new();
+        let full = dedup
+            .backup_dedup("dr", "epoch-0", &mut cas, None, Nanoseconds::ZERO)
+            .unwrap();
+        assert!(
+            full.stats.chunks_deduped > 0,
+            "zero pages dedupe within the very first epoch"
+        );
+
+        // Dirty one page on both twins between epochs.
+        for c in [&plain, &dedup] {
+            let vmm = c.hosts()[0].vmm();
+            let id = vmm.find_vm("dr").unwrap();
+            vmm.vm(id)
+                .unwrap()
+                .memory()
+                .write_u64(GuestAddress(0x2000), 0xfeed_f00d)
+                .unwrap();
+        }
+        let inc = dedup
+            .backup_dedup("dr", "epoch-1", &mut cas, Some(full.manifest), full.arrival)
+            .unwrap();
+        assert_eq!(
+            inc.stats.chunks_novel + inc.stats.chunks_deduped,
+            1,
+            "the incremental epoch carries exactly the dirtied page"
+        );
+
+        let mut store = SnapshotStore::new();
+        let (handle, size, _) = plain
+            .backup("dr", "epoch-1", &mut store, Nanoseconds::ZERO)
+            .unwrap();
+        assert!(
+            inc.wire_bytes * 5 <= size.as_u64(),
+            "steady state must ship at least 5x fewer bytes ({} vs {})",
+            inc.wire_bytes,
+            size.as_u64()
+        );
+        assert!(
+            full.wire_bytes < size.as_u64(),
+            "even the first epoch dedupes its zero pages"
+        );
+
+        let lost_p = plain.fail_host(HostId::new(0)).unwrap();
+        let lost_d = dedup.fail_host(HostId::new(0)).unwrap();
+        plain
+            .restore(&lost_p[0], handle, &store, HostId::new(1))
+            .unwrap();
+        dedup
+            .restore_manifested(&lost_d[0], inc.manifest, &cas, HostId::new(1))
+            .unwrap();
+        dedup.check_invariants();
+
+        let checksum = |c: &Cluster| {
+            let vmm = c.hosts()[1].vmm();
+            let id = vmm.find_vm("dr").unwrap();
+            let vm = vmm.vm(id).unwrap();
+            assert_eq!(vm.lifecycle(), VmLifecycle::Running);
+            vm.memory().checksum()
+        };
+        assert_eq!(
+            checksum(&plain),
+            checksum(&dedup),
+            "restored guests must be byte-identical across the two DR paths"
+        );
+        // Plain restore() refuses a manifest handle.
+        let _ = plain.destroy("dr").unwrap();
+        assert!(plain
+            .restore(
+                &lost_p[0],
+                BackupHandle::Manifested(inc.manifest),
+                &store,
+                HostId::new(1)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn model_dedup_backups_match_live_dedup_backups() {
+        let mut full = Cluster::new(specs(1), small_params()).unwrap();
+        let mut dialed = Cluster::new(specs(1), on_demand_params()).unwrap();
+        full.deploy(HostId::new(0), web("b")).unwrap();
+        dialed.deploy(HostId::new(0), web("b")).unwrap();
+        let mut full_cas = CasStore::new();
+        let mut dialed_cas = CasStore::new();
+        let f0 = full
+            .backup_dedup("b", "e0", &mut full_cas, None, Nanoseconds::ZERO)
+            .unwrap();
+        let d0 = dialed
+            .backup_dedup("b", "e0", &mut dialed_cas, None, Nanoseconds::ZERO)
+            .unwrap();
+        assert!(
+            !dialed.is_materialized("b"),
+            "dedup backups must not materialize model VMs"
+        );
+        assert_eq!(f0.stats, d0.stats);
+        assert_eq!(f0.wire_bytes, d0.wire_bytes);
+        assert_eq!(
+            f0.arrival, d0.arrival,
+            "identical bytes, identical wire time"
+        );
+
+        // Incremental epochs: a parked guest dirties nothing in between.
+        let f1 = full
+            .backup_dedup("b", "e1", &mut full_cas, Some(f0.manifest), f0.arrival)
+            .unwrap();
+        let d1 = dialed
+            .backup_dedup("b", "e1", &mut dialed_cas, Some(d0.manifest), d0.arrival)
+            .unwrap();
+        assert_eq!(f1.stats, d1.stats);
+        assert_eq!(f1.wire_bytes, d1.wire_bytes);
+        assert_eq!(
+            f1.stats.chunks_novel + f1.stats.chunks_deduped,
+            0,
+            "a parked guest dirties no pages between epochs"
+        );
+        // The recorded epochs reconstruct to identical guest state.
+        let fs = full_cas.reconstruct(f1.manifest).unwrap();
+        let ds = dialed_cas.reconstruct(d1.manifest).unwrap();
+        assert_eq!(fs.memory, ds.memory);
+        assert_eq!(fs.vcpus, ds.vcpus);
+        assert_eq!(fs.device_state, ds.device_state);
     }
 
     #[test]

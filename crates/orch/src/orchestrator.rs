@@ -5,7 +5,8 @@ use std::collections::BTreeMap;
 use rvisor_cluster::{HostSpec, VmSpec};
 use rvisor_migrate::{FaultService, MigrationConfig, MigrationPlan, PlanEngine};
 use rvisor_obs::{ArgValue, Trace};
-use rvisor_snapshot::SnapshotStore;
+use rvisor_snapshot::store::MAX_CHAIN_LENGTH;
+use rvisor_snapshot::{CasStore, ManifestId, SnapshotStore};
 use rvisor_types::{ByteSize, Error, HostId, Nanoseconds, Result};
 
 use crate::cluster::{BackupHandle, Cluster, HostPower};
@@ -58,10 +59,58 @@ struct VmBackups {
 }
 
 /// Delete the snapshot behind a handle, if it owns one (canonical model
-/// backups occupy no store space).
+/// backups occupy no store space; manifested epochs are owned by the
+/// [`VmChain`] bookkeeping, never by a [`VmBackups`] slot).
 fn discard(handle: BackupHandle, store: &mut SnapshotStore) {
     if let BackupHandle::Stored(id) = handle {
         let _ = store.delete(id);
+    }
+}
+
+/// The manifest chain of one VM in the content-addressed DR store
+/// ([`OrchParams::dedup_backups`]): the current chain (a full epoch plus
+/// incrementals), the superseded previous chain retained until the new
+/// chain's full has arrived, and whether the next epoch must recapture in
+/// full (after a restore or a migration, the guest's dirty bitmap no longer
+/// corresponds to the last recorded epoch).
+#[derive(Debug, Clone, Default)]
+struct VmChain {
+    /// The current chain in capture order: `links[0]` is the full epoch.
+    /// Each entry carries its arrival instant at the DR endpoint; within a
+    /// chain every epoch streams from the same host, so arrivals are
+    /// monotone and the arrived prefix is contiguous.
+    links: Vec<(ManifestId, Nanoseconds)>,
+    /// The previous chain, retained until the new chain's anchor arrives (a
+    /// failure mid-stream falls back to its newest arrived epoch).
+    prev: Vec<(ManifestId, Nanoseconds)>,
+    /// The next epoch must be a full capture.
+    force_full: bool,
+}
+
+/// Retire every epoch in `links`, newest first (an incremental depends on
+/// its parent), releasing their chunk references for garbage collection.
+fn retire_links(links: &mut Vec<(ManifestId, Nanoseconds)>, cas: &mut CasStore) {
+    while let Some((m, _)) = links.pop() {
+        let _ = cas.retire(m);
+    }
+}
+
+impl VmChain {
+    /// Garbage-collect the previous generation once the new chain's full
+    /// epoch has fully arrived at the DR endpoint.
+    fn settle(&mut self, cas: &mut CasStore, now: Nanoseconds) {
+        if !self.prev.is_empty() {
+            if let Some(&(_, anchor_arrival)) = self.links.first() {
+                if anchor_arrival <= now {
+                    retire_links(&mut self.prev, cas);
+                }
+            }
+        }
+    }
+
+    /// The newest arrived epoch of `links` at `now`.
+    fn newest_arrived(links: &[(ManifestId, Nanoseconds)], now: Nanoseconds) -> usize {
+        links.iter().take_while(|&&(_, a)| a <= now).count()
     }
 }
 
@@ -104,8 +153,13 @@ pub struct Orchestrator {
     now: Nanoseconds,
     horizon: Nanoseconds,
     dr_store: SnapshotStore,
+    /// The content-addressed DR store ([`OrchParams::dedup_backups`]); empty
+    /// and untouched when dedup is off.
+    dr_cas: CasStore,
     /// DR backups per VM name (newest arrived + newest in flight).
     backups: BTreeMap<String, VmBackups>,
+    /// Manifest chains per VM name (dedup mode's counterpart of `backups`).
+    chains: BTreeMap<String, VmChain>,
     pending_placement: Vec<PendingVm>,
     pending_restores: BTreeMap<String, PendingRestore>,
     /// Arrival instants of VMs placed or waiting (for placement latency).
@@ -142,7 +196,9 @@ impl Orchestrator {
             now: Nanoseconds::ZERO,
             horizon: Nanoseconds::ZERO,
             dr_store: SnapshotStore::new(),
+            dr_cas: CasStore::new(),
             backups: BTreeMap::new(),
+            chains: BTreeMap::new(),
             pending_placement: Vec::new(),
             pending_restores: BTreeMap::new(),
             report: OrchReport::default(),
@@ -276,6 +332,10 @@ impl Orchestrator {
         self.report.sim_end = self.horizon;
         self.report.vms_running_at_end = self.cluster.total_vms() as u64;
         self.report.hosts_powered_at_end = self.cluster.powered_on() as u64;
+        if self.params.dedup_backups {
+            self.report.dr_store_chunks = self.dr_cas.chunk_count();
+            self.report.dr_store_bytes = self.dr_cas.stored_bytes().as_u64();
+        }
         Ok(self.report)
     }
 
@@ -386,11 +446,61 @@ impl Orchestrator {
         Ok(())
     }
 
-    /// Release every DR snapshot held for a departed VM.
+    /// Release every DR snapshot held for a departed VM — and, in dedup
+    /// mode, retire its whole manifest chain so the chunks it pinned are
+    /// garbage-collected.
     fn drop_backups(&mut self, vm: &str) {
         if let Some(b) = self.backups.remove(vm) {
             b.drop_all(&mut self.dr_store);
         }
+        if let Some(mut chain) = self.chains.remove(vm) {
+            let epochs = (chain.links.len() + chain.prev.len()) as u64;
+            retire_links(&mut chain.links, &mut self.dr_cas);
+            retire_links(&mut chain.prev, &mut self.dr_cas);
+            if self.trace.is_on() {
+                self.trace.instant(
+                    "dr/cas",
+                    "retire-chain",
+                    self.now,
+                    &[("vm", ArgValue::Str(vm)), ("epochs", ArgValue::U64(epochs))],
+                );
+            }
+        }
+    }
+
+    /// Dedup-mode failure handling: the newest restorable epoch of `vm` at
+    /// the failure instant, with its chain read-back size. Epochs whose
+    /// streams were still on the wire died with the host and are retired;
+    /// if the current chain has no arrived epoch the previous (retained)
+    /// generation is the fallback. Marks the chain to recapture in full,
+    /// since the restored guest's dirty bitmap will not correspond to any
+    /// recorded epoch.
+    fn restorable_epoch(&mut self, vm: &str) -> Option<(BackupHandle, ByteSize)> {
+        let chain = self.chains.get_mut(vm)?;
+        chain.settle(&mut self.dr_cas, self.now);
+        let arrived = VmChain::newest_arrived(&chain.links, self.now);
+        if arrived == 0 {
+            retire_links(&mut chain.links, &mut self.dr_cas);
+            let arrived_prev = VmChain::newest_arrived(&chain.prev, self.now);
+            while chain.prev.len() > arrived_prev {
+                let (m, _) = chain.prev.pop().expect("len checked");
+                let _ = self.dr_cas.retire(m);
+            }
+            if arrived_prev == 0 {
+                self.chains.remove(vm);
+                return None;
+            }
+            chain.links = std::mem::take(&mut chain.prev);
+        } else {
+            while chain.links.len() > arrived {
+                let (m, _) = chain.links.pop().expect("len checked");
+                let _ = self.dr_cas.retire(m);
+            }
+        }
+        chain.force_full = true;
+        let (target, _) = *chain.links.last().expect("non-empty arrived prefix");
+        let size = self.dr_cas.chain_restore_size(target).ok()?;
+        Some((BackupHandle::Manifested(target), size))
     }
 
     fn on_departure(&mut self, vm: &str) -> Result<()> {
@@ -483,12 +593,16 @@ impl Orchestrator {
             // Only a backup whose stream has fully arrived at the DR target
             // by the failure instant is restorable; bytes still on the wire
             // do not count (the retained previous backup does).
-            let restorable = match self.backups.get_mut(&spec.name) {
-                Some(b) => {
-                    b.settle(&mut self.dr_store, self.now);
-                    b.ready
+            let restorable = if self.params.dedup_backups {
+                self.restorable_epoch(&spec.name)
+            } else {
+                match self.backups.get_mut(&spec.name) {
+                    Some(b) => {
+                        b.settle(&mut self.dr_store, self.now);
+                        b.ready
+                    }
+                    None => None,
                 }
-                None => None,
             };
             match restorable {
                 Some((backup, size)) => {
@@ -567,8 +681,15 @@ impl Orchestrator {
                 .saturating_add(self.horizon.saturating_sub(pr.failed_at));
             return Ok(());
         };
-        self.cluster
-            .restore(&pr.spec, pr.backup, &self.dr_store, host)?;
+        match pr.backup {
+            BackupHandle::Manifested(m) => {
+                self.cluster
+                    .restore_manifested(&pr.spec, m, &self.dr_cas, host)?
+            }
+            backup => self
+                .cluster
+                .restore(&pr.spec, backup, &self.dr_store, host)?,
+        }
         if self.trace.is_on() {
             // The restore span covers the whole outage: failure to resumption.
             self.trace.span(
@@ -796,6 +917,15 @@ impl Orchestrator {
                     // a long pause and a long transfer make it worse.
                     self.report.downtime_duration_integral +=
                         r.downtime.as_nanos() as u128 * r.total_time.as_nanos() as u128;
+                    // The destination guest's dirty bitmap no longer tracks
+                    // the last recorded epoch (zero-run pages skipped on the
+                    // wire are not marked dirty at the destination): restart
+                    // the VM's dedup chain with a full capture.
+                    if self.params.dedup_backups {
+                        if let Some(chain) = self.chains.get_mut(&decision.vm) {
+                            chain.force_full = true;
+                        }
+                    }
                 }
                 Err(_) => self.report.migrations_skipped += 1,
             }
@@ -821,6 +951,9 @@ impl Orchestrator {
     }
 
     fn on_backup_tick(&mut self) -> Result<()> {
+        if self.params.dedup_backups {
+            return self.on_backup_tick_dedup();
+        }
         // The work list is a field, not a local: its backbone is reused
         // across ticks (the per-name `String` clones remain, but the queue
         // itself stops reallocating once it has seen the fleet size).
@@ -861,6 +994,87 @@ impl Orchestrator {
             }
         }
         // Hand the (now empty) queue buffer back for reuse by the next tick.
+        self.backup_queue = queue;
+        Ok(())
+    }
+
+    /// The deduplicated backup sweep ([`OrchParams::dedup_backups`]): each
+    /// VM's first epoch (and the first after a restore, a migration, or a
+    /// full-length chain) is a full capture; every later sweep captures only
+    /// the pages dirtied since the previous epoch. Epochs are ingested into
+    /// the content-addressed store, and only novel chunks ship across the
+    /// fabric — already-known pages go as references.
+    fn on_backup_tick_dedup(&mut self) -> Result<()> {
+        let mut queue = std::mem::take(&mut self.backup_queue);
+        queue.clear();
+        queue.extend(
+            self.cluster
+                .hosts()
+                .iter()
+                .filter(|h| h.power() == HostPower::On)
+                .flat_map(|h| h.vm_names()),
+        );
+        let label = format!("backup@{}", self.now.as_nanos());
+        for name in queue.drain(..) {
+            let parent = {
+                let chain = self.chains.entry(name.clone()).or_default();
+                chain.settle(&mut self.dr_cas, self.now);
+                if chain.force_full || chain.links.len() >= MAX_CHAIN_LENGTH {
+                    None
+                } else {
+                    chain.links.last().map(|&(m, _)| m)
+                }
+            };
+            let b = self
+                .cluster
+                .backup_dedup(&name, &label, &mut self.dr_cas, parent, self.now)?;
+            self.report.backups_taken += 1;
+            // `backup_bytes` keeps its bytes-on-wire meaning, so the
+            // dedup-on/off comparison reads straight off the report.
+            self.report.backup_bytes += b.wire_bytes;
+            let network_time = b.arrival.saturating_sub(self.now);
+            // The DR target only writes the novel chunk payloads;
+            // references resolve against chunks it already holds.
+            self.report.backup_time_total = self
+                .report
+                .backup_time_total
+                .saturating_add(network_time)
+                .saturating_add(
+                    self.params
+                        .backup_target
+                        .write_time(ByteSize::new(b.stats.bytes_novel)),
+                );
+            self.report.backup_chunks_shipped += b.stats.chunks_novel;
+            self.report.backup_chunks_deduped += b.stats.chunks_deduped;
+            self.report.backup_bytes_deduped += b.stats.bytes_deduped;
+            if self.trace.is_on() {
+                self.trace.instant(
+                    "dr/cas",
+                    "ingest",
+                    self.now,
+                    &[
+                        ("vm", ArgValue::Str(&name)),
+                        ("manifest", ArgValue::U64(b.manifest.0)),
+                        ("full", ArgValue::U64(u64::from(parent.is_none()))),
+                        ("chunks_novel", ArgValue::U64(b.stats.chunks_novel)),
+                        ("chunks_deduped", ArgValue::U64(b.stats.chunks_deduped)),
+                        ("wire_bytes", ArgValue::U64(b.wire_bytes)),
+                    ],
+                );
+                self.trace.add("cas.chunks_shipped", b.stats.chunks_novel);
+                self.trace.add("cas.chunks_deduped", b.stats.chunks_deduped);
+            }
+            let chain = self.chains.get_mut(&name).expect("inserted above");
+            if parent.is_none() {
+                // A new full supersedes the previous generation: whatever
+                // `prev` still held is retired now, and the old chain is
+                // retained until the new anchor arrives at the DR endpoint.
+                retire_links(&mut chain.prev, &mut self.dr_cas);
+                chain.prev = std::mem::take(&mut chain.links);
+                chain.force_full = false;
+            }
+            chain.links.push((b.manifest, b.arrival));
+        }
         self.backup_queue = queue;
         Ok(())
     }
@@ -1311,6 +1525,32 @@ mod tests {
             prop_assert_eq!(a, b);
         }
 
+        /// Deduplicated DR days are pure functions of the scenario too:
+        /// same seed, `==` report, across random seeds and failure counts;
+        /// the dedup day never ships more backup bytes than the plain day;
+        /// and the dedup-off day keeps its counters at zero (the replay
+        /// pin for every pre-dedup baseline).
+        #[test]
+        fn property_dedup_day_replays_and_never_ships_more(
+            seed in 0u64..500,
+            failures in 0usize..3,
+        ) {
+            let s = small_scenario(seed, failures);
+            let on = OrchParams {
+                dedup_backups: true,
+                ..fast_params()
+            };
+            let a = run_datacenter(4, on, Box::new(ThresholdRebalance), &s).unwrap();
+            let b = run_datacenter(4, on, Box::new(ThresholdRebalance), &s).unwrap();
+            prop_assert_eq!(&a, &b);
+            let off = run_datacenter(4, fast_params(), Box::new(ThresholdRebalance), &s).unwrap();
+            prop_assert_eq!(off.backup_chunks_shipped, 0);
+            prop_assert_eq!(off.backup_chunks_deduped, 0);
+            prop_assert_eq!(off.dr_store_bytes, 0);
+            prop_assert_eq!(a.backups_taken, off.backups_taken);
+            prop_assert!(a.backup_bytes <= off.backup_bytes);
+        }
+
         /// Tracing is a pure observer: a day run with a recording sink
         /// attached to every layer produces an `==`-equal report to the same
         /// day run with tracing off, across random seeds and failure counts
@@ -1338,6 +1578,88 @@ mod tests {
                 "a traced day must record events"
             );
         }
+    }
+
+    /// The deduplicated DR day: strictly fewer backup bytes on the wire,
+    /// a store that holds every unique page once, deterministic replay,
+    /// and a dedup-off day bit-identical to the default day.
+    #[test]
+    fn dedup_day_ships_fewer_backup_bytes_and_replays_identically() {
+        let s = small_scenario(13, 2);
+        let dedup_params = OrchParams {
+            dedup_backups: true,
+            ..fast_params()
+        };
+        let plain = run_datacenter(4, fast_params(), Box::new(ThresholdRebalance), &s).unwrap();
+        let a = run_datacenter(4, dedup_params, Box::new(ThresholdRebalance), &s).unwrap();
+        let b = run_datacenter(4, dedup_params, Box::new(ThresholdRebalance), &s).unwrap();
+        assert_eq!(a, b, "dedup day must replay identically");
+
+        assert!(a.backups_taken > 0);
+        assert_eq!(a.backups_taken, plain.backups_taken);
+        assert!(
+            a.backup_bytes * 5 <= plain.backup_bytes,
+            "dedup must ship at least 5x fewer backup bytes ({} vs {})",
+            a.backup_bytes,
+            plain.backup_bytes
+        );
+        assert!(a.backup_chunks_shipped > 0);
+        assert!(
+            a.backup_chunks_deduped > a.backup_chunks_shipped,
+            "most pages of an hourly sweep are already known to the store"
+        );
+        assert!(a.backup_bytes_deduped > 0);
+        assert!(a.dr_store_chunks > 0);
+        assert!(
+            a.dr_store_bytes < plain.backup_bytes,
+            "the store holds unique pages, not the sum of all snapshots"
+        );
+        assert!(
+            a.backup_time_total < plain.backup_time_total,
+            "fewer bytes on the wire and fewer bytes written"
+        );
+        if plain.vms_restored > 0 {
+            assert!(
+                a.vms_restored > 0,
+                "dedup restores must still recover failed VMs"
+            );
+        }
+
+        // Dedup counters stay zero — and the dedup report line silent —
+        // on a dedup-off day, which is bit-identical to the default day.
+        let off = OrchParams {
+            dedup_backups: false,
+            ..fast_params()
+        };
+        let c = run_datacenter(4, off, Box::new(ThresholdRebalance), &s).unwrap();
+        assert_eq!(plain, c);
+        assert_eq!(plain.backup_chunks_shipped, 0);
+        assert_eq!(plain.dr_store_bytes, 0);
+        assert_eq!(format!("{plain}"), format!("{c}"));
+        assert!(!format!("{plain}").contains("dedup"));
+        assert!(format!("{a}").contains("dedup"));
+    }
+
+    /// The fidelity pin holds under dedup: model VMs participate in the
+    /// content-addressed store via their canonical deploy state, so a
+    /// force-materialized dedup day reports `==` to the dialed one.
+    #[test]
+    fn dedup_day_fidelity_pin_holds() {
+        let s = small_scenario(17, 1);
+        let full = OrchParams {
+            dedup_backups: true,
+            fidelity: crate::params::VmFidelity::Full,
+            ..fast_params()
+        };
+        let dialed = OrchParams {
+            dedup_backups: true,
+            fidelity: crate::params::VmFidelity::OnDemand,
+            ..fast_params()
+        };
+        let a = run_datacenter(4, full, Box::new(ThresholdRebalance), &s).unwrap();
+        let b = run_datacenter(4, dialed, Box::new(ThresholdRebalance), &s).unwrap();
+        assert_eq!(a, b, "the fidelity dial must be invisible under dedup");
+        assert!(a.backup_chunks_shipped > 0);
     }
 
     /// The 32-rack Clos acceptance day: identical hosts and scenario, one

@@ -254,6 +254,16 @@ pub struct OrchParams {
     /// re-dirtying out of migrations — the E19 stream-count invariance on
     /// the single-spine fabric relies on that.
     pub hot_tenant_modulus: Option<NonZeroU64>,
+    /// Content-addressed, deduplicated DR. When on, hourly backups ship
+    /// every unique page once: each sweep captures a full epoch only on a
+    /// VM's first backup (or after a restore or migration resets the chain)
+    /// and an incremental epoch otherwise, the DR endpoint stores pages as
+    /// refcounted chunks keyed by content fingerprint, and only *novel*
+    /// chunks cross the fabric — deduplicated pages ship as small
+    /// `ChunkRef` frames. Restore applies the manifest chain and is
+    /// byte-identical to the plain path. Off (the default) keeps every
+    /// existing day bit-identical to its pre-dedup replay.
+    pub dedup_backups: bool,
 }
 
 impl Default for OrchParams {
@@ -281,6 +291,7 @@ impl Default for OrchParams {
             topology: FabricTopology::SingleSpine,
             hot_spine_defer: None,
             hot_tenant_modulus: None,
+            dedup_backups: false,
         }
     }
 }

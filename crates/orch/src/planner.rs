@@ -38,15 +38,24 @@ pub struct PlanChoice {
 
 /// Threshold set for the adaptive per-migration plan decision.
 ///
-/// The decision ladder, first match wins:
+/// The decision ladder, first match wins (threshold defaults in
+/// parentheses are the [`Default`] impl's values):
 ///
-/// | Condition | Plan | Reason label |
-/// |-----------|------|--------------|
-/// | guest ≤ `tiny_guest_max` | stop-and-copy, 1 stream | `tiny-guest` |
-/// | dirty rate ≥ `hot_dirty_rate` | post-copy + fault lane | `dirty-hot` |
-/// | guest ≥ `big_guest_min` and backlog ≤ `idle_backlog_max` | pre-copy, `wide_streams` | `big-idle` |
+/// | Condition (default threshold) | Plan | Reason label |
+/// |-------------------------------|------|--------------|
+/// | guest ≤ `tiny_guest_max` (128 MiB) | stop-and-copy, 1 stream | `tiny-guest` |
+/// | dirty rate ≥ `hot_dirty_rate` (8 MiB/s = `8 * 1024 * 1024` B/s) | post-copy, [`FaultService::FaultLane`] | `dirty-hot` |
+/// | guest ≥ `big_guest_min` (1 GiB) and backlog ≤ `idle_backlog_max` (1 ms) | pre-copy, `wide_streams` (4) | `big-idle` |
 /// | otherwise | pre-copy, 1 stream | `default` |
 ///
+/// The `dirty-hot` rung is the only one that selects a
+/// [`FaultService`]: a guest dirtying at or above `hot_dirty_rate` is
+/// presumed pre-copy-non-convergent, and once it is post-copy its faulted
+/// pages ride the out-of-order demand-fault lane
+/// ([`FaultService::FaultLane`]) so fault service latency does not queue
+/// behind the background sweep. Every other rung leaves the plan's
+/// `fault_service` at its [`MigrationPlan::default`] (the proptest-pinned
+/// sweep order), which is irrelevant outside post-copy.
 /// Pre-copy rungs additionally carry the planner's `compression` setting;
 /// stop-and-copy and post-copy plans always move raw pages.
 ///

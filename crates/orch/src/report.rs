@@ -81,6 +81,19 @@ pub struct OrchReport {
     /// Simulated time spent writing backups to the DR target.
     pub backup_time_total: Nanoseconds,
 
+    /// Novel chunks shipped to the content-addressed DR store
+    /// ([`OrchParams::dedup_backups`](crate::OrchParams::dedup_backups);
+    /// zero when dedup is off).
+    pub backup_chunks_shipped: u64,
+    /// Chunks the DR endpoint already held, shipped as references only.
+    pub backup_chunks_deduped: u64,
+    /// Page bytes that did *not* cross the fabric thanks to dedup.
+    pub backup_bytes_deduped: u64,
+    /// Chunks resident in the content-addressed store at day end.
+    pub dr_store_chunks: u64,
+    /// Bytes resident in the content-addressed store at day end.
+    pub dr_store_bytes: u64,
+
     /// Host failure events honoured.
     pub hosts_failed: u64,
     /// Spine failure events honoured (the fabric degraded; attempts to fail
@@ -193,6 +206,17 @@ impl fmt::Display for OrchReport {
             "  backup/DR   {} backups ({} bytes, {} write time)",
             self.backups_taken, self.backup_bytes, self.backup_time_total
         )?;
+        if self.backup_chunks_shipped + self.backup_chunks_deduped > 0 {
+            writeln!(
+                f,
+                "  dedup       {} chunks shipped, {} deduped ({} bytes saved), store holds {} chunks / {} bytes",
+                self.backup_chunks_shipped,
+                self.backup_chunks_deduped,
+                self.backup_bytes_deduped,
+                self.dr_store_chunks,
+                self.dr_store_bytes
+            )?;
+        }
         writeln!(
             f,
             "  failures    {} hosts + {} spines failed, {} VMs hit: {} restored, {} lost, {} VM-time lost",

@@ -1,0 +1,800 @@
+//! Content-addressed chunk store and manifest-based restore for
+//! deduplicated disaster recovery.
+//!
+//! The DR endpoint stores guest pages as *chunks* keyed by the word-wise
+//! [`fingerprint`] kernel. Chunks are write-once and refcounted: interning a
+//! page whose bytes are already stored bumps a refcount instead of storing a
+//! second copy, and releasing the last reference garbage-collects the entry.
+//! A fingerprint collision (two different pages hashing alike) is detected by
+//! a full-page byte compare against the stored bytes and degrades to a fresh
+//! chunk under a new ordinal — never to corruption.
+//!
+//! A [`Manifest`] records one backup epoch: every field of the captured
+//! [`VmSnapshot`] except the page bytes, which it holds as
+//! `(page index, chunk id)` references. [`CasStore::reconstruct`] rebuilds
+//! the original snapshot byte-identically, and [`CasStore::restore`] applies
+//! a manifest chain (full parent plus incremental children) directly to
+//! guest memory with the same checksum verification as
+//! [`crate::SnapshotStore::restore`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rvisor_memory::{fingerprint, GuestMemory};
+use rvisor_types::{ByteSize, Error, Nanoseconds, Result, VmId};
+use rvisor_vcpu::VcpuState;
+
+use crate::snapshot::{MemorySnapshot, SnapshotId, SnapshotKind, VmSnapshot};
+use crate::store::MAX_CHAIN_LENGTH;
+
+/// Identifies a chunk in a [`ChunkStore`].
+///
+/// The fingerprint alone is not the identity: two distinct pages may collide
+/// on it, in which case they are stored under distinct `ordinal`s. Ordinals
+/// are never reused, even after the chunk they named is garbage-collected,
+/// so a stale `ChunkId` can never silently resolve to different bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// Word-wise FNV-1a fingerprint of the chunk bytes.
+    pub fingerprint: u64,
+    /// Disambiguates fingerprint collisions; 0 for the first chunk stored
+    /// under a fingerprint.
+    pub ordinal: u32,
+}
+
+impl std::fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk-{:016x}.{}", self.fingerprint, self.ordinal)
+    }
+}
+
+#[derive(Debug)]
+struct ChunkEntry {
+    bytes: Vec<u8>,
+    refs: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChunkSlot {
+    entries: BTreeMap<u32, ChunkEntry>,
+    /// Next ordinal to assign under this fingerprint. Monotonic — GC removes
+    /// entries but never rewinds this, so chunk ids are never recycled.
+    next_ordinal: u32,
+}
+
+/// Write-once, refcounted, fingerprint-keyed page store.
+#[derive(Debug, Default)]
+pub struct ChunkStore {
+    slots: BTreeMap<u64, ChunkSlot>,
+    stored_bytes: u64,
+    chunk_count: u64,
+    total_refs: u64,
+}
+
+impl ChunkStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `bytes`, returning the chunk id and whether the bytes were
+    /// *novel* (stored by this call) or deduplicated against an existing
+    /// chunk. Either way the returned id holds one new reference.
+    pub fn intern(&mut self, bytes: &[u8]) -> (ChunkId, bool) {
+        self.intern_keyed(fingerprint(bytes), bytes)
+    }
+
+    /// [`intern`](Self::intern) with the fingerprint supplied by the caller.
+    /// Split out so tests can force two different byte strings into the same
+    /// fingerprint slot and exercise the collision path, which real FNV-1a
+    /// inputs cannot practically produce.
+    fn intern_keyed(&mut self, fp: u64, bytes: &[u8]) -> (ChunkId, bool) {
+        let slot = self.slots.entry(fp).or_default();
+        for (ordinal, entry) in slot.entries.iter_mut() {
+            if entry.bytes == bytes {
+                entry.refs += 1;
+                self.total_refs += 1;
+                return (
+                    ChunkId {
+                        fingerprint: fp,
+                        ordinal: *ordinal,
+                    },
+                    false,
+                );
+            }
+        }
+        // Fingerprint miss or collision: store fresh bytes under the next
+        // ordinal. A collision costs one extra stored copy, nothing else.
+        let ordinal = slot.next_ordinal;
+        slot.next_ordinal += 1;
+        slot.entries.insert(
+            ordinal,
+            ChunkEntry {
+                bytes: bytes.to_vec(),
+                refs: 1,
+            },
+        );
+        self.stored_bytes += bytes.len() as u64;
+        self.chunk_count += 1;
+        self.total_refs += 1;
+        (
+            ChunkId {
+                fingerprint: fp,
+                ordinal,
+            },
+            true,
+        )
+    }
+
+    /// The stored bytes of a chunk.
+    pub fn get(&self, id: ChunkId) -> Option<&[u8]> {
+        self.slots
+            .get(&id.fingerprint)
+            .and_then(|s| s.entries.get(&id.ordinal))
+            .map(|e| e.bytes.as_slice())
+    }
+
+    /// Drop one reference to `id`; the entry is garbage-collected when the
+    /// last reference goes. Errors on an unknown id (double release).
+    pub fn release(&mut self, id: ChunkId) -> Result<()> {
+        let slot = self
+            .slots
+            .get_mut(&id.fingerprint)
+            .ok_or_else(|| Error::Snapshot(format!("release of unknown {id}")))?;
+        let entry = slot
+            .entries
+            .get_mut(&id.ordinal)
+            .ok_or_else(|| Error::Snapshot(format!("release of unknown {id}")))?;
+        entry.refs -= 1;
+        self.total_refs -= 1;
+        if entry.refs == 0 {
+            let len = entry.bytes.len() as u64;
+            slot.entries.remove(&id.ordinal);
+            self.stored_bytes -= len;
+            self.chunk_count -= 1;
+        }
+        Ok(())
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn chunks(&self) -> u64 {
+        self.chunk_count
+    }
+
+    /// Bytes of chunk payload stored (each unique page counted once).
+    pub fn stored_bytes(&self) -> ByteSize {
+        ByteSize::new(self.stored_bytes)
+    }
+
+    /// Total outstanding references across all chunks (each page slot of
+    /// each live manifest counts one).
+    pub fn total_refs(&self) -> u64 {
+        self.total_refs
+    }
+}
+
+/// Identifies a manifest within a [`CasStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ManifestId(pub u64);
+
+impl std::fmt::Display for ManifestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "manifest-{}", self.0)
+    }
+}
+
+/// One backup epoch of one VM: every [`VmSnapshot`] field, with page bytes
+/// replaced by chunk references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Identifier assigned by the store (zero until stored).
+    pub id: ManifestId,
+    /// The manifest chain parent (the epoch an incremental is relative to).
+    pub parent: Option<ManifestId>,
+    /// `id` field of the ingested snapshot, preserved for byte-identical
+    /// reconstruction.
+    pub snapshot_id: SnapshotId,
+    /// `parent` field of the ingested snapshot, preserved likewise.
+    pub snapshot_parent: Option<SnapshotId>,
+    /// The VM this epoch belongs to.
+    pub vm: VmId,
+    /// Human-readable snapshot name.
+    pub name: String,
+    /// Full or incremental.
+    pub kind: SnapshotKind,
+    /// Simulated time of capture.
+    pub taken_at: Nanoseconds,
+    /// Architectural state of every vCPU.
+    pub vcpus: Vec<VcpuState>,
+    /// Total guest memory size the epoch describes.
+    pub total_size: ByteSize,
+    /// `(global page index, chunk id)` pairs, ascending by index.
+    pub pages: Vec<(u64, ChunkId)>,
+    /// Opaque per-device state blobs keyed by device name.
+    pub device_state: BTreeMap<String, Vec<u8>>,
+    /// Additive checksum of guest memory at capture time.
+    pub memory_checksum: u64,
+}
+
+/// Per-ingest dedup accounting, the numbers the wire path ships by.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Pages whose bytes were not yet stored — these must cross the wire.
+    pub chunks_novel: u64,
+    /// Pages deduplicated against an already-stored chunk — only a
+    /// reference crosses the wire.
+    pub chunks_deduped: u64,
+    /// Payload bytes of the novel chunks.
+    pub bytes_novel: u64,
+    /// Payload bytes the dedup avoided storing (and shipping).
+    pub bytes_deduped: u64,
+}
+
+/// A content-addressed DR store: a [`ChunkStore`] plus the manifests that
+/// reference into it.
+#[derive(Debug, Default)]
+pub struct CasStore {
+    chunks: ChunkStore,
+    manifests: BTreeMap<ManifestId, Manifest>,
+    next_id: u64,
+}
+
+impl CasStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest a captured snapshot: intern every page, record a manifest.
+    /// `parent` is the manifest of the previous epoch for incremental
+    /// captures (chain rules mirror [`crate::SnapshotStore::insert`]).
+    pub fn ingest(
+        &mut self,
+        snapshot: &VmSnapshot,
+        parent: Option<ManifestId>,
+    ) -> Result<(ManifestId, IngestStats)> {
+        let parent = match snapshot.kind {
+            SnapshotKind::Full => None,
+            SnapshotKind::Incremental => {
+                let p = parent.ok_or_else(|| {
+                    Error::Snapshot("incremental manifest without a parent".into())
+                })?;
+                if !self.manifests.contains_key(&p) {
+                    return Err(Error::Snapshot(format!("parent {p} does not exist")));
+                }
+                if self.chain_of(p)?.len() >= MAX_CHAIN_LENGTH {
+                    return Err(Error::Snapshot(format!(
+                        "chain rooted at {p} already has {MAX_CHAIN_LENGTH} links; take a full snapshot"
+                    )));
+                }
+                Some(p)
+            }
+        };
+        let mut stats = IngestStats::default();
+        let mut pages = Vec::with_capacity(snapshot.memory.pages.len());
+        for (index, bytes) in &snapshot.memory.pages {
+            let (id, novel) = self.chunks.intern(bytes);
+            if novel {
+                stats.chunks_novel += 1;
+                stats.bytes_novel += bytes.len() as u64;
+            } else {
+                stats.chunks_deduped += 1;
+                stats.bytes_deduped += bytes.len() as u64;
+            }
+            pages.push((*index, id));
+        }
+        self.next_id += 1;
+        let id = ManifestId(self.next_id);
+        self.manifests.insert(
+            id,
+            Manifest {
+                id,
+                parent,
+                snapshot_id: snapshot.id,
+                snapshot_parent: snapshot.parent,
+                vm: snapshot.vm,
+                name: snapshot.name.clone(),
+                kind: snapshot.kind,
+                taken_at: snapshot.taken_at,
+                vcpus: snapshot.vcpus.clone(),
+                total_size: snapshot.memory.total_size,
+                pages,
+                device_state: snapshot.device_state.clone(),
+                memory_checksum: snapshot.memory_checksum,
+            },
+        );
+        Ok((id, stats))
+    }
+
+    /// Look up a manifest.
+    pub fn get(&self, id: ManifestId) -> Option<&Manifest> {
+        self.manifests.get(&id)
+    }
+
+    /// Rebuild the ingested [`VmSnapshot`] byte-identically from a manifest.
+    pub fn reconstruct(&self, id: ManifestId) -> Result<VmSnapshot> {
+        let manifest = self
+            .manifests
+            .get(&id)
+            .ok_or_else(|| Error::Snapshot(format!("{id} missing from the store")))?;
+        let mut pages = Vec::with_capacity(manifest.pages.len());
+        for (index, chunk) in &manifest.pages {
+            let bytes = self.chunks.get(*chunk).ok_or_else(|| {
+                Error::Snapshot(format!("{id} references missing {chunk} (page {index})"))
+            })?;
+            pages.push((*index, bytes.to_vec()));
+        }
+        Ok(VmSnapshot {
+            id: manifest.snapshot_id,
+            vm: manifest.vm,
+            name: manifest.name.clone(),
+            kind: manifest.kind,
+            parent: manifest.snapshot_parent,
+            taken_at: manifest.taken_at,
+            vcpus: manifest.vcpus.clone(),
+            memory: MemorySnapshot {
+                total_size: manifest.total_size,
+                pages,
+            },
+            device_state: manifest.device_state.clone(),
+            memory_checksum: manifest.memory_checksum,
+        })
+    }
+
+    /// The chain from the full ancestor down to `id`, in application order.
+    pub fn chain_of(&self, id: ManifestId) -> Result<Vec<&Manifest>> {
+        let mut chain = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let manifest = self
+                .manifests
+                .get(&cur)
+                .ok_or_else(|| Error::Snapshot(format!("{cur} missing from the store")))?;
+            chain.push(manifest);
+            if chain.len() > MAX_CHAIN_LENGTH + 1 {
+                return Err(Error::Snapshot("manifest chain too long or cyclic".into()));
+            }
+            cursor = manifest.parent;
+        }
+        if chain.last().map(|m| m.kind) != Some(SnapshotKind::Full) {
+            return Err(Error::Snapshot(format!(
+                "chain of {id} does not end in a full manifest"
+            )));
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Restore the epoch captured by `id` into `memory`, returning the vCPU
+    /// states and the number of pages written. Applies the whole manifest
+    /// chain oldest-first and verifies the target epoch's memory checksum,
+    /// exactly like [`crate::SnapshotStore::restore`].
+    pub fn restore(&self, id: ManifestId, memory: &GuestMemory) -> Result<(Vec<VcpuState>, u64)> {
+        let chain: Vec<ManifestId> = self.chain_of(id)?.iter().map(|m| m.id).collect();
+        let mut pages_written = 0u64;
+        let mut target = None;
+        for link in chain {
+            let snap = self.reconstruct(link)?;
+            snap.memory.apply(memory)?;
+            pages_written += snap.memory.page_count();
+            target = Some(snap);
+        }
+        let target = target.expect("chain is never empty");
+        if !target.verify_against(memory) {
+            return Err(Error::Snapshot(format!(
+                "restored memory does not match the checksum of {id} (corrupt chain?)"
+            )));
+        }
+        Ok((target.vcpus, pages_written))
+    }
+
+    /// Bytes that must be read back to restore the epoch `id`: the page
+    /// data, vCPU state and device blobs of every link in its chain.
+    pub fn chain_restore_size(&self, id: ManifestId) -> Result<ByteSize> {
+        let mut total = 0u64;
+        for manifest in self.chain_of(id)? {
+            let devices: u64 = manifest.device_state.values().map(|b| b.len() as u64).sum();
+            let vcpus = manifest.vcpus.len() as u64 * std::mem::size_of::<VcpuState>() as u64;
+            let pages: u64 = manifest
+                .pages
+                .iter()
+                .map(|(_, c)| self.chunks.get(*c).map_or(0, |b| b.len() as u64))
+                .sum();
+            total += pages + vcpus + devices;
+        }
+        Ok(ByteSize::new(total))
+    }
+
+    /// Retire an epoch: drop the manifest and release every chunk reference
+    /// it holds (unreferenced chunks are garbage-collected). Fails if a
+    /// dependent incremental manifest still exists.
+    pub fn retire(&mut self, id: ManifestId) -> Result<()> {
+        if self.manifests.values().any(|m| m.parent == Some(id)) {
+            return Err(Error::Snapshot(format!("{id} has dependent manifests")));
+        }
+        let manifest = self
+            .manifests
+            .remove(&id)
+            .ok_or_else(|| Error::Snapshot(format!("{id} does not exist")))?;
+        for (_, chunk) in &manifest.pages {
+            self.chunks.release(*chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Retire the epoch `id` and every ancestor in its chain, newest first —
+    /// the GC path for a lost or departed VM.
+    pub fn retire_chain(&mut self, id: ManifestId) -> Result<()> {
+        let chain: Vec<ManifestId> = self.chain_of(id)?.iter().map(|m| m.id).collect();
+        for link in chain.into_iter().rev() {
+            self.retire(link)?;
+        }
+        Ok(())
+    }
+
+    /// Number of manifests held.
+    pub fn manifest_count(&self) -> usize {
+        self.manifests.len()
+    }
+
+    /// Number of distinct chunks stored.
+    pub fn chunk_count(&self) -> u64 {
+        self.chunks.chunks()
+    }
+
+    /// Bytes of unique chunk payload stored — the store's occupancy.
+    pub fn stored_bytes(&self) -> ByteSize {
+        self.chunks.stored_bytes()
+    }
+
+    /// Outstanding chunk references across all manifests.
+    pub fn total_refs(&self) -> u64 {
+        self.chunks.total_refs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SnapshotStore;
+    use rvisor_types::{GuestAddress, PAGE_SIZE};
+
+    fn memory(pages: u64) -> GuestMemory {
+        GuestMemory::flat(ByteSize::pages_of(pages)).unwrap()
+    }
+
+    fn capture(vm: u32, mem: &GuestMemory) -> VmSnapshot {
+        VmSnapshot::capture_full(
+            VmId::new(vm),
+            "full",
+            Nanoseconds::ZERO,
+            mem,
+            vec![VcpuState::default()],
+            BTreeMap::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intern_dedups_and_refcounts() {
+        let mut store = ChunkStore::new();
+        let page_a = vec![7u8; PAGE_SIZE as usize];
+        let page_b = vec![9u8; PAGE_SIZE as usize];
+
+        let (a1, novel) = store.intern(&page_a);
+        assert!(novel);
+        let (a2, novel) = store.intern(&page_a);
+        assert!(!novel);
+        assert_eq!(a1, a2);
+        let (b1, novel) = store.intern(&page_b);
+        assert!(novel);
+        assert_ne!(a1, b1);
+
+        assert_eq!(store.chunks(), 2);
+        assert_eq!(store.total_refs(), 3);
+        assert_eq!(store.stored_bytes().as_u64(), 2 * PAGE_SIZE);
+        assert_eq!(store.get(a1).unwrap(), page_a.as_slice());
+        assert_eq!(store.get(b1).unwrap(), page_b.as_slice());
+    }
+
+    #[test]
+    fn release_garbage_collects_at_zero_refs() {
+        let mut store = ChunkStore::new();
+        let page = vec![3u8; PAGE_SIZE as usize];
+        let (id, _) = store.intern(&page);
+        store.intern(&page);
+        store.release(id).unwrap();
+        assert_eq!(store.chunks(), 1, "one ref still outstanding");
+        store.release(id).unwrap();
+        assert_eq!(store.chunks(), 0);
+        assert_eq!(store.stored_bytes().as_u64(), 0);
+        assert!(store.get(id).is_none());
+        assert!(store.release(id).is_err(), "double release is an error");
+    }
+
+    #[test]
+    fn fingerprint_collision_degrades_to_fresh_chunk() {
+        let mut store = ChunkStore::new();
+        // Force two different byte strings into the same fingerprint slot —
+        // the full-page compare must notice and assign a new ordinal.
+        let (first, novel) = store.intern_keyed(0xdead_beef, b"one page of bytes");
+        assert!(novel);
+        let (second, novel) = store.intern_keyed(0xdead_beef, b"a different page!");
+        assert!(novel, "colliding bytes must be stored fresh");
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_ne!(first.ordinal, second.ordinal);
+        assert_eq!(store.get(first).unwrap(), b"one page of bytes");
+        assert_eq!(store.get(second).unwrap(), b"a different page!");
+
+        // Re-interning either byte string still finds its own chunk.
+        let (again, novel) = store.intern_keyed(0xdead_beef, b"a different page!");
+        assert!(!novel);
+        assert_eq!(again, second);
+    }
+
+    #[test]
+    fn ordinals_are_never_reused_after_gc() {
+        let mut store = ChunkStore::new();
+        let (first, _) = store.intern_keyed(1, b"aaaa");
+        store.release(first).unwrap();
+        let (second, _) = store.intern_keyed(1, b"aaaa");
+        assert_ne!(
+            first.ordinal, second.ordinal,
+            "a GC'd ordinal must stay dead so stale ids cannot alias"
+        );
+    }
+
+    #[test]
+    fn ingest_then_reconstruct_is_byte_identical() {
+        let mem = memory(8);
+        mem.write_u64(GuestAddress(0), 0x1111).unwrap();
+        mem.write_u64(GuestAddress(5 * PAGE_SIZE), 0x5555).unwrap();
+        let mut snap = capture(1, &mem);
+        snap.id = SnapshotId(42);
+        snap.device_state.insert("nic0".into(), vec![1, 2, 3]);
+
+        let mut cas = CasStore::new();
+        let (id, stats) = cas.ingest(&snap, None).unwrap();
+        let rebuilt = cas.reconstruct(id).unwrap();
+        assert_eq!(rebuilt, snap, "reconstruction must be byte-identical");
+
+        // 8 pages: six are all-zero and dedup to one chunk after the first.
+        assert_eq!(stats.chunks_novel + stats.chunks_deduped, 8);
+        assert_eq!(stats.chunks_novel, 3, "two distinct pages + one zero page");
+        assert_eq!(stats.chunks_deduped, 5);
+        assert_eq!(stats.bytes_novel, 3 * PAGE_SIZE);
+        assert_eq!(stats.bytes_deduped, 5 * PAGE_SIZE);
+        assert_eq!(cas.stored_bytes().as_u64(), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn identical_vms_share_chunks_across_ingests() {
+        let mem_a = memory(8);
+        let mem_b = memory(8);
+        for m in [&mem_a, &mem_b] {
+            m.write_u64(GuestAddress(0), 77).unwrap();
+        }
+        let mut cas = CasStore::new();
+        let (_, first) = cas.ingest(&capture(1, &mem_a), None).unwrap();
+        let (_, second) = cas.ingest(&capture(2, &mem_b), None).unwrap();
+        assert_eq!(first.chunks_novel, 2);
+        assert_eq!(
+            second.chunks_novel, 0,
+            "an identical twin ships zero novel chunks"
+        );
+        assert_eq!(second.chunks_deduped, 8);
+        assert_eq!(cas.stored_bytes().as_u64(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn manifest_chain_restores_like_the_snapshot_store() {
+        let mem = memory(8);
+        let mut cas = CasStore::new();
+        let mut plain = SnapshotStore::new();
+
+        mem.write_u64(GuestAddress(0), 1).unwrap();
+        mem.clear_dirty();
+        let full_snap = capture(1, &mem);
+        let plain_base = plain.insert(full_snap.clone()).unwrap();
+        let (cas_base, _) = cas.ingest(&full_snap, None).unwrap();
+
+        mem.write_u64(GuestAddress(3 * PAGE_SIZE), 333).unwrap();
+        let inc = VmSnapshot::capture_incremental(
+            VmId::new(1),
+            "inc",
+            Nanoseconds::from_secs(10),
+            plain_base,
+            &mem,
+            vec![VcpuState::default()],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let plain_inc = plain.insert(inc.clone()).unwrap();
+        let (cas_inc, stats) = cas.ingest(&inc, Some(cas_base)).unwrap();
+        assert_eq!(stats.chunks_novel, 1, "only the dirtied page is novel");
+
+        let via_plain = memory(8);
+        let via_cas = memory(8);
+        let (vcpus_p, pages_p) = plain.restore(plain_inc, &via_plain).unwrap();
+        let (vcpus_c, pages_c) = cas.restore(cas_inc, &via_cas).unwrap();
+        assert_eq!(vcpus_p, vcpus_c);
+        assert_eq!(pages_p, pages_c);
+        assert_eq!(via_plain.checksum(), via_cas.checksum());
+        assert_eq!(via_cas.read_u64(GuestAddress(3 * PAGE_SIZE)).unwrap(), 333);
+
+        assert!(
+            cas.chain_restore_size(cas_inc).unwrap() > cas.chain_restore_size(cas_base).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_chain_rules_are_enforced() {
+        let mem = memory(4);
+        let mut cas = CasStore::new();
+        mem.clear_dirty();
+        mem.write_u64(GuestAddress(0), 9).unwrap();
+        let mut inc = VmSnapshot::capture_incremental(
+            VmId::new(1),
+            "orphan",
+            Nanoseconds::ZERO,
+            SnapshotId(1),
+            &mem,
+            vec![],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        assert!(
+            cas.ingest(&inc, None).is_err(),
+            "incremental needs a parent"
+        );
+        assert!(
+            cas.ingest(&inc, Some(ManifestId(99))).is_err(),
+            "parent must exist"
+        );
+        inc.kind = SnapshotKind::Full;
+        inc.parent = None;
+        let (id, _) = cas.ingest(&inc, None).unwrap();
+        assert!(cas.get(id).is_some());
+        assert!(cas.reconstruct(ManifestId(99)).is_err());
+        assert!(cas.restore(ManifestId(99), &mem).is_err());
+    }
+
+    #[test]
+    fn retire_releases_chunks_and_respects_dependents() {
+        let mem = memory(8);
+        let mut cas = CasStore::new();
+        mem.write_u64(GuestAddress(0), 11).unwrap();
+        mem.clear_dirty();
+        let full_snap = capture(1, &mem);
+        let (base, _) = cas.ingest(&full_snap, None).unwrap();
+
+        mem.write_u64(GuestAddress(2 * PAGE_SIZE), 22).unwrap();
+        let inc = VmSnapshot::capture_incremental(
+            VmId::new(1),
+            "inc",
+            Nanoseconds::ZERO,
+            SnapshotId(1),
+            &mem,
+            vec![],
+            BTreeMap::new(),
+        )
+        .unwrap();
+        let (inc_id, _) = cas.ingest(&inc, Some(base)).unwrap();
+
+        assert!(
+            cas.retire(base).is_err(),
+            "dependent manifest blocks retire"
+        );
+        cas.retire_chain(inc_id).unwrap();
+        assert_eq!(cas.manifest_count(), 0);
+        assert_eq!(cas.chunk_count(), 0, "all chunks garbage-collected");
+        assert_eq!(cas.stored_bytes().as_u64(), 0);
+        assert_eq!(cas.total_refs(), 0);
+    }
+
+    #[test]
+    fn restore_detects_corrupt_chain() {
+        let mem = memory(4);
+        let mut cas = CasStore::new();
+        mem.write_u64(GuestAddress(0), 5).unwrap();
+        let snap = capture(1, &mem);
+        let (id, _) = cas.ingest(&snap, None).unwrap();
+        // Tamper with the recorded checksum: the chain applies cleanly but
+        // the final verification must fail.
+        cas.manifests.get_mut(&id).unwrap().memory_checksum ^= 1;
+        let target = memory(4);
+        assert!(cas.restore(id, &target).is_err());
+    }
+
+    #[test]
+    fn chunk_and_manifest_ids_display() {
+        assert_eq!(
+            ChunkId {
+                fingerprint: 0xabc,
+                ordinal: 2
+            }
+            .to_string(),
+            "chunk-0000000000000abc.2"
+        );
+        assert_eq!(ManifestId(7).to_string(), "manifest-7");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For any dirty pattern across any number of epochs, restoring
+            /// any epoch from the content-addressed store is byte-identical
+            /// to restoring the same captures from the plain snapshot
+            /// store, the dedup accounting conserves pages, and retiring
+            /// the whole chain garbage-collects every chunk.
+            #[test]
+            fn property_cas_restore_equals_plain_restore(
+                epoch_writes in proptest::collection::vec(
+                    proptest::collection::vec((0u64..16, 1u64..1000), 0..6), 1..8),
+                restore_at in 0usize..8,
+            ) {
+                let mem = memory(16);
+                let mut cas = CasStore::new();
+                let mut plain = SnapshotStore::new();
+                let mut plain_ids: Vec<SnapshotId> = Vec::new();
+                let mut cas_ids: Vec<ManifestId> = Vec::new();
+                for (i, writes) in epoch_writes.iter().enumerate() {
+                    for &(page, val) in writes {
+                        mem.write_u64(GuestAddress(page * PAGE_SIZE), val).unwrap();
+                    }
+                    let at = Nanoseconds::from_secs(i as u64);
+                    let snap = if i == 0 {
+                        let s = VmSnapshot::capture_full(
+                            VmId::new(1),
+                            "epoch",
+                            at,
+                            &mem,
+                            vec![VcpuState::default()],
+                            BTreeMap::new(),
+                        )
+                        .unwrap();
+                        mem.clear_dirty();
+                        s
+                    } else {
+                        VmSnapshot::capture_incremental(
+                            VmId::new(1),
+                            "epoch",
+                            at,
+                            *plain_ids.last().unwrap(),
+                            &mem,
+                            vec![VcpuState::default()],
+                            BTreeMap::new(),
+                        )
+                        .unwrap()
+                    };
+                    let (m, stats) = cas.ingest(&snap, cas_ids.last().copied()).unwrap();
+                    prop_assert_eq!(
+                        stats.chunks_novel + stats.chunks_deduped,
+                        snap.memory.page_count(),
+                        "dedup accounting must conserve pages"
+                    );
+                    plain_ids.push(plain.insert(snap).unwrap());
+                    cas_ids.push(m);
+                }
+                let target = restore_at.min(epoch_writes.len() - 1);
+                let via_plain = memory(16);
+                let via_cas = memory(16);
+                let (vp, pp) = plain.restore(plain_ids[target], &via_plain).unwrap();
+                let (vc, pc) = cas.restore(cas_ids[target], &via_cas).unwrap();
+                prop_assert_eq!(vp, vc);
+                prop_assert_eq!(pp, pc);
+                prop_assert_eq!(via_plain.checksum(), via_cas.checksum());
+                // Retiring the whole chain garbage-collects every chunk.
+                cas.retire_chain(*cas_ids.last().unwrap()).unwrap();
+                prop_assert_eq!(cas.manifest_count(), 0);
+                prop_assert_eq!(cas.chunk_count(), 0);
+                prop_assert_eq!(cas.stored_bytes().as_u64(), 0);
+            }
+        }
+    }
+}

@@ -542,6 +542,52 @@ impl Vm {
         Ok(id)
     }
 
+    /// Capture a snapshot for the deduplicated backup path, pausing a
+    /// running VM for the duration. With `parent == None` a full capture is
+    /// taken and the dirty bitmap is cleared afterwards, anchoring the
+    /// incremental chain at this epoch; with a parent the dirty pages are
+    /// drained into an incremental capture. The snapshot is returned rather
+    /// than stored — the DR endpoint ingests it into its content-addressed
+    /// store.
+    pub fn capture_for_backup(
+        &mut self,
+        name: &str,
+        parent: Option<rvisor_snapshot::SnapshotId>,
+    ) -> Result<VmSnapshot> {
+        let was_running = self.lifecycle == VmLifecycle::Running;
+        if was_running {
+            self.pause()?;
+        }
+        let vcpu_states = self.vcpus.iter().map(|v| v.save_state()).collect();
+        let snap = match parent {
+            None => {
+                let snap = VmSnapshot::capture_full(
+                    self.id,
+                    name,
+                    self.clock.now(),
+                    &self.memory,
+                    vcpu_states,
+                    Default::default(),
+                )?;
+                self.memory.clear_dirty();
+                snap
+            }
+            Some(parent) => VmSnapshot::capture_incremental(
+                self.id,
+                name,
+                self.clock.now(),
+                parent,
+                &self.memory,
+                vcpu_states,
+                Default::default(),
+            )?,
+        };
+        if was_running {
+            self.resume()?;
+        }
+        Ok(snap)
+    }
+
     /// Restore the VM to a snapshot previously stored in `store`.
     pub fn restore_snapshot(
         &mut self,
@@ -549,6 +595,23 @@ impl Vm {
         store: &SnapshotStore,
     ) -> Result<()> {
         let (vcpu_states, _pages) = store.restore(id, &self.memory)?;
+        self.finish_restore(vcpu_states)
+    }
+
+    /// Restore the VM to a backup epoch held in a content-addressed store:
+    /// the manifest chain is applied to guest memory and the recorded vCPU
+    /// state reinstated, leaving the VM paused — byte-identical to
+    /// [`restore_snapshot`](Self::restore_snapshot) of the same capture.
+    pub fn restore_from_cas(
+        &mut self,
+        id: rvisor_snapshot::ManifestId,
+        cas: &rvisor_snapshot::CasStore,
+    ) -> Result<()> {
+        let (vcpu_states, _pages) = cas.restore(id, &self.memory)?;
+        self.finish_restore(vcpu_states)
+    }
+
+    fn finish_restore(&mut self, vcpu_states: Vec<rvisor_vcpu::VcpuState>) -> Result<()> {
         if vcpu_states.len() != self.vcpus.len() {
             return Err(Error::Snapshot(format!(
                 "snapshot has {} vCPUs but the VM has {}",
